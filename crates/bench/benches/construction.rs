@@ -1,0 +1,70 @@
+//! Construction benchmarks at small scale: τ-MNG against the baselines over
+//! one shared corpus, plus NN-Descent itself (the pipelines' dominant
+//! preprocessing step, as the paper's complexity analysis predicts).
+
+use ann_graph::AnnIndex;
+use ann_hnsw::{Hnsw, HnswParams};
+use ann_knng::{brute_force_knn_graph, nn_descent, NnDescentParams};
+use ann_nsg::{build_nsg, NsgParams};
+use ann_vamana::{build_vamana, VamanaParams};
+use ann_vectors::synthetic::{mean_nn_distance, Recipe};
+use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
+use std::sync::Arc;
+use tau_mg::{build_tau_mng, TauMngParams};
+
+const N: usize = 3_000;
+
+fn bench_construction(c: &mut Criterion) {
+    let dataset = Recipe::SiftLike.build(N, 10, 7);
+    let metric = dataset.metric;
+    let base = Arc::new(dataset.base);
+    let tau = mean_nn_distance(&base, 100, 7) * 0.03;
+    let knn = brute_force_knn_graph(metric, &base, 32).expect("knn");
+
+    let mut group = c.benchmark_group("construction_3k");
+    group.sample_size(10);
+    group.sampling_mode(SamplingMode::Flat);
+    group.bench_function("nn_descent_k32", |b| {
+        b.iter(|| {
+            nn_descent(metric, &base, NnDescentParams { k: 32, seed: 7, ..Default::default() })
+                .expect("nn-descent")
+                .num_nodes()
+        })
+    });
+    group.bench_function("tau_mng", |b| {
+        b.iter(|| {
+            build_tau_mng(base.clone(), metric, &knn, TauMngParams { tau, ..Default::default() })
+                .expect("tau-MNG")
+                .graph_stats()
+                .num_edges
+        })
+    });
+    group.bench_function("nsg", |b| {
+        b.iter(|| {
+            build_nsg(base.clone(), metric, &knn, NsgParams::default())
+                .expect("NSG")
+                .graph_stats()
+                .num_edges
+        })
+    });
+    group.bench_function("hnsw", |b| {
+        b.iter(|| {
+            Hnsw::build(base.clone(), metric, HnswParams::default())
+                .expect("HNSW")
+                .graph_stats()
+                .num_edges
+        })
+    });
+    group.bench_function("vamana", |b| {
+        b.iter(|| {
+            build_vamana(base.clone(), metric, VamanaParams::default())
+                .expect("Vamana")
+                .graph_stats()
+                .num_edges
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

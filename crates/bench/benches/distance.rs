@@ -1,0 +1,42 @@
+//! Distance-kernel micro-benchmarks: the innermost loop of everything.
+//!
+//! Run with `cargo bench -p ann-bench --bench distance`.
+
+use ann_vectors::metric::{cosine_dissim, dot, l2_sq, reference};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn make_pair(dim: usize) -> (Vec<f32>, Vec<f32>) {
+    let mut s = 0x9E37_79B9u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % 1000) as f32 / 500.0 - 1.0
+    };
+    ((0..dim).map(|_| next()).collect(), (0..dim).map(|_| next()).collect())
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    for dim in [96usize, 128, 256, 420, 960] {
+        let (a, b) = make_pair(dim);
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::new("l2_sq", dim), &dim, |bench, _| {
+            bench.iter(|| l2_sq(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("l2_sq_naive", dim), &dim, |bench, _| {
+            bench.iter(|| reference::l2_sq(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
+            bench.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bench, _| {
+            bench.iter(|| cosine_dissim(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Whole-query search benchmarks: one group per index over the same
+//! SIFT-like corpus, at a low-L and a high-L operating point, plus the
+//! τ-monotonic search options (two-phase / QEO) on the τ-MNG.
+
+use ann_bench::{build_algo, prepare_sized, Algo};
+use ann_graph::{AnnIndex, Scratch};
+use ann_vectors::synthetic::Recipe;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tau_mg::TauSearchOptions;
+
+const N: usize = 8_000;
+
+fn bench_search(c: &mut Criterion) {
+    let data = prepare_sized(Recipe::SiftLike, N, 64);
+    let mut group = c.benchmark_group("search_k10");
+    for algo in Algo::ALL {
+        let built = build_algo(algo, &data);
+        let mut scratch = Scratch::new(built.index.num_points());
+        for l in [16usize, 128] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), l),
+                &l,
+                |b, &l| {
+                    let mut q = 0u32;
+                    b.iter(|| {
+                        let r = built.index.search_with(
+                            black_box(data.queries.get(q % data.queries.len() as u32)),
+                            10,
+                            l,
+                            &mut scratch,
+                        );
+                        q = q.wrapping_add(1);
+                        r.ids.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_tau_search_options(c: &mut Criterion) {
+    let data = prepare_sized(Recipe::SiftLike, N, 64);
+    let built = build_algo(Algo::TauMng, &data);
+    // Downcast through the concrete builder for option control.
+    let knn = &data.knn;
+    let index = tau_mg::build_tau_mng(
+        data.base.clone(),
+        data.metric,
+        knn,
+        ann_bench::params::tau_mng(data.tau0 * ann_bench::TAU_MULT),
+    )
+    .expect("tau-MNG");
+    drop(built);
+    let mut scratch = Scratch::new(index.num_points());
+    let mut group = c.benchmark_group("tau_search_options");
+    for (name, opts) in [
+        ("plain", TauSearchOptions::plain()),
+        ("two_phase", TauSearchOptions { two_phase: true, qeo: false }),
+        ("two_phase_qeo", TauSearchOptions { two_phase: true, qeo: true }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut q = 0u32;
+            b.iter(|| {
+                let r = index.search_opts(
+                    black_box(data.queries.get(q % data.queries.len() as u32)),
+                    10,
+                    64,
+                    opts,
+                    &mut scratch,
+                );
+                q = q.wrapping_add(1);
+                r.ids.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_tau_search_options);
+criterion_main!(benches);

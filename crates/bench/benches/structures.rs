@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the search-side data structures: the bounded sorted
+//! pool and the epoch visited set (DESIGN.md §4 justifies both choices).
+
+use ann_graph::{Pool, VisitedSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn pseudo_dists(n: usize) -> Vec<f32> {
+    let mut s = 0xABCDu64;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 100_000) as f32 / 100.0
+        })
+        .collect()
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_insert");
+    let dists = pseudo_dists(4096);
+    for cap in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut pool = Pool::new(cap);
+                for (i, &d) in dists.iter().enumerate() {
+                    pool.insert(black_box(d), i as u32);
+                }
+                pool.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_visited(c: &mut Criterion) {
+    let mut group = c.benchmark_group("visited_set");
+    group.bench_function("insert_100k", |b| {
+        let mut v = VisitedSet::new(100_000);
+        b.iter(|| {
+            v.clear();
+            let mut acc = 0u32;
+            for i in (0..100_000u32).step_by(7) {
+                acc += v.insert(black_box(i)) as u32;
+            }
+            acc
+        })
+    });
+    group.bench_function("clear_is_o1", |b| {
+        let mut v = VisitedSet::new(1_000_000);
+        v.insert(3);
+        b.iter(|| {
+            v.clear();
+            black_box(v.contains(3))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool, bench_visited);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Run the entire experiment grid (E1–E11) in sequence.
+//!
+//! Scale via `ANN_SCALE=fast|default|full`. Reports print to stdout; curve
+//! data lands under `results/` (or `ANN_RESULTS_DIR`).
+fn main() {
+    use ann_bench::experiments as ex;
+    let scale = ann_bench::Scale::from_env();
+    let t0 = std::time::Instant::now();
+    for (name, f) in [
+        ("E1", ex::e1_datasets as fn(ann_bench::Scale) -> String),
+        ("E2", ex::e2_construction),
+        ("E3", ex::e3_qps_recall1),
+        ("E4", ex::e4_qps_recall100),
+        ("E5", ex::e5_ndc_recall),
+        ("E6", ex::e6_tau_sweep),
+        ("E7", ex::e7_hr_sweep),
+        ("E8", ex::e8_scalability),
+        ("E9", ex::e9_search_ablation),
+        ("E10", ex::e10_exactness),
+        ("E11", ex::e11_hops),
+        ("E12", ex::e12_maintenance),
+    ] {
+        let t = std::time::Instant::now();
+        println!("{}", f(scale));
+        eprintln!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    eprintln!("[grid complete in {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,5 @@
+//! Repro binary for experiment E3_QPS_RECALL1 — see DESIGN.md §6.
+fn main() {
+    let scale = ann_bench::Scale::from_env();
+    println!("{}", ann_bench::experiments::e3_qps_recall1(scale));
+}

@@ -1,0 +1,5 @@
+//! Repro binary for experiment E4_QPS_RECALL100 — see DESIGN.md §6.
+fn main() {
+    let scale = ann_bench::Scale::from_env();
+    println!("{}", ann_bench::experiments::e4_qps_recall100(scale));
+}

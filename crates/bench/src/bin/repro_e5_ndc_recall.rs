@@ -1,0 +1,5 @@
+//! Repro binary for experiment E5_NDC_RECALL — see DESIGN.md §6.
+fn main() {
+    let scale = ann_bench::Scale::from_env();
+    println!("{}", ann_bench::experiments::e5_ndc_recall(scale));
+}

@@ -1,0 +1,5 @@
+//! Repro binary for experiment E8_SCALABILITY — see DESIGN.md §6.
+fn main() {
+    let scale = ann_bench::Scale::from_env();
+    println!("{}", ann_bench::experiments::e8_scalability(scale));
+}

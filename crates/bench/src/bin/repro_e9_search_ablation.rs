@@ -1,0 +1,5 @@
+//! Repro binary for experiment E9_SEARCH_ABLATION — see DESIGN.md §6.
+fn main() {
+    let scale = ann_bench::Scale::from_env();
+    println!("{}", ann_bench::experiments::e9_search_ablation(scale));
+}

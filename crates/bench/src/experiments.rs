@@ -1,0 +1,648 @@
+//! The experiment grid (DESIGN.md §6): one function per paper table/figure.
+//!
+//! Every function is self-contained — prepares its data, measures, prints a
+//! markdown report to stdout *and* writes the full curve data as CSV under
+//! `results/` — so `repro_all` is just the sequence of calls and each
+//! `repro_e*` binary is a one-liner.
+
+use crate::{build_algo, prepare, prepare_sized, Algo, ReproData, Scale, REPRO_SEED};
+use ann_eval::{
+    banner, fmt_f, ndc_at_recall, qps_at_recall, run_sweep, write_report, CsvTable,
+    MarkdownTable, SweepConfig, SweepPoint,
+};
+use ann_graph::{AnnIndex, Scratch};
+use ann_vectors::synthetic::{tau_tube_queries, Recipe};
+use ann_vectors::{brute_force_ground_truth, Metric};
+use std::sync::Arc;
+use tau_mg::{build_tau_mg, build_tau_mng, TauMgParams, TauMngParams, TauSearchOptions};
+
+/// Recall targets the headline tables are read at.
+const TARGETS: [f64; 3] = [0.90, 0.95, 0.99];
+
+fn sweep_algo(data: &ReproData, algo: Algo, k: usize) -> Vec<SweepPoint> {
+    let built = build_algo(algo, data);
+    run_sweep(built.index.as_ref(), &data.queries, &data.gt, &SweepConfig::standard(k))
+}
+
+fn curves_to_csv(name: &str, rows: &[(String, String, Vec<SweepPoint>)]) {
+    let mut csv =
+        CsvTable::new(&["dataset", "algo", "L", "recall", "rderr", "qps", "ndc", "hops", "skipped"]);
+    for (dataset, algo, points) in rows {
+        for p in points {
+            csv.push_row(&[
+                dataset.clone(),
+                algo.clone(),
+                p.l.to_string(),
+                fmt_f(p.recall, 5),
+                format!("{:.3e}", p.rderr),
+                fmt_f(p.qps, 1),
+                fmt_f(p.ndc, 1),
+                fmt_f(p.hops, 1),
+                fmt_f(p.skipped, 1),
+            ]);
+        }
+    }
+    let path = write_report(&format!("{name}.csv"), &csv.render()).expect("write csv");
+    println!("curves written to {}", path.display());
+}
+
+/// E1 — dataset statistics table (the paper's Table 1 analogue).
+pub fn e1_datasets(scale: Scale) -> String {
+    let mut out = banner("E1: dataset statistics", "synthetic stand-ins at repro scale");
+    let mut table = MarkdownTable::new(vec![
+        "dataset", "n", "dim", "metric", "queries", "mean d(q,P)", "tau0",
+    ]);
+    let mut csv =
+        CsvTable::new(&["dataset", "n", "dim", "metric", "queries", "mean_dqp", "tau0"]);
+    for recipe in scale.recipes() {
+        let data = prepare(recipe, scale);
+        let dqp = data.gt.mean_query_nn_distance(data.metric);
+        table.push_row(vec![
+            data.name.clone(),
+            data.base.len().to_string(),
+            data.base.dim().to_string(),
+            data.metric.name().to_string(),
+            data.queries.len().to_string(),
+            fmt_f(dqp, 4),
+            fmt_f(data.tau0 as f64, 4),
+        ]);
+        csv.push_row(&[
+            data.name.clone(),
+            data.base.len().to_string(),
+            data.base.dim().to_string(),
+            data.metric.name().to_string(),
+            data.queries.len().to_string(),
+            fmt_f(dqp, 6),
+            fmt_f(data.tau0 as f64, 6),
+        ]);
+    }
+    let path = write_report("e1_datasets.csv", &csv.render()).expect("write csv");
+    out.push_str(&table.render());
+    out.push_str(&format!("csv: {}\n", path.display()));
+    out
+}
+
+/// E2 — construction time and index size (the paper's Table 2 analogue).
+pub fn e2_construction(scale: Scale) -> String {
+    let mut out = banner(
+        "E2: index construction",
+        "build time includes the shared kNN graph for the pipelines that consume it",
+    );
+    let mut csv = CsvTable::new(&[
+        "dataset", "algo", "build_seconds", "index_mb", "avg_degree", "max_degree",
+    ]);
+    for recipe in scale.recipes() {
+        let data = prepare(recipe, scale);
+        let mut table = MarkdownTable::new(vec![
+            "algo", "build s", "index MB", "avg deg", "max deg",
+        ]);
+        for algo in Algo::ALL {
+            let report = crate::build_algo_fresh(algo, &data).report;
+            table.push_row(vec![
+                algo.name().to_string(),
+                fmt_f(report.seconds, 2),
+                fmt_f(report.memory_bytes as f64 / (1024.0 * 1024.0), 2),
+                fmt_f(report.graph.avg_degree, 1),
+                report.graph.max_degree.to_string(),
+            ]);
+            csv.push_row(&[
+                data.name.clone(),
+                algo.name().to_string(),
+                fmt_f(report.seconds, 3),
+                fmt_f(report.memory_bytes as f64 / (1024.0 * 1024.0), 3),
+                fmt_f(report.graph.avg_degree, 2),
+                report.graph.max_degree.to_string(),
+            ]);
+        }
+        out.push_str(&format!("\n### {}\n{}", data.name, table.render()));
+    }
+    let path = write_report("e2_construction.csv", &csv.render()).expect("write csv");
+    out.push_str(&format!("csv: {}\n", path.display()));
+    out
+}
+
+fn qps_recall_experiment(scale: Scale, k: usize, id: &str) -> String {
+    let mut out = banner(
+        &format!("{id}: QPS vs recall@{k}"),
+        "single-thread queries; QPS read off the L-ladder by interpolation",
+    );
+    let mut rows: Vec<(String, String, Vec<SweepPoint>)> = Vec::new();
+    for recipe in scale.recipes() {
+        let data = prepare(recipe, scale);
+        let mut table = MarkdownTable::new(vec![
+            "algo",
+            "QPS@0.90",
+            "QPS@0.95",
+            "QPS@0.99",
+            "best recall",
+        ]);
+        for algo in Algo::ALL {
+            let points = sweep_algo(&data, algo, k);
+            let best = points.iter().map(|p| p.recall).fold(0.0, f64::max);
+            let cells: Vec<String> = TARGETS
+                .iter()
+                .map(|&t| {
+                    qps_at_recall(&points, t)
+                        .map(|q| fmt_f(q, 0))
+                        .unwrap_or_else(|| "—".into())
+                })
+                .collect();
+            table.push_row(vec![
+                algo.name().to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+                fmt_f(best, 4),
+            ]);
+            rows.push((data.name.clone(), algo.name().to_string(), points));
+        }
+        out.push_str(&format!("\n### {}\n{}", data.name, table.render()));
+    }
+    curves_to_csv(&format!("{}_curves", id.to_lowercase()), &rows);
+    out
+}
+
+/// E3 — QPS vs recall@1 across all contenders and datasets.
+pub fn e3_qps_recall1(scale: Scale) -> String {
+    qps_recall_experiment(scale, 1, "E3")
+}
+
+/// E4 — QPS vs recall@100.
+pub fn e4_qps_recall100(scale: Scale) -> String {
+    qps_recall_experiment(scale, 100, "E4")
+}
+
+/// E5 — distance computations (NDC) vs recall@10.
+pub fn e5_ndc_recall(scale: Scale) -> String {
+    let mut out = banner(
+        "E5: NDC vs recall@10",
+        "mean distance computations per query; lower at equal recall is better",
+    );
+    let mut rows: Vec<(String, String, Vec<SweepPoint>)> = Vec::new();
+    for recipe in scale.recipes() {
+        let data = prepare(recipe, scale);
+        let mut table =
+            MarkdownTable::new(vec!["algo", "NDC@0.90", "NDC@0.95", "NDC@0.99"]);
+        for algo in Algo::ALL {
+            let points = sweep_algo(&data, algo, 10);
+            let cells: Vec<String> = TARGETS
+                .iter()
+                .map(|&t| {
+                    ndc_at_recall(&points, t)
+                        .map(|q| fmt_f(q, 0))
+                        .unwrap_or_else(|| "—".into())
+                })
+                .collect();
+            table.push_row(vec![
+                algo.name().to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
+            rows.push((data.name.clone(), algo.name().to_string(), points));
+        }
+        out.push_str(&format!("\n### {}\n{}", data.name, table.render()));
+    }
+    curves_to_csv("e5_curves", &rows);
+    out
+}
+
+/// E6 — effect of τ: build τ-MNG at multiples of τ₀ and measure quality,
+/// speed, degree and index size.
+pub fn e6_tau_sweep(scale: Scale) -> String {
+    let mut out = banner(
+        "E6: effect of tau",
+        "tau in multiples of tau0 (mean base-point NN distance); sift-like dataset",
+    );
+    let data = prepare(Recipe::SiftLike, scale);
+    let mut table = MarkdownTable::new(vec![
+        "tau/tau0", "QPS@0.95", "recall@10 (L=100)", "avg deg", "index MB",
+    ]);
+    let mut csv = CsvTable::new(&[
+        "tau_mult", "tau", "qps_at_095", "recall_l100", "avg_degree", "index_mb",
+    ]);
+    for mult in [0.0f32, 0.03, 0.06, 0.12, 0.25, 0.5, 1.0] {
+        let tau = data.tau0 * mult;
+        let index = build_tau_mng(
+            data.base.clone(),
+            data.metric,
+            &data.knn,
+            TauMngParams { tau, ..crate::params::tau_mng(tau) },
+        )
+        .expect("tau-MNG build");
+        let points =
+            run_sweep(&index, &data.queries, &data.gt, &SweepConfig::standard(10));
+        let at_l100 = points.iter().find(|p| p.l == 100).map(|p| p.recall).unwrap_or(0.0);
+        let qps = qps_at_recall(&points, 0.95);
+        let stats = index.graph_stats();
+        let mb = index.memory_bytes() as f64 / (1024.0 * 1024.0);
+        table.push_row(vec![
+            fmt_f(mult as f64, 2),
+            qps.map(|q| fmt_f(q, 0)).unwrap_or_else(|| "—".into()),
+            fmt_f(at_l100, 4),
+            fmt_f(stats.avg_degree, 1),
+            fmt_f(mb, 2),
+        ]);
+        csv.push_row(&[
+            fmt_f(mult as f64, 2),
+            fmt_f(tau as f64, 5),
+            qps.map(|q| fmt_f(q, 1)).unwrap_or_else(|| "nan".into()),
+            fmt_f(at_l100, 5),
+            fmt_f(stats.avg_degree, 2),
+            fmt_f(mb, 3),
+        ]);
+    }
+    let path = write_report("e6_tau_sweep.csv", &csv.render()).expect("write csv");
+    out.push_str(&table.render());
+    out.push_str(&format!("csv: {}\n", path.display()));
+    out
+}
+
+/// E7 — effect of the candidate-pool cap C ("h") and the degree cap R.
+pub fn e7_hr_sweep(scale: Scale) -> String {
+    let mut out = banner(
+        "E7: effect of candidate size C and degree cap R",
+        "tau fixed at tau0; sift-like dataset",
+    );
+    let data = prepare(Recipe::SiftLike, scale);
+    let mut csv = CsvTable::new(&["param", "value", "qps_at_095", "recall_l100", "avg_degree"]);
+    for (label, values) in [("R", vec![16usize, 24, 40, 64]), ("C", vec![100, 200, 400, 800])] {
+        let mut table =
+            MarkdownTable::new(vec![label, "QPS@0.95", "recall@10 (L=100)", "avg deg"]);
+        for &v in &values {
+            let mut p = crate::params::tau_mng(data.tau0 * crate::TAU_MULT);
+            match label {
+                "R" => p.r = v,
+                _ => p.c = v,
+            }
+            let index = build_tau_mng(data.base.clone(), data.metric, &data.knn, p)
+                .expect("tau-MNG build");
+            let points =
+                run_sweep(&index, &data.queries, &data.gt, &SweepConfig::standard(10));
+            let at_l100 =
+                points.iter().find(|pt| pt.l == 100).map(|pt| pt.recall).unwrap_or(0.0);
+            let qps = qps_at_recall(&points, 0.95);
+            table.push_row(vec![
+                v.to_string(),
+                qps.map(|q| fmt_f(q, 0)).unwrap_or_else(|| "—".into()),
+                fmt_f(at_l100, 4),
+                fmt_f(index.graph_stats().avg_degree, 1),
+            ]);
+            csv.push_row(&[
+                label.to_string(),
+                v.to_string(),
+                qps.map(|q| fmt_f(q, 1)).unwrap_or_else(|| "nan".into()),
+                fmt_f(at_l100, 5),
+                fmt_f(index.graph_stats().avg_degree, 2),
+            ]);
+        }
+        out.push_str(&format!("\n### sweep over {label}\n{}", table.render()));
+    }
+    let path = write_report("e7_hr_sweep.csv", &csv.render()).expect("write csv");
+    out.push_str(&format!("csv: {}\n", path.display()));
+    out
+}
+
+/// E8 — scalability: build time and QPS@0.95 as n grows.
+pub fn e8_scalability(scale: Scale) -> String {
+    let mut out = banner(
+        "E8: scalability in n",
+        "tau-MNG vs HNSW as the base set grows (sift-like)",
+    );
+    let (n_max, nq) = scale.sizes();
+    let ns: Vec<usize> =
+        [n_max / 8, n_max / 4, n_max / 2, n_max].into_iter().filter(|&n| n >= 500).collect();
+    let mut table = MarkdownTable::new(vec![
+        "n", "algo", "build s", "QPS@0.95", "NDC@0.95",
+    ]);
+    let mut csv = CsvTable::new(&["n", "algo", "build_seconds", "qps_at_095", "ndc_at_095"]);
+    for &n in &ns {
+        let data = prepare_sized(Recipe::SiftLike, n, nq);
+        for algo in [Algo::TauMng, Algo::Hnsw] {
+            let built = build_algo(algo, &data);
+            let (index, report) = (&built.index, built.report);
+            let points =
+                run_sweep(index.as_ref(), &data.queries, &data.gt, &SweepConfig::standard(10));
+            let qps = qps_at_recall(&points, 0.95);
+            let ndc = ndc_at_recall(&points, 0.95);
+            table.push_row(vec![
+                n.to_string(),
+                algo.name().to_string(),
+                fmt_f(report.seconds, 2),
+                qps.map(|q| fmt_f(q, 0)).unwrap_or_else(|| "—".into()),
+                ndc.map(|q| fmt_f(q, 0)).unwrap_or_else(|| "—".into()),
+            ]);
+            csv.push_row(&[
+                n.to_string(),
+                algo.name().to_string(),
+                fmt_f(report.seconds, 3),
+                qps.map(|q| fmt_f(q, 1)).unwrap_or_else(|| "nan".into()),
+                ndc.map(|q| fmt_f(q, 1)).unwrap_or_else(|| "nan".into()),
+            ]);
+        }
+    }
+    let path = write_report("e8_scalability.csv", &csv.render()).expect("write csv");
+    out.push_str(&table.render());
+    out.push_str(&format!("csv: {}\n", path.display()));
+    out
+}
+
+/// E9 — search-algorithm ablation: plain beam vs two-phase vs QEO.
+pub fn e9_search_ablation(scale: Scale) -> String {
+    let mut out = banner(
+        "E9: search ablation",
+        "same tau-MNG index, four search configurations (sift-like, k=10)",
+    );
+    let data = prepare(Recipe::SiftLike, scale);
+    let index = build_tau_mng(
+        data.base.clone(),
+        data.metric,
+        &data.knn,
+        crate::params::tau_mng(data.tau0 * crate::TAU_MULT),
+    )
+    .expect("tau-MNG build");
+    let configs: [(&str, TauSearchOptions); 4] = [
+        ("plain beam", TauSearchOptions::plain()),
+        ("two-phase", TauSearchOptions { two_phase: true, qeo: false }),
+        ("QEO", TauSearchOptions { two_phase: false, qeo: true }),
+        ("two-phase+QEO", TauSearchOptions { two_phase: true, qeo: true }),
+    ];
+    let k = 10;
+    let ls = [20usize, 50, 100, 200];
+    let mut table = MarkdownTable::new(vec![
+        "config", "L", "recall@10", "QPS", "NDC", "skipped",
+    ]);
+    let mut csv = CsvTable::new(&["config", "L", "recall", "qps", "ndc", "skipped"]);
+    let mut scratch = Scratch::new(index.num_points());
+    for (name, opts) in configs {
+        for &l in &ls {
+            let nq = data.queries.len();
+            // Warm-up + accuracy pass.
+            let mut ids = vec![Vec::new(); nq];
+            let mut stats = ann_graph::SearchStats::default();
+            for q in 0..nq as u32 {
+                let r = index.search_opts(data.queries.get(q), k, l, opts, &mut scratch);
+                stats.accumulate(r.stats);
+                ids[q as usize] = r.ids;
+            }
+            // Timed pass.
+            let t0 = std::time::Instant::now();
+            for q in 0..nq as u32 {
+                let _ = index.search_opts(data.queries.get(q), k, l, opts, &mut scratch);
+            }
+            let qps = nq as f64 / t0.elapsed().as_secs_f64();
+            let recall = ann_vectors::accuracy::mean_recall_at_k(&data.gt, &ids, k);
+            table.push_row(vec![
+                name.to_string(),
+                l.to_string(),
+                fmt_f(recall, 4),
+                fmt_f(qps, 0),
+                fmt_f(stats.ndc as f64 / nq as f64, 0),
+                fmt_f(stats.skipped as f64 / nq as f64, 0),
+            ]);
+            csv.push_row(&[
+                name.to_string(),
+                l.to_string(),
+                fmt_f(recall, 5),
+                fmt_f(qps, 1),
+                fmt_f(stats.ndc as f64 / nq as f64, 1),
+                fmt_f(stats.skipped as f64 / nq as f64, 1),
+            ]);
+        }
+    }
+    let path = write_report("e9_search_ablation.csv", &csv.render()).expect("write csv");
+    out.push_str(&table.render());
+    out.push_str(&format!("csv: {}\n", path.display()));
+    out
+}
+
+/// E10 — the exactness theorem, empirically: recall@1 of greedy descent on
+/// the exact τ-MG for τ-tube queries must be 1.0; the MRNG control (τ = 0)
+/// must not be.
+pub fn e10_exactness(scale: Scale) -> String {
+    let mut out = banner(
+        "E10: exactness guarantee",
+        "exact tau-MG, queries generated with d(q,P) <= tau by construction",
+    );
+    let n = match scale {
+        Scale::Fast => 1_000,
+        Scale::Default => 3_000,
+        Scale::Full => 6_000,
+    };
+    let base = Arc::new(ann_vectors::synthetic::uniform(16, n, REPRO_SEED));
+    let tau0 = ann_vectors::synthetic::mean_nn_distance(&base, 200, REPRO_SEED);
+    // Probe every graph with the SAME query tube. Graphs built with
+    // tau_graph >= tau_probe carry the guarantee; graphs below it do not.
+    let probe_mult = 0.3f32;
+    let probe_tau = tau0 * probe_mult;
+    let queries = tau_tube_queries(&base, 300, probe_tau, REPRO_SEED ^ 0x99);
+    let gt = brute_force_ground_truth(Metric::L2, &base, &queries, 1).expect("gt");
+    let mut table = MarkdownTable::new(vec![
+        "graph", "tau/tau0", "guaranteed?", "recall@1 greedy(L=1)", "recall@1 beam(L=8)", "avg deg",
+    ]);
+    let mut csv = CsvTable::new(&[
+        "graph", "tau_mult", "guaranteed", "recall_greedy", "recall_beam8", "avg_degree",
+    ]);
+    for mult in [0.0f32, 0.1, probe_mult] {
+        let tau = tau0 * mult;
+        let idx = build_tau_mg(base.clone(), Metric::L2, TauMgParams { tau, degree_cap: None })
+            .expect("exact tau-MG");
+        let mut greedy_hits = 0usize;
+        let mut beam_hits = 0usize;
+        let mut scratch = Scratch::new(idx.num_points());
+        for q in 0..queries.len() as u32 {
+            let (node, _, _) = tau_mg::tau_greedy_nn(&idx, queries.get(q));
+            if node == gt.nn(q as usize).0 {
+                greedy_hits += 1;
+            }
+            let r = idx.search_opts(
+                queries.get(q),
+                1,
+                8,
+                TauSearchOptions::plain(),
+                &mut scratch,
+            );
+            if r.ids.first() == Some(&gt.nn(q as usize).0) {
+                beam_hits += 1;
+            }
+        }
+        let name = if mult == 0.0 { "MRNG (control)" } else { "tau-MG" };
+        let guaranteed = mult >= probe_mult;
+        let stats = idx.graph_stats();
+        table.push_row(vec![
+            name.to_string(),
+            fmt_f(mult as f64, 2),
+            (if guaranteed { "yes" } else { "no" }).to_string(),
+            fmt_f(greedy_hits as f64 / queries.len() as f64, 4),
+            fmt_f(beam_hits as f64 / queries.len() as f64, 4),
+            fmt_f(stats.avg_degree, 1),
+        ]);
+        csv.push_row(&[
+            name.to_string(),
+            fmt_f(mult as f64, 2),
+            guaranteed.to_string(),
+            fmt_f(greedy_hits as f64 / queries.len() as f64, 5),
+            fmt_f(beam_hits as f64 / queries.len() as f64, 5),
+            fmt_f(stats.avg_degree, 2),
+        ]);
+    }
+    let path = write_report("e10_exactness.csv", &csv.render()).expect("write csv");
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "query tube: d(q,P) <= {probe_mult:.2}*tau0; rows with tau/tau0 >= {probe_mult:.2} carry the theorem and must read 1.0000 under greedy(L=1).\n"
+    ));
+    out.push_str(&format!("csv: {}\n", path.display()));
+    out
+}
+
+/// E12 — index maintenance (extension experiment): incremental insertion
+/// and deletion against full rebuilds.
+///
+/// The published construction is static; this measures the dynamic layer
+/// built in `tau_mg::dynamic` (DESIGN.md marks it as an extension):
+/// (a) build on 80% of the data then insert the rest incrementally vs
+/// rebuild on 100%; (b) delete 20% with tombstones, then with splice repair,
+/// measuring live-set recall each way.
+pub fn e12_maintenance(scale: Scale) -> String {
+    use tau_mg::DynamicTauMng;
+    let mut out = banner(
+        "E12: dynamic maintenance (extension)",
+        "incremental insert / tombstone delete / splice repair vs full rebuilds (sift-like)",
+    );
+    let (n, nq) = scale.sizes();
+    let n = n / 2; // maintenance experiments build several indexes
+    let data = prepare_sized(Recipe::SiftLike, n, nq);
+    let tau = data.tau0 * crate::TAU_MULT;
+    let k = 10;
+    let mut table = MarkdownTable::new(vec!["variant", "wall s", "recall@10 (L=100)"]);
+    let mut csv = CsvTable::new(&["variant", "seconds", "recall_l100"]);
+
+    let recall_of = |dynamic: &mut DynamicTauMng| -> f64 {
+        let mut ids = Vec::with_capacity(data.queries.len());
+        for q in 0..data.queries.len() as u32 {
+            ids.push(dynamic.search(data.queries.get(q), k, 100).ids);
+        }
+        ann_vectors::accuracy::mean_recall_at_k(&data.gt, &ids, k)
+    };
+
+    // (a) Insertion: rebuild vs incremental.
+    let n80 = n * 4 / 5;
+    let sub_rows: Vec<Vec<f32>> =
+        (0..n80 as u32).map(|i| data.base.get(i).to_vec()).collect();
+    let sub_store = Arc::new(ann_vectors::VecStore::from_rows(&sub_rows).expect("subset"));
+    let sub_knn = ann_knng::nn_descent(
+        data.metric,
+        &sub_store,
+        ann_knng::NnDescentParams { k: crate::KNN_K, seed: REPRO_SEED, ..Default::default() },
+    )
+    .expect("subset knn");
+    let t0 = std::time::Instant::now();
+    let sub_index =
+        build_tau_mng(sub_store, data.metric, &sub_knn, crate::params::tau_mng(tau))
+            .expect("subset build");
+    let mut incremental = DynamicTauMng::from_index(&sub_index);
+    for i in n80 as u32..n as u32 {
+        incremental.insert(data.base.get(i)).expect("insert");
+    }
+    let incr_s = t0.elapsed().as_secs_f64();
+    let incr_recall = recall_of(&mut incremental);
+
+    let t0 = std::time::Instant::now();
+    let full =
+        build_tau_mng(data.base.clone(), data.metric, &data.knn, crate::params::tau_mng(tau))
+            .expect("full build");
+    let full_s = t0.elapsed().as_secs_f64() + data.knn_seconds;
+    let mut full_dyn = DynamicTauMng::from_index(&full);
+    let full_recall = recall_of(&mut full_dyn);
+
+    for (name, secs, recall) in [
+        ("full rebuild (100%)", full_s, full_recall),
+        ("build 80% + insert 20%", incr_s, incr_recall),
+    ] {
+        table.push_row(vec![name.to_string(), fmt_f(secs, 2), fmt_f(recall, 4)]);
+        csv.push_row(&[name.to_string(), fmt_f(secs, 3), fmt_f(recall, 5)]);
+    }
+
+    // (b) Deletion: tombstones vs splice repair, scored on the live set.
+    let n_del = n / 5;
+    let live_gt = {
+        let live_rows: Vec<Vec<f32>> =
+            (n_del as u32..n as u32).map(|i| data.base.get(i).to_vec()).collect();
+        let live = Arc::new(ann_vectors::VecStore::from_rows(&live_rows).expect("live"));
+        brute_force_ground_truth(data.metric, &live, &data.queries, k).expect("live gt")
+    };
+    let live_recall = |dynamic: &mut DynamicTauMng| -> f64 {
+        let mut hits = 0usize;
+        for q in 0..data.queries.len() as u32 {
+            let r = dynamic.search(data.queries.get(q), k, 100);
+            let mapped: Vec<u32> = r.ids.iter().map(|&id| id - n_del as u32).collect();
+            hits += live_gt.ids(q as usize).iter().filter(|id| mapped.contains(id)).count();
+        }
+        hits as f64 / (data.queries.len() * k) as f64
+    };
+
+    let mut lazy = DynamicTauMng::from_index(&full);
+    let t0 = std::time::Instant::now();
+    for id in 0..n_del as u32 {
+        lazy.delete(id).expect("delete");
+    }
+    let lazy_s = t0.elapsed().as_secs_f64();
+    let lazy_recall = live_recall(&mut lazy);
+
+    let t0 = std::time::Instant::now();
+    lazy.repair();
+    let repair_s = lazy_s + t0.elapsed().as_secs_f64();
+    let repair_recall = live_recall(&mut lazy);
+
+    for (name, secs, recall) in [
+        ("delete 20%: tombstones only", lazy_s, lazy_recall),
+        ("delete 20%: + splice repair", repair_s, repair_recall),
+    ] {
+        table.push_row(vec![name.to_string(), fmt_f(secs, 2), fmt_f(recall, 4)]);
+        csv.push_row(&[name.to_string(), fmt_f(secs, 3), fmt_f(recall, 5)]);
+    }
+    let path = write_report("e12_maintenance.csv", &csv.render()).expect("write csv");
+    out.push_str(&table.render());
+    out.push_str(&format!("csv: {}\n", path.display()));
+    out
+}
+
+/// E11 — traversal hop counts per algorithm at matched L.
+pub fn e11_hops(scale: Scale) -> String {
+    let mut out = banner(
+        "E11: traversal hops",
+        "mean expansions per query at L = 100, k = 10",
+    );
+    let mut csv = CsvTable::new(&["dataset", "algo", "hops", "ndc", "recall"]);
+    for recipe in scale.recipes() {
+        let data = prepare(recipe, scale);
+        let mut table = MarkdownTable::new(vec!["algo", "hops", "NDC", "recall@10"]);
+        for algo in Algo::ALL {
+            let built = build_algo(algo, &data);
+            let points = run_sweep(
+                built.index.as_ref(),
+                &data.queries,
+                &data.gt,
+                &SweepConfig { k: 10, ls: vec![100], repeats: 1 },
+            );
+            let p = points[0];
+            table.push_row(vec![
+                algo.name().to_string(),
+                fmt_f(p.hops, 1),
+                fmt_f(p.ndc, 0),
+                fmt_f(p.recall, 4),
+            ]);
+            csv.push_row(&[
+                data.name.clone(),
+                algo.name().to_string(),
+                fmt_f(p.hops, 2),
+                fmt_f(p.ndc, 1),
+                fmt_f(p.recall, 5),
+            ]);
+        }
+        out.push_str(&format!("\n### {}\n{}", data.name, table.render()));
+    }
+    let path = write_report("e11_hops.csv", &csv.render()).expect("write csv");
+    out.push_str(&format!("csv: {}\n", path.display()));
+    out
+}

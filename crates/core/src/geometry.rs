@@ -1,0 +1,137 @@
+//! Euclidean geometry adapter for the τ-monotonic constructions.
+//!
+//! The τ-MG theory lives in a *metric space*: the 3τ slack in the pruning
+//! rule and the τ-tube hypothesis `d(q, P) ≤ τ` are statements about
+//! Euclidean distances and triangle inequalities. The workspace's search
+//! kernels, however, work in "dissimilarity" units (squared L2, `1 − cos`,
+//! `1 − ip`) for speed. This module is the single place where the two views
+//! are reconciled:
+//!
+//! * `L2` — dissimilarity is squared Euclidean distance: `d_eu = sqrt(d)`.
+//! * `Cosine` **on unit-normalized vectors** — the chord identity
+//!   `‖a − b‖² = 2·(1 − cos(a,b))` makes the conversion `d_eu = sqrt(2·d)`,
+//!   exact on the sphere. (The dataset recipes normalize cosine corpora;
+//!   the builders verify.)
+//! * `Ip` — not a metric space; τ-constructions reject it with a clear
+//!   error rather than silently producing a graph with no guarantee.
+
+use ann_vectors::error::{AnnError, Result};
+use ann_vectors::metric::Metric;
+use ann_vectors::VecStore;
+
+/// Conversion between a metric's dissimilarity units and Euclidean distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EuclideanView {
+    /// Dissimilarity is squared Euclidean distance.
+    SquaredL2,
+    /// Dissimilarity is `1 − cos` on unit vectors (chord geometry).
+    UnitSphere,
+}
+
+impl EuclideanView {
+    /// Select the view for a metric.
+    ///
+    /// # Errors
+    /// `InvalidParameter` for non-metric dissimilarities (inner product).
+    pub fn for_metric(metric: Metric) -> Result<Self> {
+        match metric {
+            Metric::L2 => Ok(EuclideanView::SquaredL2),
+            Metric::Cosine => Ok(EuclideanView::UnitSphere),
+            Metric::Ip => Err(AnnError::InvalidParameter(
+                "tau-monotonic constructions require a metric space; \
+                 inner-product dissimilarity is not one (use L2 or \
+                 normalized cosine)"
+                    .into(),
+            )),
+        }
+    }
+
+    /// Convert a dissimilarity value to Euclidean distance.
+    #[inline]
+    pub fn to_euclidean(self, dissim: f32) -> f32 {
+        match self {
+            EuclideanView::SquaredL2 => dissim.max(0.0).sqrt(),
+            EuclideanView::UnitSphere => (2.0 * dissim.max(0.0)).sqrt(),
+        }
+    }
+
+    /// Convert a Euclidean distance back to dissimilarity units.
+    #[inline]
+    pub fn from_euclidean(self, d_eu: f32) -> f32 {
+        match self {
+            EuclideanView::SquaredL2 => d_eu * d_eu,
+            EuclideanView::UnitSphere => d_eu * d_eu / 2.0,
+        }
+    }
+
+    /// Euclidean distance between two stored vectors under this view.
+    #[inline]
+    pub fn dist_eu(self, store: &VecStore, a: u32, b: u32) -> f32 {
+        // Both views ultimately measure chord length, i.e. plain L2.
+        ann_vectors::metric::l2_sq(store.get(a), store.get(b)).sqrt()
+    }
+}
+
+/// Verify that every vector in the store is unit-normalized (within `tol`).
+/// Required before trusting [`EuclideanView::UnitSphere`].
+pub fn check_unit_norm(store: &VecStore, tol: f32) -> Result<()> {
+    for i in 0..store.len() as u32 {
+        let v = store.get(i);
+        let n = ann_vectors::metric::dot(v, v).sqrt();
+        if (n - 1.0).abs() > tol {
+            return Err(AnnError::InvalidParameter(format!(
+                "cosine tau-construction requires unit-normalized vectors; \
+                 vector {i} has norm {n}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_view_roundtrip() {
+        let v = EuclideanView::SquaredL2;
+        assert_eq!(v.to_euclidean(9.0), 3.0);
+        assert_eq!(v.from_euclidean(3.0), 9.0);
+        assert_eq!(v.to_euclidean(-1e-8), 0.0);
+    }
+
+    #[test]
+    fn sphere_view_uses_chord_identity() {
+        // Orthogonal unit vectors: cos dissim = 1, chord = sqrt(2).
+        let v = EuclideanView::UnitSphere;
+        assert!((v.to_euclidean(1.0) - 2f32.sqrt()).abs() < 1e-6);
+        assert!((v.from_euclidean(2f32.sqrt()) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ip_is_rejected() {
+        assert!(EuclideanView::for_metric(Metric::Ip).is_err());
+        assert!(EuclideanView::for_metric(Metric::L2).is_ok());
+        assert!(EuclideanView::for_metric(Metric::Cosine).is_ok());
+    }
+
+    #[test]
+    fn chord_identity_matches_actual_distances() {
+        let mut store =
+            VecStore::from_rows(&[vec![3.0, 4.0, 0.0], vec![0.0, 5.0, 5.0]]).unwrap();
+        store.normalize();
+        let cosine = Metric::Cosine.distance(store.get(0), store.get(1));
+        let chord = ann_vectors::metric::l2_sq(store.get(0), store.get(1)).sqrt();
+        let v = EuclideanView::UnitSphere;
+        assert!((v.to_euclidean(cosine) - chord).abs() < 1e-5);
+        assert!((v.dist_eu(&store, 0, 1) - chord).abs() < 1e-7);
+    }
+
+    #[test]
+    fn unit_norm_check() {
+        let mut store = VecStore::from_rows(&[vec![1.0, 0.0], vec![3.0, 4.0]]).unwrap();
+        assert!(check_unit_norm(&store, 1e-4).is_err());
+        store.normalize();
+        assert!(check_unit_norm(&store, 1e-4).is_ok());
+    }
+}

@@ -1,0 +1,262 @@
+//! τ-MNG: the practical τ-monotonic neighborhood graph.
+//!
+//! The paper's scalable construction relaxes τ-MG the same way NSG relaxes
+//! MRNG: enforce the τ-monotonic selection rule only over each node's
+//! *local* candidate neighborhood instead of all n points.
+//!
+//! Pipeline (shared with NSG via `ann-nsg`, differing only in the pruning
+//! rule):
+//!
+//! 1. approximate kNN graph (NN-Descent or brute force);
+//! 2. per-node candidate acquisition — beam search for the node from the
+//!    medoid over the kNN graph, merged with the node's kNN row;
+//! 3. **τ-MG selection rule** with degree cap R ([`crate::prune::tau_prune`]);
+//! 4. reverse-edge interconnection under the same rule;
+//! 5. spanning-tree connectivity repair from the medoid.
+
+use crate::geometry::{check_unit_norm, EuclideanView};
+use crate::index::TauIndex;
+use crate::prune::tau_prune;
+use ann_graph::{FlatGraph, Scratch, VarGraph};
+use ann_knng::KnnGraph;
+use ann_nsg::{acquire_candidates, inter_insert, repair_connectivity};
+use ann_vectors::error::{AnnError, Result};
+use ann_vectors::metric::Metric;
+use ann_vectors::parallel::num_threads;
+use ann_vectors::VecStore;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// τ-MNG construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TauMngParams {
+    /// The τ-tube radius (Euclidean units). Pick on the order of the mean
+    /// query-to-NN distance; experiment E6 sweeps it.
+    pub tau: f32,
+    /// Out-degree cap `R`.
+    pub r: usize,
+    /// Beam width `L` during candidate acquisition.
+    pub l: usize,
+    /// Candidate-pool cap `C` before pruning.
+    pub c: usize,
+}
+
+impl Default for TauMngParams {
+    fn default() -> Self {
+        TauMngParams { tau: 0.0, r: 40, l: 100, c: 500 }
+    }
+}
+
+/// Build a τ-MNG from a store and a kNN graph.
+///
+/// # Errors
+/// `EmptyDataset` / `InvalidParameter` on degenerate inputs, non-metric
+/// dissimilarities, kNN coverage mismatch, or non-normalized cosine data.
+pub fn build_tau_mng(
+    store: Arc<VecStore>,
+    metric: Metric,
+    knn: &KnnGraph,
+    params: TauMngParams,
+) -> Result<TauIndex> {
+    if store.is_empty() {
+        return Err(AnnError::EmptyDataset);
+    }
+    if knn.num_nodes() != store.len() {
+        return Err(AnnError::InvalidParameter(format!(
+            "kNN graph covers {} nodes, store has {}",
+            knn.num_nodes(),
+            store.len()
+        )));
+    }
+    if params.r == 0 || params.l == 0 || params.c == 0 {
+        return Err(AnnError::InvalidParameter("tau-MNG parameters must be positive".into()));
+    }
+    if !params.tau.is_finite() || params.tau < 0.0 {
+        return Err(AnnError::InvalidParameter(format!(
+            "tau must be finite and non-negative, got {}",
+            params.tau
+        )));
+    }
+    let view = EuclideanView::for_metric(metric)?;
+    if view == EuclideanView::UnitSphere {
+        check_unit_norm(&store, 1e-3)?;
+    }
+    let n = store.len();
+    let entry = store.medoid(metric)?;
+    let base = knn.to_var_graph();
+
+    // Phase 1 (parallel): candidate acquisition + τ pruning.
+    let forward: Vec<std::sync::Mutex<Vec<u32>>> =
+        (0..n).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    let cursor = AtomicUsize::new(0);
+    let threads = num_threads();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| {
+                let mut scratch = Scratch::new(n);
+                loop {
+                    let p = cursor.fetch_add(1, Ordering::Relaxed);
+                    if p >= n {
+                        break;
+                    }
+                    let p = p as u32;
+                    let extra: Vec<(f32, u32)> = knn
+                        .neighbors(p)
+                        .iter()
+                        .zip(knn.dists(p))
+                        .map(|(&id, &d)| (d, id))
+                        .collect();
+                    let cands = acquire_candidates(
+                        &store, metric, &base, entry, p, params.l, params.c, &extra,
+                        &mut scratch,
+                    );
+                    let selected = tau_prune(&store, view, &cands, params.r, params.tau);
+                    *forward[p as usize].lock().unwrap() = selected;
+                }
+            });
+        }
+    });
+    let forward: Vec<Vec<u32>> =
+        forward.into_iter().map(|m| m.into_inner().unwrap()).collect();
+
+    // Phase 2: reverse edges under the τ rule.
+    let lists = inter_insert(&store, metric, &forward, params.r, |_q, cands| {
+        tau_prune(&store, view, cands, params.r, params.tau)
+    });
+
+    // Phase 3: connectivity repair.
+    let mut graph = VarGraph::new(n);
+    for (u, list) in lists.into_iter().enumerate() {
+        graph.set_neighbors(u as u32, list);
+    }
+    repair_connectivity(&mut graph, &store, metric, entry, params.l);
+
+    let flat = FlatGraph::freeze(&graph, None);
+    Ok(TauIndex::assemble(store, metric, view, flat, entry, params.tau, "tau-MNG"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_graph::connectivity::fully_reachable;
+    use ann_graph::{AnnIndex, GraphView};
+    use ann_knng::brute_force_knn_graph;
+    use ann_vectors::accuracy::mean_recall_at_k;
+    use ann_vectors::brute_force_ground_truth;
+    use ann_vectors::synthetic::{
+        mean_nn_distance, mixture_base, mixture_queries, FrozenMixture, MixtureSpec,
+    };
+
+    fn dataset(n: usize, nq: usize, dim: usize, seed: u64) -> (Arc<VecStore>, VecStore) {
+        let mix = FrozenMixture::new(&MixtureSpec::default_for(dim), seed);
+        (Arc::new(mixture_base(&mix, n, seed)), mixture_queries(&mix, nq, seed))
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (store, _) = dataset(40, 1, 4, 1);
+        let knn = brute_force_knn_graph(Metric::L2, &store, 5).unwrap();
+        assert!(build_tau_mng(
+            store.clone(),
+            Metric::L2,
+            &knn,
+            TauMngParams { r: 0, ..Default::default() }
+        )
+        .is_err());
+        assert!(build_tau_mng(
+            store.clone(),
+            Metric::L2,
+            &knn,
+            TauMngParams { tau: -0.5, ..Default::default() }
+        )
+        .is_err());
+        assert!(build_tau_mng(store, Metric::Ip, &knn, TauMngParams::default()).is_err());
+    }
+
+    #[test]
+    fn connected_and_bounded() {
+        let (store, _) = dataset(700, 1, 8, 3);
+        let tau0 = mean_nn_distance(&store, 100, 0);
+        let knn = brute_force_knn_graph(Metric::L2, &store, 20).unwrap();
+        let params = TauMngParams { tau: tau0, r: 16, ..Default::default() };
+        let idx = build_tau_mng(store, Metric::L2, &knn, params).unwrap();
+        assert!(fully_reachable(idx.graph(), idx.entry_point()));
+        assert!(idx.graph().max_degree() <= params.r + 4);
+        assert_eq!(idx.name(), "tau-MNG");
+        assert!((idx.tau() - tau0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recall_beats_threshold() {
+        let (store, queries) = dataset(2000, 50, 16, 42);
+        let tau0 = mean_nn_distance(&store, 100, 0);
+        let gt = brute_force_ground_truth(Metric::L2, &store, &queries, 10).unwrap();
+        let knn = brute_force_knn_graph(Metric::L2, &store, 30).unwrap();
+        let idx = build_tau_mng(
+            store,
+            Metric::L2,
+            &knn,
+            TauMngParams { tau: tau0, ..Default::default() },
+        )
+        .unwrap();
+        let mut scratch = Scratch::new(idx.num_points());
+        let results: Vec<Vec<u32>> = (0..queries.len() as u32)
+            .map(|q| idx.search_with(queries.get(q), 10, 100, &mut scratch).ids)
+            .collect();
+        let recall = mean_recall_at_k(&gt, &results, 10);
+        assert!(recall > 0.95, "tau-MNG recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn edge_lengths_match_geometry() {
+        let (store, _) = dataset(200, 1, 6, 7);
+        let knn = brute_force_knn_graph(Metric::L2, &store, 10).unwrap();
+        let idx = build_tau_mng(store.clone(), Metric::L2, &knn, TauMngParams::default())
+            .unwrap();
+        for u in (0..200u32).step_by(17) {
+            let nbrs = idx.graph().neighbors(u);
+            let lens = idx.edge_lengths(u);
+            assert_eq!(nbrs.len(), lens.len());
+            for (&v, &len) in nbrs.iter().zip(lens) {
+                let expect =
+                    ann_vectors::metric::l2_sq(store.get(u), store.get(v)).sqrt();
+                assert!((len - expect).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let (store, queries) = dataset(300, 5, 6, 9);
+        let knn = brute_force_knn_graph(Metric::L2, &store, 10).unwrap();
+        let idx = build_tau_mng(
+            store.clone(),
+            Metric::L2,
+            &knn,
+            TauMngParams { tau: 0.3, ..Default::default() },
+        )
+        .unwrap();
+        let bytes = idx.to_bytes();
+        let idx2 = TauIndex::from_bytes(&bytes, store, Metric::L2).unwrap();
+        assert_eq!(idx2.tau(), idx.tau());
+        assert_eq!(idx2.name(), "tau-MNG");
+        for q in 0..queries.len() as u32 {
+            let a = idx.search(queries.get(q), 5, 50);
+            let b = idx2.search(queries.get(q), 5, 50);
+            assert_eq!(a.ids, b.ids);
+        }
+    }
+
+    #[test]
+    fn serialization_rejects_corruption() {
+        let (store, _) = dataset(100, 1, 4, 11);
+        let knn = brute_force_knn_graph(Metric::L2, &store, 8).unwrap();
+        let idx =
+            build_tau_mng(store.clone(), Metric::L2, &knn, TauMngParams::default()).unwrap();
+        let mut bytes = idx.to_bytes();
+        assert!(TauIndex::from_bytes(&bytes, store.clone(), Metric::Cosine).is_err());
+        let mid = bytes.len() / 3;
+        bytes[mid] ^= 0x08;
+        assert!(TauIndex::from_bytes(&bytes, store, Metric::L2).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! τ-monotonic search with query-aware edge occlusion (QEO).
+//!
+//! **Two-phase search \[R\].** Following the paper's analysis, the traversal
+//! is split into (1) approaching the query's vicinity and (2) finishing the
+//! τ-ball. Phase 1 is a pure greedy descent (beam width 1) — on a
+//! τ-monotonic graph it provably lands on the exact NN for τ-tube queries,
+//! and cheaply reaches the right region for general queries. Phase 2 is the
+//! standard beam of width L seeded with phase 1's endpoint. The benefit is
+//! measured by experiment E9; plain single-phase beam search is available
+//! through [`TauSearchOptions`].
+//!
+//! **QEO \[R\].** Every edge's Euclidean length is stored with the index. When
+//! the candidate pool is full with admission bound `b` (converted to
+//! Euclidean), a neighbor `v` of the node `u` being expanded can be skipped
+//! without computing `d(q, v)` whenever the triangle-inequality lower bound
+//! already disqualifies it:
+//!
+//! ```text
+//! d(q, v) ≥ |d(q, u) − d(u, v)| ≥ b   ⇒   v cannot enter the pool.
+//! ```
+//!
+//! Skipped neighbors are *not* marked visited — a later expansion with a
+//! looser bound may still evaluate them, so QEO never changes which nodes
+//! can be found, only when distances are paid for. The bound is exact for
+//! L2 and, via the chord identity, for unit-normalized cosine data; for a
+//! non-normalized cosine query the optimization auto-disables (correctness
+//! over speed).
+
+use crate::geometry::EuclideanView;
+use crate::index::TauIndex;
+use ann_graph::{greedy_descent_dyn, GraphView, QueryResult, Scratch, SearchStats};
+use ann_vectors::metric::{dot, Metric};
+
+/// Options of the τ-monotonic search (experiment E9 ablates both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TauSearchOptions {
+    /// Run the cheap greedy-descent phase before the beam phase.
+    pub two_phase: bool,
+    /// Skip provably-unhelpful distance computations using stored edge
+    /// lengths.
+    pub qeo: bool,
+}
+
+impl Default for TauSearchOptions {
+    fn default() -> Self {
+        TauSearchOptions { two_phase: true, qeo: true }
+    }
+}
+
+impl TauSearchOptions {
+    /// Plain beam search — no τ-specific machinery (the E9 baseline arm).
+    pub fn plain() -> Self {
+        TauSearchOptions { two_phase: false, qeo: false }
+    }
+}
+
+/// Execute the τ-monotonic search. See module docs for the algorithm.
+pub fn tau_search(
+    index: &TauIndex,
+    query: &[f32],
+    k: usize,
+    l: usize,
+    opts: TauSearchOptions,
+    scratch: &mut Scratch,
+) -> QueryResult {
+    let store = &index.store;
+    let metric = index.metric;
+    let graph = &index.graph;
+    let l = l.max(k).max(1);
+    let mut stats = SearchStats::default();
+
+    // QEO soundness: exact for L2; for cosine only when the query is on the
+    // unit sphere (the chord identity needs it).
+    let qeo = opts.qeo
+        && match index.view {
+            EuclideanView::SquaredL2 => true,
+            EuclideanView::UnitSphere => (dot(query, query) - 1.0).abs() < 1e-3,
+        };
+
+    // Phase 1: greedy descent to the query's vicinity.
+    let entry = if opts.two_phase {
+        let (node, _) = greedy_descent_dyn(metric, store, graph, index.entry, query, &mut stats);
+        node
+    } else {
+        index.entry
+    };
+
+    // Phase 2: beam of width l with optional QEO.
+    scratch.pool.reset(l);
+    scratch.visited.resize(graph.num_nodes());
+    scratch.visited.clear();
+    {
+        let d = metric.distance(query, store.get(entry));
+        stats.ndc += 1;
+        scratch.visited.insert(entry);
+        scratch.pool.insert(d, entry);
+    }
+    let mut cursor = 0usize;
+    while let Some(pos) = scratch.pool.next_unexpanded(cursor) {
+        let cand = scratch.pool.expand(pos);
+        stats.hops += 1;
+        let d_qu_eu = index.view.to_euclidean(cand.dist);
+        let mut best_insert = usize::MAX;
+        let neighbors = graph.neighbors(cand.id);
+        let lens = index.edge_lengths(cand.id);
+        for (slot, &v) in neighbors.iter().enumerate() {
+            if scratch.visited.contains(v) {
+                continue;
+            }
+            let bound = scratch.pool.admission_bound();
+            if qeo && bound.is_finite() {
+                let bound_eu = index.view.to_euclidean(bound);
+                if (d_qu_eu - lens[slot]).abs() >= bound_eu {
+                    // Provably cannot enter the pool from here; leave
+                    // unvisited so a closer expansion may still reach it.
+                    stats.skipped += 1;
+                    continue;
+                }
+            }
+            scratch.visited.insert(v);
+            let d = metric.distance(query, store.get(v));
+            stats.ndc += 1;
+            if d >= bound {
+                continue;
+            }
+            if let Some(p) = scratch.pool.insert(d, v) {
+                best_insert = best_insert.min(p);
+            }
+        }
+        cursor = if best_insert <= pos { best_insert } else { pos + 1 };
+    }
+
+    let (ids, dists) = scratch.pool.top_k(k);
+    QueryResult { ids, dists, stats }
+}
+
+/// Pure greedy descent on a τ-index from its entry point — the primitive the
+/// exactness theorem (E10) is stated about. Returns `(node, dissimilarity)`.
+pub fn tau_greedy_nn(index: &TauIndex, query: &[f32]) -> (u32, f32, SearchStats) {
+    let mut stats = SearchStats::default();
+    let (node, dist) = greedy_descent_dyn(
+        index.metric,
+        &index.store,
+        &index.graph,
+        index.entry,
+        query,
+        &mut stats,
+    );
+    (node, dist, stats)
+}
+
+/// Convenience: dispatch on metric for tests.
+#[allow(dead_code)]
+pub(crate) fn metric_is_l2(m: Metric) -> bool {
+    m == Metric::L2
+}

@@ -1,0 +1,148 @@
+//! Property-based falsification of the paper's theory.
+//!
+//! These tests generate random point sets and random τ values, build exact
+//! τ-MGs, and check the claimed invariants. If the 3τ rule or the greedy
+//! argument were wrong anywhere, proptest's shrinker would hand us a minimal
+//! counterexample.
+
+use ann_vectors::brute_force_ground_truth;
+use ann_vectors::synthetic::tau_tube_queries;
+use ann_vectors::{Metric, VecStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+use tau_mg::{build_tau_mg, tau_greedy_nn, TauMgParams};
+
+/// Random point set: n points in [-1, 1]^dim with a fixed seed per case.
+fn arb_points() -> impl Strategy<Value = (usize, usize, u64)> {
+    (30usize..120, 2usize..6, 0u64..1_000_000)
+}
+
+fn make_store(n: usize, dim: usize, seed: u64) -> VecStore {
+    ann_vectors::synthetic::uniform(dim, n, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Theorem (exactness in the τ-tube): greedy descent with beam width 1
+    /// on a τ-MG reaches the exact NN of every query with d(q, P) ≤ τ.
+    #[test]
+    fn greedy_reaches_exact_nn_in_tau_tube(
+        (n, dim, seed) in arb_points(),
+        tau_frac in 0.02f32..0.3,
+    ) {
+        let base = Arc::new(make_store(n, dim, seed));
+        // Scale tau to the data: a fraction of the mean NN distance keeps
+        // the graph from degenerating to (near-)complete.
+        let tau0 = ann_vectors::synthetic::mean_nn_distance(&base, n.min(50), seed);
+        let tau = tau0 * tau_frac * 3.0;
+        let idx = build_tau_mg(
+            base.clone(),
+            Metric::L2,
+            TauMgParams { tau, degree_cap: None },
+        ).unwrap();
+        let queries = tau_tube_queries(&base, 20, tau, seed ^ 0x55);
+        let gt = brute_force_ground_truth(Metric::L2, &base, &queries, 1).unwrap();
+        for q in 0..queries.len() as u32 {
+            let (node, dist, _) = tau_greedy_nn(&idx, queries.get(q));
+            let (gt_id, gt_dist) = gt.nn(q as usize);
+            // Distance ties are legitimate alternates; ids must match when
+            // the distance is strictly unique.
+            prop_assert!(
+                node == gt_id || (dist - gt_dist).abs() <= 1e-6 * (1.0 + gt_dist),
+                "query {q}: greedy found {node}@{dist}, exact {gt_id}@{gt_dist} (tau {tau})"
+            );
+        }
+    }
+
+    /// Degenerate-slack completeness: when 3τ is at least the diameter of
+    /// the point set, no occlusion is possible (the rule needs
+    /// `d(r, b) < d(p, b) − 3τ < 0`), so τ-MG is the complete digraph.
+    ///
+    /// (Note: per-edge monotonicity in τ is *not* a theorem — a neighbor
+    /// newly kept at larger τ can occlude a later candidate that a smaller
+    /// τ admitted. Proptest found the counterexample; only the aggregate
+    /// densification trend holds, which the unit tests check on fixed data.)
+    #[test]
+    fn huge_tau_yields_complete_graph((n, dim, seed) in arb_points()) {
+        use ann_graph::GraphView;
+        let base = Arc::new(make_store(n.min(50), dim, seed));
+        let n = base.len();
+        // Points live in [-1, 1]^dim, so the diameter is at most 2·sqrt(dim).
+        let tau = 2.0 * (dim as f32).sqrt();
+        let idx = build_tau_mg(base, Metric::L2,
+            TauMgParams { tau, degree_cap: None }).unwrap();
+        for u in 0..n as u32 {
+            prop_assert_eq!(
+                idx.graph().neighbors(u).len(),
+                n - 1,
+                "node {} must connect to all others at diameter-scale tau",
+                u
+            );
+        }
+    }
+
+    /// τ-MG out-lists contain no self-loop and no duplicates, and are
+    /// reachability-complete from the medoid (MRNG-style connectivity).
+    #[test]
+    fn tau_mg_structure_invariants((n, dim, seed) in arb_points(), tau in 0.0f32..0.3) {
+        use ann_graph::connectivity::fully_reachable;
+        use ann_graph::GraphView;
+        let base = Arc::new(make_store(n, dim, seed));
+        let idx = build_tau_mg(base, Metric::L2,
+            TauMgParams { tau, degree_cap: None }).unwrap();
+        for u in 0..n as u32 {
+            let nbrs = idx.graph().neighbors(u);
+            prop_assert!(!nbrs.contains(&u), "self loop at {u}");
+            let mut sorted = nbrs.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), nbrs.len(), "duplicate edges at {}", u);
+        }
+        prop_assert!(fully_reachable(idx.graph(), idx.entry_point()));
+    }
+
+    /// QEO never changes search results on arbitrary instances — it may
+    /// only skip distance computations (and never more than it evaluates
+    /// differently). This is the optimization's soundness property.
+    #[test]
+    fn qeo_is_result_invariant_everywhere(
+        (n, dim, seed) in arb_points(),
+        tau in 0.0f32..0.3,
+        l in 4usize..32,
+    ) {
+        use ann_graph::Scratch;
+        use tau_mg::TauSearchOptions;
+        let base = Arc::new(make_store(n, dim, seed));
+        let idx = build_tau_mg(base.clone(), Metric::L2,
+            TauMgParams { tau, degree_cap: Some(20) }).unwrap();
+        let queries = tau_tube_queries(&base, 10, tau.max(0.05), seed ^ 0xA1);
+        let mut scratch = Scratch::new(n);
+        for q in 0..queries.len() as u32 {
+            let with = idx.search_opts(queries.get(q), 5, l,
+                TauSearchOptions { two_phase: false, qeo: true }, &mut scratch);
+            let without = idx.search_opts(queries.get(q), 5, l,
+                TauSearchOptions { two_phase: false, qeo: false }, &mut scratch);
+            prop_assert_eq!(&with.ids, &without.ids, "QEO changed ids for query {}", q);
+            prop_assert_eq!(&with.dists, &without.dists);
+            prop_assert!(with.stats.ndc <= without.stats.ndc);
+        }
+    }
+
+    /// Serialization is lossless for arbitrary τ-MGs.
+    #[test]
+    fn tau_index_serialization_roundtrip((n, dim, seed) in arb_points(), tau in 0.0f32..0.3) {
+        use ann_graph::GraphView;
+        let base = Arc::new(make_store(n, dim, seed));
+        let idx = build_tau_mg(base.clone(), Metric::L2,
+            TauMgParams { tau, degree_cap: Some(24) }).unwrap();
+        let bytes = idx.to_bytes();
+        let idx2 = tau_mg::TauIndex::from_bytes(&bytes, base, Metric::L2).unwrap();
+        prop_assert_eq!(idx2.tau(), idx.tau());
+        prop_assert_eq!(idx2.entry_point(), idx.entry_point());
+        for u in 0..n as u32 {
+            prop_assert_eq!(idx2.graph().neighbors(u), idx.graph().neighbors(u));
+            prop_assert_eq!(idx2.edge_lengths(u), idx.edge_lengths(u));
+        }
+    }
+}

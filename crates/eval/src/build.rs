@@ -1,0 +1,60 @@
+//! Timed index construction and the build-cost report (experiment E2).
+
+use ann_graph::{AnnIndex, GraphStats};
+use std::time::Instant;
+
+/// Construction-cost facts for one index build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildReport {
+    /// Wall-clock build seconds (multi-threaded, as in the paper).
+    pub seconds: f64,
+    /// Index structure size in bytes (excludes raw vectors).
+    pub memory_bytes: usize,
+    /// Degree statistics of the search graph.
+    pub graph: GraphStats,
+}
+
+/// Time a build closure and collect the report from the produced index.
+pub fn timed_build<I, F>(build: F) -> (I, BuildReport)
+where
+    I: AnnIndex,
+    F: FnOnce() -> I,
+{
+    let t0 = Instant::now();
+    let index = build();
+    let seconds = t0.elapsed().as_secs_f64();
+    let report = BuildReport {
+        seconds,
+        memory_bytes: index.memory_bytes(),
+        graph: index.graph_stats(),
+    };
+    (index, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_graph::{FlatGraph, FrozenGraphIndex, VarGraph};
+    use std::sync::Arc;
+
+    #[test]
+    fn timed_build_reports() {
+        let store =
+            Arc::new(ann_vectors::VecStore::from_rows(&[vec![0.0], vec![1.0]]).unwrap());
+        let (idx, report) = timed_build(|| {
+            let mut g = VarGraph::new(2);
+            g.add_edge(0, 1);
+            g.add_edge(1, 0);
+            FrozenGraphIndex::new(
+                store.clone(),
+                ann_vectors::Metric::L2,
+                FlatGraph::freeze(&g, None),
+                0,
+                "T",
+            )
+        });
+        assert!(report.seconds >= 0.0);
+        assert_eq!(report.graph.num_edges, 2);
+        assert_eq!(report.memory_bytes, idx.memory_bytes());
+    }
+}

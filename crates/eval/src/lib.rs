@@ -1,0 +1,19 @@
+//! # ann-eval
+//!
+//! Evaluation harness for the reproduction: timed builds ([`build`]),
+//! single-thread L-ladder query sweeps ([`sweep`]), and report emission
+//! ([`report`]). Every `repro_e*` binary in `ann-bench` is a thin
+//! composition of these pieces, so measurement methodology lives in exactly
+//! one place.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod report;
+pub mod sweep;
+pub mod tune;
+
+pub use build::{timed_build, BuildReport};
+pub use report::{banner, fmt_f, results_dir, write_report, CsvTable, MarkdownTable};
+pub use sweep::{ndc_at_recall, qps_at_recall, run_sweep, SweepConfig, SweepPoint};
+pub use tune::{calibrate_l, Calibration};

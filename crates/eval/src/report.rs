@@ -1,0 +1,180 @@
+//! Report emission: markdown tables and CSV files under `results/`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-aligned markdown table builder.
+#[derive(Debug, Clone, Default)]
+pub struct MarkdownTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MarkdownTable {
+    /// Start a table with the given column names.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        MarkdownTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as aligned GitHub-flavored markdown.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:w$} |");
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        let _ = cols;
+        out
+    }
+}
+
+/// CSV writer with the same row discipline as [`MarkdownTable`].
+#[derive(Debug, Clone, Default)]
+pub struct CsvTable {
+    lines: Vec<String>,
+    cols: usize,
+}
+
+impl CsvTable {
+    /// Start a CSV with the given column names.
+    pub fn new<S: AsRef<str>>(header: &[S]) -> Self {
+        let cols = header.len();
+        let line = header.iter().map(|s| escape(s.as_ref())).collect::<Vec<_>>().join(",");
+        CsvTable { lines: vec![line], cols }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn push_row<S: AsRef<str>>(&mut self, row: &[S]) {
+        assert_eq!(row.len(), self.cols, "row width mismatch");
+        self.lines.push(row.iter().map(|s| escape(s.as_ref())).collect::<Vec<_>>().join(","));
+    }
+
+    /// Render to CSV text (trailing newline included).
+    pub fn render(&self) -> String {
+        let mut s = self.lines.join("\n");
+        s.push('\n');
+        s
+    }
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Resolve the results directory (env `ANN_RESULTS_DIR`, default `results/`)
+/// and make sure it exists.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("ANN_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&p);
+    p
+}
+
+/// Write a report file into the results directory, returning its path.
+pub fn write_report(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Format a float with `digits` significant decimals, trimming noise.
+pub fn fmt_f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Banner printed by every repro binary: experiment id + provenance note.
+pub fn banner(experiment: &str, detail: &str) -> String {
+    format!(
+        "== {experiment} ==\n{detail}\n(synthetic stand-in datasets; see DESIGN.md §5 for the substitution rationale)\n"
+    )
+}
+
+/// Path helper for per-experiment CSVs.
+pub fn csv_path(experiment: &str) -> String {
+    format!("{experiment}.csv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_aligned() {
+        let mut t = MarkdownTable::new(vec!["algo", "recall"]);
+        t.push_row(vec!["HNSW", "0.95"]);
+        t.push_row(vec!["tau-MNG", "0.99"]);
+        let r = t.render();
+        assert!(r.contains("| algo    | recall |"));
+        assert!(r.lines().count() == 4);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn markdown_rejects_ragged_rows() {
+        let mut t = MarkdownTable::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn csv_escapes_fields() {
+        let mut t = CsvTable::new(&["name", "note"]);
+        t.push_row(&["a,b", "say \"hi\""]);
+        let r = t.render();
+        assert!(r.contains("\"a,b\""));
+        assert!(r.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn write_report_roundtrip() {
+        let dir = std::env::temp_dir().join("ann_eval_report_test");
+        std::env::set_var("ANN_RESULTS_DIR", &dir);
+        let p = write_report("unit.txt", "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(p).unwrap(), "hello");
+        std::env::remove_var("ANN_RESULTS_DIR");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.123456, 3), "0.123");
+        assert_eq!(fmt_f(1.0, 2), "1.00");
+    }
+}

@@ -1,0 +1,240 @@
+//! The measurement core: single-thread L-ladder sweeps over a query set,
+//! producing the (recall, QPS, NDC, rderr, hops) points the paper's figures
+//! are made of.
+//!
+//! Protocol notes (matching the paper's):
+//! * queries run on **one thread**;
+//! * accuracy bookkeeping happens *outside* the timed region;
+//! * a warm-up pass touches the index and vectors before timing;
+//! * each L is timed over `repeats ≥ 1` passes of the full query set and
+//!   QPS is averaged.
+
+use ann_graph::{AnnIndex, Scratch, SearchStats};
+use ann_vectors::accuracy::{mean_recall_at_k, mean_rderr_at_k};
+use ann_vectors::{GroundTruth, VecStore};
+use std::time::Instant;
+
+/// One measured point of an L-ladder sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Beam width searched with.
+    pub l: usize,
+    /// Mean recall@k.
+    pub recall: f64,
+    /// Mean relative distance error @k.
+    pub rderr: f64,
+    /// Queries per second (single thread).
+    pub qps: f64,
+    /// Mean distance computations per query.
+    pub ndc: f64,
+    /// Mean traversal hops per query.
+    pub hops: f64,
+    /// Mean QEO-skipped evaluations per query (0 for non-τ indexes).
+    pub skipped: f64,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Neighbors requested per query.
+    pub k: usize,
+    /// Beam widths to measure, ascending.
+    pub ls: Vec<usize>,
+    /// Timed passes over the query set per L (averaged).
+    pub repeats: usize,
+}
+
+impl SweepConfig {
+    /// Standard ladder used by most experiments: k=10, L from k to 512.
+    pub fn standard(k: usize) -> Self {
+        SweepConfig {
+            k,
+            ls: vec![10, 20, 30, 40, 60, 80, 100, 150, 200, 300, 400, 512]
+                .into_iter()
+                .filter(|&l| l >= k)
+                .collect(),
+            repeats: 1,
+        }
+    }
+}
+
+/// Run the sweep. `gt` must cover at least `config.k` neighbors per query.
+///
+/// # Panics
+/// If the ground truth is shallower than `k` or covers a different number of
+/// queries.
+pub fn run_sweep(
+    index: &dyn AnnIndex,
+    queries: &VecStore,
+    gt: &GroundTruth,
+    config: &SweepConfig,
+) -> Vec<SweepPoint> {
+    assert!(gt.k() >= config.k, "ground truth shallower than k");
+    assert_eq!(gt.n_queries(), queries.len(), "ground truth / query mismatch");
+    assert!(config.repeats >= 1);
+    let nq = queries.len();
+    let mut scratch = Scratch::new(index.num_points());
+
+    // Warm-up: one pass at the smallest L.
+    let l0 = *config.ls.first().expect("at least one L");
+    for q in 0..nq as u32 {
+        let _ = index.search_with(queries.get(q), config.k, l0, &mut scratch);
+    }
+
+    let mut points = Vec::with_capacity(config.ls.len());
+    let mut ids_buf: Vec<Vec<u32>> = vec![Vec::new(); nq];
+    let mut dist_buf: Vec<Vec<f32>> = vec![Vec::new(); nq];
+    for &l in &config.ls {
+        let mut stats = SearchStats::default();
+        let mut elapsed = 0.0f64;
+        for rep in 0..config.repeats {
+            let t0 = Instant::now();
+            for q in 0..nq as u32 {
+                let r = index.search_with(queries.get(q), config.k, l, &mut scratch);
+                if rep == 0 {
+                    stats.accumulate(r.stats);
+                    ids_buf[q as usize] = r.ids;
+                    dist_buf[q as usize] = r.dists;
+                }
+            }
+            elapsed += t0.elapsed().as_secs_f64();
+        }
+        let per_pass = elapsed / config.repeats as f64;
+        points.push(SweepPoint {
+            l,
+            recall: mean_recall_at_k(gt, &ids_buf, config.k),
+            rderr: mean_rderr_at_k(gt, &dist_buf, config.k),
+            qps: if per_pass > 0.0 { nq as f64 / per_pass } else { f64::INFINITY },
+            ndc: stats.ndc as f64 / nq as f64,
+            hops: stats.hops as f64 / nq as f64,
+            skipped: stats.skipped as f64 / nq as f64,
+        });
+    }
+    points
+}
+
+/// Linear interpolation of the QPS a sweep achieves at a target recall.
+///
+/// Returns `None` when the sweep never reaches the target. This is how the
+/// paper reads "QPS at recall 0.95/0.99" off its curves.
+pub fn qps_at_recall(points: &[SweepPoint], target: f64) -> Option<f64> {
+    // Points are ascending in L; recall is (near-)monotone. Find the first
+    // point at/above target and interpolate against its predecessor.
+    let idx = points.iter().position(|p| p.recall >= target)?;
+    if idx == 0 {
+        return Some(points[0].qps);
+    }
+    let (a, b) = (points[idx - 1], points[idx]);
+    if (b.recall - a.recall).abs() < 1e-12 {
+        return Some(b.qps);
+    }
+    let t = (target - a.recall) / (b.recall - a.recall);
+    Some(a.qps + t * (b.qps - a.qps))
+}
+
+/// Same interpolation for NDC at a target recall (lower is better).
+pub fn ndc_at_recall(points: &[SweepPoint], target: f64) -> Option<f64> {
+    let idx = points.iter().position(|p| p.recall >= target)?;
+    if idx == 0 {
+        return Some(points[0].ndc);
+    }
+    let (a, b) = (points[idx - 1], points[idx]);
+    if (b.recall - a.recall).abs() < 1e-12 {
+        return Some(b.ndc);
+    }
+    let t = (target - a.recall) / (b.recall - a.recall);
+    Some(a.ndc + t * (b.ndc - a.ndc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(l: usize, recall: f64, qps: f64, ndc: f64) -> SweepPoint {
+        SweepPoint { l, recall, rderr: 0.0, qps, ndc, hops: 0.0, skipped: 0.0 }
+    }
+
+    #[test]
+    fn qps_interpolation() {
+        let pts = vec![p(10, 0.80, 1000.0, 100.0), p(20, 0.90, 500.0, 200.0)];
+        assert!((qps_at_recall(&pts, 0.85).unwrap() - 750.0).abs() < 1e-9);
+        assert_eq!(qps_at_recall(&pts, 0.80), Some(1000.0));
+        assert_eq!(qps_at_recall(&pts, 0.95), None);
+        assert!((ndc_at_recall(&pts, 0.85).unwrap() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_point_already_above_target() {
+        let pts = vec![p(10, 0.99, 800.0, 50.0)];
+        assert_eq!(qps_at_recall(&pts, 0.9), Some(800.0));
+    }
+
+    #[test]
+    fn standard_config_filters_small_l() {
+        let c = SweepConfig::standard(100);
+        assert!(c.ls.iter().all(|&l| l >= 100));
+        assert!(!c.ls.is_empty());
+    }
+
+    #[test]
+    fn sweep_runs_end_to_end() {
+        use ann_vectors::brute_force_ground_truth;
+        use ann_vectors::Metric;
+        use std::sync::Arc;
+
+        // A trivially-correct "index": brute force behind the AnnIndex trait.
+        struct Brute {
+            store: Arc<VecStore>,
+        }
+        impl AnnIndex for Brute {
+            fn name(&self) -> &'static str {
+                "brute"
+            }
+            fn num_points(&self) -> usize {
+                self.store.len()
+            }
+            fn search_with(
+                &self,
+                query: &[f32],
+                k: usize,
+                _l: usize,
+                _scratch: &mut Scratch,
+            ) -> ann_graph::QueryResult {
+                let mut top = ann_vectors::TopK::new(k);
+                for i in 0..self.store.len() as u32 {
+                    top.push(Metric::L2.distance(query, self.store.get(i)), i);
+                }
+                let sorted = top.into_sorted();
+                ann_graph::QueryResult {
+                    ids: sorted.iter().map(|e| e.1).collect(),
+                    dists: sorted.iter().map(|e| e.0).collect(),
+                    stats: SearchStats { ndc: self.store.len() as u64, hops: 0, skipped: 0 },
+                }
+            }
+            fn memory_bytes(&self) -> usize {
+                0
+            }
+            fn graph_stats(&self) -> ann_graph::GraphStats {
+                ann_graph::GraphStats { num_edges: 0, avg_degree: 0.0, max_degree: 0 }
+            }
+        }
+
+        let store = Arc::new(ann_vectors::synthetic::uniform(4, 200, 3));
+        let queries = ann_vectors::synthetic::uniform(4, 20, 4);
+        let gt = brute_force_ground_truth(Metric::L2, &store, &queries, 5).unwrap();
+        let idx = Brute { store };
+        let pts = run_sweep(
+            &idx,
+            &queries,
+            &gt,
+            &SweepConfig { k: 5, ls: vec![5, 10], repeats: 2 },
+        );
+        assert_eq!(pts.len(), 2);
+        for pt in &pts {
+            assert_eq!(pt.recall, 1.0, "brute force must be exact");
+            assert_eq!(pt.rderr, 0.0);
+            assert_eq!(pt.ndc, 200.0);
+            assert!(pt.qps > 0.0);
+        }
+    }
+}

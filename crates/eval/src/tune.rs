@@ -1,0 +1,158 @@
+//! Operating-point calibration: find the smallest beam width L that reaches
+//! a target recall on a validation query set.
+//!
+//! The paper (like all graph-ANN work) presents results as L-ladders; a
+//! deployment needs the inverse function — "what L do I run at for 0.95?".
+//! This module answers it with an exponential probe followed by a binary
+//! search, reusing one scratch allocation throughout.
+
+use ann_graph::{AnnIndex, Scratch};
+use ann_vectors::accuracy::mean_recall_at_k;
+use ann_vectors::{GroundTruth, VecStore};
+
+/// Result of a calibration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Smallest probed L reaching the target.
+    pub l: usize,
+    /// Recall measured at that L.
+    pub recall: f64,
+    /// Total queries executed while calibrating.
+    pub queries_spent: usize,
+}
+
+fn recall_at(
+    index: &dyn AnnIndex,
+    queries: &VecStore,
+    gt: &GroundTruth,
+    k: usize,
+    l: usize,
+    scratch: &mut Scratch,
+) -> f64 {
+    let mut ids = Vec::with_capacity(queries.len());
+    for q in 0..queries.len() as u32 {
+        ids.push(index.search_with(queries.get(q), k, l, scratch).ids);
+    }
+    mean_recall_at_k(gt, &ids, k)
+}
+
+/// Find the smallest `L ∈ [k, max_l]` with validation recall ≥ `target`.
+///
+/// Returns `None` if even `max_l` misses the target. Recall is treated as
+/// monotone in L (true up to noise for beam search; the binary search is
+/// robust to small violations because it re-measures at every probe).
+///
+/// # Panics
+/// If the ground truth is shallower than `k`, `target` is outside `(0, 1]`,
+/// or `max_l < k`.
+pub fn calibrate_l(
+    index: &dyn AnnIndex,
+    queries: &VecStore,
+    gt: &GroundTruth,
+    k: usize,
+    target: f64,
+    max_l: usize,
+) -> Option<Calibration> {
+    assert!(gt.k() >= k, "ground truth shallower than k");
+    assert!(target > 0.0 && target <= 1.0, "target recall must be in (0, 1]");
+    assert!(max_l >= k, "max_l must be at least k");
+    let mut scratch = Scratch::new(index.num_points());
+    let mut spent = 0usize;
+
+    // Exponential probe for an upper bracket.
+    let mut lo = k;
+    let mut hi = k;
+    let mut hi_recall = recall_at(index, queries, gt, k, hi, &mut scratch);
+    spent += queries.len();
+    while hi_recall < target {
+        if hi >= max_l {
+            return None;
+        }
+        lo = hi;
+        hi = (hi * 2).min(max_l);
+        hi_recall = recall_at(index, queries, gt, k, hi, &mut scratch);
+        spent += queries.len();
+    }
+    // Binary search for the smallest passing L in (lo, hi].
+    let mut best = (hi, hi_recall);
+    while lo + 1 < best.0 {
+        let mid = (lo + best.0) / 2;
+        let r = recall_at(index, queries, gt, k, mid, &mut scratch);
+        spent += queries.len();
+        if r >= target {
+            best = (mid, r);
+        } else {
+            lo = mid;
+        }
+    }
+    Some(Calibration { l: best.0, recall: best.1, queries_spent: spent })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_graph::BruteForceIndex;
+    use ann_vectors::{brute_force_ground_truth, Metric};
+    use std::sync::Arc;
+
+    fn fixture() -> (Arc<VecStore>, VecStore, GroundTruth) {
+        let base = Arc::new(ann_vectors::synthetic::uniform(6, 300, 4));
+        let queries = ann_vectors::synthetic::uniform(6, 30, 5);
+        let gt = brute_force_ground_truth(Metric::L2, &base, &queries, 10).unwrap();
+        (base, queries, gt)
+    }
+
+    #[test]
+    fn brute_force_calibrates_at_k() {
+        let (base, queries, gt) = fixture();
+        let idx = BruteForceIndex::new(base, Metric::L2);
+        let cal = calibrate_l(&idx, &queries, &gt, 10, 0.999, 256).unwrap();
+        assert_eq!(cal.l, 10, "exact index needs no beam headroom");
+        assert_eq!(cal.recall, 1.0);
+        assert!(cal.queries_spent >= queries.len());
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        // An index that always returns the single point 0.
+        struct Stub(Arc<VecStore>);
+        impl AnnIndex for Stub {
+            fn name(&self) -> &'static str {
+                "stub"
+            }
+            fn num_points(&self) -> usize {
+                self.0.len()
+            }
+            fn search_with(
+                &self,
+                _q: &[f32],
+                _k: usize,
+                _l: usize,
+                _s: &mut Scratch,
+            ) -> ann_graph::QueryResult {
+                ann_graph::QueryResult {
+                    ids: vec![0],
+                    dists: vec![0.0],
+                    stats: Default::default(),
+                }
+            }
+            fn memory_bytes(&self) -> usize {
+                0
+            }
+            fn graph_stats(&self) -> ann_graph::GraphStats {
+                ann_graph::GraphStats { num_edges: 0, avg_degree: 0.0, max_degree: 0 }
+            }
+        }
+        let (base, queries, gt) = fixture();
+        let idx = Stub(base);
+        assert_eq!(calibrate_l(&idx, &queries, &gt, 10, 0.99, 128), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "target recall")]
+    fn bad_target_panics() {
+        let (base, queries, gt) = fixture();
+        let idx = BruteForceIndex::new(base, Metric::L2);
+        let _ = calibrate_l(&idx, &queries, &gt, 10, 1.5, 64);
+    }
+}

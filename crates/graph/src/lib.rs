@@ -1,0 +1,23 @@
+//! # ann-graph
+//!
+//! Proximity-graph substrate: adjacency storage ([`adjacency`]), the bounded
+//! sorted candidate pool ([`pool`]), O(1)-clear visited sets ([`visited`]),
+//! beam search with uniform NDC/hop accounting ([`search`]), connectivity
+//! repair utilities ([`connectivity`]), binary persistence ([`serialize`]),
+//! and the [`index::AnnIndex`] trait every index in the workspace implements.
+
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod connectivity;
+pub mod index;
+pub mod pool;
+pub mod search;
+pub mod serialize;
+pub mod visited;
+
+pub use adjacency::{FlatGraph, GraphView, VarGraph};
+pub use index::{AnnIndex, BruteForceIndex, FrozenGraphIndex, GraphStats, QueryResult};
+pub use pool::{Candidate, Pool};
+pub use search::{beam_search, beam_search_collect, beam_search_collect_dyn, beam_search_dyn, greedy_descent, greedy_descent_dyn, Scratch, SearchStats};
+pub use visited::VisitedSet;

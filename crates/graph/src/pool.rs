@@ -1,0 +1,226 @@
+//! Fixed-capacity sorted candidate pool — the working set of beam search.
+//!
+//! This is the NSG-style "dynamic list": a sorted array of `(dist, id,
+//! expanded)` entries with bounded capacity L. At the pool sizes the paper
+//! sweeps (L ≤ a few hundred) an insertion-sorted array beats a pair of
+//! binary heaps: insertion is one binary search plus a short `memmove`, and
+//! scanning for the next unexpanded candidate is a linear walk over hot
+//! cache lines.
+
+/// One candidate in the pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Dissimilarity to the query (smaller is better).
+    pub dist: f32,
+    /// Node id.
+    pub id: u32,
+    /// Whether this candidate's neighbors were already expanded.
+    pub expanded: bool,
+}
+
+/// Bounded sorted pool of best-so-far candidates.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    cap: usize,
+    items: Vec<Candidate>,
+}
+
+impl Pool {
+    /// Create a pool with capacity `cap > 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "pool capacity must be positive");
+        Pool { cap, items: Vec::with_capacity(cap + 1) }
+    }
+
+    /// Remove all candidates, keeping capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Reset capacity (clears contents) — lets one scratch allocation serve
+    /// every L in a sweep.
+    pub fn reset(&mut self, cap: usize) {
+        assert!(cap > 0, "pool capacity must be positive");
+        self.cap = cap;
+        self.items.clear();
+        self.items.reserve(cap + 1);
+    }
+
+    /// Current number of candidates.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pool holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the pool is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.cap
+    }
+
+    /// Capacity L.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Distance of the current worst candidate, or `INFINITY` if not full.
+    /// Candidates at or beyond this bound cannot enter the pool.
+    #[inline]
+    pub fn admission_bound(&self) -> f32 {
+        if self.is_full() {
+            self.items[self.items.len() - 1].dist
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// Candidates, best first.
+    pub fn as_slice(&self) -> &[Candidate] {
+        &self.items
+    }
+
+    /// Insert a new (unexpanded) candidate. Returns the insertion position,
+    /// or `None` if it was rejected (full pool and too far, or duplicate id
+    /// at the same position — callers use a visited set so duplicates should
+    /// not reach the pool).
+    #[inline]
+    pub fn insert(&mut self, dist: f32, id: u32) -> Option<usize> {
+        if self.is_full() && dist >= self.admission_bound() {
+            return None;
+        }
+        // Binary search on distance; ties keep insertion order stable-by-id
+        // for determinism.
+        let pos = self
+            .items
+            .partition_point(|c| c.dist < dist || (c.dist == dist && c.id < id));
+        self.items.insert(pos, Candidate { dist, id, expanded: false });
+        if self.items.len() > self.cap {
+            self.items.pop();
+            if pos >= self.cap {
+                return None;
+            }
+        }
+        Some(pos)
+    }
+
+    /// Position of the first unexpanded candidate at or after `from`, if any.
+    #[inline]
+    pub fn next_unexpanded(&self, from: usize) -> Option<usize> {
+        self.items[from.min(self.items.len())..]
+            .iter()
+            .position(|c| !c.expanded)
+            .map(|p| p + from.min(self.items.len()))
+    }
+
+    /// Mark the candidate at `pos` expanded and return it.
+    #[inline]
+    pub fn expand(&mut self, pos: usize) -> Candidate {
+        self.items[pos].expanded = true;
+        self.items[pos]
+    }
+
+    /// Best `k` ids and distances (pool order).
+    pub fn top_k(&self, k: usize) -> (Vec<u32>, Vec<f32>) {
+        let take = k.min(self.items.len());
+        let ids = self.items[..take].iter().map(|c| c.id).collect();
+        let dists = self.items[..take].iter().map(|c| c.dist).collect();
+        (ids, dists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_sorted_and_bounded() {
+        let mut p = Pool::new(3);
+        assert_eq!(p.insert(5.0, 0), Some(0));
+        assert_eq!(p.insert(1.0, 1), Some(0));
+        assert_eq!(p.insert(3.0, 2), Some(1));
+        assert!(p.is_full());
+        // 4.0 would land at position 2 < cap? No: pool holds 1,3,5; 4.0 goes
+        // to index 2, evicting 5.0.
+        assert_eq!(p.insert(4.0, 3), Some(2));
+        let d: Vec<f32> = p.as_slice().iter().map(|c| c.dist).collect();
+        assert_eq!(d, vec![1.0, 3.0, 4.0]);
+        // 9.0 rejected outright.
+        assert_eq!(p.insert(9.0, 4), None);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn admission_bound_transitions() {
+        let mut p = Pool::new(2);
+        assert_eq!(p.admission_bound(), f32::INFINITY);
+        p.insert(2.0, 0);
+        assert_eq!(p.admission_bound(), f32::INFINITY);
+        p.insert(1.0, 1);
+        assert_eq!(p.admission_bound(), 2.0);
+    }
+
+    #[test]
+    fn expansion_walk() {
+        let mut p = Pool::new(4);
+        p.insert(1.0, 10);
+        p.insert(2.0, 20);
+        assert_eq!(p.next_unexpanded(0), Some(0));
+        let c = p.expand(0);
+        assert_eq!(c.id, 10);
+        assert_eq!(p.next_unexpanded(0), Some(1));
+        p.expand(1);
+        assert_eq!(p.next_unexpanded(0), None);
+    }
+
+    #[test]
+    fn insertion_before_cursor_is_reported() {
+        let mut p = Pool::new(4);
+        p.insert(4.0, 0);
+        p.expand(0);
+        // A better candidate arrives: its position (0) tells the search loop
+        // to move its cursor back.
+        assert_eq!(p.insert(1.0, 1), Some(0));
+        assert!(!p.as_slice()[0].expanded);
+        assert!(p.as_slice()[1].expanded);
+    }
+
+    #[test]
+    fn ties_are_deterministic_by_id() {
+        let mut a = Pool::new(4);
+        a.insert(1.0, 7);
+        a.insert(1.0, 3);
+        let ids: Vec<u32> = a.as_slice().iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![3, 7]);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let mut p = Pool::new(5);
+        for (i, d) in [3.0, 1.0, 2.0].iter().enumerate() {
+            p.insert(*d, i as u32);
+        }
+        let (ids, dists) = p.top_k(2);
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(dists, vec![1.0, 2.0]);
+        let (ids, _) = p.top_k(10);
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn reset_changes_capacity() {
+        let mut p = Pool::new(2);
+        p.insert(1.0, 0);
+        p.reset(5);
+        assert!(p.is_empty());
+        assert_eq!(p.capacity(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = Pool::new(0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Graph traversal primitives: beam (greedy best-first) search and pure
+//! greedy descent.
+//!
+//! This is "Algorithm 1" of the graph-ANN literature. Every index in the
+//! workspace — HNSW layers, NSG, SSG, Vamana, τ-MG/τ-MNG — routes through
+//! [`beam_search`] (or a thin wrapper around it), so distance accounting
+//! (NDC) and hop counting are implemented exactly once and are directly
+//! comparable across algorithms, which is what the paper's NDC figures
+//! require.
+
+use crate::adjacency::GraphView;
+use crate::pool::Pool;
+use crate::visited::VisitedSet;
+use ann_vectors::metric::MetricKernel;
+use ann_vectors::VecStore;
+
+/// Per-query cost counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of distance computations (the paper's NDC metric).
+    pub ndc: u64,
+    /// Number of node expansions (hops of the traversal).
+    pub hops: u64,
+    /// Neighbor evaluations skipped by a lower-bound test (QEO); these are
+    /// the distance computations the optimization *saved*.
+    pub skipped: u64,
+}
+
+impl SearchStats {
+    /// Accumulate another query's counters (for averaging over a query set).
+    pub fn accumulate(&mut self, other: SearchStats) {
+        self.ndc += other.ndc;
+        self.hops += other.hops;
+        self.skipped += other.skipped;
+    }
+}
+
+/// Reusable per-thread search scratch: candidate pool + visited set.
+///
+/// Allocate once, pass to every search; nothing inside allocates in steady
+/// state. `beam_search` resizes the visited set if the graph grew.
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    /// Candidate pool (capacity is reset to L by each search call).
+    pub pool: Pool,
+    /// Visited set over node ids.
+    pub visited: VisitedSet,
+}
+
+impl Scratch {
+    /// Scratch for a graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Scratch { pool: Pool::new(16), visited: VisitedSet::new(n) }
+    }
+}
+
+/// Beam search: best-first traversal with a bounded candidate pool of size
+/// `l`, starting from `entries`. On return `scratch.pool` holds the best
+/// candidates found, ascending by distance; callers take the top-k.
+///
+/// The traversal expands the closest unexpanded candidate until every pool
+/// entry is expanded — the standard termination used by HNSW (`ef`), NSG
+/// (`L`) and the paper.
+pub fn beam_search<K: MetricKernel, G: GraphView>(
+    store: &VecStore,
+    graph: &G,
+    entries: &[u32],
+    query: &[f32],
+    l: usize,
+    scratch: &mut Scratch,
+) -> SearchStats {
+    debug_assert!(l > 0, "beam width must be positive");
+    let mut stats = SearchStats::default();
+    scratch.pool.reset(l);
+    scratch.visited.resize(graph.num_nodes());
+    scratch.visited.clear();
+
+    for &e in entries {
+        if scratch.visited.insert(e) {
+            let d = K::eval(query, store.get(e));
+            stats.ndc += 1;
+            scratch.pool.insert(d, e);
+        }
+    }
+
+    let mut cursor = 0usize;
+    while let Some(pos) = scratch.pool.next_unexpanded(cursor) {
+        let cand = scratch.pool.expand(pos);
+        stats.hops += 1;
+        let mut best_insert = usize::MAX;
+        for &v in graph.neighbors(cand.id) {
+            if !scratch.visited.insert(v) {
+                continue;
+            }
+            let d = K::eval(query, store.get(v));
+            stats.ndc += 1;
+            if d >= scratch.pool.admission_bound() {
+                continue;
+            }
+            if let Some(p) = scratch.pool.insert(d, v) {
+                best_insert = best_insert.min(p);
+            }
+        }
+        // Resume scanning from the earliest new candidate if it landed at or
+        // before the expansion point (an insertion *at* `pos` shifts the
+        // just-expanded entry one slot right); otherwise continue past it.
+        cursor = if best_insert <= pos { best_insert } else { pos + 1 };
+    }
+    stats
+}
+
+/// Like [`beam_search`], but additionally records every `(dist, id)` pair
+/// evaluated during the traversal into `visited_log` (unordered).
+///
+/// This is the candidate-acquisition primitive of the NSG-family
+/// construction pipelines (NSG, SSG, Vamana, τ-MNG): the pruning step wants
+/// the *full* set of points the search touched, not just the final pool.
+pub fn beam_search_collect<K: MetricKernel, G: GraphView>(
+    store: &VecStore,
+    graph: &G,
+    entries: &[u32],
+    query: &[f32],
+    l: usize,
+    scratch: &mut Scratch,
+    visited_log: &mut Vec<(f32, u32)>,
+) -> SearchStats {
+    debug_assert!(l > 0, "beam width must be positive");
+    let mut stats = SearchStats::default();
+    scratch.pool.reset(l);
+    scratch.visited.resize(graph.num_nodes());
+    scratch.visited.clear();
+
+    for &e in entries {
+        if scratch.visited.insert(e) {
+            let d = K::eval(query, store.get(e));
+            stats.ndc += 1;
+            visited_log.push((d, e));
+            scratch.pool.insert(d, e);
+        }
+    }
+
+    let mut cursor = 0usize;
+    while let Some(pos) = scratch.pool.next_unexpanded(cursor) {
+        let cand = scratch.pool.expand(pos);
+        stats.hops += 1;
+        let mut best_insert = usize::MAX;
+        for &v in graph.neighbors(cand.id) {
+            if !scratch.visited.insert(v) {
+                continue;
+            }
+            let d = K::eval(query, store.get(v));
+            stats.ndc += 1;
+            visited_log.push((d, v));
+            if d >= scratch.pool.admission_bound() {
+                continue;
+            }
+            if let Some(p) = scratch.pool.insert(d, v) {
+                best_insert = best_insert.min(p);
+            }
+        }
+        cursor = if best_insert <= pos { best_insert } else { pos + 1 };
+    }
+    stats
+}
+
+/// Runtime-metric wrapper over [`beam_search_collect`].
+#[allow(clippy::too_many_arguments)]
+pub fn beam_search_collect_dyn<G: GraphView>(
+    metric: ann_vectors::Metric,
+    store: &VecStore,
+    graph: &G,
+    entries: &[u32],
+    query: &[f32],
+    l: usize,
+    scratch: &mut Scratch,
+    visited_log: &mut Vec<(f32, u32)>,
+) -> SearchStats {
+    use ann_vectors::{CosineKernel, IpKernel, L2Kernel, Metric};
+    match metric {
+        Metric::L2 => beam_search_collect::<L2Kernel, G>(
+            store, graph, entries, query, l, scratch, visited_log,
+        ),
+        Metric::Ip => beam_search_collect::<IpKernel, G>(
+            store, graph, entries, query, l, scratch, visited_log,
+        ),
+        Metric::Cosine => beam_search_collect::<CosineKernel, G>(
+            store, graph, entries, query, l, scratch, visited_log,
+        ),
+    }
+}
+
+/// Runtime-metric wrapper over [`beam_search`]: dispatches to the
+/// monomorphized kernel once per query.
+pub fn beam_search_dyn<G: GraphView>(
+    metric: ann_vectors::Metric,
+    store: &VecStore,
+    graph: &G,
+    entries: &[u32],
+    query: &[f32],
+    l: usize,
+    scratch: &mut Scratch,
+) -> SearchStats {
+    use ann_vectors::{CosineKernel, IpKernel, L2Kernel, Metric};
+    match metric {
+        Metric::L2 => beam_search::<L2Kernel, G>(store, graph, entries, query, l, scratch),
+        Metric::Ip => beam_search::<IpKernel, G>(store, graph, entries, query, l, scratch),
+        Metric::Cosine => {
+            beam_search::<CosineKernel, G>(store, graph, entries, query, l, scratch)
+        }
+    }
+}
+
+/// Runtime-metric wrapper over [`greedy_descent`].
+pub fn greedy_descent_dyn<G: GraphView>(
+    metric: ann_vectors::Metric,
+    store: &VecStore,
+    graph: &G,
+    entry: u32,
+    query: &[f32],
+    stats: &mut SearchStats,
+) -> (u32, f32) {
+    use ann_vectors::{CosineKernel, IpKernel, L2Kernel, Metric};
+    match metric {
+        Metric::L2 => greedy_descent::<L2Kernel, G>(store, graph, entry, query, stats),
+        Metric::Ip => greedy_descent::<IpKernel, G>(store, graph, entry, query, stats),
+        Metric::Cosine => {
+            greedy_descent::<CosineKernel, G>(store, graph, entry, query, stats)
+        }
+    }
+}
+
+/// Pure greedy descent (beam width 1): repeatedly move to the neighbor
+/// closest to the query; stop at a local minimum. Returns `(node, dist)` of
+/// the minimum. This is the paper's "phase 1" primitive and the routing step
+/// of HNSW's upper layers.
+pub fn greedy_descent<K: MetricKernel, G: GraphView>(
+    store: &VecStore,
+    graph: &G,
+    entry: u32,
+    query: &[f32],
+    stats: &mut SearchStats,
+) -> (u32, f32) {
+    let mut cur = entry;
+    let mut cur_dist = K::eval(query, store.get(cur));
+    stats.ndc += 1;
+    loop {
+        let mut improved = false;
+        for &v in graph.neighbors(cur) {
+            let d = K::eval(query, store.get(v));
+            stats.ndc += 1;
+            if d < cur_dist {
+                cur = v;
+                cur_dist = d;
+                improved = true;
+            }
+        }
+        if !improved {
+            return (cur, cur_dist);
+        }
+        stats.hops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::VarGraph;
+    use ann_vectors::L2Kernel;
+
+    /// A 1-d line of points 0..n at coordinates 0..n, chained both ways.
+    fn line(n: usize) -> (VecStore, VarGraph) {
+        let rows: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32]).collect();
+        let store = VecStore::from_rows(&rows).unwrap();
+        let mut g = VarGraph::new(n);
+        for i in 0..n as u32 {
+            if i > 0 {
+                g.add_edge(i, i - 1);
+            }
+            if (i as usize) < n - 1 {
+                g.add_edge(i, i + 1);
+            }
+        }
+        (store, g)
+    }
+
+    #[test]
+    fn beam_search_walks_the_line() {
+        let (store, g) = line(50);
+        let mut scratch = Scratch::new(50);
+        let stats =
+            beam_search::<L2Kernel, _>(&store, &g, &[0], &[42.2], 4, &mut scratch);
+        let (ids, dists) = scratch.pool.top_k(1);
+        assert_eq!(ids, vec![42]);
+        assert!((dists[0] - 0.04).abs() < 1e-4);
+        assert!(stats.hops >= 42, "must walk at least 42 hops, got {}", stats.hops);
+        assert!(stats.ndc > 42);
+    }
+
+    #[test]
+    fn beam_top_k_is_sorted_and_correct() {
+        let (store, g) = line(30);
+        let mut scratch = Scratch::new(30);
+        beam_search::<L2Kernel, _>(&store, &g, &[0], &[10.0], 8, &mut scratch);
+        let (ids, dists) = scratch.pool.top_k(5);
+        assert_eq!(ids[0], 10);
+        // 9/11, 8/12 ... all at the right distances, sorted ascending.
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+        let mut sorted_ids = ids.clone();
+        sorted_ids.sort_unstable();
+        assert_eq!(sorted_ids, vec![8, 9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn multiple_entries_dedup() {
+        let (store, g) = line(10);
+        let mut scratch = Scratch::new(10);
+        let stats =
+            beam_search::<L2Kernel, _>(&store, &g, &[3, 3, 5], &[4.0], 4, &mut scratch);
+        let (ids, _) = scratch.pool.top_k(1);
+        assert_eq!(ids, vec![4]);
+        // Entry 3 evaluated once, not twice.
+        assert!(stats.ndc < 12);
+    }
+
+    #[test]
+    fn greedy_descent_reaches_global_min_on_line() {
+        let (store, g) = line(100);
+        let mut stats = SearchStats::default();
+        let (node, dist) =
+            greedy_descent::<L2Kernel, _>(&store, &g, 0, &[77.3], &mut stats);
+        assert_eq!(node, 77);
+        assert!((dist - 0.09).abs() < 1e-3);
+        assert_eq!(stats.hops, 77);
+    }
+
+    #[test]
+    fn greedy_descent_stops_at_local_minimum() {
+        // Two clusters with no bridge: start in the wrong one, get stuck.
+        let store = VecStore::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![100.0],
+            vec![101.0],
+        ])
+        .unwrap();
+        let mut g = VarGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 3);
+        g.add_edge(3, 2);
+        let mut stats = SearchStats::default();
+        let (node, _) = greedy_descent::<L2Kernel, _>(&store, &g, 0, &[100.0], &mut stats);
+        assert_eq!(node, 1, "stuck at the edge of the wrong cluster");
+    }
+
+    #[test]
+    fn beam_search_on_disconnected_graph_only_sees_component() {
+        let store =
+            VecStore::from_rows(&[vec![0.0], vec![1.0], vec![5.0], vec![6.0]]).unwrap();
+        let mut g = VarGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 3);
+        g.add_edge(3, 2);
+        let mut scratch = Scratch::new(4);
+        beam_search::<L2Kernel, _>(&store, &g, &[0], &[6.0], 4, &mut scratch);
+        let (ids, _) = scratch.pool.top_k(1);
+        assert_eq!(ids, vec![1], "cannot cross components");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = SearchStats { ndc: 3, hops: 1, skipped: 1 };
+        a.accumulate(SearchStats { ndc: 5, hops: 2, skipped: 0 });
+        assert_eq!(a, SearchStats { ndc: 8, hops: 3, skipped: 1 });
+    }
+
+    #[test]
+    fn scratch_reuse_across_searches_is_clean() {
+        let (store, g) = line(20);
+        let mut scratch = Scratch::new(20);
+        beam_search::<L2Kernel, _>(&store, &g, &[0], &[19.0], 3, &mut scratch);
+        let (ids1, _) = scratch.pool.top_k(1);
+        beam_search::<L2Kernel, _>(&store, &g, &[0], &[0.0], 3, &mut scratch);
+        let (ids2, _) = scratch.pool.top_k(1);
+        assert_eq!(ids1, vec![19]);
+        assert_eq!(ids2, vec![0]);
+    }
+}

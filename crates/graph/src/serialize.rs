@@ -1,0 +1,174 @@
+//! Binary persistence for frozen graphs.
+//!
+//! Format (`GRF1`): little-endian, header + bulk arrays + FNV-1a checksum
+//! trailer. Index crates embed this inside their own envelopes (which add
+//! entry points, metric, τ, edge lengths, …).
+
+use crate::adjacency::FlatGraph;
+use ann_vectors::error::{AnnError, Result};
+use ann_vectors::io::fnv1a;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const GRAPH_MAGIC: u32 = 0x4752_4631; // "GRF1"
+const GRAPH_VERSION: u16 = 1;
+
+/// Serialize a frozen graph.
+pub fn graph_to_bytes(g: &FlatGraph) -> Bytes {
+    let (cap, lens, data) = g.raw_parts();
+    let mut buf = BytesMut::with_capacity(32 + lens.len() * 4 + data.len() * 4);
+    buf.put_u32_le(GRAPH_MAGIC);
+    buf.put_u16_le(GRAPH_VERSION);
+    buf.put_u16_le(0); // reserved
+    buf.put_u32_le(cap);
+    buf.put_u64_le(lens.len() as u64);
+    for &l in lens {
+        buf.put_u32_le(l);
+    }
+    for &d in data {
+        buf.put_u32_le(d);
+    }
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Deserialize a graph written by [`graph_to_bytes`], validating magic,
+/// version, checksum, per-node lengths and neighbor-id ranges.
+pub fn graph_from_bytes(buf: &[u8]) -> Result<FlatGraph> {
+    if buf.len() < 20 + 8 {
+        return Err(AnnError::CorruptIndex("graph buffer too short".into()));
+    }
+    let (body, tail) = buf.split_at(buf.len() - 8);
+    let expect = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if fnv1a(body) != expect {
+        return Err(AnnError::CorruptIndex("graph checksum mismatch".into()));
+    }
+    let mut b = body;
+    if b.get_u32_le() != GRAPH_MAGIC {
+        return Err(AnnError::CorruptIndex("graph bad magic".into()));
+    }
+    let version = b.get_u16_le();
+    if version != GRAPH_VERSION {
+        return Err(AnnError::CorruptIndex(format!("graph version {version} unsupported")));
+    }
+    let _reserved = b.get_u16_le();
+    let cap = b.get_u32_le();
+    let n = b.get_u64_le() as usize;
+    let need = n
+        .checked_mul(4)
+        .and_then(|x| x.checked_add(n.checked_mul(cap as usize)?.checked_mul(4)?))
+        .ok_or_else(|| AnnError::CorruptIndex("graph size overflow".into()))?;
+    if b.remaining() != need {
+        return Err(AnnError::CorruptIndex(format!(
+            "graph payload is {} bytes, header promises {need}",
+            b.remaining()
+        )));
+    }
+    let mut lens = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = b.get_u32_le();
+        if l > cap {
+            return Err(AnnError::CorruptIndex(format!("node length {l} exceeds cap {cap}")));
+        }
+        lens.push(l);
+    }
+    let mut data = Vec::with_capacity(n * cap as usize);
+    for _ in 0..n * cap as usize {
+        data.push(b.get_u32_le());
+    }
+    // Validate neighbor ids are in range (only the live prefix of each row).
+    for (u, &l) in lens.iter().enumerate() {
+        let row = &data[u * cap as usize..u * cap as usize + l as usize];
+        if let Some(&bad) = row.iter().find(|&&v| v as usize >= n) {
+            return Err(AnnError::CorruptIndex(format!(
+                "node {u} references out-of-range neighbor {bad}"
+            )));
+        }
+    }
+    Ok(FlatGraph::from_raw_parts(cap, lens, data))
+}
+
+/// Save a graph to disk.
+pub fn save_graph(path: &std::path::Path, g: &FlatGraph) -> Result<()> {
+    std::fs::write(path, graph_to_bytes(g))?;
+    Ok(())
+}
+
+/// Load a graph saved by [`save_graph`].
+pub fn load_graph(path: &std::path::Path) -> Result<FlatGraph> {
+    let buf = std::fs::read(path)?;
+    graph_from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::{GraphView, VarGraph};
+
+    fn sample() -> FlatGraph {
+        let mut g = VarGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 3);
+        g.add_edge(2, 0);
+        FlatGraph::freeze(&g, Some(3))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = sample();
+        let g2 = graph_from_bytes(&graph_to_bytes(&g)).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.neighbors(0), &[1, 3]);
+        assert!(g2.neighbors(1).is_empty());
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut b = graph_to_bytes(&sample()).to_vec();
+        b[12] ^= 1;
+        assert!(matches!(graph_from_bytes(&b), Err(AnnError::CorruptIndex(_))));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let b = graph_to_bytes(&sample());
+        assert!(graph_from_bytes(&b[..b.len() - 4]).is_err());
+        assert!(graph_from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_neighbor() {
+        // Hand-craft a graph whose neighbor id exceeds n, with a valid
+        // checksum, to prove semantic validation is separate from integrity.
+        let mut g = VarGraph::new(2);
+        g.add_edge(0, 1);
+        let f = FlatGraph::freeze(&g, Some(1));
+        let mut raw = graph_to_bytes(&f).to_vec();
+        // Body layout: magic(4) ver(2) res(2) cap(4) n(8) lens(2*4) data...
+        let data_off = 4 + 2 + 2 + 4 + 8 + 2 * 4;
+        raw[data_off..data_off + 4].copy_from_slice(&9u32.to_le_bytes());
+        // Re-seal checksum.
+        let body_len = raw.len() - 8;
+        let sum = fnv1a(&raw[..body_len]);
+        raw[body_len..].copy_from_slice(&sum.to_le_bytes());
+        let err = graph_from_bytes(&raw).unwrap_err();
+        assert!(err.to_string().contains("out-of-range"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ann_graph_ser_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.bin");
+        let g = sample();
+        save_graph(&p, &g).unwrap();
+        assert_eq!(load_graph(&p).unwrap(), g);
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = FlatGraph::freeze(&VarGraph::new(0), None);
+        let g2 = graph_from_bytes(&graph_to_bytes(&g)).unwrap();
+        assert_eq!(g2.num_nodes(), 0);
+    }
+}

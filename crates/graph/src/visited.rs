@@ -1,0 +1,123 @@
+//! Epoch-stamped visited set.
+//!
+//! Beam search must test-and-set "have I seen node v this query?" millions of
+//! times. A `HashSet` hashes; a `Vec<bool>` needs an O(n) clear per query.
+//! The classic fix is an epoch array: one `u32` stamp per node, bump the
+//! epoch to clear in O(1), compare stamps to test. On the (astronomically
+//! rare at these scales) epoch wrap the array is zeroed once.
+
+/// O(1)-clear visited set over node ids `0..n`.
+#[derive(Debug, Clone)]
+pub struct VisitedSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedSet {
+    /// Create a set over `n` nodes, initially all unvisited.
+    pub fn new(n: usize) -> Self {
+        VisitedSet { stamps: vec![0; n], epoch: 1 }
+    }
+
+    /// Number of node slots.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Whether the set covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// Forget all visits in O(1).
+    #[inline]
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Grow to cover at least `n` nodes (new nodes unvisited).
+    pub fn resize(&mut self, n: usize) {
+        if n > self.stamps.len() {
+            self.stamps.resize(n, 0);
+        }
+    }
+
+    /// Whether `v` was visited since the last clear.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        self.stamps[v as usize] == self.epoch
+    }
+
+    /// Mark `v` visited; returns `true` if it was *newly* visited.
+    #[inline]
+    pub fn insert(&mut self, v: u32) -> bool {
+        let s = &mut self.stamps[v as usize];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut v = VisitedSet::new(10);
+        assert!(!v.contains(3));
+        assert!(v.insert(3));
+        assert!(v.contains(3));
+        assert!(!v.insert(3));
+    }
+
+    #[test]
+    fn clear_is_logical() {
+        let mut v = VisitedSet::new(4);
+        v.insert(0);
+        v.insert(1);
+        v.clear();
+        assert!(!v.contains(0));
+        assert!(!v.contains(1));
+        assert!(v.insert(0));
+    }
+
+    #[test]
+    fn epoch_wrap_resets_storage() {
+        let mut v = VisitedSet::new(2);
+        v.epoch = u32::MAX - 1;
+        v.insert(0);
+        v.clear(); // epoch == MAX
+        v.insert(1);
+        assert!(v.contains(1));
+        v.clear(); // wraps: fill(0), epoch = 1
+        assert!(!v.contains(0));
+        assert!(!v.contains(1));
+        assert_eq!(v.epoch, 1);
+        assert!(v.insert(0));
+    }
+
+    #[test]
+    fn resize_preserves_marks() {
+        let mut v = VisitedSet::new(2);
+        v.insert(1);
+        v.resize(5);
+        assert!(v.contains(1));
+        assert!(!v.contains(4));
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn empty_set() {
+        let v = VisitedSet::new(0);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! # ann-hcnng
+//!
+//! A from-scratch HCNNG baseline (Munoz, Gonçalves, Dias — hierarchical
+//! clustering nearest neighbor graph): repeat `num_trees` times a random
+//! divisive clustering of the point set (two random pivots per split,
+//! points join the nearer pivot) down to leaves of at most `leaf_size`
+//! points; inside each leaf build a degree-bounded minimum spanning tree;
+//! union all MST edges (undirected) across repetitions.
+//!
+//! The union of many cheap MSTs over overlapping random partitions yields a
+//! sparse, well-connected graph with both short local edges and the longer
+//! edges that cross split boundaries in other repetitions — the third
+//! construction family (besides RNG-pruning and layered insertion) in the
+//! paper's comparison set. Searches use the workspace-common beam search
+//! from the medoid.
+
+#![warn(missing_docs)]
+
+use ann_graph::{FlatGraph, FrozenGraphIndex, VarGraph};
+use ann_vectors::error::{AnnError, Result};
+use ann_vectors::metric::Metric;
+use ann_vectors::parallel::num_threads;
+use ann_vectors::VecStore;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// HCNNG construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HcnngParams {
+    /// Number of random clustering repetitions whose MSTs are unioned.
+    pub num_trees: usize,
+    /// Maximum leaf size of the divisive clustering.
+    pub leaf_size: usize,
+    /// Per-node degree budget *within one MST* (the published default is 3).
+    pub mst_max_degree: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HcnngParams {
+    fn default() -> Self {
+        HcnngParams { num_trees: 20, leaf_size: 300, mst_max_degree: 3, seed: 0x4C11 }
+    }
+}
+
+/// Recursively split `ids` with two random pivots, calling `leaf` on every
+/// cluster of at most `leaf_size` points. Iterative (explicit stack) so
+/// adversarial splits cannot overflow the call stack.
+fn divisive_clustering<F: FnMut(&[u32])>(
+    store: &VecStore,
+    metric: Metric,
+    ids: Vec<u32>,
+    leaf_size: usize,
+    rng: &mut StdRng,
+    leaf: &mut F,
+) {
+    let mut stack = vec![ids];
+    while let Some(cluster) = stack.pop() {
+        if cluster.len() <= leaf_size {
+            leaf(&cluster);
+            continue;
+        }
+        let a = cluster[rng.random_range(0..cluster.len())];
+        let mut b = a;
+        while b == a {
+            b = cluster[rng.random_range(0..cluster.len())];
+        }
+        let (va, vb) = (store.get(a), store.get(b));
+        let mut left = Vec::with_capacity(cluster.len() / 2);
+        let mut right = Vec::with_capacity(cluster.len() / 2);
+        for &p in &cluster {
+            let da = metric.distance(store.get(p), va);
+            let db = metric.distance(store.get(p), vb);
+            if da <= db {
+                left.push(p);
+            } else {
+                right.push(p);
+            }
+        }
+        // Degenerate pivot draw (e.g. duplicated points): fall back to an
+        // arbitrary halving so progress is guaranteed.
+        if left.is_empty() || right.is_empty() {
+            let mut all = left;
+            all.extend(right);
+            let mid = all.len() / 2;
+            right = all.split_off(mid);
+            left = all;
+        }
+        stack.push(left);
+        stack.push(right);
+    }
+}
+
+/// Kruskal's MST over the complete graph of a leaf, skipping edges whose
+/// endpoints have exhausted `max_degree`. Returns undirected edges.
+fn bounded_mst(
+    store: &VecStore,
+    metric: Metric,
+    ids: &[u32],
+    max_degree: usize,
+) -> Vec<(u32, u32)> {
+    let m = ids.len();
+    if m < 2 {
+        return Vec::new();
+    }
+    let mut edges: Vec<(f32, u32, u32)> = Vec::with_capacity(m * (m - 1) / 2);
+    for (i, &id_i) in ids.iter().enumerate() {
+        let vi = store.get(id_i);
+        for (j, &id_j) in ids.iter().enumerate().skip(i + 1) {
+            edges.push((metric.distance(vi, store.get(id_j)), i as u32, j as u32));
+        }
+    }
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // Union-find over local indices.
+    let mut parent: Vec<u32> = (0..m as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut degree = vec![0usize; m];
+    let mut out = Vec::with_capacity(m - 1);
+    for (_, i, j) in edges {
+        if degree[i as usize] >= max_degree || degree[j as usize] >= max_degree {
+            continue;
+        }
+        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+        if ri == rj {
+            continue;
+        }
+        parent[ri as usize] = rj;
+        degree[i as usize] += 1;
+        degree[j as usize] += 1;
+        out.push((ids[i as usize], ids[j as usize]));
+        if out.len() == m - 1 {
+            break;
+        }
+    }
+    out
+}
+
+/// Build an HCNNG index.
+///
+/// # Errors
+/// `EmptyDataset` on an empty store; `InvalidParameter` for zero trees,
+/// a leaf size below 2, or a zero degree budget.
+pub fn build_hcnng(
+    store: Arc<VecStore>,
+    metric: Metric,
+    params: HcnngParams,
+) -> Result<FrozenGraphIndex> {
+    if store.is_empty() {
+        return Err(AnnError::EmptyDataset);
+    }
+    if params.num_trees == 0 {
+        return Err(AnnError::InvalidParameter("num_trees must be positive".into()));
+    }
+    if params.leaf_size < 2 {
+        return Err(AnnError::InvalidParameter("leaf_size must be at least 2".into()));
+    }
+    if params.mst_max_degree == 0 {
+        return Err(AnnError::InvalidParameter("mst_max_degree must be positive".into()));
+    }
+    let n = store.len();
+    let entry = store.medoid(metric)?;
+    let adjacency: Vec<Mutex<Vec<u32>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+
+    // One repetition per work item; trees are independent.
+    let cursor = AtomicUsize::new(0);
+    let threads = num_threads().min(params.num_trees);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                if t >= params.num_trees {
+                    break;
+                }
+                let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+                let ids: Vec<u32> = (0..n as u32).collect();
+                divisive_clustering(
+                    &store,
+                    metric,
+                    ids,
+                    params.leaf_size,
+                    &mut rng,
+                    &mut |leaf| {
+                        for (u, v) in bounded_mst(&store, metric, leaf, params.mst_max_degree) {
+                            {
+                                let mut g = adjacency[u as usize].lock();
+                                if !g.contains(&v) {
+                                    g.push(v);
+                                }
+                            }
+                            let mut g = adjacency[v as usize].lock();
+                            if !g.contains(&u) {
+                                g.push(u);
+                            }
+                        }
+                    },
+                );
+            });
+        }
+    });
+
+    let mut graph = VarGraph::new(n);
+    for (u, m) in adjacency.into_iter().enumerate() {
+        graph.set_neighbors(u as u32, m.into_inner());
+    }
+    let flat = FlatGraph::freeze(&graph, None);
+    Ok(FrozenGraphIndex::new(store, metric, flat, entry, "HCNNG"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_graph::connectivity::reachable_count;
+    use ann_graph::{AnnIndex, Scratch};
+    use ann_vectors::accuracy::mean_recall_at_k;
+    use ann_vectors::brute_force_ground_truth;
+    use ann_vectors::synthetic::{mixture_base, mixture_queries, FrozenMixture, MixtureSpec};
+
+    fn dataset(n: usize, nq: usize, dim: usize, seed: u64) -> (Arc<VecStore>, VecStore) {
+        let mix = FrozenMixture::new(&MixtureSpec::default_for(dim), seed);
+        (Arc::new(mixture_base(&mix, n, seed)), mixture_queries(&mix, nq, seed))
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let empty = Arc::new(VecStore::new(4).unwrap());
+        assert!(build_hcnng(empty, Metric::L2, HcnngParams::default()).is_err());
+        let (store, _) = dataset(30, 1, 4, 1);
+        assert!(build_hcnng(
+            store.clone(),
+            Metric::L2,
+            HcnngParams { num_trees: 0, ..Default::default() }
+        )
+        .is_err());
+        assert!(build_hcnng(
+            store.clone(),
+            Metric::L2,
+            HcnngParams { leaf_size: 1, ..Default::default() }
+        )
+        .is_err());
+        assert!(build_hcnng(
+            store,
+            Metric::L2,
+            HcnngParams { mst_max_degree: 0, ..Default::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bounded_mst_spans_when_degree_allows() {
+        let store = VecStore::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![10.0],
+        ])
+        .unwrap();
+        let ids: Vec<u32> = (0..5).collect();
+        let edges = bounded_mst(&store, Metric::L2, &ids, 3);
+        assert_eq!(edges.len(), 4, "spanning tree over 5 nodes has 4 edges");
+        // The chain 0-1-2-3 plus 3-10 is the unique MST here.
+        assert!(edges.contains(&(0, 1)) || edges.contains(&(1, 0)));
+        assert!(edges.contains(&(3, 4)) || edges.contains(&(4, 3)));
+    }
+
+    #[test]
+    fn bounded_mst_respects_degree_budget() {
+        // A star-shaped set: center 0, satellites far apart from each other.
+        let store = VecStore::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, -1.0],
+        ])
+        .unwrap();
+        let ids: Vec<u32> = (0..5).collect();
+        let edges = bounded_mst(&store, Metric::L2, &ids, 2);
+        let mut deg = [0usize; 5];
+        for &(u, v) in &edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| d <= 2), "degree budget violated: {deg:?}");
+    }
+
+    #[test]
+    fn union_of_trees_is_well_connected() {
+        let (store, _) = dataset(800, 1, 8, 3);
+        let idx = build_hcnng(store, Metric::L2, HcnngParams::default()).unwrap();
+        // The union of 20 spanning forests is connected in practice; demand
+        // near-complete reachability from the medoid.
+        let reached = reachable_count(idx.graph(), idx.entry_point());
+        assert!(reached as f64 >= 0.99 * 800.0, "only {reached}/800 reachable");
+        // Sparse: HCNNG's average degree stays small.
+        assert!(idx.graph_stats().avg_degree < 3.0 * 20.0);
+    }
+
+    #[test]
+    fn recall_on_clustered_data() {
+        let (store, queries) = dataset(2000, 50, 16, 42);
+        let gt = brute_force_ground_truth(Metric::L2, &store, &queries, 10).unwrap();
+        let idx = build_hcnng(store, Metric::L2, HcnngParams::default()).unwrap();
+        let mut scratch = Scratch::new(idx.num_points());
+        let results: Vec<Vec<u32>> = (0..queries.len() as u32)
+            .map(|q| idx.search_with(queries.get(q), 10, 100, &mut scratch).ids)
+            .collect();
+        let recall = mean_recall_at_k(&gt, &results, 10);
+        assert!(recall > 0.9, "HCNNG recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn duplicate_points_terminate() {
+        // All-identical points force the degenerate-split fallback.
+        let store = Arc::new(VecStore::from_rows(&vec![vec![1.0, 1.0]; 50]).unwrap());
+        let idx = build_hcnng(
+            store,
+            Metric::L2,
+            HcnngParams { leaf_size: 8, num_trees: 3, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(idx.name(), "HCNNG");
+    }
+}

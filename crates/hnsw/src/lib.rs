@@ -1,0 +1,23 @@
+//! # ann-hnsw
+//!
+//! A from-scratch HNSW (Hierarchical Navigable Small World) implementation —
+//! the strongest general-purpose baseline in the paper's evaluation.
+//!
+//! * [`HnswParams`] — `M`, `efConstruction`, level seed, pruned-refill flag;
+//! * [`Hnsw::build`] — concurrent insertion with per-node locks
+//!   (deterministic under `ANN_THREADS=1`);
+//! * search — greedy routing through the upper layers, then the
+//!   workspace-common beam search on the frozen layer-0 [`ann_graph::FlatGraph`],
+//!   so NDC numbers are directly comparable with every other index here;
+//! * [`Hnsw::to_bytes`] / [`Hnsw::from_bytes`] — checksummed persistence.
+
+#![warn(missing_docs)]
+
+mod build;
+pub mod index;
+pub mod params;
+pub mod select;
+
+pub use index::Hnsw;
+pub use params::HnswParams;
+pub use select::select_neighbors_heuristic;

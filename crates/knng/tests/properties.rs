@@ -1,0 +1,60 @@
+//! Property-based tests for kNN-graph construction.
+
+use ann_knng::{brute_force_knn_graph, nn_descent, NnDescentParams};
+use ann_vectors::metric::Metric;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Brute-force kNN rows are exactly the k nearest other points
+    /// (validated against a per-node full sort oracle).
+    #[test]
+    fn brute_force_matches_sort_oracle(
+        n in 5usize..60,
+        k in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let store = ann_vectors::synthetic::uniform(5, n, seed);
+        let k = k.min(n - 1);
+        let g = brute_force_knn_graph(Metric::L2, &store, k).unwrap();
+        for u in 0..n as u32 {
+            let mut oracle: Vec<(f32, u32)> = (0..n as u32)
+                .filter(|&v| v != u)
+                .map(|v| (Metric::L2.distance(store.get(u), store.get(v)), v))
+                .collect();
+            oracle.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            let want: Vec<f32> = oracle[..k].iter().map(|e| e.0).collect();
+            prop_assert_eq!(g.dists(u), &want[..], "node {} distances", u);
+        }
+    }
+
+    /// NN-Descent output always satisfies the structural contract: rows
+    /// sorted, self-free, duplicate-free, ids in range — regardless of seed
+    /// or data shape.
+    #[test]
+    fn nn_descent_structural_contract(
+        n in 20usize..120,
+        seed in 0u64..500,
+    ) {
+        let store = ann_vectors::synthetic::uniform(4, n, seed);
+        let k = 6.min(n - 1);
+        let g = nn_descent(
+            Metric::L2,
+            &store,
+            NnDescentParams { k, seed, max_iters: 4, ..Default::default() },
+        )
+        .unwrap();
+        for u in 0..n as u32 {
+            let ids = g.neighbors(u);
+            prop_assert!(!ids.contains(&u));
+            prop_assert!(ids.iter().all(|&v| (v as usize) < n));
+            let d = g.dists(u);
+            prop_assert!(d.windows(2).all(|w| w[0] <= w[1]));
+            let mut sorted = ids.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), k, "duplicates at node {}", u);
+        }
+    }
+}

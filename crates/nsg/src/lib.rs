@@ -1,0 +1,23 @@
+//! # ann-nsg
+//!
+//! From-scratch NSG and SSG baselines — the MRNG-approximation family the
+//! τ-MG paper builds on and compares against.
+//!
+//! * [`nsg::build_nsg`] — Navigating Spreading-out Graph: medoid-rooted
+//!   candidate acquisition, MRNG occlusion pruning, reverse interconnection,
+//!   spanning-tree connectivity repair;
+//! * [`ssg::build_ssg`] — Satellite System Graph: 2-hop candidates and
+//!   angle-based (θ = 60°) pruning;
+//! * both yield a [`common::MonotonicIndex`] implementing
+//!   [`ann_graph::AnnIndex`].
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod nsg;
+pub mod prune;
+pub mod ssg;
+
+pub use common::{acquire_candidates, inter_insert, repair_connectivity, MonotonicIndex};
+pub use nsg::{build_nsg, NsgParams};
+pub use ssg::{build_ssg, SsgParams};

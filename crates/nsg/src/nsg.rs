@@ -1,0 +1,188 @@
+//! NSG: Navigating Spreading-out Graph (Fu et al., VLDB'19) — the practical
+//! approximation of MRNG and the direct structural ancestor of τ-MNG.
+//!
+//! Pipeline: approximate kNN graph → per-node candidate acquisition by beam
+//! search from the medoid → MRNG occlusion pruning with degree cap `R` →
+//! reverse-edge interconnection → spanning-tree connectivity repair.
+
+use crate::common::{acquire_candidates, inter_insert, repair_connectivity, MonotonicIndex};
+use crate::prune::mrng_prune;
+use ann_graph::{FlatGraph, Scratch, VarGraph};
+use ann_knng::KnnGraph;
+use ann_vectors::error::{AnnError, Result};
+use ann_vectors::metric::Metric;
+use ann_vectors::parallel::num_threads;
+use ann_vectors::VecStore;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// NSG construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NsgParams {
+    /// Out-degree cap `R`.
+    pub r: usize,
+    /// Beam width `L` during candidate acquisition.
+    pub l: usize,
+    /// Candidate-pool cap `C` before pruning.
+    pub c: usize,
+}
+
+impl Default for NsgParams {
+    fn default() -> Self {
+        NsgParams { r: 32, l: 100, c: 500 }
+    }
+}
+
+/// Build an NSG index from a store and a (usually approximate) kNN graph.
+///
+/// # Errors
+/// `EmptyDataset` / `InvalidParameter` on degenerate inputs;
+/// `InvalidParameter` if the kNN graph does not cover the store.
+pub fn build_nsg(
+    store: Arc<VecStore>,
+    metric: Metric,
+    knn: &KnnGraph,
+    params: NsgParams,
+) -> Result<MonotonicIndex> {
+    if store.is_empty() {
+        return Err(AnnError::EmptyDataset);
+    }
+    if knn.num_nodes() != store.len() {
+        return Err(AnnError::InvalidParameter(format!(
+            "kNN graph covers {} nodes, store has {}",
+            knn.num_nodes(),
+            store.len()
+        )));
+    }
+    if params.r == 0 || params.l == 0 || params.c == 0 {
+        return Err(AnnError::InvalidParameter("NSG parameters must be positive".into()));
+    }
+    let n = store.len();
+    let entry = store.medoid(metric)?;
+    let base = knn.to_var_graph();
+
+    // Phase 1 (parallel): candidate acquisition + MRNG pruning per node.
+    let forward: Vec<std::sync::Mutex<Vec<u32>>> =
+        (0..n).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    let cursor = AtomicUsize::new(0);
+    let threads = num_threads();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| {
+                let mut scratch = Scratch::new(n);
+                loop {
+                    let p = cursor.fetch_add(1, Ordering::Relaxed);
+                    if p >= n {
+                        break;
+                    }
+                    let p = p as u32;
+                    let extra: Vec<(f32, u32)> = knn
+                        .neighbors(p)
+                        .iter()
+                        .zip(knn.dists(p))
+                        .map(|(&id, &d)| (d, id))
+                        .collect();
+                    let cands = acquire_candidates(
+                        &store, metric, &base, entry, p, params.l, params.c, &extra,
+                        &mut scratch,
+                    );
+                    let selected = mrng_prune(&store, metric, &cands, params.r);
+                    *forward[p as usize].lock().unwrap() = selected;
+                }
+            });
+        }
+    });
+    let forward: Vec<Vec<u32>> =
+        forward.into_iter().map(|m| m.into_inner().unwrap()).collect();
+
+    // Phase 2: reverse-edge interconnection with the same pruning rule.
+    let lists = inter_insert(&store, metric, &forward, params.r, |_q, cands| {
+        mrng_prune(&store, metric, cands, params.r)
+    });
+
+    // Phase 3: spanning-tree connectivity repair from the medoid.
+    let mut graph = VarGraph::new(n);
+    for (u, list) in lists.into_iter().enumerate() {
+        graph.set_neighbors(u as u32, list);
+    }
+    repair_connectivity(&mut graph, &store, metric, entry, params.l);
+
+    let flat = FlatGraph::freeze(&graph, None);
+    Ok(MonotonicIndex::new(store, metric, flat, entry, "NSG"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_graph::connectivity::fully_reachable;
+    use ann_graph::{AnnIndex, GraphView};
+    use ann_knng::brute_force_knn_graph;
+    use ann_vectors::accuracy::mean_recall_at_k;
+    use ann_vectors::brute_force_ground_truth;
+    use ann_vectors::synthetic::{mixture_base, mixture_queries, FrozenMixture, MixtureSpec};
+
+    fn dataset(n: usize, nq: usize, dim: usize, seed: u64) -> (Arc<VecStore>, VecStore) {
+        let mix = FrozenMixture::new(&MixtureSpec::default_for(dim), seed);
+        (Arc::new(mixture_base(&mix, n, seed)), mixture_queries(&mix, nq, seed))
+    }
+
+    #[test]
+    fn build_validates_inputs() {
+        let (store, _) = dataset(50, 1, 4, 1);
+        let knn = brute_force_knn_graph(Metric::L2, &store, 5).unwrap();
+        assert!(build_nsg(
+            store.clone(),
+            Metric::L2,
+            &knn,
+            NsgParams { r: 0, ..Default::default() }
+        )
+        .is_err());
+        let (small, _) = dataset(10, 1, 4, 2);
+        let wrong_knn = brute_force_knn_graph(Metric::L2, &small, 3).unwrap();
+        assert!(build_nsg(store, Metric::L2, &wrong_knn, NsgParams::default()).is_err());
+    }
+
+    #[test]
+    fn nsg_is_connected_from_medoid() {
+        let (store, _) = dataset(600, 1, 8, 3);
+        let knn = brute_force_knn_graph(Metric::L2, &store, 20).unwrap();
+        let idx = build_nsg(store, Metric::L2, &knn, NsgParams::default()).unwrap();
+        assert!(fully_reachable(idx.graph(), idx.entry_point()));
+    }
+
+    #[test]
+    fn nsg_degree_is_bounded() {
+        let (store, _) = dataset(500, 1, 8, 5);
+        let knn = brute_force_knn_graph(Metric::L2, &store, 20).unwrap();
+        let params = NsgParams { r: 12, ..Default::default() };
+        let idx = build_nsg(store, Metric::L2, &knn, params).unwrap();
+        // Connectivity repair may add a handful of overflow edges; the bulk
+        // must respect R.
+        assert!(idx.graph().max_degree() <= params.r + 4);
+        assert!(idx.graph_stats().avg_degree <= params.r as f64);
+    }
+
+    #[test]
+    fn nsg_recall_on_clustered_data() {
+        let (store, queries) = dataset(2000, 50, 16, 42);
+        let gt = brute_force_ground_truth(Metric::L2, &store, &queries, 10).unwrap();
+        let knn = brute_force_knn_graph(Metric::L2, &store, 30).unwrap();
+        let idx = build_nsg(store, Metric::L2, &knn, NsgParams::default()).unwrap();
+        let mut scratch = Scratch::new(idx.num_points());
+        let results: Vec<Vec<u32>> = (0..queries.len() as u32)
+            .map(|q| idx.search_with(queries.get(q), 10, 100, &mut scratch).ids)
+            .collect();
+        let recall = mean_recall_at_k(&gt, &results, 10);
+        assert!(recall > 0.95, "NSG recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn nsg_name_and_stats() {
+        let (store, _) = dataset(100, 1, 4, 7);
+        let knn = brute_force_knn_graph(Metric::L2, &store, 10).unwrap();
+        let idx = build_nsg(store, Metric::L2, &knn, NsgParams::default()).unwrap();
+        assert_eq!(idx.name(), "NSG");
+        assert!(idx.memory_bytes() > 0);
+        assert!(idx.graph_stats().num_edges > 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Edge-pruning rules shared by the NSG-family builders in this crate.
+
+use ann_vectors::metric::{l2_sq, Metric};
+use ann_vectors::VecStore;
+
+/// MRNG occlusion rule (NSG): keep candidate `c` unless some already-selected
+/// neighbor `s` satisfies `d(s, c) < d(p, c)`.
+///
+/// `candidates` must be sorted ascending by distance to the base point `p`
+/// and must not contain `p`. Returns up to `r` ids, nearest first.
+pub fn mrng_prune(
+    store: &VecStore,
+    metric: Metric,
+    candidates: &[(f32, u32)],
+    r: usize,
+) -> Vec<u32> {
+    debug_assert!(candidates.windows(2).all(|w| w[0].0 <= w[1].0));
+    let mut selected: Vec<(f32, u32)> = Vec::with_capacity(r);
+    for &(d, c) in candidates {
+        if selected.len() >= r {
+            break;
+        }
+        if selected.iter().any(|&(_, s)| s == c) {
+            continue;
+        }
+        let occluded =
+            selected.iter().any(|&(_, s)| metric.distance(store.get(s), store.get(c)) < d);
+        if !occluded {
+            selected.push((d, c));
+        }
+    }
+    selected.into_iter().map(|(_, c)| c).collect()
+}
+
+/// SSG angle rule: keep candidate `c` unless some selected neighbor `s`
+/// subtends an angle smaller than `theta` at the base point `p`
+/// (i.e. `cos ∠(s, p, c) > cos θ`).
+///
+/// Geometry is computed in Euclidean terms via the law of cosines over
+/// squared L2 distances — exact for L2, and exact on the unit sphere for
+/// normalized cosine data.
+pub fn angle_prune(
+    store: &VecStore,
+    p: u32,
+    candidates: &[(f32, u32)],
+    r: usize,
+    cos_theta: f32,
+) -> Vec<u32> {
+    let vp = store.get(p);
+    // Work in squared-L2 geometry regardless of the index metric.
+    let mut geo: Vec<(f32, u32)> = candidates
+        .iter()
+        .filter(|&&(_, c)| c != p)
+        .map(|&(_, c)| (l2_sq(vp, store.get(c)), c))
+        .collect();
+    geo.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    geo.dedup_by_key(|e| e.1);
+    let mut selected: Vec<(f32, u32)> = Vec::with_capacity(r);
+    for &(d_pc, c) in &geo {
+        if selected.len() >= r {
+            break;
+        }
+        if d_pc == 0.0 {
+            // Duplicate point: always connect (angle undefined).
+            selected.push((d_pc, c));
+            continue;
+        }
+        let occluded = selected.iter().any(|&(d_ps, s)| {
+            if d_ps == 0.0 {
+                return false;
+            }
+            let d_sc = l2_sq(store.get(s), store.get(c));
+            let cos = (d_pc + d_ps - d_sc) / (2.0 * (d_pc * d_ps).sqrt());
+            cos > cos_theta
+        });
+        if !occluded {
+            selected.push((d_pc, c));
+        }
+    }
+    selected.into_iter().map(|(_, c)| c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> VecStore {
+        VecStore::from_rows(&[
+            vec![0.0, 0.0], // 0: base p
+            vec![1.0, 0.0], // 1
+            vec![2.0, 0.0], // 2: occluded by 1 under MRNG
+            vec![0.0, 1.0], // 3
+            vec![1.2, 0.4], // 4: small angle vs 1
+        ])
+        .unwrap()
+    }
+
+    fn sorted_cands(s: &VecStore, ids: &[u32]) -> Vec<(f32, u32)> {
+        let mut c: Vec<(f32, u32)> =
+            ids.iter().map(|&i| (Metric::L2.distance(s.get(0), s.get(i)), i)).collect();
+        c.sort_by(|a, b| a.0.total_cmp(&b.0));
+        c
+    }
+
+    #[test]
+    fn mrng_prunes_occluded() {
+        let s = store();
+        let cands = sorted_cands(&s, &[1, 2, 3]);
+        assert_eq!(mrng_prune(&s, Metric::L2, &cands, 8), vec![1, 3]);
+    }
+
+    #[test]
+    fn mrng_respects_degree_cap() {
+        let s = store();
+        let cands = sorted_cands(&s, &[1, 3]);
+        assert_eq!(mrng_prune(&s, Metric::L2, &cands, 1), vec![1]);
+    }
+
+    #[test]
+    fn angle_prune_rejects_small_angles() {
+        let s = store();
+        let cands = sorted_cands(&s, &[1, 3, 4]);
+        // cos 60° = 0.5: node 4 is ~18° from node 1 → pruned; node 3 at 90° → kept.
+        let sel = angle_prune(&s, 0, &cands, 8, 0.5);
+        assert_eq!(sel, vec![1, 3]);
+    }
+
+    #[test]
+    fn angle_prune_with_loose_theta_keeps_more() {
+        let s = store();
+        let cands = sorted_cands(&s, &[1, 3, 4]);
+        // cos θ close to 1 ⇒ nothing occludes.
+        let sel = angle_prune(&s, 0, &cands, 8, 0.999);
+        assert_eq!(sel.len(), 3);
+    }
+
+    #[test]
+    fn angle_prune_handles_duplicate_points() {
+        let s = VecStore::from_rows(&[vec![0.0, 0.0], vec![0.0, 0.0], vec![1.0, 0.0]]).unwrap();
+        let cands = vec![(0.0, 1u32), (1.0, 2u32)];
+        let sel = angle_prune(&s, 0, &cands, 8, 0.5);
+        assert_eq!(sel, vec![1, 2], "coincident point connected, other kept");
+    }
+
+    #[test]
+    fn prunes_exclude_self_and_dups() {
+        let s = store();
+        let mut cands = sorted_cands(&s, &[1, 1, 3]);
+        cands.insert(0, (0.0, 0)); // self at distance 0
+        let sel = angle_prune(&s, 0, &cands, 8, 0.5);
+        assert_eq!(sel, vec![1, 3]);
+        let sel2 = mrng_prune(&s, Metric::L2, &sorted_cands(&s, &[1, 1, 3]), 8);
+        assert_eq!(sel2, vec![1, 3]);
+    }
+}

@@ -1,0 +1,186 @@
+//! SSG: Satellite System Graph (Fu et al., TPAMI'22) — the angle-based
+//! relaxation of MRNG that the paper compares against on single-modal data.
+//!
+//! Differences from NSG: candidates come from the kNN graph's 2-hop
+//! neighborhood (no per-node medoid search), and occlusion is angular
+//! (prune a candidate only if a selected neighbor subtends less than θ,
+//! default 60°), which spreads edges across directions.
+
+use crate::common::{inter_insert, repair_connectivity, MonotonicIndex};
+use crate::prune::angle_prune;
+use ann_graph::{FlatGraph, VarGraph};
+use ann_knng::KnnGraph;
+use ann_vectors::error::{AnnError, Result};
+use ann_vectors::metric::Metric;
+use ann_vectors::parallel::num_threads;
+use ann_vectors::VecStore;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// SSG construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SsgParams {
+    /// Out-degree cap `R`.
+    pub r: usize,
+    /// Minimum angle θ between co-selected edges, in degrees.
+    pub angle_degrees: f64,
+    /// Candidate-pool cap before pruning.
+    pub c: usize,
+    /// Beam width used only for connectivity repair.
+    pub l: usize,
+}
+
+impl Default for SsgParams {
+    fn default() -> Self {
+        SsgParams { r: 32, angle_degrees: 60.0, c: 400, l: 100 }
+    }
+}
+
+/// Build an SSG index from a store and kNN graph.
+///
+/// # Errors
+/// Degenerate inputs as with NSG.
+pub fn build_ssg(
+    store: Arc<VecStore>,
+    metric: Metric,
+    knn: &KnnGraph,
+    params: SsgParams,
+) -> Result<MonotonicIndex> {
+    if store.is_empty() {
+        return Err(AnnError::EmptyDataset);
+    }
+    if knn.num_nodes() != store.len() {
+        return Err(AnnError::InvalidParameter(format!(
+            "kNN graph covers {} nodes, store has {}",
+            knn.num_nodes(),
+            store.len()
+        )));
+    }
+    if params.r == 0 || params.c == 0 || params.l == 0 {
+        return Err(AnnError::InvalidParameter("SSG parameters must be positive".into()));
+    }
+    if !(0.0..=180.0).contains(&params.angle_degrees) {
+        return Err(AnnError::InvalidParameter("angle must be within 0..=180 degrees".into()));
+    }
+    let n = store.len();
+    let entry = store.medoid(metric)?;
+    let cos_theta = params.angle_degrees.to_radians().cos() as f32;
+
+    // Phase 1 (parallel): 2-hop candidates + angle pruning.
+    let forward: Vec<std::sync::Mutex<Vec<u32>>> =
+        (0..n).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    let cursor = AtomicUsize::new(0);
+    let threads = num_threads();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let p = cursor.fetch_add(1, Ordering::Relaxed);
+                if p >= n {
+                    break;
+                }
+                let p = p as u32;
+                let vp = store.get(p);
+                let mut cand_ids: Vec<u32> = knn.neighbors(p).to_vec();
+                for &q in knn.neighbors(p) {
+                    cand_ids.extend_from_slice(knn.neighbors(q));
+                }
+                cand_ids.sort_unstable();
+                cand_ids.dedup();
+                cand_ids.retain(|&c| c != p);
+                let mut cands: Vec<(f32, u32)> = cand_ids
+                    .into_iter()
+                    .map(|c| (metric.distance(vp, store.get(c)), c))
+                    .collect();
+                cands.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+                cands.truncate(params.c);
+                let selected = angle_prune(&store, p, &cands, params.r, cos_theta);
+                *forward[p as usize].lock().unwrap() = selected;
+            });
+        }
+    });
+    let forward: Vec<Vec<u32>> =
+        forward.into_iter().map(|m| m.into_inner().unwrap()).collect();
+
+    // Phase 2: reverse edges under the same angular rule.
+    let lists = inter_insert(&store, metric, &forward, params.r, |q, cands| {
+        angle_prune(&store, q, cands, params.r, cos_theta)
+    });
+
+    // Phase 3: connectivity repair from the medoid.
+    let mut graph = VarGraph::new(n);
+    for (u, list) in lists.into_iter().enumerate() {
+        graph.set_neighbors(u as u32, list);
+    }
+    repair_connectivity(&mut graph, &store, metric, entry, params.l);
+
+    let flat = FlatGraph::freeze(&graph, None);
+    Ok(MonotonicIndex::new(store, metric, flat, entry, "SSG"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_graph::connectivity::fully_reachable;
+    use ann_graph::{AnnIndex, GraphView, Scratch};
+    use ann_knng::brute_force_knn_graph;
+    use ann_vectors::accuracy::mean_recall_at_k;
+    use ann_vectors::brute_force_ground_truth;
+    use ann_vectors::synthetic::{mixture_base, mixture_queries, FrozenMixture, MixtureSpec};
+
+    fn dataset(n: usize, nq: usize, dim: usize, seed: u64) -> (Arc<VecStore>, VecStore) {
+        let mix = FrozenMixture::new(&MixtureSpec::default_for(dim), seed);
+        (Arc::new(mixture_base(&mix, n, seed)), mixture_queries(&mix, nq, seed))
+    }
+
+    #[test]
+    fn build_validates_inputs() {
+        let (store, _) = dataset(50, 1, 4, 1);
+        let knn = brute_force_knn_graph(Metric::L2, &store, 5).unwrap();
+        assert!(build_ssg(
+            store.clone(),
+            Metric::L2,
+            &knn,
+            SsgParams { angle_degrees: 270.0, ..Default::default() }
+        )
+        .is_err());
+        assert!(build_ssg(
+            store,
+            Metric::L2,
+            &knn,
+            SsgParams { r: 0, ..Default::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ssg_is_connected_and_bounded() {
+        let (store, _) = dataset(600, 1, 8, 3);
+        let knn = brute_force_knn_graph(Metric::L2, &store, 15).unwrap();
+        let params = SsgParams { r: 16, ..Default::default() };
+        let idx = build_ssg(store, Metric::L2, &knn, params).unwrap();
+        assert!(fully_reachable(idx.graph(), idx.entry_point()));
+        assert!(idx.graph().max_degree() <= params.r + 4);
+    }
+
+    #[test]
+    fn ssg_recall_on_clustered_data() {
+        let (store, queries) = dataset(2000, 50, 16, 42);
+        let gt = brute_force_ground_truth(Metric::L2, &store, &queries, 10).unwrap();
+        let knn = brute_force_knn_graph(Metric::L2, &store, 30).unwrap();
+        let idx = build_ssg(store, Metric::L2, &knn, SsgParams::default()).unwrap();
+        let mut scratch = Scratch::new(idx.num_points());
+        let results: Vec<Vec<u32>> = (0..queries.len() as u32)
+            .map(|q| idx.search_with(queries.get(q), 10, 100, &mut scratch).ids)
+            .collect();
+        let recall = mean_recall_at_k(&gt, &results, 10);
+        assert!(recall > 0.93, "SSG recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn ssg_name() {
+        let (store, _) = dataset(80, 1, 4, 9);
+        let knn = brute_force_knn_graph(Metric::L2, &store, 8).unwrap();
+        let idx = build_ssg(store, Metric::L2, &knn, SsgParams::default()).unwrap();
+        assert_eq!(idx.name(), "SSG");
+    }
+}

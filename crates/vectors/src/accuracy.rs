@@ -1,0 +1,155 @@
+//! Accuracy metrics: recall@k and relative distance error (rderr@k), as
+//! defined in the paper's preliminaries and used by every experiment.
+
+use crate::gt::GroundTruth;
+
+/// `recall@k` for one query: fraction of the exact top-k that the returned
+/// candidate list contains.
+///
+/// Follows the standard benchmark convention (also used by the paper): the
+/// intersection of the returned ids with the exact top-k id set, divided by k.
+/// Only the first `k` returned ids are considered.
+pub fn recall_at_k(gt_ids: &[u32], returned: &[u32], k: usize) -> f64 {
+    assert!(k > 0 && gt_ids.len() >= k, "ground truth shallower than k");
+    let truth = &gt_ids[..k];
+    let got = &returned[..returned.len().min(k)];
+    let mut hits = 0usize;
+    for id in got {
+        // k is small (≤ a few hundred); linear scan beats hashing here.
+        if truth.contains(id) {
+            hits += 1;
+        }
+    }
+    hits as f64 / k as f64
+}
+
+/// Mean `recall@k` over all queries.
+///
+/// `results[q]` are the ids returned for query `q`, best-first.
+pub fn mean_recall_at_k(gt: &GroundTruth, results: &[Vec<u32>], k: usize) -> f64 {
+    assert_eq!(gt.n_queries(), results.len(), "result rows != queries");
+    if results.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = results
+        .iter()
+        .enumerate()
+        .map(|(q, r)| recall_at_k(gt.ids(q), r, k))
+        .sum();
+    sum / results.len() as f64
+}
+
+/// Relative distance error at k for one query:
+/// `mean_i ( d(q, returned_i) / d(q, exact_i) - 1 )`, clamped at 0.
+///
+/// Distances must be in the same (possibly squared) units for numerator and
+/// denominator, so the ratio is scale-free. When an exact distance is zero
+/// (query coincides with a base point) the pair contributes 0 if the returned
+/// distance is also zero and is skipped otherwise.
+pub fn rderr_at_k(gt_dists: &[f32], returned_dists: &[f32], k: usize) -> f64 {
+    assert!(k > 0 && gt_dists.len() >= k, "ground truth shallower than k");
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for (i, &exact) in gt_dists.iter().take(k).enumerate() {
+        let exact = exact as f64;
+        let got = returned_dists.get(i).copied().unwrap_or(f32::INFINITY) as f64;
+        if exact <= 0.0 {
+            if got <= 0.0 {
+                counted += 1;
+            }
+            continue;
+        }
+        total += (got / exact - 1.0).max(0.0);
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Mean rderr@k over all queries.
+pub fn mean_rderr_at_k(gt: &GroundTruth, result_dists: &[Vec<f32>], k: usize) -> f64 {
+    assert_eq!(gt.n_queries(), result_dists.len(), "result rows != queries");
+    if result_dists.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = result_dists
+        .iter()
+        .enumerate()
+        .map(|(q, r)| rderr_at_k(gt.dists(q), r, k))
+        .sum();
+    sum / result_dists.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gt::GroundTruth;
+
+    #[test]
+    fn perfect_recall() {
+        assert_eq!(recall_at_k(&[1, 2, 3], &[3, 1, 2], 3), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        assert_eq!(recall_at_k(&[1, 2, 3, 4], &[1, 9, 3, 8], 4), 0.5);
+    }
+
+    #[test]
+    fn short_result_list_counts_missing_as_misses() {
+        assert_eq!(recall_at_k(&[1, 2, 3, 4], &[1], 4), 0.25);
+    }
+
+    #[test]
+    fn only_first_k_results_count() {
+        // 5th returned id is the right answer but k = 1.
+        assert_eq!(recall_at_k(&[7, 1, 2, 3, 4], &[9, 9, 9, 9, 7], 1), 0.0);
+    }
+
+    #[test]
+    fn rderr_zero_for_exact_results() {
+        assert_eq!(rderr_at_k(&[1.0, 2.0], &[1.0, 2.0], 2), 0.0);
+    }
+
+    #[test]
+    fn rderr_positive_for_worse_results() {
+        let e = rderr_at_k(&[1.0, 2.0], &[2.0, 2.0], 2);
+        assert!((e - 0.5).abs() < 1e-9); // (2/1-1 + 2/2-1)/2
+    }
+
+    #[test]
+    fn rderr_handles_zero_exact_distance() {
+        assert_eq!(rderr_at_k(&[0.0, 1.0], &[0.0, 1.0], 2), 0.0);
+        // Zero exact but non-zero returned: pair skipped, second pair exact.
+        assert_eq!(rderr_at_k(&[0.0, 1.0], &[0.5, 1.0], 2), 0.0);
+    }
+
+    #[test]
+    fn rderr_missing_results_are_infinite_cost() {
+        assert!(rderr_at_k(&[1.0, 1.0], &[1.0], 2).is_infinite());
+    }
+
+    #[test]
+    fn mean_metrics_aggregate() {
+        let gt = GroundTruth::from_rows(
+            2,
+            vec![vec![(1.0, 0), (2.0, 1)], vec![(1.0, 5), (3.0, 6)]],
+        )
+        .unwrap();
+        let results = vec![vec![0, 1], vec![6, 7]];
+        let r = mean_recall_at_k(&gt, &results, 2);
+        assert!((r - 0.75).abs() < 1e-9); // (1.0 + 0.5) / 2
+        let dists = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
+        let e = mean_rderr_at_k(&gt, &dists, 2);
+        assert!((e - (0.0 + (2.0 + 1.0) / 2.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "shallower")]
+    fn recall_requires_deep_enough_gt() {
+        recall_at_k(&[1], &[1], 2);
+    }
+}

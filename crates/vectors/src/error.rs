@@ -1,0 +1,88 @@
+//! Error type shared by the whole workspace.
+
+use std::fmt;
+
+/// Errors surfaced by dataset handling, index construction and persistence.
+#[derive(Debug)]
+pub enum AnnError {
+    /// A vector had a different dimensionality than the store it was added to.
+    DimensionMismatch {
+        /// Dimensionality of the store.
+        expected: usize,
+        /// Dimensionality of the offending vector.
+        got: usize,
+    },
+    /// An operation required a non-empty dataset.
+    EmptyDataset,
+    /// A node/vector id was out of range.
+    IdOutOfRange {
+        /// The offending id.
+        id: u64,
+        /// Number of elements available.
+        len: u64,
+    },
+    /// `k` (or another size parameter) exceeded what the dataset can provide.
+    InvalidParameter(String),
+    /// A persisted artifact failed validation (bad magic, version, checksum…).
+    CorruptIndex(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for AnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: store is {expected}-d, vector is {got}-d")
+            }
+            AnnError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            AnnError::IdOutOfRange { id, len } => {
+                write!(f, "id {id} out of range (len {len})")
+            }
+            AnnError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            AnnError::CorruptIndex(msg) => write!(f, "corrupt index: {msg}"),
+            AnnError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AnnError {
+    fn from(e: std::io::Error) -> Self {
+        AnnError::Io(e)
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, AnnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = AnnError::DimensionMismatch { expected: 128, got: 64 };
+        assert!(e.to_string().contains("128"));
+        assert!(e.to_string().contains("64"));
+        let e = AnnError::IdOutOfRange { id: 9, len: 3 };
+        assert!(e.to_string().contains('9'));
+        let e = AnnError::CorruptIndex("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: AnnError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,212 @@
+//! Exact ground truth by (parallel) brute force, and the `GroundTruth`
+//! container consumed by the accuracy metrics and the evaluation harness.
+
+use crate::error::{AnnError, Result};
+use crate::metric::Metric;
+use crate::parallel::{num_threads, parallel_map};
+use crate::store::VecStore;
+use crate::topk::TopK;
+
+/// Exact k-nearest-neighbor answers for a query set, flattened row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    k: usize,
+    /// `n_queries × k` neighbor ids, ascending distance within each row.
+    ids: Vec<u32>,
+    /// Matching dissimilarities.
+    dists: Vec<f32>,
+}
+
+impl GroundTruth {
+    /// Assemble from per-query sorted `(dist, id)` rows.
+    ///
+    /// # Errors
+    /// `InvalidParameter` if any row has a different length than `k`.
+    pub fn from_rows(k: usize, rows: Vec<Vec<(f32, u32)>>) -> Result<Self> {
+        let mut ids = Vec::with_capacity(rows.len() * k);
+        let mut dists = Vec::with_capacity(rows.len() * k);
+        for (qi, row) in rows.iter().enumerate() {
+            if row.len() != k {
+                return Err(AnnError::InvalidParameter(format!(
+                    "ground-truth row {qi} has {} entries, expected {k}",
+                    row.len()
+                )));
+            }
+            for &(d, id) in row {
+                ids.push(id);
+                dists.push(d);
+            }
+        }
+        Ok(GroundTruth { k, ids, dists })
+    }
+
+    /// Number of neighbors stored per query.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of queries covered.
+    pub fn n_queries(&self) -> usize {
+        self.ids.len() / self.k
+    }
+
+    /// Neighbor ids of query `q` (ascending distance).
+    pub fn ids(&self, q: usize) -> &[u32] {
+        &self.ids[q * self.k..(q + 1) * self.k]
+    }
+
+    /// Neighbor dissimilarities of query `q` (ascending).
+    pub fn dists(&self, q: usize) -> &[f32] {
+        &self.dists[q * self.k..(q + 1) * self.k]
+    }
+
+    /// Exact nearest neighbor of query `q`.
+    pub fn nn(&self, q: usize) -> (u32, f32) {
+        (self.ids(q)[0], self.dists(q)[0])
+    }
+
+    /// Mean distance from each query to its exact nearest neighbor — the
+    /// `d(q, P)` statistic reported in the dataset table (E1). For L2 the
+    /// stored value is squared, so the square root is taken here.
+    pub fn mean_query_nn_distance(&self, metric: Metric) -> f64 {
+        let n = self.n_queries();
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = (0..n)
+            .map(|q| {
+                let d = self.dists(q)[0] as f64;
+                if metric == Metric::L2 {
+                    d.max(0.0).sqrt()
+                } else {
+                    d
+                }
+            })
+            .sum();
+        sum / n as f64
+    }
+}
+
+/// Compute exact top-`k` ground truth for every query by brute force,
+/// parallelized over queries.
+///
+/// # Errors
+/// * `EmptyDataset` if base or query set is empty.
+/// * `InvalidParameter` if `k == 0` or `k > base.len()`.
+/// * `DimensionMismatch` if base and query dimensionality differ.
+pub fn brute_force_ground_truth(
+    metric: Metric,
+    base: &VecStore,
+    queries: &VecStore,
+    k: usize,
+) -> Result<GroundTruth> {
+    if base.is_empty() || queries.is_empty() {
+        return Err(AnnError::EmptyDataset);
+    }
+    if queries.dim() != base.dim() {
+        return Err(AnnError::DimensionMismatch { expected: base.dim(), got: queries.dim() });
+    }
+    if k == 0 || k > base.len() {
+        return Err(AnnError::InvalidParameter(format!(
+            "k = {k} not in 1..={}",
+            base.len()
+        )));
+    }
+    let rows = parallel_map(queries.len(), num_threads(), |qi| {
+        let q = queries.get(qi as u32);
+        let mut top = TopK::new(k);
+        for j in 0..base.len() as u32 {
+            let d = metric.distance(q, base.get(j));
+            if d < top.threshold() {
+                top.push(d, j);
+            }
+        }
+        top.into_sorted()
+    });
+    GroundTruth::from_rows(k, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_base() -> VecStore {
+        // 2-d integer grid 5×5 = 25 points, id = y*5 + x.
+        let mut s = VecStore::new(2).unwrap();
+        for y in 0..5 {
+            for x in 0..5 {
+                s.push(&[x as f32, y as f32]).unwrap();
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn exact_nn_on_grid() {
+        let base = grid_base();
+        let mut queries = VecStore::new(2).unwrap();
+        queries.push(&[0.1, 0.1]).unwrap(); // nearest: (0,0) = id 0
+        queries.push(&[3.9, 2.1]).unwrap(); // nearest: (4,2) = id 14
+        let gt = brute_force_ground_truth(Metric::L2, &base, &queries, 3).unwrap();
+        assert_eq!(gt.nn(0).0, 0);
+        assert_eq!(gt.nn(1).0, 14);
+        // Rows sorted ascending.
+        for q in 0..2 {
+            let d = gt.dists(q);
+            assert!(d.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn k_equals_n_returns_everything() {
+        let base = grid_base();
+        let mut q = VecStore::new(2).unwrap();
+        q.push(&[2.0, 2.0]).unwrap();
+        let gt = brute_force_ground_truth(Metric::L2, &base, &q, 25).unwrap();
+        let mut ids: Vec<u32> = gt.ids(0).to_vec();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..25).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let base = grid_base();
+        let mut q = VecStore::new(2).unwrap();
+        q.push(&[0.0, 0.0]).unwrap();
+        assert!(brute_force_ground_truth(Metric::L2, &base, &q, 0).is_err());
+        assert!(brute_force_ground_truth(Metric::L2, &base, &q, 26).is_err());
+        let q3 = VecStore::from_rows(&[vec![0.0, 0.0, 0.0]]).unwrap();
+        assert!(matches!(
+            brute_force_ground_truth(Metric::L2, &base, &q3, 1),
+            Err(AnnError::DimensionMismatch { .. })
+        ));
+        let empty = VecStore::new(2).unwrap();
+        assert!(brute_force_ground_truth(Metric::L2, &empty, &q, 1).is_err());
+        assert!(brute_force_ground_truth(Metric::L2, &base, &empty, 1).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let rows = vec![vec![(0.0, 0u32)], vec![]];
+        assert!(GroundTruth::from_rows(1, rows).is_err());
+    }
+
+    #[test]
+    fn mean_query_nn_distance_sqrt_for_l2() {
+        let base = grid_base();
+        let mut q = VecStore::new(2).unwrap();
+        q.push(&[0.0, 0.5]).unwrap(); // squared dist to NN = 0.25, Euclidean 0.5
+        let gt = brute_force_ground_truth(Metric::L2, &base, &q, 1).unwrap();
+        assert!((gt.mean_query_nn_distance(Metric::L2) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_ground_truth_prefers_aligned() {
+        let base =
+            VecStore::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.7, 0.7]]).unwrap();
+        let q = VecStore::from_rows(&[vec![1.0, 0.1]]).unwrap();
+        let gt = brute_force_ground_truth(Metric::Cosine, &base, &q, 3).unwrap();
+        assert_eq!(gt.ids(0)[0], 0);
+        assert_eq!(gt.ids(0)[2], 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Vector file formats.
+//!
+//! * **fvecs / ivecs** — the TEXMEX interchange format used by SIFT/GIST and
+//!   by the paper's evaluation pipeline: each row is a little-endian `i32`
+//!   dimension followed by `dim` payload elements (`f32` or `i32`). Supported
+//!   so the suite can run on the real corpora when they are available.
+//! * **vstore** — this workspace's own binary snapshot of a [`VecStore`]
+//!   (+ metric), versioned and checksummed, built with `bytes`.
+
+use crate::error::{AnnError, Result};
+use crate::metric::Metric;
+use crate::store::VecStore;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const VSTORE_MAGIC: u32 = 0x5653_5430; // "VST0"
+const VSTORE_VERSION: u16 = 1;
+
+/// Read an entire `.fvecs` file into a store.
+///
+/// # Errors
+/// `CorruptIndex` on malformed rows (non-positive or inconsistent dims,
+/// truncated payload); `Io` on filesystem errors.
+pub fn read_fvecs(path: &Path) -> Result<VecStore> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    let mut head = [0u8; 4];
+    loop {
+        match r.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let d = i32::from_le_bytes(head);
+        if d <= 0 {
+            return Err(AnnError::CorruptIndex(format!("fvecs row with dim {d}")));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(expected) if expected != d => {
+                return Err(AnnError::CorruptIndex(format!(
+                    "fvecs dim changed from {expected} to {d}"
+                )));
+            }
+            _ => {}
+        }
+        let mut row = vec![0u8; d * 4];
+        r.read_exact(&mut row).map_err(|_| {
+            AnnError::CorruptIndex("fvecs row payload truncated".into())
+        })?;
+        for c in row.chunks_exact(4) {
+            data.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+        }
+    }
+    let dim = dim.ok_or(AnnError::EmptyDataset)?;
+    VecStore::from_flat(dim, data)
+}
+
+/// Write a store as `.fvecs`.
+pub fn write_fvecs(path: &Path, store: &VecStore) -> Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    let dim = store.dim() as i32;
+    for i in 0..store.len() as u32 {
+        w.write_all(&dim.to_le_bytes())?;
+        for x in store.get(i) {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read an `.ivecs` file (e.g. ground-truth id lists) as rows of `u32`.
+pub fn read_ivecs(path: &Path) -> Result<Vec<Vec<u32>>> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut rows = Vec::new();
+    let mut head = [0u8; 4];
+    loop {
+        match r.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let d = i32::from_le_bytes(head);
+        if d < 0 {
+            return Err(AnnError::CorruptIndex(format!("ivecs row with dim {d}")));
+        }
+        let mut row = vec![0u8; d as usize * 4];
+        r.read_exact(&mut row)
+            .map_err(|_| AnnError::CorruptIndex("ivecs row payload truncated".into()))?;
+        rows.push(
+            row.chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect(),
+        );
+    }
+    Ok(rows)
+}
+
+/// Write rows of ids as `.ivecs`.
+pub fn write_ivecs(path: &Path, rows: &[Vec<u32>]) -> Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for row in rows {
+        w.write_all(&(row.len() as i32).to_le_bytes())?;
+        for id in row {
+            w.write_all(&id.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Serialize a store (with its metric) to the versioned `vstore` format.
+pub fn vstore_to_bytes(store: &VecStore, metric: Metric) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24 + store.as_flat().len() * 4);
+    buf.put_u32_le(VSTORE_MAGIC);
+    buf.put_u16_le(VSTORE_VERSION);
+    buf.put_u8(metric.tag());
+    buf.put_u8(0); // reserved
+    buf.put_u64_le(store.dim() as u64);
+    buf.put_u64_le(store.len() as u64);
+    for &x in store.as_flat() {
+        buf.put_f32_le(x);
+    }
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Deserialize a `vstore` buffer, validating magic, version and checksum.
+pub fn vstore_from_bytes(mut buf: &[u8]) -> Result<(VecStore, Metric)> {
+    if buf.len() < 24 + 8 {
+        return Err(AnnError::CorruptIndex("vstore buffer too short".into()));
+    }
+    let (body, tail) = buf.split_at(buf.len() - 8);
+    let expect = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if fnv1a(body) != expect {
+        return Err(AnnError::CorruptIndex("vstore checksum mismatch".into()));
+    }
+    buf = body;
+    if buf.get_u32_le() != VSTORE_MAGIC {
+        return Err(AnnError::CorruptIndex("vstore bad magic".into()));
+    }
+    let version = buf.get_u16_le();
+    if version != VSTORE_VERSION {
+        return Err(AnnError::CorruptIndex(format!("vstore version {version} unsupported")));
+    }
+    let metric = Metric::from_tag(buf.get_u8())
+        .ok_or_else(|| AnnError::CorruptIndex("vstore unknown metric tag".into()))?;
+    let _reserved = buf.get_u8();
+    let dim = buf.get_u64_le() as usize;
+    let n = buf.get_u64_le() as usize;
+    if buf.remaining() != dim * n * 4 {
+        return Err(AnnError::CorruptIndex(format!(
+            "vstore payload is {} bytes, header promises {}",
+            buf.remaining(),
+            dim * n * 4
+        )));
+    }
+    let mut data = Vec::with_capacity(dim * n);
+    for _ in 0..dim * n {
+        data.push(buf.get_f32_le());
+    }
+    Ok((VecStore::from_flat(dim, data)?, metric))
+}
+
+/// Save a store to disk in `vstore` format.
+pub fn save_vstore(path: &Path, store: &VecStore, metric: Metric) -> Result<()> {
+    std::fs::write(path, vstore_to_bytes(store, metric))?;
+    Ok(())
+}
+
+/// Load a store saved by [`save_vstore`].
+pub fn load_vstore(path: &Path) -> Result<(VecStore, Metric)> {
+    let buf = std::fs::read(path)?;
+    vstore_from_bytes(&buf)
+}
+
+/// FNV-1a, the workspace-standard integrity checksum (fast, dependency-free;
+/// this is corruption detection, not cryptography).
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ann_vectors_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_store() -> VecStore {
+        VecStore::from_rows(&[vec![1.0, -2.0, 3.5], vec![0.0, 0.25, -9.0]]).unwrap()
+    }
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let p = tmp("roundtrip.fvecs");
+        let s = sample_store();
+        write_fvecs(&p, &s).unwrap();
+        let s2 = read_fvecs(&p).unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn fvecs_rejects_truncated_payload() {
+        let p = tmp("truncated.fvecs");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&3i32.to_le_bytes());
+        bytes.extend_from_slice(&1.0f32.to_le_bytes()); // only 1 of 3 floats
+        std::fs::write(&p, bytes).unwrap();
+        assert!(matches!(read_fvecs(&p), Err(AnnError::CorruptIndex(_))));
+    }
+
+    #[test]
+    fn fvecs_rejects_inconsistent_dim() {
+        let p = tmp("baddim.fvecs");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1i32.to_le_bytes());
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        bytes.extend_from_slice(&2i32.to_le_bytes());
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        bytes.extend_from_slice(&2.0f32.to_le_bytes());
+        std::fs::write(&p, bytes).unwrap();
+        assert!(matches!(read_fvecs(&p), Err(AnnError::CorruptIndex(_))));
+    }
+
+    #[test]
+    fn ivecs_roundtrip() {
+        let p = tmp("roundtrip.ivecs");
+        let rows = vec![vec![1, 2, 3], vec![], vec![9]];
+        write_ivecs(&p, &rows).unwrap();
+        assert_eq!(read_ivecs(&p).unwrap(), rows);
+    }
+
+    #[test]
+    fn vstore_roundtrip() {
+        let s = sample_store();
+        let b = vstore_to_bytes(&s, Metric::Cosine);
+        let (s2, m) = vstore_from_bytes(&b).unwrap();
+        assert_eq!(s, s2);
+        assert_eq!(m, Metric::Cosine);
+    }
+
+    #[test]
+    fn vstore_detects_bitflip() {
+        let s = sample_store();
+        let mut b = vstore_to_bytes(&s, Metric::L2).to_vec();
+        let mid = b.len() / 2;
+        b[mid] ^= 0x40;
+        assert!(matches!(vstore_from_bytes(&b), Err(AnnError::CorruptIndex(_))));
+    }
+
+    #[test]
+    fn vstore_rejects_short_buffer() {
+        assert!(vstore_from_bytes(&[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn vstore_file_roundtrip() {
+        let p = tmp("store.vstore");
+        let s = sample_store();
+        save_vstore(&p, &s, Metric::Ip).unwrap();
+        let (s2, m) = load_vstore(&p).unwrap();
+        assert_eq!(s, s2);
+        assert_eq!(m, Metric::Ip);
+    }
+
+    #[test]
+    fn fnv1a_distinguishes_inputs() {
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

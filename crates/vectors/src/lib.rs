@@ -1,0 +1,36 @@
+//! # ann-vectors
+//!
+//! Vector substrate for the τ-MG reproduction workspace: flat storage,
+//! distance kernels, synthetic dataset generators, exact ground truth,
+//! accuracy metrics, file formats and a small scoped-thread parallel layer.
+//!
+//! Everything downstream (graph construction, baselines, the τ-MG core, the
+//! evaluation harness) is built on the types in this crate:
+//!
+//! * [`store::VecStore`] — contiguous row-major f32 vectors;
+//! * [`metric::Metric`] / [`metric::MetricKernel`] — dissimilarities with a
+//!   uniform smaller-is-better orientation;
+//! * [`synthetic`] — seeded generators standing in for the paper's datasets;
+//! * [`gt`] + [`accuracy`] — exact answers, recall@k and rderr@k;
+//! * [`parallel`] — dynamic-block `parallel_for`/`parallel_map` on scoped
+//!   threads (the approved dependency set has no rayon);
+//! * [`io`] — fvecs/ivecs interchange plus a checksummed binary snapshot.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod error;
+pub mod gt;
+pub mod io;
+pub mod metric;
+pub mod parallel;
+pub mod store;
+pub mod synthetic;
+pub mod topk;
+
+pub use error::{AnnError, Result};
+pub use gt::{brute_force_ground_truth, GroundTruth};
+pub use metric::{CosineKernel, IpKernel, L2Kernel, Metric, MetricKernel};
+pub use store::VecStore;
+pub use synthetic::{Dataset, Recipe};
+pub use topk::TopK;

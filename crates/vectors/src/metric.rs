@@ -1,0 +1,329 @@
+//! Distance metrics and their vectorization-friendly kernels.
+//!
+//! All metrics are expressed as *dissimilarities*: smaller is always better.
+//! This uniform orientation lets every search structure in the workspace order
+//! candidates with a single comparison, regardless of the underlying metric.
+//!
+//! | [`Metric`]   | stored value                  | ordering equivalent to      |
+//! |--------------|-------------------------------|-----------------------------|
+//! | `L2`         | squared Euclidean distance    | Euclidean distance          |
+//! | `Ip`         | `1.0 - <a, b>`                | maximum inner product       |
+//! | `Cosine`     | `1.0 - cos(a, b)`             | cosine similarity           |
+//!
+//! Squared L2 is used instead of L2 because `sqrt` is monotone, so orderings
+//! (and therefore recall) are unchanged while each distance call saves a
+//! square root — the same trick used by faiss, hnswlib and NSG.
+//!
+//! The kernels process eight lanes per iteration over `chunks_exact(8)`,
+//! which the compiler reliably auto-vectorizes on x86-64 and aarch64. A naive
+//! scalar reference implementation is kept alongside each kernel and the unit
+//! tests assert the two agree to tight tolerance on random inputs.
+
+/// Dissimilarity measure attached to a dataset.
+///
+/// The enum is `Copy` and is dispatched **once** per search (the hot loops are
+/// monomorphized through [`MetricKernel`]), never per distance evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Squared Euclidean distance.
+    L2,
+    /// Inner-product dissimilarity `1 - <a,b>` (for maximum-inner-product search).
+    Ip,
+    /// Cosine dissimilarity `1 - cos(a,b)`.
+    ///
+    /// For unit-normalized inputs this is computed with the `Ip` kernel since
+    /// the two coincide; [`crate::store::VecStore::normalize`] is the intended
+    /// preprocessing step.
+    Cosine,
+}
+
+impl Metric {
+    /// Evaluate the dissimilarity between two equal-length vectors.
+    ///
+    /// # Panics
+    /// Debug-asserts that the slices have equal length; in release builds a
+    /// mismatch silently truncates to the shorter slice (the storage layer
+    /// guarantees equal dimensions for all vectors of a dataset).
+    #[inline]
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        match self {
+            Metric::L2 => l2_sq(a, b),
+            Metric::Ip => 1.0 - dot(a, b),
+            Metric::Cosine => cosine_dissim(a, b),
+        }
+    }
+
+    /// Human-readable name used by the reporting layer.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::L2 => "L2",
+            Metric::Ip => "InnerProduct",
+            Metric::Cosine => "Cosine",
+        }
+    }
+
+    /// Parse a metric name as emitted by [`Metric::name`] (case-insensitive).
+    pub fn parse(s: &str) -> Option<Metric> {
+        match s.to_ascii_lowercase().as_str() {
+            "l2" | "euclidean" => Some(Metric::L2),
+            "ip" | "innerproduct" | "dot" => Some(Metric::Ip),
+            "cosine" | "cos" => Some(Metric::Cosine),
+            _ => None,
+        }
+    }
+
+    /// Whether the triangle inequality holds for this dissimilarity.
+    ///
+    /// Query-aware edge occlusion (QEO) and other triangle-inequality-based
+    /// pruning must be disabled when this returns `false`. It holds for
+    /// `sqrt(L2)`; the QEO implementation takes square roots accordingly.
+    pub fn is_metric_space(self) -> bool {
+        matches!(self, Metric::L2)
+    }
+
+    /// Stable on-disk tag for serialization.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            Metric::L2 => 0,
+            Metric::Ip => 1,
+            Metric::Cosine => 2,
+        }
+    }
+
+    pub(crate) fn from_tag(t: u8) -> Option<Metric> {
+        match t {
+            0 => Some(Metric::L2),
+            1 => Some(Metric::Ip),
+            2 => Some(Metric::Cosine),
+            _ => None,
+        }
+    }
+}
+
+/// Monomorphization hook: a zero-sized type per metric so the innermost search
+/// loops compile to straight-line code with the kernel inlined.
+pub trait MetricKernel: Copy + Send + Sync + 'static {
+    /// The runtime metric this kernel implements.
+    const METRIC: Metric;
+    /// Evaluate the dissimilarity.
+    fn eval(a: &[f32], b: &[f32]) -> f32;
+}
+
+/// Zero-sized kernel for [`Metric::L2`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct L2Kernel;
+/// Zero-sized kernel for [`Metric::Ip`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IpKernel;
+/// Zero-sized kernel for [`Metric::Cosine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CosineKernel;
+
+impl MetricKernel for L2Kernel {
+    const METRIC: Metric = Metric::L2;
+    #[inline(always)]
+    fn eval(a: &[f32], b: &[f32]) -> f32 {
+        l2_sq(a, b)
+    }
+}
+impl MetricKernel for IpKernel {
+    const METRIC: Metric = Metric::Ip;
+    #[inline(always)]
+    fn eval(a: &[f32], b: &[f32]) -> f32 {
+        1.0 - dot(a, b)
+    }
+}
+impl MetricKernel for CosineKernel {
+    const METRIC: Metric = Metric::Cosine;
+    #[inline(always)]
+    fn eval(a: &[f32], b: &[f32]) -> f32 {
+        cosine_dissim(a, b)
+    }
+}
+
+/// Squared Euclidean distance, 8-wide unrolled.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let ca = a.chunks_exact(8);
+    let cb = b.chunks_exact(8);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        for i in 0..8 {
+            let d = xa[i] - xb[i];
+            acc[i] += d * d;
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (xa, xb) in ra.iter().zip(rb.iter()) {
+        let d = xa - xb;
+        sum += d * d;
+    }
+    sum
+}
+
+/// Inner product, 8-wide unrolled.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let ca = a.chunks_exact(8);
+    let cb = b.chunks_exact(8);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        for i in 0..8 {
+            acc[i] += xa[i] * xb[i];
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (xa, xb) in ra.iter().zip(rb.iter()) {
+        sum += xa * xb;
+    }
+    sum
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine dissimilarity `1 - <a,b> / (|a||b|)`.
+///
+/// Degenerate zero-norm inputs yield the maximal dissimilarity `1.0` rather
+/// than NaN so that search orderings stay total.
+#[inline]
+pub fn cosine_dissim(a: &[f32], b: &[f32]) -> f32 {
+    let ip = dot(a, b);
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - ip / (na * nb)
+}
+
+/// Naive scalar references used to validate the unrolled kernels.
+pub mod reference {
+    /// Reference squared L2.
+    pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+    /// Reference inner product.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(dim: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        // Tiny xorshift so the kernel tests do not depend on `rand`.
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) as f32 * 2.0 - 1.0
+        };
+        let a: Vec<f32> = (0..dim).map(|_| next()).collect();
+        let b: Vec<f32> = (0..dim).map(|_| next()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn l2_matches_reference_across_dims() {
+        for dim in [1, 3, 7, 8, 9, 15, 16, 17, 31, 100, 128, 257, 960] {
+            let (a, b) = vecs(dim, dim as u64);
+            let fast = l2_sq(&a, &b);
+            let slow = reference::l2_sq(&a, &b);
+            assert!(
+                (fast - slow).abs() <= 1e-4 * slow.abs().max(1.0),
+                "dim {dim}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_matches_reference_across_dims() {
+        for dim in [1, 2, 8, 13, 64, 100, 300, 420] {
+            let (a, b) = vecs(dim, 1000 + dim as u64);
+            let fast = dot(&a, &b);
+            let slow = reference::dot(&a, &b);
+            assert!(
+                (fast - slow).abs() <= 1e-4 * slow.abs().max(1.0),
+                "dim {dim}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn l2_identity_and_symmetry() {
+        let (a, b) = vecs(64, 7);
+        assert_eq!(l2_sq(&a, &a), 0.0);
+        assert_eq!(l2_sq(&a, &b), l2_sq(&b, &a));
+        assert!(l2_sq(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_zero() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b: Vec<f32> = a.iter().map(|x| x * 2.5).collect();
+        assert!(cosine_dissim(&a, &b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_one() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert!((cosine_dissim(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_handles_zero_vector() {
+        let a = vec![0.0; 8];
+        let b = vec![1.0; 8];
+        assert_eq!(cosine_dissim(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn ip_dissimilarity_orders_by_inner_product() {
+        let q = vec![1.0, 0.0];
+        let hi = vec![5.0, 0.0]; // larger inner product
+        let lo = vec![1.0, 0.0];
+        assert!(Metric::Ip.distance(&q, &hi) < Metric::Ip.distance(&q, &lo));
+    }
+
+    #[test]
+    fn metric_name_parse_roundtrip() {
+        for m in [Metric::L2, Metric::Ip, Metric::Cosine] {
+            assert_eq!(Metric::parse(m.name()), Some(m));
+            assert_eq!(Metric::from_tag(m.tag()), Some(m));
+        }
+        assert_eq!(Metric::parse("nope"), None);
+        assert_eq!(Metric::from_tag(99), None);
+    }
+
+    #[test]
+    fn kernel_structs_match_enum_dispatch() {
+        let (a, b) = vecs(100, 42);
+        assert_eq!(L2Kernel::eval(&a, &b), Metric::L2.distance(&a, &b));
+        assert_eq!(IpKernel::eval(&a, &b), Metric::Ip.distance(&a, &b));
+        assert_eq!(CosineKernel::eval(&a, &b), Metric::Cosine.distance(&a, &b));
+    }
+
+    #[test]
+    fn triangle_inequality_for_sqrt_l2() {
+        // sqrt(l2_sq) is a metric; spot-check on random triples.
+        for seed in 0..50u64 {
+            let (a, b) = vecs(32, seed);
+            let (c, _) = vecs(32, seed + 1000);
+            let ab = l2_sq(&a, &b).sqrt();
+            let bc = l2_sq(&b, &c).sqrt();
+            let ac = l2_sq(&a, &c).sqrt();
+            assert!(ac <= ab + bc + 1e-4);
+        }
+    }
+}

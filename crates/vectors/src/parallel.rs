@@ -1,0 +1,195 @@
+//! Minimal data-parallel substrate built on scoped threads.
+//!
+//! The approved dependency set contains no task-parallelism crate (no rayon),
+//! so index construction and ground-truth computation use this small
+//! work-block scheduler instead: worker threads pull fixed-size blocks of the
+//! index range from an atomic cursor, which gives dynamic load balancing
+//! (important for NN-Descent and graph pruning, whose per-item cost varies)
+//! with no allocation in steady state.
+//!
+//! Queries in the evaluation harness are deliberately *not* parallelized —
+//! the paper measures single-thread search throughput.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Size of the work block each worker claims per cursor increment.
+///
+/// Large enough to amortize the atomic, small enough to balance skewed work.
+const BLOCK: usize = 64;
+
+/// Number of worker threads to use for parallel sections.
+///
+/// Honors the `ANN_THREADS` environment variable when set to a positive
+/// integer; otherwise uses the machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("ANN_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `f(i)` for every `i in 0..n` on `threads` workers with dynamic
+/// block scheduling. Falls back to a plain loop when `threads <= 1` or the
+/// range is small enough that spawning would dominate.
+pub fn parallel_for<F>(n: usize, threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if threads <= 1 || n <= BLOCK {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(n.div_ceil(BLOCK));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let start = cursor.fetch_add(BLOCK, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + BLOCK).min(n);
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Map `f` over `0..n` in parallel, returning results in index order.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= BLOCK {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let out: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(n.div_ceil(BLOCK)));
+    let workers = threads.min(n.div_ceil(BLOCK));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let start = cursor.fetch_add(BLOCK, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + BLOCK).min(n);
+                let block: Vec<T> = (start..end).map(&f).collect();
+                out.lock().unwrap().push((start, block));
+            });
+        }
+    });
+    let mut blocks = out.into_inner().unwrap();
+    blocks.sort_unstable_by_key(|(s, _)| *s);
+    let mut result = Vec::with_capacity(n);
+    for (_, mut b) in blocks {
+        result.append(&mut b);
+    }
+    result
+}
+
+/// Apply `f(chunk_index, chunk)` to disjoint mutable chunks of `data` in
+/// parallel. Chunks are `chunk_len` items each (last one may be shorter).
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if threads <= 1 {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(ci, chunk);
+        }
+        return;
+    }
+    type Slot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+    let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Slot<'_, T>> = chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let workers = threads.min(slots.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= slots.len() {
+                    break;
+                }
+                if let Some((ci, chunk)) = slots[idx].lock().unwrap().take() {
+                    f(ci, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(n, 8, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_serial_fallback() {
+        let sum = AtomicU64::new(0);
+        parallel_for(10, 1, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v = parallel_map(5000, 8, |i| i * 2);
+        assert_eq!(v.len(), 5000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn parallel_map_small_input() {
+        let v = parallel_map(3, 8, |i| i + 1);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let v: Vec<usize> = parallel_map(0, 4, |i| i);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn parallel_chunks_mut_touches_all() {
+        let mut data = vec![0u32; 1000];
+        parallel_chunks_mut(&mut data, 37, 8, |ci, chunk| {
+            for x in chunk.iter_mut() {
+                *x = ci as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[999], (999 / 37) as u32 + 1);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Flat, contiguous storage for fixed-dimension f32 vectors.
+//!
+//! All vectors of a dataset live in one `Vec<f32>` in row-major order. This is
+//! the single most important layout decision in the workspace: proximity-graph
+//! search is memory-bound, and a flat layout gives sequential prefetchable
+//! reads, zero per-vector allocation, and one-`memcpy` serialization.
+
+use crate::error::{AnnError, Result};
+use crate::metric::{dot, Metric};
+
+/// A dense matrix of `n` vectors of dimensionality `dim`, stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VecStore {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl VecStore {
+    /// Create an empty store for vectors of dimensionality `dim`.
+    ///
+    /// # Errors
+    /// `InvalidParameter` if `dim == 0`.
+    pub fn new(dim: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(AnnError::InvalidParameter("dim must be > 0".into()));
+        }
+        Ok(VecStore { dim, data: Vec::new() })
+    }
+
+    /// Create a store with pre-reserved capacity for `n` vectors.
+    pub fn with_capacity(dim: usize, n: usize) -> Result<Self> {
+        let mut s = Self::new(dim)?;
+        s.data.reserve_exact(n * dim);
+        Ok(s)
+    }
+
+    /// Build a store from a flat row-major buffer.
+    ///
+    /// # Errors
+    /// `InvalidParameter` if the buffer length is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Result<Self> {
+        if dim == 0 {
+            return Err(AnnError::InvalidParameter("dim must be > 0".into()));
+        }
+        if !data.len().is_multiple_of(dim) {
+            return Err(AnnError::InvalidParameter(format!(
+                "flat buffer of {} floats is not a multiple of dim {}",
+                data.len(),
+                dim
+            )));
+        }
+        Ok(VecStore { dim, data })
+    }
+
+    /// Build a store from row slices; all rows must share one dimensionality.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self> {
+        let dim = rows.first().map(|r| r.len()).ok_or(AnnError::EmptyDataset)?;
+        let mut s = Self::with_capacity(dim, rows.len())?;
+        for r in rows {
+            s.push(r)?;
+        }
+        Ok(s)
+    }
+
+    /// Append one vector.
+    ///
+    /// # Errors
+    /// `DimensionMismatch` if `v.len() != self.dim()`.
+    pub fn push(&mut self, v: &[f32]) -> Result<u32> {
+        if v.len() != self.dim {
+            return Err(AnnError::DimensionMismatch { expected: self.dim, got: v.len() });
+        }
+        let id = self.len() as u32;
+        self.data.extend_from_slice(v);
+        Ok(id)
+    }
+
+    /// Number of vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the store holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow vector `i`.
+    ///
+    /// # Panics
+    /// If `i >= self.len()`. The hot loops only pass ids produced by the
+    /// store itself, so this is a programming-error check, not a runtime path.
+    #[inline]
+    pub fn get(&self, i: u32) -> &[f32] {
+        let i = i as usize;
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Checked variant of [`VecStore::get`].
+    pub fn try_get(&self, i: u32) -> Result<&[f32]> {
+        if (i as usize) < self.len() {
+            Ok(self.get(i))
+        } else {
+            Err(AnnError::IdOutOfRange { id: i as u64, len: self.len() as u64 })
+        }
+    }
+
+    /// The raw flat buffer (row-major).
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Dissimilarity between stored vectors `i` and `j` under `metric`.
+    #[inline]
+    pub fn dist(&self, metric: Metric, i: u32, j: u32) -> f32 {
+        metric.distance(self.get(i), self.get(j))
+    }
+
+    /// Dissimilarity between a query slice and stored vector `i`.
+    #[inline]
+    pub fn dist_to(&self, metric: Metric, q: &[f32], i: u32) -> f32 {
+        metric.distance(q, self.get(i))
+    }
+
+    /// Normalize every vector to unit L2 norm in place.
+    ///
+    /// Zero vectors are left untouched (they stay maximal-dissimilarity under
+    /// cosine by the kernel's convention). Intended preprocessing for
+    /// [`Metric::Cosine`] datasets so the cheaper `Ip` kernel could be used,
+    /// and for making cosine geometry explicit in the synthetic generators.
+    pub fn normalize(&mut self) {
+        let dim = self.dim;
+        for row in self.data.chunks_exact_mut(dim) {
+            let n = dot(row, row).sqrt();
+            if n > 0.0 {
+                let inv = 1.0 / n;
+                for x in row.iter_mut() {
+                    *x *= inv;
+                }
+            }
+        }
+    }
+
+    /// Arithmetic mean of all vectors.
+    ///
+    /// # Errors
+    /// `EmptyDataset` if the store is empty.
+    pub fn centroid(&self) -> Result<Vec<f32>> {
+        if self.is_empty() {
+            return Err(AnnError::EmptyDataset);
+        }
+        let mut c = vec![0.0f64; self.dim];
+        for row in self.data.chunks_exact(self.dim) {
+            for (acc, x) in c.iter_mut().zip(row) {
+                *acc += *x as f64;
+            }
+        }
+        let inv = 1.0 / self.len() as f64;
+        Ok(c.into_iter().map(|x| (x * inv) as f32).collect())
+    }
+
+    /// Id of the stored vector closest to the centroid — the canonical entry
+    /// point ("medoid" / "navigating node") used by NSG, Vamana and τ-MNG.
+    pub fn medoid(&self, metric: Metric) -> Result<u32> {
+        let c = self.centroid()?;
+        let mut best = (0u32, f32::INFINITY);
+        for i in 0..self.len() as u32 {
+            let d = self.dist_to(metric, &c, i);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        Ok(best.0)
+    }
+
+    /// Bytes of vector payload held by this store.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store3() -> VecStore {
+        VecStore::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0]]).unwrap()
+    }
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut s = VecStore::new(3).unwrap();
+        assert!(s.is_empty());
+        let a = s.push(&[1.0, 2.0, 3.0]).unwrap();
+        let b = s.push(&[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut s = VecStore::new(3).unwrap();
+        assert!(matches!(
+            s.push(&[1.0]),
+            Err(AnnError::DimensionMismatch { expected: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert!(VecStore::new(0).is_err());
+        assert!(VecStore::from_flat(0, vec![]).is_err());
+    }
+
+    #[test]
+    fn from_flat_validates_length() {
+        assert!(VecStore::from_flat(3, vec![0.0; 7]).is_err());
+        let s = VecStore::from_flat(3, vec![0.0; 9]).unwrap();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn try_get_bounds() {
+        let s = store3();
+        assert!(s.try_get(2).is_ok());
+        assert!(matches!(s.try_get(3), Err(AnnError::IdOutOfRange { .. })));
+    }
+
+    #[test]
+    fn distances_between_rows() {
+        let s = store3();
+        assert_eq!(s.dist(Metric::L2, 0, 1), 1.0);
+        assert_eq!(s.dist(Metric::L2, 0, 2), 4.0);
+        assert_eq!(s.dist_to(Metric::L2, &[1.0, 0.0], 1), 0.0);
+    }
+
+    #[test]
+    fn normalize_makes_unit_norm() {
+        let mut s = store3();
+        s.normalize();
+        // Row 0 is the zero vector and must be untouched.
+        assert_eq!(s.get(0), &[0.0, 0.0]);
+        for i in 1..3 {
+            let n = dot(s.get(i), s.get(i)).sqrt();
+            assert!((n - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn centroid_and_medoid() {
+        let s = store3();
+        let c = s.centroid().unwrap();
+        assert!((c[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((c[1] - 2.0 / 3.0).abs() < 1e-6);
+        // Closest point to (1/3, 2/3) is (0,0): d²=5/9 vs (1,0): d²=8/9 vs (0,2): d²=1.89
+        assert_eq!(s.medoid(Metric::L2).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_centroid_fails() {
+        let s = VecStore::new(2).unwrap();
+        assert!(matches!(s.centroid(), Err(AnnError::EmptyDataset)));
+        assert!(s.medoid(Metric::L2).is_err());
+    }
+
+    #[test]
+    fn from_rows_empty_fails() {
+        assert!(matches!(VecStore::from_rows(&[]), Err(AnnError::EmptyDataset)));
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let s = store3();
+        assert_eq!(s.memory_bytes(), 3 * 2 * 4);
+    }
+}

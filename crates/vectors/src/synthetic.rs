@@ -1,0 +1,542 @@
+//! Seeded synthetic dataset generators.
+//!
+//! The paper evaluates on SIFT1M, GIST1M, GloVe, Crawl, Msong and UQ-V. Those
+//! corpora are not available in this environment, so this module provides the
+//! documented substitution (DESIGN.md §5): anisotropic Gaussian-mixture
+//! generators whose parameters mimic the *geometric* properties that drive
+//! graph-ANN behaviour — clusteredness, local intrinsic dimension, and the
+//! distance gap between a query and its nearest database point. Every
+//! generator is fully determined by an explicit `u64` seed.
+//!
+//! Two query samplers matter for the reproduction:
+//!
+//! * [`mixture_queries`] — held-out draws from the *same* mixture, the analogue
+//!   of a benchmark's real query set (near the data but not in it);
+//! * [`tau_tube_queries`] — queries constructed to satisfy `d(q, P) ≤ τ`
+//!   *by construction*, which is exactly the hypothesis of the paper's
+//!   exactness theorem for τ-MG (used by experiment E10).
+
+use crate::metric::{l2_sq, Metric};
+use crate::store::VecStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of an anisotropic Gaussian mixture in `dim` dimensions.
+#[derive(Debug, Clone)]
+pub struct MixtureSpec {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Number of mixture components.
+    pub clusters: usize,
+    /// Standard deviation of cluster centers around the origin.
+    pub center_spread: f32,
+    /// Base within-cluster standard deviation.
+    pub cluster_scale: f32,
+    /// Power-law exponent for cluster masses (0.0 = uniform masses).
+    ///
+    /// Descriptor datasets like GloVe have strongly skewed cluster sizes; a
+    /// value around 1.0 reproduces that skew.
+    pub mass_exponent: f64,
+    /// Fraction of dimensions per cluster that carry most of the variance
+    /// (models low local intrinsic dimension inside high ambient dimension).
+    pub active_dims: f64,
+    /// Fraction of samples drawn from a broad background Gaussian (centered
+    /// at the origin with the center-spread scale) instead of a cluster.
+    ///
+    /// Real descriptor datasets are not unions of far-apart islands: a
+    /// density background bridges clusters, which is what makes their kNN
+    /// graphs navigable. Without it, greedy search cannot leave the entry
+    /// cluster and *every* graph index collapses — an artifact, not a
+    /// phenomenon the paper studies.
+    pub background: f64,
+}
+
+impl MixtureSpec {
+    /// A reasonable default spec for quick experiments.
+    pub fn default_for(dim: usize) -> Self {
+        MixtureSpec {
+            dim,
+            clusters: 64,
+            center_spread: 3.0,
+            cluster_scale: 1.0,
+            mass_exponent: 0.7,
+            active_dims: 0.35,
+            background: 0.10,
+        }
+    }
+}
+
+/// Frozen mixture: concrete centers, axis scales and component masses.
+///
+/// Freezing the mixture separately from sampling lets the base set and the
+/// query set be drawn from the *identical* distribution with different seeds,
+/// which is how real ANN benchmarks are assembled.
+#[derive(Debug, Clone)]
+pub struct FrozenMixture {
+    dim: usize,
+    centers: Vec<f32>,  // clusters × dim, row-major
+    scales: Vec<f32>,   // clusters × dim, row-major
+    cum_mass: Vec<f64>, // cumulative masses, last == 1.0
+    background: f64,
+    center_spread: f32,
+}
+
+impl FrozenMixture {
+    /// Materialize the random mixture parameters from a spec and seed.
+    pub fn new(spec: &MixtureSpec, seed: u64) -> Self {
+        assert!(spec.dim > 0 && spec.clusters > 0, "degenerate mixture spec");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = spec.clusters;
+        let dim = spec.dim;
+        let mut centers = Vec::with_capacity(k * dim);
+        let mut scales = Vec::with_capacity(k * dim);
+        for _ in 0..k {
+            for _ in 0..dim {
+                centers.push(gaussian(&mut rng) as f32 * spec.center_spread);
+            }
+            for _ in 0..dim {
+                // Most dimensions nearly flat, a few active: anisotropy.
+                let active = rng.random::<f64>() < spec.active_dims;
+                let s = if active {
+                    spec.cluster_scale * (0.5 + rng.random::<f32>())
+                } else {
+                    spec.cluster_scale * 0.08
+                };
+                scales.push(s);
+            }
+        }
+        // Power-law component masses.
+        let mut masses: Vec<f64> =
+            (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(spec.mass_exponent)).collect();
+        let total: f64 = masses.iter().sum();
+        let mut acc = 0.0;
+        for m in masses.iter_mut() {
+            acc += *m / total;
+            *m = acc;
+        }
+        masses[k - 1] = 1.0;
+        FrozenMixture {
+            dim,
+            centers,
+            scales,
+            cum_mass: masses,
+            background: spec.background.clamp(0.0, 1.0),
+            center_spread: spec.center_spread,
+        }
+    }
+
+    /// Dimensionality of samples.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Draw `n` samples using `rng`.
+    pub fn sample(&self, n: usize, rng: &mut StdRng) -> VecStore {
+        let mut store = VecStore::with_capacity(self.dim, n).expect("dim > 0");
+        let mut buf = vec![0.0f32; self.dim];
+        for _ in 0..n {
+            if rng.random::<f64>() < self.background {
+                // Background sample: broad Gaussian spanning the cluster
+                // layout — the density bridge between clusters.
+                for x in buf.iter_mut() {
+                    *x = gaussian(rng) as f32 * self.center_spread;
+                }
+                store.push(&buf).expect("dim matches");
+                continue;
+            }
+            let u = rng.random::<f64>();
+            let c = self.cum_mass.partition_point(|&m| m < u).min(self.cum_mass.len() - 1);
+            let center = &self.centers[c * self.dim..(c + 1) * self.dim];
+            let scale = &self.scales[c * self.dim..(c + 1) * self.dim];
+            for i in 0..self.dim {
+                buf[i] = center[i] + gaussian(rng) as f32 * scale[i];
+            }
+            store.push(&buf).expect("dim matches");
+        }
+        store
+    }
+}
+
+/// One standard Gaussian via Box–Muller (the approved `rand` has no `Normal`).
+#[inline]
+fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 > f64::EPSILON {
+            let u2: f64 = rng.random();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Sample a base set of `n` vectors from a frozen mixture.
+pub fn mixture_base(mix: &FrozenMixture, n: usize, seed: u64) -> VecStore {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB45E_0001);
+    mix.sample(n, &mut rng)
+}
+
+/// Sample `n` held-out queries from the same frozen mixture.
+pub fn mixture_queries(mix: &FrozenMixture, n: usize, seed: u64) -> VecStore {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0EE7_0002);
+    mix.sample(n, &mut rng)
+}
+
+/// Queries guaranteed to lie within Euclidean distance `tau` of the base set.
+///
+/// Each query is `base[i] + r·u` where `u` is a uniformly random unit vector
+/// and `r ~ U(0, tau)`, so `d(q, P) ≤ d(q, base[i]) ≤ τ` *by construction*
+/// (the true NN may be an even closer point — that only tightens the bound).
+/// This realizes the hypothesis `dist(q, P) ≤ τ` of the τ-MG exactness
+/// theorem exactly, making the theorem falsifiable in tests.
+pub fn tau_tube_queries(base: &VecStore, n: usize, tau: f32, seed: u64) -> VecStore {
+    assert!(!base.is_empty(), "tau_tube_queries requires a non-empty base");
+    assert!(tau >= 0.0, "tau must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7AB3_0003);
+    let dim = base.dim();
+    let mut out = VecStore::with_capacity(dim, n).expect("dim > 0");
+    let mut dir = vec![0.0f32; dim];
+    for _ in 0..n {
+        let anchor = rng.random_range(0..base.len() as u32);
+        // Random direction on the sphere.
+        let mut norm_sq = 0.0f32;
+        for d in dir.iter_mut() {
+            *d = gaussian(&mut rng) as f32;
+            norm_sq += *d * *d;
+        }
+        let r = rng.random::<f32>() * tau;
+        let scale = if norm_sq > 0.0 { r / norm_sq.sqrt() } else { 0.0 };
+        let a = base.get(anchor);
+        let q: Vec<f32> = a.iter().zip(dir.iter()).map(|(x, d)| x + d * scale).collect();
+        out.push(&q).expect("dim matches");
+    }
+    out
+}
+
+/// Uniform random vectors in `[-1, 1]^dim` — the unclustered control dataset.
+pub fn uniform(dim: usize, n: usize, seed: u64) -> VecStore {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0133_0004);
+    let mut store = VecStore::with_capacity(dim, n).expect("dim > 0");
+    let mut buf = vec![0.0f32; dim];
+    for _ in 0..n {
+        for x in buf.iter_mut() {
+            *x = rng.random::<f32>() * 2.0 - 1.0;
+        }
+        store.push(&buf).expect("dim matches");
+    }
+    store
+}
+
+/// Mean Euclidean distance from each point to its nearest *other* point,
+/// estimated on a sample. This is the τ₀ scale referenced throughout the
+/// experiment grid (E6 sweeps τ as multiples of τ₀).
+pub fn mean_nn_distance(base: &VecStore, sample: usize, seed: u64) -> f32 {
+    assert!(base.len() >= 2, "need at least two points");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA1_0005);
+    let s = sample.min(base.len());
+    let mut total = 0.0f64;
+    for _ in 0..s {
+        let i = rng.random_range(0..base.len() as u32);
+        let v = base.get(i);
+        let mut best = f32::INFINITY;
+        for j in 0..base.len() as u32 {
+            if j != i {
+                let d = l2_sq(v, base.get(j));
+                if d < best {
+                    best = d;
+                }
+            }
+        }
+        total += (best as f64).sqrt();
+    }
+    (total / s as f64) as f32
+}
+
+/// A fully materialized benchmark dataset: base vectors, query vectors, and
+/// the metric they are meant to be searched under.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short identifier used in reports ("sift-like", …).
+    pub name: String,
+    /// Dissimilarity the dataset is searched under.
+    pub metric: Metric,
+    /// Base (indexed) vectors.
+    pub base: VecStore,
+    /// Query vectors.
+    pub queries: VecStore,
+}
+
+impl Dataset {
+    /// Dimensionality shared by base and query vectors.
+    pub fn dim(&self) -> usize {
+        self.base.dim()
+    }
+}
+
+/// Named recipes standing in for the paper's six evaluation datasets.
+///
+/// Dimensions match the real corpora; the metric matches how each corpus is
+/// conventionally searched. GIST's 960 dimensions are kept — n is what is
+/// scaled down, not d, because d drives the distance-kernel behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Recipe {
+    /// 128-d, L2, strongly clustered — stands in for SIFT1M.
+    SiftLike,
+    /// 960-d, L2, moderate clustering — stands in for GIST1M.
+    GistLike,
+    /// 100-d, cosine, power-law cluster masses — stands in for GloVe.
+    GloveLike,
+    /// 300-d, cosine — stands in for Crawl.
+    CrawlLike,
+    /// 420-d, L2 — stands in for Msong.
+    MsongLike,
+    /// 256-d, L2 — stands in for UQ-V.
+    UqvLike,
+    /// 64-d uniform control (no cluster structure).
+    UniformControl,
+}
+
+impl Recipe {
+    /// All recipes in reporting order.
+    pub const ALL: [Recipe; 7] = [
+        Recipe::SiftLike,
+        Recipe::GistLike,
+        Recipe::GloveLike,
+        Recipe::CrawlLike,
+        Recipe::MsongLike,
+        Recipe::UqvLike,
+        Recipe::UniformControl,
+    ];
+
+    /// Stable dataset name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Recipe::SiftLike => "sift-like",
+            Recipe::GistLike => "gist-like",
+            Recipe::GloveLike => "glove-like",
+            Recipe::CrawlLike => "crawl-like",
+            Recipe::MsongLike => "msong-like",
+            Recipe::UqvLike => "uqv-like",
+            Recipe::UniformControl => "uniform-64d",
+        }
+    }
+
+    /// Vector dimensionality of the recipe.
+    pub fn dim(self) -> usize {
+        match self {
+            Recipe::SiftLike => 128,
+            Recipe::GistLike => 960,
+            Recipe::GloveLike => 100,
+            Recipe::CrawlLike => 300,
+            Recipe::MsongLike => 420,
+            Recipe::UqvLike => 256,
+            Recipe::UniformControl => 64,
+        }
+    }
+
+    /// Metric the recipe is searched under.
+    pub fn metric(self) -> Metric {
+        match self {
+            Recipe::GloveLike | Recipe::CrawlLike => Metric::Cosine,
+            _ => Metric::L2,
+        }
+    }
+
+    fn spec(self) -> MixtureSpec {
+        let dim = self.dim();
+        match self {
+            Recipe::SiftLike => MixtureSpec {
+                clusters: 128,
+                center_spread: 3.5,
+                cluster_scale: 1.5,
+                mass_exponent: 0.5,
+                active_dims: 0.4,
+                background: 0.10,
+                dim,
+            },
+            Recipe::GistLike => MixtureSpec {
+                clusters: 48,
+                center_spread: 2.0,
+                cluster_scale: 1.0,
+                mass_exponent: 0.4,
+                active_dims: 0.2,
+                background: 0.12,
+                dim,
+            },
+            Recipe::GloveLike => MixtureSpec {
+                clusters: 96,
+                center_spread: 2.8,
+                cluster_scale: 1.2,
+                mass_exponent: 1.1,
+                active_dims: 0.5,
+                background: 0.08,
+                dim,
+            },
+            Recipe::CrawlLike => MixtureSpec {
+                clusters: 64,
+                center_spread: 2.4,
+                cluster_scale: 1.0,
+                mass_exponent: 0.9,
+                active_dims: 0.3,
+                background: 0.10,
+                dim,
+            },
+            Recipe::MsongLike => MixtureSpec {
+                clusters: 56,
+                center_spread: 3.0,
+                cluster_scale: 1.3,
+                mass_exponent: 0.6,
+                active_dims: 0.25,
+                background: 0.12,
+                dim,
+            },
+            Recipe::UqvLike => MixtureSpec {
+                clusters: 72,
+                center_spread: 3.2,
+                cluster_scale: 1.2,
+                mass_exponent: 0.6,
+                active_dims: 0.3,
+                background: 0.10,
+                dim,
+            },
+            Recipe::UniformControl => MixtureSpec::default_for(dim),
+        }
+    }
+
+    /// Materialize the dataset at a chosen scale.
+    ///
+    /// Cosine-metric recipes are normalized to the unit sphere, making their
+    /// cosine geometry identical to L2 geometry on the sphere (the property
+    /// the τ-MG construction relies on; see `tau-mg` crate docs).
+    pub fn build(self, n_base: usize, n_queries: usize, seed: u64) -> Dataset {
+        let (mut base, mut queries) = if self == Recipe::UniformControl {
+            (
+                uniform(self.dim(), n_base, seed),
+                uniform(self.dim(), n_queries, seed ^ 0xFFFF),
+            )
+        } else {
+            let mix = FrozenMixture::new(&self.spec(), seed);
+            (mixture_base(&mix, n_base, seed), mixture_queries(&mix, n_queries, seed))
+        };
+        if self.metric() == Metric::Cosine {
+            base.normalize();
+            queries.normalize();
+        }
+        Dataset {
+            name: self.name().to_string(),
+            metric: self.metric(),
+            base,
+            queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_sampling_is_deterministic() {
+        let spec = MixtureSpec::default_for(16);
+        let a = FrozenMixture::new(&spec, 42);
+        let b = FrozenMixture::new(&spec, 42);
+        let sa = mixture_base(&a, 100, 7);
+        let sb = mixture_base(&b, 100, 7);
+        assert_eq!(sa, sb);
+        let sc = mixture_base(&a, 100, 8);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn base_and_queries_differ_but_share_distribution() {
+        let spec = MixtureSpec::default_for(8);
+        let mix = FrozenMixture::new(&spec, 1);
+        let base = mixture_base(&mix, 200, 1);
+        let q = mixture_queries(&mix, 50, 1);
+        assert_eq!(base.dim(), q.dim());
+        assert_ne!(base.get(0), q.get(0));
+    }
+
+    #[test]
+    fn tau_tube_queries_respect_the_tube() {
+        let base = uniform(12, 300, 5);
+        let tau = 0.25;
+        let q = tau_tube_queries(&base, 80, tau, 9);
+        for i in 0..q.len() as u32 {
+            let mut best = f32::INFINITY;
+            for j in 0..base.len() as u32 {
+                best = best.min(l2_sq(q.get(i), base.get(j)));
+            }
+            assert!(
+                best.sqrt() <= tau + 1e-5,
+                "query {i} is {} from base, tube is {tau}",
+                best.sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn tau_zero_tube_queries_equal_base_points() {
+        let base = uniform(6, 50, 3);
+        let q = tau_tube_queries(&base, 20, 0.0, 3);
+        for i in 0..q.len() as u32 {
+            let mut best = f32::INFINITY;
+            for j in 0..base.len() as u32 {
+                best = best.min(l2_sq(q.get(i), base.get(j)));
+            }
+            assert_eq!(best, 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_is_in_bounds() {
+        let s = uniform(10, 100, 2);
+        assert!(s.as_flat().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn mean_nn_distance_positive_and_scales() {
+        let tight = {
+            let spec = MixtureSpec { cluster_scale: 0.01, ..MixtureSpec::default_for(8) };
+            let mix = FrozenMixture::new(&spec, 11);
+            mixture_base(&mix, 300, 11)
+        };
+        let loose = {
+            let spec = MixtureSpec { cluster_scale: 1.0, ..MixtureSpec::default_for(8) };
+            let mix = FrozenMixture::new(&spec, 11);
+            mixture_base(&mix, 300, 11)
+        };
+        let dt = mean_nn_distance(&tight, 100, 0);
+        let dl = mean_nn_distance(&loose, 100, 0);
+        assert!(dt > 0.0);
+        assert!(dl > dt, "looser clusters must have larger NN distance ({dl} vs {dt})");
+    }
+
+    #[test]
+    fn recipes_have_consistent_shapes() {
+        for r in Recipe::ALL {
+            let ds = r.build(120, 10, 99);
+            assert_eq!(ds.base.len(), 120);
+            assert_eq!(ds.queries.len(), 10);
+            assert_eq!(ds.dim(), r.dim());
+            assert_eq!(ds.metric, r.metric());
+            if r.metric() == Metric::Cosine {
+                let n = crate::metric::dot(ds.base.get(0), ds.base.get(0)).sqrt();
+                assert!((n - 1.0).abs() < 1e-5, "{} not normalized", r.name());
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_masses_skew_cluster_sizes() {
+        // With a strong mass exponent the first cluster should dominate.
+        let spec = MixtureSpec {
+            clusters: 16,
+            mass_exponent: 2.0,
+            ..MixtureSpec::default_for(4)
+        };
+        let mix = FrozenMixture::new(&spec, 21);
+        // Heuristic check: samples concentrate near a small number of centers.
+        let s = mixture_base(&mix, 500, 21);
+        assert_eq!(s.len(), 500);
+    }
+}

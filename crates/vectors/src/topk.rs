@@ -1,0 +1,173 @@
+//! Bounded top-k selection over `(distance, id)` pairs.
+//!
+//! A tiny binary max-heap specialized to `(f32, u32)` with `f32::total_cmp`
+//! ordering. Shared by ground-truth computation and brute-force kNN-graph
+//! construction; search structures use the sorted-array pool in `ann-graph`
+//! instead (different access pattern).
+
+/// Collects the `k` smallest `(distance, id)` pairs pushed into it.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    /// Max-heap on distance: `heap[0]` is the current worst of the best-k.
+    heap: Vec<(f32, u32)>,
+}
+
+impl TopK {
+    /// Create a collector for the `k` smallest entries (`k > 0`).
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopK { k, heap: Vec::with_capacity(k) }
+    }
+
+    /// Number of entries currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries have been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Current admission threshold: entries with distance ≥ this are rejected
+    /// once the collector is full. `f32::INFINITY` while not full.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap[0].0
+        }
+    }
+
+    /// Offer an entry; keeps it only if it is among the k smallest so far.
+    #[inline]
+    pub fn push(&mut self, dist: f32, id: u32) {
+        if self.heap.len() < self.k {
+            self.heap.push((dist, id));
+            self.sift_up(self.heap.len() - 1);
+        } else if dist < self.heap[0].0 {
+            self.heap[0] = (dist, id);
+            self.sift_down(0);
+        }
+    }
+
+    /// Consume the collector, returning entries sorted by ascending distance
+    /// (ties broken by ascending id for determinism).
+    pub fn into_sorted(mut self) -> Vec<(f32, u32)> {
+        self.heap
+            .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        self.heap
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].0.total_cmp(&self.heap[parent].0).is_gt() {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < n && self.heap[l].0.total_cmp(&self.heap[largest].0).is_gt() {
+                largest = l;
+            }
+            if r < n && self.heap[r].0.total_cmp(&self.heap[largest].0).is_gt() {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut t = TopK::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0, 0.5].iter().enumerate() {
+            t.push(*d, i as u32);
+        }
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|e| e.1).collect::<Vec<_>>(), vec![5, 1, 3]);
+        assert_eq!(out[0].0, 0.5);
+    }
+
+    #[test]
+    fn fewer_than_k_entries() {
+        let mut t = TopK::new(10);
+        t.push(2.0, 0);
+        t.push(1.0, 1);
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], (1.0, 1));
+    }
+
+    #[test]
+    fn threshold_tracks_worst_of_best() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), f32::INFINITY);
+        t.push(3.0, 0);
+        assert_eq!(t.threshold(), f32::INFINITY);
+        t.push(1.0, 1);
+        assert_eq!(t.threshold(), 3.0);
+        t.push(2.0, 2);
+        assert_eq!(t.threshold(), 2.0);
+        t.push(9.0, 3); // rejected
+        assert_eq!(t.threshold(), 2.0);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut t = TopK::new(4);
+        t.push(1.0, 7);
+        t.push(1.0, 2);
+        t.push(1.0, 5);
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|e| e.1).collect::<Vec<_>>(), vec![2, 5, 7]);
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_input() {
+        let mut s = 0x1234_5678_u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 10_000) as f32 / 100.0
+        };
+        let data: Vec<f32> = (0..500).map(|_| next()).collect();
+        for k in [1, 2, 7, 100, 500] {
+            let mut t = TopK::new(k);
+            for (i, &d) in data.iter().enumerate() {
+                t.push(d, i as u32);
+            }
+            let got: Vec<f32> = t.into_sorted().iter().map(|e| e.0).collect();
+            let mut want = data.clone();
+            want.sort_by(f32::total_cmp);
+            want.truncate(k);
+            assert_eq!(got, want, "k = {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = TopK::new(0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the vector substrate: metric axioms, top-k
+//! selection against a sort oracle, recall bounds, and serialization.
+
+use ann_vectors::accuracy::{recall_at_k, rderr_at_k};
+use ann_vectors::io::{vstore_from_bytes, vstore_to_bytes};
+use ann_vectors::metric::{cosine_dissim, dot, l2_sq, reference, Metric};
+use ann_vectors::{TopK, VecStore};
+use proptest::prelude::*;
+
+fn arb_vec(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn unrolled_kernels_match_reference(dim in 1usize..300, seed in 0u64..1000) {
+        let a = ann_vectors::synthetic::uniform(dim, 1, seed);
+        let b = ann_vectors::synthetic::uniform(dim, 1, seed ^ 1);
+        let (x, y) = (a.get(0), b.get(0));
+        let fast = l2_sq(x, y);
+        let slow = reference::l2_sq(x, y);
+        prop_assert!((fast - slow).abs() <= 1e-3 * slow.abs().max(1.0));
+        let fast = dot(x, y);
+        let slow = reference::dot(x, y);
+        prop_assert!((fast - slow).abs() <= 1e-3 * slow.abs().max(1.0));
+    }
+
+    #[test]
+    fn l2_metric_axioms(a in arb_vec(16), b in arb_vec(16), c in arb_vec(16)) {
+        // Identity & symmetry on the squared form.
+        prop_assert_eq!(l2_sq(&a, &a), 0.0);
+        prop_assert_eq!(l2_sq(&a, &b), l2_sq(&b, &a));
+        // Triangle inequality on the root form.
+        let ab = l2_sq(&a, &b).sqrt();
+        let bc = l2_sq(&b, &c).sqrt();
+        let ac = l2_sq(&a, &c).sqrt();
+        prop_assert!(ac <= ab + bc + 1e-2);
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_symmetric(a in arb_vec(12), b in arb_vec(12)) {
+        let d = cosine_dissim(&a, &b);
+        prop_assert!((-1e-5..=2.0 + 1e-5).contains(&(d as f64)));
+        prop_assert!((d - cosine_dissim(&b, &a)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn topk_matches_sort_oracle(
+        dists in prop::collection::vec(0.0f32..1000.0, 1..200),
+        k in 1usize..50,
+    ) {
+        let mut top = TopK::new(k);
+        for (i, &d) in dists.iter().enumerate() {
+            top.push(d, i as u32);
+        }
+        let got: Vec<f32> = top.into_sorted().iter().map(|e| e.0).collect();
+        let mut want = dists.clone();
+        want.sort_by(f32::total_cmp);
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn recall_is_within_unit_interval(
+        truth in prop::collection::vec(0u32..50, 10),
+        returned in prop::collection::vec(0u32..50, 0..15),
+        k in 1usize..10,
+    ) {
+        let r = recall_at_k(&truth, &returned, k);
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Returning the truth itself is always perfect.
+        prop_assert_eq!(recall_at_k(&truth, &truth, k), 1.0);
+    }
+
+    #[test]
+    fn rderr_nonnegative_and_zero_for_exact(
+        dists in prop::collection::vec(0.01f32..100.0, 1..20),
+    ) {
+        let mut sorted = dists.clone();
+        sorted.sort_by(f32::total_cmp);
+        let k = sorted.len();
+        prop_assert_eq!(rderr_at_k(&sorted, &sorted, k), 0.0);
+        // Inflating every returned distance cannot make rderr negative.
+        let worse: Vec<f32> = sorted.iter().map(|d| d * 1.5).collect();
+        prop_assert!(rderr_at_k(&sorted, &worse, k) >= 0.0);
+    }
+
+    #[test]
+    fn vstore_roundtrips_arbitrary_content(
+        rows in prop::collection::vec(arb_vec(7), 1..30),
+    ) {
+        let store = VecStore::from_rows(&rows).unwrap();
+        for metric in [Metric::L2, Metric::Ip, Metric::Cosine] {
+            let bytes = vstore_to_bytes(&store, metric);
+            let (back, m) = vstore_from_bytes(&bytes).unwrap();
+            prop_assert_eq!(&back, &store);
+            prop_assert_eq!(m, metric);
+        }
+    }
+
+    #[test]
+    fn ground_truth_rows_are_sorted_and_unique(
+        n in 5usize..60,
+        nq in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let base = ann_vectors::synthetic::uniform(6, n, seed);
+        let queries = ann_vectors::synthetic::uniform(6, nq, seed ^ 7);
+        let k = (n / 2).max(1);
+        let gt = ann_vectors::brute_force_ground_truth(
+            Metric::L2, &base, &queries, k).unwrap();
+        for q in 0..nq {
+            let d = gt.dists(q);
+            prop_assert!(d.windows(2).all(|w| w[0] <= w[1]));
+            let mut ids = gt.ids(q).to_vec();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), k);
+        }
+    }
+}

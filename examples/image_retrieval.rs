@@ -1,0 +1,57 @@
+//! Image-descriptor retrieval: the paper intro's motivating workload.
+//!
+//! Builds all five indexes over the same SIFT-like corpus and prints a
+//! head-to-head comparison at a fixed accuracy target — the decision table
+//! an engineer would want before picking an index for an image-search
+//! service.
+//!
+//! ```sh
+//! cargo run --release --example image_retrieval
+//! ```
+
+use ann_suite::ann_eval::{qps_at_recall, run_sweep, MarkdownTable, SweepConfig};
+use ann_suite::ann_vectors::synthetic::Recipe;
+
+fn main() {
+    let scale = ann_bench_scale();
+    println!("preparing SIFT-like corpus ({scale} vectors)…");
+    let data = ann_bench::prepare_sized(Recipe::SiftLike, scale, 200);
+
+    let mut table = MarkdownTable::new(vec![
+        "index",
+        "build s",
+        "avg degree",
+        "QPS @ recall@10=0.95",
+        "NDC @ 0.95",
+    ]);
+    for algo in ann_bench::Algo::ALL {
+        print!("building {} … ", algo.name());
+        let built = ann_bench::build_algo(algo, &data);
+        let report = built.report;
+        println!("{:.2}s", report.seconds);
+        let points =
+            run_sweep(built.index.as_ref(), &data.queries, &data.gt, &SweepConfig::standard(10));
+        let qps = qps_at_recall(&points, 0.95)
+            .map(|q| format!("{q:.0}"))
+            .unwrap_or_else(|| "not reached".into());
+        let ndc = ann_suite::ann_eval::ndc_at_recall(&points, 0.95)
+            .map(|q| format!("{q:.0}"))
+            .unwrap_or_else(|| "—".into());
+        table.push_row(vec![
+            algo.name().to_string(),
+            format!("{:.2}", report.seconds),
+            format!("{:.1}", report.graph.avg_degree),
+            qps,
+            ndc,
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!("(single-thread queries; build uses all cores — the paper's protocol)");
+}
+
+fn ann_bench_scale() -> usize {
+    std::env::var("N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}

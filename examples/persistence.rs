@@ -1,0 +1,70 @@
+//! Operational persistence: build once, serve from disk.
+//!
+//! Shows the full save/load cycle for the vector store and the τ-MNG index
+//! (checksummed binary formats), verifies the reloaded index answers
+//! identically, and demonstrates that corruption is detected rather than
+//! served.
+//!
+//! ```sh
+//! cargo run --release --example persistence
+//! ```
+
+use ann_suite::ann_graph::AnnIndex;
+use ann_suite::ann_knng::{nn_descent, NnDescentParams};
+use ann_suite::ann_vectors::io::{load_vstore, save_vstore};
+use ann_suite::ann_vectors::synthetic::{mean_nn_distance, Recipe};
+use ann_suite::tau_mg::{build_tau_mng, TauIndex, TauMngParams};
+use std::sync::Arc;
+
+fn main() {
+    let dir = std::env::temp_dir().join("tau_mg_persistence_example");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let store_path = dir.join("vectors.vstore");
+    let index_path = dir.join("index.tmg");
+
+    // --- Build side -------------------------------------------------------
+    let dataset = Recipe::MsongLike.build(5_000, 20, 11);
+    let metric = dataset.metric;
+    let base = Arc::new(dataset.base);
+    let tau = mean_nn_distance(&base, 200, 11);
+    let knn = nn_descent(metric, &base, NnDescentParams { k: 24, seed: 11, ..Default::default() })
+        .expect("kNN graph");
+    let index = build_tau_mng(base.clone(), metric, &knn, TauMngParams { tau, ..Default::default() })
+        .expect("build");
+
+    save_vstore(&store_path, &base, metric).expect("save vectors");
+    std::fs::write(&index_path, index.to_bytes()).expect("save index");
+    println!(
+        "saved: {} ({} KiB) and {} ({} KiB)",
+        store_path.display(),
+        std::fs::metadata(&store_path).unwrap().len() / 1024,
+        index_path.display(),
+        std::fs::metadata(&index_path).unwrap().len() / 1024,
+    );
+
+    // --- Serve side -------------------------------------------------------
+    let (loaded_store, loaded_metric) = load_vstore(&store_path).expect("load vectors");
+    let loaded_store = Arc::new(loaded_store);
+    let bytes = std::fs::read(&index_path).expect("read index");
+    let served = TauIndex::from_bytes(&bytes, loaded_store.clone(), loaded_metric)
+        .expect("load index");
+    println!("reloaded {} over {} vectors (tau = {:.3})", served.name(), loaded_store.len(), served.tau());
+
+    let mut identical = true;
+    for q in 0..dataset.queries.len() as u32 {
+        let a = index.search(dataset.queries.get(q), 10, 64);
+        let b = served.search(dataset.queries.get(q), 10, 64);
+        identical &= a.ids == b.ids;
+    }
+    println!("reloaded index answers identically: {identical}");
+    assert!(identical);
+
+    // --- Corruption is refused, not served --------------------------------
+    let mut corrupted = bytes.clone();
+    let mid = corrupted.len() / 2;
+    corrupted[mid] ^= 0x20;
+    match TauIndex::from_bytes(&corrupted, loaded_store, loaded_metric) {
+        Err(e) => println!("corrupted file rejected as expected: {e}"),
+        Ok(_) => panic!("corruption must not load"),
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build a τ-MNG index and answer k-NN queries.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ann_suite::ann_graph::AnnIndex;
+use ann_suite::ann_knng::{nn_descent, NnDescentParams};
+use ann_suite::ann_vectors::synthetic::{mean_nn_distance, Recipe};
+use ann_suite::ann_vectors::{brute_force_ground_truth, Metric};
+use ann_suite::tau_mg::{build_tau_mng, TauMngParams};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Data: a SIFT-like synthetic corpus (128-d, L2) plus held-out queries.
+    let dataset = Recipe::SiftLike.build(10_000, 50, 42);
+    let base = Arc::new(dataset.base);
+    println!("indexed {} vectors of dim {}", base.len(), base.dim());
+
+    // 2. Pick τ: the paper recommends the scale of the query-to-NN distance.
+    //    The mean base-point NN distance (τ₀) is a solid default.
+    let tau = mean_nn_distance(&base, 200, 0);
+    println!("tau = {tau:.3} (mean NN distance)");
+
+    // 3. Substrate: an approximate kNN graph via NN-Descent.
+    let knn = nn_descent(
+        Metric::L2,
+        &base,
+        NnDescentParams { k: 32, seed: 42, ..Default::default() },
+    )
+    .expect("kNN graph");
+
+    // 4. Build the τ-MNG.
+    let index = build_tau_mng(
+        base.clone(),
+        Metric::L2,
+        &knn,
+        TauMngParams { tau, ..Default::default() },
+    )
+    .expect("tau-MNG");
+    let stats = index.graph_stats();
+    println!(
+        "built {}: {} edges, avg degree {:.1}, {:.1} MiB",
+        index.name(),
+        stats.num_edges,
+        stats.avg_degree,
+        index.memory_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // 5. Query: top-10 neighbors with beam width 64.
+    let q = dataset.queries.get(0);
+    let result = index.search(q, 10, 64);
+    println!("\ntop-10 for query 0 ({} distance evals, {} hops):", result.stats.ndc, result.stats.hops);
+    for (id, d) in result.ids.iter().zip(&result.dists) {
+        println!("  id {id:>6}  dist {d:.4}");
+    }
+
+    // 6. Sanity: recall against brute force over the whole query set.
+    let gt = brute_force_ground_truth(Metric::L2, &base, &dataset.queries, 10).expect("gt");
+    let results: Vec<Vec<u32>> = (0..dataset.queries.len() as u32)
+        .map(|qi| index.search(dataset.queries.get(qi), 10, 64).ids)
+        .collect();
+    let recall = ann_suite::ann_vectors::accuracy::mean_recall_at_k(&gt, &results, 10);
+    println!("\nmean recall@10 at L=64: {recall:.4}");
+}

@@ -1,0 +1,76 @@
+//! Choosing τ: a tuning walkthrough.
+//!
+//! τ trades index size for accuracy headroom: larger τ keeps more (and
+//! longer) edges, so recall at a fixed beam width rises — until the extra
+//! edges start costing more distance evaluations than they save. This
+//! example sweeps τ as multiples of τ₀ (the mean nearest-neighbor distance)
+//! and prints the trade-off so you can pick an operating point for your own
+//! data.
+//!
+//! ```sh
+//! cargo run --release --example tune_tau
+//! ```
+
+use ann_suite::ann_eval::{qps_at_recall, run_sweep, MarkdownTable, SweepConfig};
+use ann_suite::ann_graph::AnnIndex;
+use ann_suite::ann_knng::{nn_descent, NnDescentParams};
+use ann_suite::ann_vectors::synthetic::{mean_nn_distance, Recipe};
+use ann_suite::ann_vectors::brute_force_ground_truth;
+use ann_suite::tau_mg::{build_tau_mng, TauMngParams};
+use std::sync::Arc;
+
+fn main() {
+    let dataset = Recipe::UqvLike.build(8_000, 150, 3);
+    let metric = dataset.metric;
+    let base = Arc::new(dataset.base);
+    let tau0 = mean_nn_distance(&base, 200, 3);
+    println!("uqv-like corpus, n = {}, tau0 = {tau0:.3}", base.len());
+
+    let knn = nn_descent(metric, &base, NnDescentParams { k: 32, seed: 3, ..Default::default() })
+        .expect("kNN graph");
+    let gt = brute_force_ground_truth(metric, &base, &dataset.queries, 10).expect("gt");
+
+    let mut table = MarkdownTable::new(vec![
+        "tau/tau0",
+        "avg degree",
+        "index MB",
+        "recall@10 (L=50)",
+        "QPS @ 0.95",
+    ]);
+    let mut best: Option<(f32, f64)> = None;
+    for mult in [0.0f32, 0.25, 0.5, 1.0, 2.0, 4.0] {
+        let tau = tau0 * mult;
+        let index = build_tau_mng(
+            base.clone(),
+            metric,
+            &knn,
+            TauMngParams { tau, ..Default::default() },
+        )
+        .expect("build");
+        let points = run_sweep(
+            &index,
+            &dataset.queries,
+            &gt,
+            &SweepConfig { k: 10, ls: vec![10, 20, 50, 100, 200], repeats: 1 },
+        );
+        let r50 = points.iter().find(|p| p.l == 50).map(|p| p.recall).unwrap_or(0.0);
+        let qps = qps_at_recall(&points, 0.95);
+        if let Some(q) = qps {
+            if best.map(|(_, bq)| q > bq).unwrap_or(true) {
+                best = Some((mult, q));
+            }
+        }
+        table.push_row(vec![
+            format!("{mult:.2}"),
+            format!("{:.1}", index.graph_stats().avg_degree),
+            format!("{:.2}", index.memory_bytes() as f64 / (1024.0 * 1024.0)),
+            format!("{r50:.4}"),
+            qps.map(|q| format!("{q:.0}")).unwrap_or_else(|| "not reached".into()),
+        ]);
+    }
+    println!("\n{}", table.render());
+    if let Some((mult, qps)) = best {
+        println!("best operating point here: tau = {mult:.2}·tau0 ({qps:.0} QPS at recall 0.95)");
+    }
+    println!("rule of thumb from the paper (and E6): tau around tau0 is a robust default.");
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Inject measured tables from results/repro_all_default.log into
+EXPERIMENTS.md at the <!-- En_TABLE --> placeholders."""
+import re
+import sys
+
+LOG = "results/repro_all_default.log"
+MD = "EXPERIMENTS.md"
+
+log = open(LOG).read()
+
+# Split the log into experiment sections by the banner lines.
+sections = {}
+parts = re.split(r"^== (E\d+)[^=]*==$", log, flags=re.M)
+# parts: [prefix, 'E1', body, 'E2', body, ...]
+for i in range(1, len(parts) - 1, 2):
+    sections[parts[i]] = parts[i + 1]
+
+def tables_of(body: str) -> str:
+    """Extract markdown tables (with their ### headers) from a section."""
+    out = []
+    keep = False
+    for line in body.splitlines():
+        if line.startswith("### "):
+            out.append("\n**" + line[4:].strip() + "**\n")
+            keep = True
+            continue
+        if line.startswith("|"):
+            out.append(line)
+            keep = True
+            continue
+        if keep and line.strip() == "":
+            out.append("")
+    return "\n".join(out).strip() + "\n"
+
+md = open(MD).read()
+mapping = {
+    "E1_TABLE": ["E1"],
+    "E2_TABLE": ["E2"],
+    "E34_TABLE": ["E3", "E4"],
+    "E5_TABLE": ["E5"],
+    "E6_TABLE": ["E6"],
+    "E7_TABLE": ["E7"],
+    "E8_TABLE": ["E8"],
+    "E9_TABLE": ["E9"],
+    "E10_TABLE": ["E10"],
+    "E11_TABLE": ["E11"],
+    "E12_TABLE": ["E12"],
+}
+for placeholder, exps in mapping.items():
+    blocks = []
+    for e in exps:
+        if e in sections:
+            label = f"### measured ({e})\n\n" if len(exps) > 1 else "### measured\n\n"
+            blocks.append(label + tables_of(sections[e]))
+    repl = "\n".join(blocks) if blocks else "_run `repro_all` to fill this table_"
+    md = md.replace(f"<!-- {placeholder} -->", repl)
+
+open(MD, "w").write(md)
+print("EXPERIMENTS.md filled with", len(sections), "experiment sections")

@@ -1,0 +1,325 @@
+//! `ann` — command-line front end for the τ-MG reproduction suite.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! ann gen       --recipe sift-like --n 10000 --nq 100 --seed 7 \
+//!               --base base.fvecs --queries queries.fvecs
+//! ann gt        --metric l2 --base base.fvecs --queries queries.fvecs \
+//!               --k 100 --out gt.ivecs
+//! ann build     --algo tau-mng --metric l2 --base base.fvecs \
+//!               --out index.tmg [--tau auto] [--r 40] [--beam 128]
+//! ann search    --algo tau-mng --metric l2 --base base.fvecs \
+//!               --index index.tmg --queries queries.fvecs --k 10 --beam 64 \
+//!               [--gt gt.ivecs]
+//! ann calibrate --algo tau-mng --metric l2 --base base.fvecs \
+//!               --index index.tmg --queries queries.fvecs --gt gt.ivecs \
+//!               --k 10 --target 0.95
+//! ann info      --algo tau-mng --metric l2 --base base.fvecs --index index.tmg
+//! ```
+//!
+//! Vectors use the TEXMEX `fvecs`/`ivecs` interchange formats, so the tool
+//! works directly against the real SIFT/GIST corpora when they are on disk.
+
+use ann_suite::ann_graph::AnnIndex;
+use ann_suite::ann_hnsw::{Hnsw, HnswParams};
+use ann_suite::ann_knng::{nn_descent, NnDescentParams};
+use ann_suite::ann_vectors::io::{read_fvecs, read_ivecs, write_fvecs, write_ivecs};
+use ann_suite::ann_vectors::synthetic::{mean_nn_distance, Recipe};
+use ann_suite::ann_vectors::{brute_force_ground_truth, GroundTruth, Metric, VecStore};
+use ann_suite::tau_mg::{build_tau_mng, TauIndex, TauMngParams};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, flags)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "gt" => cmd_gt(&flags),
+        "build" => cmd_build(&flags),
+        "search" => cmd_search(&flags),
+        "calibrate" => cmd_calibrate(&flags),
+        "info" => cmd_info(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: ann <gen|gt|build|search|calibrate|info> --flag value ...
+run `cargo run --release --bin ann -- help` for the full flag list (also in the module docs)";
+
+type Flags = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<(String, Flags)> {
+    let mut it = args.iter();
+    let cmd = it.next()?.clone();
+    let mut flags = Flags::new();
+    while let Some(key) = it.next() {
+        let key = key.strip_prefix("--")?;
+        let value = it.next()?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Some((cmd, flags))
+}
+
+fn req<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing required --{key}"))
+}
+
+fn opt_num<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got '{v}'")),
+    }
+}
+
+fn metric_of(flags: &Flags) -> Result<Metric, String> {
+    let name = req(flags, "metric")?;
+    Metric::parse(name).ok_or_else(|| format!("unknown metric '{name}' (l2 | ip | cosine)"))
+}
+
+fn load_base(flags: &Flags) -> Result<Arc<VecStore>, String> {
+    let path = req(flags, "base")?;
+    read_fvecs(Path::new(path)).map(Arc::new).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn load_queries(flags: &Flags) -> Result<VecStore, String> {
+    let path = req(flags, "queries")?;
+    read_fvecs(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn load_gt(path: &str, k: usize) -> Result<GroundTruth, String> {
+    let rows = read_ivecs(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    // ivecs carries ids only; distances are not needed for recall.
+    let rows: Vec<Vec<(f32, u32)>> = rows
+        .into_iter()
+        .map(|r| r.into_iter().take(k).map(|id| (0.0f32, id)).collect())
+        .collect();
+    if rows.iter().any(|r| r.len() < k) {
+        return Err(format!("ground truth shallower than k = {k}"));
+    }
+    GroundTruth::from_rows(k, rows).map_err(|e| e.to_string())
+}
+
+fn cmd_gen(flags: &Flags) -> Result<(), String> {
+    let recipe_name = req(flags, "recipe")?;
+    let recipe = Recipe::ALL
+        .into_iter()
+        .find(|r| r.name() == recipe_name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = Recipe::ALL.iter().map(|r| r.name()).collect();
+            format!("unknown recipe '{recipe_name}' (one of: {})", names.join(", "))
+        })?;
+    let n = opt_num(flags, "n", 10_000usize)?;
+    let nq = opt_num(flags, "nq", 100usize)?;
+    let seed = opt_num(flags, "seed", 42u64)?;
+    let ds = recipe.build(n, nq, seed);
+    let base_path = req(flags, "base")?;
+    let q_path = req(flags, "queries")?;
+    write_fvecs(Path::new(base_path), &ds.base).map_err(|e| e.to_string())?;
+    write_fvecs(Path::new(q_path), &ds.queries).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {n} x {}d base vectors to {base_path} and {nq} queries to {q_path} ({} metric)",
+        ds.base.dim(),
+        ds.metric.name()
+    );
+    Ok(())
+}
+
+fn cmd_gt(flags: &Flags) -> Result<(), String> {
+    let metric = metric_of(flags)?;
+    let base = load_base(flags)?;
+    let queries = load_queries(flags)?;
+    let k = opt_num(flags, "k", 100usize)?;
+    let out = req(flags, "out")?;
+    let gt = brute_force_ground_truth(metric, &base, &queries, k).map_err(|e| e.to_string())?;
+    let rows: Vec<Vec<u32>> =
+        (0..gt.n_queries()).map(|q| gt.ids(q).to_vec()).collect();
+    write_ivecs(Path::new(out), &rows).map_err(|e| e.to_string())?;
+    println!("wrote exact top-{k} for {} queries to {out}", gt.n_queries());
+    Ok(())
+}
+
+enum CliIndex {
+    Tau(TauIndex),
+    Hnsw(Hnsw),
+}
+
+impl CliIndex {
+    fn as_ann(&self) -> &dyn AnnIndex {
+        match self {
+            CliIndex::Tau(i) => i,
+            CliIndex::Hnsw(i) => i,
+        }
+    }
+}
+
+fn load_index(flags: &Flags, base: Arc<VecStore>, metric: Metric) -> Result<CliIndex, String> {
+    let algo = req(flags, "algo")?;
+    let path = req(flags, "index")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    match algo {
+        "tau-mng" | "tau-mg" => TauIndex::from_bytes(&bytes, base, metric)
+            .map(CliIndex::Tau)
+            .map_err(|e| e.to_string()),
+        "hnsw" => Hnsw::from_bytes(&bytes, base, metric)
+            .map(CliIndex::Hnsw)
+            .map_err(|e| e.to_string()),
+        other => Err(format!("unknown algo '{other}' (tau-mng | hnsw)")),
+    }
+}
+
+fn cmd_build(flags: &Flags) -> Result<(), String> {
+    let metric = metric_of(flags)?;
+    let base = load_base(flags)?;
+    let algo = req(flags, "algo")?;
+    let out = req(flags, "out")?;
+    let t0 = std::time::Instant::now();
+    let bytes = match algo {
+        "tau-mng" => {
+            let tau = match flags.get("tau").map(String::as_str) {
+                None | Some("auto") => {
+                    let tau0 = mean_nn_distance(&base, 200.min(base.len()), 0);
+                    let tau = tau0 * 0.03;
+                    println!("tau = auto = 0.03 * tau0 = {tau:.4} (tau0 = {tau0:.4})");
+                    tau
+                }
+                Some(v) => v.parse().map_err(|_| format!("--tau expects a number or 'auto', got '{v}'"))?,
+            };
+            let r = opt_num(flags, "r", 40usize)?;
+            let l = opt_num(flags, "beam", 128usize)?;
+            let knn_k = opt_num(flags, "knn", 32usize)?.min(base.len().saturating_sub(1)).max(1);
+            let knn = nn_descent(
+                metric,
+                &base,
+                NnDescentParams { k: knn_k, ..Default::default() },
+            )
+            .map_err(|e| e.to_string())?;
+            let index = build_tau_mng(
+                base.clone(),
+                metric,
+                &knn,
+                TauMngParams { tau, r, l, c: 500 },
+            )
+            .map_err(|e| e.to_string())?;
+            index.to_bytes()
+        }
+        "hnsw" => {
+            let m = opt_num(flags, "m", 24usize)?;
+            let efc = opt_num(flags, "efc", 256usize)?;
+            let index = Hnsw::build(
+                base.clone(),
+                metric,
+                HnswParams { m, ef_construction: efc, ..Default::default() },
+            )
+            .map_err(|e| e.to_string())?;
+            index.to_bytes()
+        }
+        other => return Err(format!("unknown algo '{other}' (tau-mng | hnsw)")),
+    };
+    std::fs::write(out, &bytes).map_err(|e| e.to_string())?;
+    println!(
+        "built {algo} over {} vectors in {:.2}s -> {out} ({} KiB)",
+        base.len(),
+        t0.elapsed().as_secs_f64(),
+        bytes.len() / 1024
+    );
+    Ok(())
+}
+
+fn cmd_search(flags: &Flags) -> Result<(), String> {
+    let metric = metric_of(flags)?;
+    let base = load_base(flags)?;
+    let queries = load_queries(flags)?;
+    let k = opt_num(flags, "k", 10usize)?;
+    let beam = opt_num(flags, "beam", 64usize)?;
+    let index = load_index(flags, base, metric)?;
+    let idx = index.as_ann();
+    let mut scratch = ann_suite::ann_graph::Scratch::new(idx.num_points());
+    let t0 = std::time::Instant::now();
+    let mut results = Vec::with_capacity(queries.len());
+    for q in 0..queries.len() as u32 {
+        results.push(idx.search_with(queries.get(q), k, beam, &mut scratch));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    for (q, r) in results.iter().enumerate().take(5) {
+        let ids: Vec<String> = r.ids.iter().map(u32::to_string).collect();
+        println!("query {q}: {}", ids.join(" "));
+    }
+    if results.len() > 5 {
+        println!("… ({} more queries)", results.len() - 5);
+    }
+    println!(
+        "{} queries in {:.3}s = {:.0} QPS (single thread), mean NDC {:.0}",
+        queries.len(),
+        secs,
+        queries.len() as f64 / secs,
+        results.iter().map(|r| r.stats.ndc).sum::<u64>() as f64 / results.len() as f64
+    );
+    if let Some(gt_path) = flags.get("gt") {
+        let gt = load_gt(gt_path, k)?;
+        if gt.n_queries() != queries.len() {
+            return Err("ground truth covers a different number of queries".into());
+        }
+        let ids: Vec<Vec<u32>> = results.iter().map(|r| r.ids.clone()).collect();
+        let recall = ann_suite::ann_vectors::accuracy::mean_recall_at_k(&gt, &ids, k);
+        println!("recall@{k} = {recall:.4}");
+    }
+    Ok(())
+}
+
+fn cmd_calibrate(flags: &Flags) -> Result<(), String> {
+    let metric = metric_of(flags)?;
+    let base = load_base(flags)?;
+    let queries = load_queries(flags)?;
+    let k = opt_num(flags, "k", 10usize)?;
+    let target = opt_num(flags, "target", 0.95f64)?;
+    let max_l = opt_num(flags, "max-beam", 1024usize)?;
+    let gt = load_gt(req(flags, "gt")?, k)?;
+    let index = load_index(flags, base, metric)?;
+    match ann_suite::ann_eval::calibrate_l(index.as_ann(), &queries, &gt, k, target, max_l) {
+        Some(cal) => {
+            println!(
+                "L = {} reaches recall@{k} = {:.4} (target {target}); calibration cost: {} queries",
+                cal.l, cal.recall, cal.queries_spent
+            );
+            Ok(())
+        }
+        None => Err(format!("target recall {target} unreachable within L <= {max_l}")),
+    }
+}
+
+fn cmd_info(flags: &Flags) -> Result<(), String> {
+    let metric = metric_of(flags)?;
+    let base = load_base(flags)?;
+    let index = load_index(flags, base.clone(), metric)?;
+    let idx = index.as_ann();
+    let stats = idx.graph_stats();
+    println!("algo:        {}", idx.name());
+    println!("points:      {} x {}d ({})", base.len(), base.dim(), metric.name());
+    println!("edges:       {}", stats.num_edges);
+    println!("avg degree:  {:.1}", stats.avg_degree);
+    println!("max degree:  {}", stats.max_degree);
+    println!("index bytes: {}", idx.memory_bytes());
+    if let CliIndex::Tau(t) = &index {
+        println!("tau:         {:.4}", t.tau());
+        println!("entry:       {}", t.entry_point());
+    }
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # ann-suite
+//!
+//! Facade over the τ-MG reproduction workspace. Re-exports every member
+//! crate so the examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`) have one import root:
+//!
+//! * [`tau_mg`] — the paper's contribution: τ-MG, τ-MNG, τ-monotonic search;
+//! * [`ann_hnsw`] / [`ann_nsg`] / [`ann_vamana`] — the baselines;
+//! * [`ann_knng`] — kNN-graph substrate (brute force + NN-Descent);
+//! * [`ann_graph`] — graph storage, beam search, `AnnIndex`;
+//! * [`ann_vectors`] — vectors, metrics, synthetic datasets, ground truth;
+//! * [`ann_eval`] — the measurement harness.
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the architecture
+//! and the paper-reproduction map.
+
+pub use ann_bench;
+pub use ann_eval;
+pub use ann_graph;
+pub use ann_hcnng;
+pub use ann_hnsw;
+pub use ann_knng;
+pub use ann_nsg;
+pub use ann_vamana;
+pub use ann_vectors;
+pub use tau_mg;
+
+/// Convenience used by the integration tests: run experiment E1 at fast
+/// scale through the public harness path.
+pub fn ann_bench_experiments_e1() -> String {
+    ann_bench::experiments::e1_datasets(ann_bench::Scale::Fast)
+}

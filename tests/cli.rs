@@ -1,0 +1,151 @@
+//! End-to-end test of the `ann` CLI binary: gen → gt → build → search →
+//! calibrate → info, plus error paths, driving the real executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ann"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ann_cli_tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = bin().args(args).output().expect("spawn ann");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn full_workflow_succeeds() {
+    let dir = workdir("workflow");
+    let base = dir.join("base.fvecs");
+    let queries = dir.join("q.fvecs");
+    let gt = dir.join("gt.ivecs");
+    let index = dir.join("index.tmg");
+    let (b, q, g, i) = (
+        base.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        gt.to_str().unwrap(),
+        index.to_str().unwrap(),
+    );
+
+    let (ok, out, err) = run(&[
+        "gen", "--recipe", "uqv-like", "--n", "800", "--nq", "20", "--seed", "3",
+        "--base", b, "--queries", q,
+    ]);
+    assert!(ok, "gen failed: {err}");
+    assert!(out.contains("800"));
+
+    let (ok, _, err) =
+        run(&["gt", "--metric", "l2", "--base", b, "--queries", q, "--k", "10", "--out", g]);
+    assert!(ok, "gt failed: {err}");
+
+    let (ok, out, err) = run(&[
+        "build", "--algo", "tau-mng", "--metric", "l2", "--base", b, "--out", i,
+        "--tau", "auto",
+    ]);
+    assert!(ok, "build failed: {err}");
+    assert!(out.contains("tau = auto"));
+
+    let (ok, out, err) = run(&[
+        "search", "--algo", "tau-mng", "--metric", "l2", "--base", b, "--index", i,
+        "--queries", q, "--k", "10", "--beam", "64", "--gt", g,
+    ]);
+    assert!(ok, "search failed: {err}");
+    assert!(out.contains("recall@10"), "no recall line:\n{out}");
+    // Parse the recall and demand a sane floor.
+    let recall: f64 = out
+        .lines()
+        .find(|l| l.starts_with("recall@10"))
+        .and_then(|l| l.split('=').nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("parse recall");
+    assert!(recall > 0.9, "CLI search recall too low: {recall}");
+
+    let (ok, out, err) = run(&[
+        "calibrate", "--algo", "tau-mng", "--metric", "l2", "--base", b, "--index", i,
+        "--queries", q, "--gt", g, "--k", "10", "--target", "0.9",
+    ]);
+    assert!(ok, "calibrate failed: {err}");
+    assert!(out.contains("reaches recall@10"));
+
+    let (ok, out, err) = run(&[
+        "info", "--algo", "tau-mng", "--metric", "l2", "--base", b, "--index", i,
+    ]);
+    assert!(ok, "info failed: {err}");
+    assert!(out.contains("tau-MNG"));
+    assert!(out.contains("avg degree"));
+}
+
+#[test]
+fn hnsw_build_and_search() {
+    let dir = workdir("hnsw");
+    let base = dir.join("base.fvecs");
+    let queries = dir.join("q.fvecs");
+    let index = dir.join("index.hnsw");
+    let (b, q, i) =
+        (base.to_str().unwrap(), queries.to_str().unwrap(), index.to_str().unwrap());
+    assert!(run(&[
+        "gen", "--recipe", "sift-like", "--n", "500", "--nq", "5", "--base", b,
+        "--queries", q,
+    ])
+    .0);
+    assert!(run(&["build", "--algo", "hnsw", "--metric", "l2", "--base", b, "--out", i]).0);
+    let (ok, out, _) = run(&[
+        "search", "--algo", "hnsw", "--metric", "l2", "--base", b, "--index", i,
+        "--queries", q, "--k", "5", "--beam", "32",
+    ]);
+    assert!(ok);
+    assert!(out.contains("QPS"));
+}
+
+#[test]
+fn error_paths_fail_cleanly() {
+    // Unknown subcommand.
+    let (ok, _, err) = run(&["frobnicate", "--x", "1"]);
+    assert!(!ok);
+    assert!(err.contains("unknown subcommand"));
+    // Missing flag.
+    let (ok, _, err) = run(&["gen", "--recipe", "sift-like"]);
+    assert!(!ok);
+    assert!(err.contains("missing required"), "got: {err}");
+    // Unknown recipe.
+    let dir = workdir("errors");
+    let b = dir.join("b.fvecs");
+    let q = dir.join("q.fvecs");
+    let (ok, _, err) = run(&[
+        "gen", "--recipe", "no-such", "--base", b.to_str().unwrap(), "--queries",
+        q.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(err.contains("unknown recipe"));
+    // Nonexistent base file.
+    let (ok, _, err) = run(&[
+        "gt", "--metric", "l2", "--base", "/nonexistent.fvecs", "--queries",
+        "/nonexistent.fvecs", "--k", "1", "--out", "/tmp/x.ivecs",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("error"));
+    // Bad metric.
+    let (ok, _, err) = run(&[
+        "gt", "--metric", "hamming", "--base", "/x", "--queries", "/x", "--out", "/x",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("unknown metric"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, out, _) = run(&["help"]);
+    assert!(ok);
+    assert!(out.contains("usage: ann"));
+}

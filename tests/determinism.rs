@@ -1,0 +1,57 @@
+//! Determinism guarantees: everything seeded must reproduce bit-for-bit,
+//! independent of thread count where the construction is order-independent.
+
+use ann_suite::ann_graph::{AnnIndex, GraphView};
+use ann_suite::ann_vectors::synthetic::{tau_tube_queries, Recipe};
+use ann_suite::ann_vectors::Metric;
+use ann_suite::tau_mg::{build_tau_mg, TauMgParams};
+use std::sync::Arc;
+
+#[test]
+fn dataset_recipes_are_bit_reproducible() {
+    let a = Recipe::GloveLike.build(300, 20, 99);
+    let b = Recipe::GloveLike.build(300, 20, 99);
+    assert_eq!(a.base, b.base);
+    assert_eq!(a.queries, b.queries);
+    let c = Recipe::GloveLike.build(300, 20, 100);
+    assert_ne!(a.base, c.base, "different seed must differ");
+}
+
+#[test]
+fn tube_queries_are_reproducible() {
+    let ds = Recipe::SiftLike.build(200, 1, 5);
+    let q1 = tau_tube_queries(&ds.base, 30, 0.5, 7);
+    let q2 = tau_tube_queries(&ds.base, 30, 0.5, 7);
+    assert_eq!(q1, q2);
+}
+
+#[test]
+fn exact_tau_mg_is_thread_count_independent() {
+    // parallel_map preserves index order and each row is a pure function of
+    // the input, so the exact builder must produce identical graphs at any
+    // thread count.
+    let ds = Recipe::UqvLike.build(250, 1, 17);
+    let base = Arc::new(ds.base);
+    let params = TauMgParams { tau: 0.2, degree_cap: Some(16) };
+    let a = build_tau_mg(base.clone(), Metric::L2, params).unwrap();
+    let b = build_tau_mg(base.clone(), Metric::L2, params).unwrap();
+    assert_eq!(a.entry_point(), b.entry_point());
+    for u in 0..base.len() as u32 {
+        assert_eq!(a.graph().neighbors(u), b.graph().neighbors(u));
+    }
+    assert_eq!(a.to_bytes(), b.to_bytes(), "serialized form must be identical");
+}
+
+#[test]
+fn searches_are_deterministic_given_a_graph() {
+    let ds = Recipe::SiftLike.build(400, 10, 23);
+    let base = Arc::new(ds.base);
+    let idx = build_tau_mg(base, Metric::L2, TauMgParams { tau: 0.1, degree_cap: Some(16) })
+        .unwrap();
+    for q in 0..ds.queries.len() as u32 {
+        let a = idx.search(ds.queries.get(q), 5, 32);
+        let b = idx.search(ds.queries.get(q), 5, 32);
+        assert_eq!(a.ids, b.ids);
+        assert_eq!(a.stats, b.stats);
+    }
+}

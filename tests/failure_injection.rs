@@ -1,0 +1,131 @@
+//! Failure injection across crate boundaries: degenerate inputs must come
+//! back as typed errors (or documented clamps), never wrong answers or
+//! panics from library code.
+
+use ann_suite::ann_graph::AnnIndex;
+use ann_suite::ann_hnsw::{Hnsw, HnswParams};
+use ann_suite::ann_knng::{brute_force_knn_graph, nn_descent, NnDescentParams};
+use ann_suite::ann_nsg::{build_nsg, NsgParams};
+use ann_suite::ann_vectors::error::AnnError;
+use ann_suite::ann_vectors::synthetic::uniform;
+use ann_suite::ann_vectors::{brute_force_ground_truth, Metric, VecStore};
+use ann_suite::tau_mg::{build_tau_mg, build_tau_mng, TauIndex, TauMgParams, TauMngParams};
+use std::sync::Arc;
+
+#[test]
+fn empty_dataset_is_rejected_everywhere() {
+    let empty = Arc::new(VecStore::new(8).unwrap());
+    assert!(matches!(
+        Hnsw::build(empty.clone(), Metric::L2, HnswParams::default()),
+        Err(AnnError::EmptyDataset)
+    ));
+    assert!(matches!(
+        build_tau_mg(empty.clone(), Metric::L2, TauMgParams::default()),
+        Err(AnnError::EmptyDataset)
+    ));
+    assert!(matches!(
+        brute_force_knn_graph(Metric::L2, &empty, 3),
+        Err(AnnError::EmptyDataset)
+    ));
+    let q = VecStore::from_rows(&[vec![0.0; 8]]).unwrap();
+    assert!(brute_force_ground_truth(Metric::L2, &empty, &q, 1).is_err());
+}
+
+#[test]
+fn dimension_mismatch_is_typed() {
+    let base = Arc::new(uniform(8, 50, 1));
+    let q4 = VecStore::from_rows(&[vec![0.0; 4]]).unwrap();
+    match brute_force_ground_truth(Metric::L2, &base, &q4, 1) {
+        Err(AnnError::DimensionMismatch { expected: 8, got: 4 }) => {}
+        other => panic!("expected typed dimension mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn k_exceeding_n_is_rejected() {
+    let base = Arc::new(uniform(4, 10, 2));
+    let q = uniform(4, 2, 3);
+    assert!(brute_force_ground_truth(Metric::L2, &base, &q, 11).is_err());
+    assert!(brute_force_knn_graph(Metric::L2, &base, 10).is_err());
+    assert!(nn_descent(
+        Metric::L2,
+        &base,
+        NnDescentParams { k: 10, ..Default::default() }
+    )
+    .is_err());
+}
+
+#[test]
+fn duplicate_points_do_not_break_any_builder() {
+    // A pathological store: every point duplicated, including exact ties.
+    let mut rows = Vec::new();
+    for i in 0..40 {
+        let v = vec![(i / 2) as f32, ((i / 2) % 5) as f32];
+        rows.push(v);
+    }
+    let base = Arc::new(VecStore::from_rows(&rows).unwrap());
+    let knn = brute_force_knn_graph(Metric::L2, &base, 5).unwrap();
+    let hnsw = Hnsw::build(base.clone(), Metric::L2, HnswParams::default()).unwrap();
+    let nsg = build_nsg(base.clone(), Metric::L2, &knn, NsgParams::default()).unwrap();
+    let tmg = build_tau_mg(
+        base.clone(),
+        Metric::L2,
+        TauMgParams { tau: 0.1, degree_cap: Some(16) },
+    )
+    .unwrap();
+    for idx in [&hnsw as &dyn AnnIndex, &nsg, &tmg] {
+        let r = idx.search(&[0.2, 0.2], 5, 20);
+        assert_eq!(r.ids.len(), 5, "{}", idx.name());
+        assert!(
+            (r.dists[0] - 0.08).abs() < 1e-6,
+            "{} nearest duplicate pair: {}",
+            idx.name(),
+            r.dists[0]
+        );
+    }
+}
+
+#[test]
+fn tau_constructions_reject_non_metric_spaces() {
+    let base = Arc::new(uniform(4, 30, 5));
+    let knn = brute_force_knn_graph(Metric::Ip, &base, 5).unwrap();
+    let e = build_tau_mng(base.clone(), Metric::Ip, &knn, TauMngParams::default()).unwrap_err();
+    assert!(e.to_string().contains("metric space"), "unhelpful error: {e}");
+    assert!(build_tau_mg(base, Metric::Ip, TauMgParams::default()).is_err());
+}
+
+#[test]
+fn truncated_and_garbled_index_files_are_refused() {
+    let base = Arc::new(uniform(4, 60, 6));
+    let idx =
+        build_tau_mg(base.clone(), Metric::L2, TauMgParams { tau: 0.1, degree_cap: Some(8) })
+            .unwrap();
+    let bytes = idx.to_bytes();
+    // Truncations at several depths.
+    for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            TauIndex::from_bytes(&bytes[..cut], base.clone(), Metric::L2).is_err(),
+            "truncation at {cut} accepted"
+        );
+    }
+    // Every corrupted byte position in the header region must be caught.
+    for pos in 0..32 {
+        let mut garbled = bytes.clone();
+        garbled[pos] ^= 0xFF;
+        assert!(
+            TauIndex::from_bytes(&garbled, base.clone(), Metric::L2).is_err(),
+            "garbled byte {pos} accepted"
+        );
+    }
+}
+
+#[test]
+fn single_point_corpus_works_end_to_end() {
+    let base = Arc::new(VecStore::from_rows(&[vec![1.0, 1.0]]).unwrap());
+    let hnsw = Hnsw::build(base.clone(), Metric::L2, HnswParams::default()).unwrap();
+    let r = hnsw.search(&[0.0, 0.0], 1, 4);
+    assert_eq!(r.ids, vec![0]);
+    let tmg = build_tau_mg(base, Metric::L2, TauMgParams::default()).unwrap();
+    let r = tmg.search(&[9.0, 9.0], 1, 4);
+    assert_eq!(r.ids, vec![0]);
+}

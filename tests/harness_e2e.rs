@@ -1,0 +1,50 @@
+//! Harness integration: the eval crate measuring a real index, and the
+//! monotone relationships the paper's figures rely on (recall rises with L,
+//! NDC rises with L).
+
+use ann_suite::ann_eval::{qps_at_recall, run_sweep, SweepConfig};
+use ann_suite::ann_hnsw::{Hnsw, HnswParams};
+use ann_suite::ann_vectors::synthetic::Recipe;
+use ann_suite::ann_vectors::brute_force_ground_truth;
+use std::sync::Arc;
+
+#[test]
+fn sweep_on_real_index_is_sane_and_monotone() {
+    let ds = Recipe::SiftLike.build(1_200, 60, 77);
+    let base = Arc::new(ds.base);
+    let gt = brute_force_ground_truth(ds.metric, &base, &ds.queries, 10).unwrap();
+    let idx = Hnsw::build(base, ds.metric, HnswParams::default()).unwrap();
+    let points = run_sweep(
+        &idx,
+        &ds.queries,
+        &gt,
+        &SweepConfig { k: 10, ls: vec![10, 30, 100, 300], repeats: 1 },
+    );
+    assert_eq!(points.len(), 4);
+    // NDC strictly grows with L; recall is non-decreasing (tiny noise allowed).
+    for w in points.windows(2) {
+        assert!(w[1].ndc > w[0].ndc, "NDC must grow with L: {points:?}");
+        assert!(w[1].recall >= w[0].recall - 0.01, "recall fell: {points:?}");
+        assert!(w[1].hops >= w[0].hops, "hops must not shrink with L");
+    }
+    // At L = 300 on 1.2k points this index should be essentially exact.
+    assert!(points.last().unwrap().recall > 0.99);
+    assert!(points.iter().all(|p| p.qps > 0.0 && p.qps.is_finite()));
+    // The interpolator must find a QPS for a reachable target…
+    assert!(qps_at_recall(&points, 0.95).is_some());
+    // …and refuse an unreachable one.
+    assert!(qps_at_recall(&points, 1.01).is_none());
+}
+
+#[test]
+fn repro_e1_runs_at_fast_scale() {
+    // Smoke the experiment layer end to end (report + CSV emission).
+    let tmp = std::env::temp_dir().join("ann_harness_e2e_results");
+    std::env::set_var("ANN_RESULTS_DIR", &tmp);
+    let report = ann_suite::ann_bench_experiments_e1();
+    assert!(report.contains("sift-like"));
+    assert!(report.contains("dataset"));
+    let csv = std::fs::read_to_string(tmp.join("e1_datasets.csv")).unwrap();
+    assert!(csv.lines().count() >= 3, "csv must have header + rows");
+    std::env::remove_var("ANN_RESULTS_DIR");
+}

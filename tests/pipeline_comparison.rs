@@ -1,0 +1,98 @@
+//! Cross-crate integration: every index in the workspace, built over the
+//! same corpus through its full pipeline, must honor the `AnnIndex`
+//! contract and clear a recall floor.
+
+use ann_suite::ann_graph::{AnnIndex, Scratch};
+use ann_suite::ann_hnsw::{Hnsw, HnswParams};
+use ann_suite::ann_knng::brute_force_knn_graph;
+use ann_suite::ann_nsg::{build_nsg, build_ssg, NsgParams, SsgParams};
+use ann_suite::ann_vamana::{build_vamana, VamanaParams};
+use ann_suite::ann_vectors::accuracy::mean_recall_at_k;
+use ann_suite::ann_vectors::synthetic::{mean_nn_distance, Recipe};
+use ann_suite::ann_vectors::{brute_force_ground_truth, Metric, VecStore};
+use ann_suite::tau_mg::{build_tau_mng, TauMngParams};
+use std::sync::Arc;
+
+const N: usize = 1_500;
+const NQ: usize = 40;
+const K: usize = 10;
+const L: usize = 100;
+
+struct Fixture {
+    base: Arc<VecStore>,
+    queries: VecStore,
+    gt: ann_suite::ann_vectors::GroundTruth,
+    metric: Metric,
+}
+
+fn fixture() -> Fixture {
+    let ds = Recipe::SiftLike.build(N, NQ, 1234);
+    let base = Arc::new(ds.base);
+    let gt = brute_force_ground_truth(ds.metric, &base, &ds.queries, K).unwrap();
+    Fixture { base, queries: ds.queries, gt, metric: ds.metric }
+}
+
+fn contract_and_recall(index: &dyn AnnIndex, f: &Fixture, floor: f64) {
+    let mut scratch = Scratch::new(index.num_points());
+    let mut results = Vec::with_capacity(f.queries.len());
+    for q in 0..f.queries.len() as u32 {
+        let r = index.search_with(f.queries.get(q), K, L, &mut scratch);
+        // Contract: k results, ascending distances, ids in range, stats counted.
+        assert_eq!(r.ids.len(), K, "{}", index.name());
+        assert_eq!(r.dists.len(), K, "{}", index.name());
+        assert!(r.dists.windows(2).all(|w| w[0] <= w[1]), "{} unsorted", index.name());
+        assert!(r.ids.iter().all(|&id| (id as usize) < N), "{} bad id", index.name());
+        assert!(r.stats.ndc > 0, "{} no distance evals", index.name());
+        let mut dedup = r.ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), K, "{} duplicate results", index.name());
+        results.push(r.ids);
+    }
+    let recall = mean_recall_at_k(&f.gt, &results, K);
+    assert!(recall >= floor, "{} recall {recall} below floor {floor}", index.name());
+}
+
+#[test]
+fn all_indexes_honor_contract_and_recall_floor() {
+    let f = fixture();
+    let knn = brute_force_knn_graph(f.metric, &f.base, 20).unwrap();
+    let tau = mean_nn_distance(&f.base, 100, 0) * 0.05;
+
+    let hnsw = Hnsw::build(f.base.clone(), f.metric, HnswParams::default()).unwrap();
+    contract_and_recall(&hnsw, &f, 0.90);
+
+    let nsg = build_nsg(f.base.clone(), f.metric, &knn, NsgParams::default()).unwrap();
+    contract_and_recall(&nsg, &f, 0.90);
+
+    let ssg = build_ssg(f.base.clone(), f.metric, &knn, SsgParams::default()).unwrap();
+    contract_and_recall(&ssg, &f, 0.90);
+
+    let vamana = build_vamana(f.base.clone(), f.metric, VamanaParams::default()).unwrap();
+    contract_and_recall(&vamana, &f, 0.90);
+
+    let tmng =
+        build_tau_mng(f.base.clone(), f.metric, &knn, TauMngParams { tau, ..Default::default() })
+            .unwrap();
+    contract_and_recall(&tmng, &f, 0.90);
+}
+
+#[test]
+fn k_larger_than_l_is_clamped() {
+    let f = fixture();
+    let hnsw = Hnsw::build(f.base.clone(), f.metric, HnswParams::default()).unwrap();
+    let r = hnsw.search(f.queries.get(0), 50, 10); // l < k
+    assert_eq!(r.ids.len(), 50, "l must clamp up to k");
+}
+
+#[test]
+fn k_equal_n_returns_all_points_on_connected_index() {
+    let ds = Recipe::UqvLike.build(60, 3, 5);
+    let base = Arc::new(ds.base);
+    let hnsw = Hnsw::build(base.clone(), ds.metric, HnswParams::default()).unwrap();
+    let r = hnsw.search(ds.queries.get(0), 60, 200);
+    let mut ids = r.ids.clone();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 60, "full sweep must reach every point");
+}
