@@ -1,0 +1,218 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of criterion's API its benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, and `SamplingMode`.
+//!
+//! Measurement is deliberately simple: auto-calibrated batch size, a fixed
+//! number of timed samples, median + min reported to stdout. No warmup
+//! configuration, outlier analysis, HTML reports, or statistics beyond
+//! that — the numbers are for quick regression eyeballing, not papers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Timed samples per benchmark.
+const SAMPLES: usize = 15;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup { _parent: self, throughput: None }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_bench(name, None, f);
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Per-iteration work, used to report element/byte rates.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; this harness always takes a fixed
+    /// number of samples.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Accepted for API compatibility; sampling is always flat here.
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) {}
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(&mut self, id: I, f: F) {
+        run_bench(&id.into().label, self.throughput, f);
+    }
+
+    /// Run a benchmark that borrows a setup input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_bench(&id.label, self.throughput, |b| f(b, input));
+    }
+
+    /// End the group (printing is already done per bench).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Sampling strategy (accepted, not acted on).
+#[derive(Debug, Clone, Copy)]
+pub enum SamplingMode {
+    /// Criterion's default.
+    Auto,
+    /// Same batch size for every sample.
+    Flat,
+    /// Linearly growing batches.
+    Linear,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    /// ns per iteration for each timed sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, auto-calibrating the batch size so timer overhead is
+    /// negligible.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in ~1/SAMPLES of the budget?
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_BUDGET / (SAMPLES as u32) || batch > u64::MAX / 4 {
+                break;
+            }
+            // Grow toward the per-sample budget, at least doubling.
+            batch = batch.saturating_mul(2);
+        }
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { samples: Vec::with_capacity(SAMPLES) };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {label:40} (no iter() call)");
+        return;
+    }
+    b.samples.sort_by(f64::total_cmp);
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.1} Melem/s", n as f64 / median * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.1} MiB/s", n as f64 / median * 1e9 / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!("  {label:40} median {median:>12.1} ns/iter   (min {min:.1}){rate}");
+}
+
+/// Define a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main()` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("push", |b| b.iter(|| vec![1u8, 2, 3].len()));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

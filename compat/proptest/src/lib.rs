@@ -1,0 +1,202 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of proptest it uses: the [`proptest!`] test macro with a
+//! `#![proptest_config]` header, range / tuple / `prop::collection::vec` /
+//! `prop::bool::ANY` strategies, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, both deliberate:
+//!
+//! * **No shrinking.** A failing case panics with the case number; rerunning
+//!   the test reproduces it exactly (generation is seeded from the test's
+//!   module path and name), so a debugger or dbg! gets you the values.
+//! * **`prop_assert*` panic immediately** instead of returning `Err`, which
+//!   is indistinguishable at the test harness level.
+
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Per-test-function tunables, as in `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test body runs.
+    pub cases: u32,
+    /// Upper bound on shrink iterations after a failure (accepted for
+    /// API parity; this shim reports the failing case without shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 1024 }
+    }
+}
+
+/// The generator handed to strategies (one per test function, seeded from
+/// the test's fully qualified name so every run replays the same cases).
+pub type TestRng = rand::StdRng;
+
+/// Derive the per-test generator. Public for the macro's use.
+#[doc(hidden)]
+pub fn rng_for(test_path: &str) -> TestRng {
+    // FNV-1a over the test path: stable across runs and rustc versions.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Strategy constructors, as in `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// Strategy for a `Vec` whose elements come from `element` and whose
+        /// length is drawn from `size` (a `usize` or a `Range<usize>`).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniform boolean strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Uniform boolean.
+        pub const ANY: Any = Any;
+
+        impl crate::strategy::Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut crate::TestRng) -> bool {
+                rand::Rng::random::<bool>(rng)
+            }
+        }
+    }
+}
+
+/// The common imports, as in `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Define property tests: each `fn` runs `cases` times with fresh inputs
+/// drawn from the strategies to the right of each `in`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    let run = || {
+                        $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                    };
+                    if let Err(panic) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest case {}/{} of {} failed (deterministic: rerun reproduces it)",
+                            case + 1,
+                            cfg.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($pat in $strat),+) $body)*
+        }
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_small_vec() -> impl Strategy<Value = Vec<f32>> {
+        prop::collection::vec(-1.0f32..1.0, 3)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 5usize..60, x in -2.0f32..2.0, s in 0u64..1000) {
+            prop_assert!((5..60).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(s < 1000);
+        }
+
+        #[test]
+        fn tuple_patterns_destructure((a, b, c) in (0usize..10, 0u32..10, 0.0f64..1.0)) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!((0.0..1.0).contains(&c));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec((0u32..7, prop::bool::ANY), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&(x, _)| x < 7));
+        }
+
+        #[test]
+        fn fixed_size_vec(v in arb_small_vec()) {
+            prop_assert_eq!(v.len(), 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut r1 = crate::rng_for("some::test");
+        let mut r2 = crate::rng_for("some::test");
+        let s = 0usize..100;
+        for _ in 0..10 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

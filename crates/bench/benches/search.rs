@@ -18,23 +18,19 @@ fn bench_search(c: &mut Criterion) {
         let built = build_algo(algo, &data);
         let mut scratch = Scratch::new(built.index.num_points());
         for l in [16usize, 128] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), l),
-                &l,
-                |b, &l| {
-                    let mut q = 0u32;
-                    b.iter(|| {
-                        let r = built.index.search_with(
-                            black_box(data.queries.get(q % data.queries.len() as u32)),
-                            10,
-                            l,
-                            &mut scratch,
-                        );
-                        q = q.wrapping_add(1);
-                        r.ids.len()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), l), &l, |b, &l| {
+                let mut q = 0u32;
+                b.iter(|| {
+                    let r = built.index.search_with(
+                        black_box(data.queries.get(q % data.queries.len() as u32)),
+                        10,
+                        l,
+                        &mut scratch,
+                    );
+                    q = q.wrapping_add(1);
+                    r.ids.len()
+                })
+            });
         }
     }
     group.finish();

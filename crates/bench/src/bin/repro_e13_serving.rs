@@ -1,0 +1,6 @@
+//! Repro binary for experiment E13 (concurrent serving extension) — see
+//! DESIGN.md §6.
+fn main() {
+    let scale = ann_bench::Scale::from_env();
+    println!("{}", ann_bench::experiments::e13_serving(scale));
+}

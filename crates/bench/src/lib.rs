@@ -330,8 +330,7 @@ fn build_algo_uncached(algo: Algo, data: &ReproData) -> BuiltIndex {
         }
         Algo::Hcnng => {
             let (i, r) = timed_build(|| {
-                build_hcnng(data.base.clone(), data.metric, params::hcnng())
-                    .expect("HCNNG build")
+                build_hcnng(data.base.clone(), data.metric, params::hcnng()).expect("HCNNG build")
             });
             (Box::new(i), r)
         }

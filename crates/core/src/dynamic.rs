@@ -73,8 +73,18 @@ impl DynamicTauMng {
         })
     }
 
-    /// Adopt an existing frozen index (cloning its graph and store).
+    /// Adopt an existing frozen index (cloning its graph and store), with
+    /// default construction parameters at the index's τ.
     pub fn from_index(index: &TauIndex) -> Self {
+        Self::from_index_with_params(index, TauMngParams { tau: index.tau(), ..Default::default() })
+    }
+
+    /// Adopt an existing frozen index with explicit construction parameters
+    /// for subsequent inserts/repairs — what a serving layer needs to keep
+    /// `r`/`l`/`c` stable across compact→re-adopt cycles. `params.tau` is
+    /// overridden by the index's τ (the frozen graph was pruned under it;
+    /// mixing τ values would silently weaken the monotonicity argument).
+    pub fn from_index_with_params(index: &TauIndex, params: TauMngParams) -> Self {
         let n = index.store().len();
         let mut graph = VarGraph::new(n);
         for u in 0..n as u32 {
@@ -84,13 +94,18 @@ impl DynamicTauMng {
             store: (**index.store()).clone(),
             metric: index.metric(),
             view: index.view(),
-            params: TauMngParams { tau: index.tau(), ..Default::default() },
+            params: TauMngParams { tau: index.tau(), ..params },
             graph,
             deleted: vec![false; n],
             live: n,
             entry: index.entry_point(),
             scratch: Scratch::new(n),
         }
+    }
+
+    /// The construction parameters applied to inserts and repairs.
+    pub fn params(&self) -> TauMngParams {
+        self.params
     }
 
     /// Number of live (non-tombstoned) points.
@@ -179,8 +194,7 @@ impl DynamicTauMng {
                 .collect();
             cands.push((self.metric.distance(&vq, v), id));
             cands.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-            let pruned =
-                tau_prune(&self.store, self.view, &cands, self.params.r, self.params.tau);
+            let pruned = tau_prune(&self.store, self.view, &cands, self.params.r, self.params.tau);
             self.graph.set_neighbors(q, pruned);
         }
         self.graph.set_neighbors(id, selected);
@@ -232,8 +246,7 @@ impl DynamicTauMng {
             if self.deleted[p as usize] {
                 continue;
             }
-            let has_dead =
-                self.graph.neighbors(p).iter().any(|&v| self.deleted[v as usize]);
+            let has_dead = self.graph.neighbors(p).iter().any(|&v| self.deleted[v as usize]);
             if !has_dead {
                 continue;
             }
@@ -260,8 +273,7 @@ impl DynamicTauMng {
                 .map(|c| (self.metric.distance(&vp, self.store.get(c)), c))
                 .collect();
             cands.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-            let pruned =
-                tau_prune(&self.store, self.view, &cands, self.params.r, self.params.tau);
+            let pruned = tau_prune(&self.store, self.view, &cands, self.params.r, self.params.tau);
             self.graph.set_neighbors(p, pruned);
         }
         // Clear tombstone out-lists so they stop consuming memory.
@@ -277,7 +289,11 @@ impl DynamicTauMng {
     /// repair) but are filtered from results.
     pub fn search(&mut self, query: &[f32], k: usize, l: usize) -> QueryResult {
         if self.live == 0 {
-            return QueryResult { ids: Vec::new(), dists: Vec::new(), stats: SearchStats::default() };
+            return QueryResult {
+                ids: Vec::new(),
+                dists: Vec::new(),
+                stats: SearchStats::default(),
+            };
         }
         // Over-provision the pool so k live results survive the filter.
         let slack = self.num_deleted().min(l);
@@ -326,13 +342,11 @@ impl DynamicTauMng {
         }
         let mut new_graph = VarGraph::new(self.live);
         for old in 0..n as u32 {
-            let Some(new_id) = remap[old as usize] else { continue };
-            let nbrs: Vec<u32> = self
-                .graph
-                .neighbors(old)
-                .iter()
-                .filter_map(|&v| remap[v as usize])
-                .collect();
+            let Some(new_id) = remap[old as usize] else {
+                continue;
+            };
+            let nbrs: Vec<u32> =
+                self.graph.neighbors(old).iter().filter_map(|&v| remap[v as usize]).collect();
             new_graph.set_neighbors(new_id, nbrs);
         }
         let entry = remap[self.entry as usize].expect("entry is live after delete bookkeeping");
@@ -342,7 +356,15 @@ impl DynamicTauMng {
         }
         let flat = FlatGraph::freeze(&new_graph, None);
         Ok((
-            TauIndex::assemble(store, self.metric, self.view, flat, entry, self.params.tau, "tau-MNG"),
+            TauIndex::assemble(
+                store,
+                self.metric,
+                self.view,
+                flat,
+                entry,
+                self.params.tau,
+                "tau-MNG",
+            ),
             remap,
         ))
     }
@@ -427,8 +449,7 @@ mod tests {
         let spliced = dynamic.repair();
         assert!(spliced > 0, "repair must touch in-neighbors of tombstones");
         // Ground truth over the live subset only.
-        let live_rows: Vec<Vec<f32>> =
-            (160..800u32).map(|i| base.get(i).to_vec()).collect();
+        let live_rows: Vec<Vec<f32>> = (160..800u32).map(|i| base.get(i).to_vec()).collect();
         let live = Arc::new(VecStore::from_rows(&live_rows).unwrap());
         let gt = brute_force_ground_truth(Metric::L2, &live, &queries, 10).unwrap();
         let mut hits = 0usize;

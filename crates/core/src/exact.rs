@@ -41,11 +41,7 @@ impl Default for TauMgParams {
 /// # Errors
 /// `EmptyDataset`; `InvalidParameter` for negative/non-finite τ, an
 /// inner-product metric (not a metric space), or non-normalized cosine data.
-pub fn build_tau_mg(
-    store: Arc<VecStore>,
-    metric: Metric,
-    params: TauMgParams,
-) -> Result<TauIndex> {
+pub fn build_tau_mg(store: Arc<VecStore>, metric: Metric, params: TauMgParams) -> Result<TauIndex> {
     if store.is_empty() {
         return Err(AnnError::EmptyDataset);
     }
@@ -135,14 +131,11 @@ mod tests {
             .unwrap()
             .graph_stats()
             .num_edges;
-        let e1 = build_tau_mg(
-            store.clone(),
-            Metric::L2,
-            TauMgParams { tau: 0.2, degree_cap: None },
-        )
-        .unwrap()
-        .graph_stats()
-        .num_edges;
+        let e1 =
+            build_tau_mg(store.clone(), Metric::L2, TauMgParams { tau: 0.2, degree_cap: None })
+                .unwrap()
+                .graph_stats()
+                .num_edges;
         let e2 = build_tau_mg(store, Metric::L2, TauMgParams { tau: 0.5, degree_cap: None })
             .unwrap()
             .graph_stats()
@@ -153,12 +146,8 @@ mod tests {
     #[test]
     fn degree_cap_applies() {
         let store = Arc::new(uniform(6, 100, 3));
-        let idx = build_tau_mg(
-            store,
-            Metric::L2,
-            TauMgParams { tau: 0.4, degree_cap: Some(5) },
-        )
-        .unwrap();
+        let idx =
+            build_tau_mg(store, Metric::L2, TauMgParams { tau: 0.4, degree_cap: Some(5) }).unwrap();
         assert!(idx.graph().max_degree() <= 5);
     }
 

@@ -117,8 +117,7 @@ mod tests {
 
     #[test]
     fn chord_identity_matches_actual_distances() {
-        let mut store =
-            VecStore::from_rows(&[vec![3.0, 4.0, 0.0], vec![0.0, 5.0, 5.0]]).unwrap();
+        let mut store = VecStore::from_rows(&[vec![3.0, 4.0, 0.0], vec![0.0, 5.0, 5.0]]).unwrap();
         store.normalize();
         let cosine = Metric::Cosine.distance(store.get(0), store.get(1));
         let chord = ann_vectors::metric::l2_sq(store.get(0), store.get(1)).sqrt();

@@ -226,13 +226,7 @@ impl AnnIndex for TauIndex {
         self.store.len()
     }
 
-    fn search_with(
-        &self,
-        query: &[f32],
-        k: usize,
-        l: usize,
-        scratch: &mut Scratch,
-    ) -> QueryResult {
+    fn search_with(&self, query: &[f32], k: usize, l: usize, scratch: &mut Scratch) -> QueryResult {
         tau_search(self, query, k, l, TauSearchOptions::default(), scratch)
     }
 

@@ -54,9 +54,7 @@ pub fn tau_prune(
         let d_pc = view.to_euclidean(dissim);
         // Processing in ascending order guarantees d(p, s) ≤ d(p, c) for all
         // selected s, so only the shrunken-lune condition needs checking.
-        let occluded = selected
-            .iter()
-            .any(|&(_, s)| view.dist_eu(store, s, c) < d_pc - slack);
+        let occluded = selected.iter().any(|&(_, s)| view.dist_eu(store, s, c) < d_pc - slack);
         if !occluded {
             selected.push((d_pc, c));
         }
@@ -152,12 +150,9 @@ mod tests {
     #[test]
     fn sphere_view_prunes_consistently() {
         // Three unit vectors; chord geometry drives the rule.
-        let mut s = VecStore::from_rows(&[
-            vec![1.0, 0.0, 0.0],
-            vec![0.9, 0.1, 0.0],
-            vec![0.8, 0.2, 0.0],
-        ])
-        .unwrap();
+        let mut s =
+            VecStore::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.9, 0.1, 0.0], vec![0.8, 0.2, 0.0]])
+                .unwrap();
         s.normalize();
         let mut c: Vec<(f32, u32)> = [1u32, 2]
             .iter()

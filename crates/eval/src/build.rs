@@ -23,11 +23,8 @@ where
     let t0 = Instant::now();
     let index = build();
     let seconds = t0.elapsed().as_secs_f64();
-    let report = BuildReport {
-        seconds,
-        memory_bytes: index.memory_bytes(),
-        graph: index.graph_stats(),
-    };
+    let report =
+        BuildReport { seconds, memory_bytes: index.memory_bytes(), graph: index.graph_stats() };
     (index, report)
 }
 
@@ -39,8 +36,7 @@ mod tests {
 
     #[test]
     fn timed_build_reports() {
-        let store =
-            Arc::new(ann_vectors::VecStore::from_rows(&[vec![0.0], vec![1.0]]).unwrap());
+        let store = Arc::new(ann_vectors::VecStore::from_rows(&[vec![0.0], vec![1.0]]).unwrap());
         let (idx, report) = timed_build(|| {
             let mut g = VarGraph::new(2);
             g.add_edge(0, 1);

@@ -80,7 +80,8 @@ impl CsvTable {
     /// Append a row; must match the header width.
     pub fn push_row<S: AsRef<str>>(&mut self, row: &[S]) {
         assert_eq!(row.len(), self.cols, "row width mismatch");
-        self.lines.push(row.iter().map(|s| escape(s.as_ref())).collect::<Vec<_>>().join(","));
+        self.lines
+            .push(row.iter().map(|s| escape(s.as_ref())).collect::<Vec<_>>().join(","));
     }
 
     /// Render to CSV text (trailing newline included).

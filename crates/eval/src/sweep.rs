@@ -10,7 +10,7 @@
 //!   QPS is averaged.
 
 use ann_graph::{AnnIndex, Scratch, SearchStats};
-use ann_vectors::accuracy::{mean_recall_at_k, mean_rderr_at_k};
+use ann_vectors::accuracy::{mean_rderr_at_k, mean_recall_at_k};
 use ann_vectors::{GroundTruth, VecStore};
 use std::time::Instant;
 
@@ -223,12 +223,8 @@ mod tests {
         let queries = ann_vectors::synthetic::uniform(4, 20, 4);
         let gt = brute_force_ground_truth(Metric::L2, &store, &queries, 5).unwrap();
         let idx = Brute { store };
-        let pts = run_sweep(
-            &idx,
-            &queries,
-            &gt,
-            &SweepConfig { k: 5, ls: vec![5, 10], repeats: 2 },
-        );
+        let pts =
+            run_sweep(&idx, &queries, &gt, &SweepConfig { k: 5, ls: vec![5, 10], repeats: 2 });
         assert_eq!(pts.len(), 2);
         for pt in &pts {
             assert_eq!(pt.recall, 1.0, "brute force must be exact");

@@ -130,11 +130,7 @@ mod tests {
                 _l: usize,
                 _s: &mut Scratch,
             ) -> ann_graph::QueryResult {
-                ann_graph::QueryResult {
-                    ids: vec![0],
-                    dists: vec![0.0],
-                    stats: Default::default(),
-                }
+                ann_graph::QueryResult { ids: vec![0], dists: vec![0.0], stats: Default::default() }
             }
             fn memory_bytes(&self) -> usize {
                 0

@@ -50,8 +50,7 @@ pub trait AnnIndex: Send + Sync {
     ///
     /// `l` is the beam width / candidate list size (`ef_search` in HNSW,
     /// `L` in NSG and the paper); implementations clamp `l` to at least `k`.
-    fn search_with(&self, query: &[f32], k: usize, l: usize, scratch: &mut Scratch)
-        -> QueryResult;
+    fn search_with(&self, query: &[f32], k: usize, l: usize, scratch: &mut Scratch) -> QueryResult;
 
     /// Convenience search that allocates fresh scratch.
     fn search(&self, query: &[f32], k: usize, l: usize) -> QueryResult {
@@ -137,13 +136,7 @@ impl AnnIndex for FrozenGraphIndex {
         self.store.len()
     }
 
-    fn search_with(
-        &self,
-        query: &[f32],
-        k: usize,
-        l: usize,
-        scratch: &mut Scratch,
-    ) -> QueryResult {
+    fn search_with(&self, query: &[f32], k: usize, l: usize, scratch: &mut Scratch) -> QueryResult {
         let stats = crate::search::beam_search_dyn(
             self.metric,
             &self.store,
@@ -278,9 +271,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "entry point out of range")]
     fn frozen_index_validates_entry() {
-        let store = std::sync::Arc::new(
-            ann_vectors::VecStore::from_rows(&[vec![0.0]]).unwrap(),
-        );
+        let store = std::sync::Arc::new(ann_vectors::VecStore::from_rows(&[vec![0.0]]).unwrap());
         let g = VarGraph::new(1);
         let _ = FrozenGraphIndex::new(
             store,

@@ -2,7 +2,9 @@
 //!
 //! Proximity-graph substrate: adjacency storage ([`adjacency`]), the bounded
 //! sorted candidate pool ([`pool`]), O(1)-clear visited sets ([`visited`]),
-//! beam search with uniform NDC/hop accounting ([`search`]), connectivity
+//! a thread-safe scratch-buffer pool for concurrent serving
+//! ([`scratch_pool`]), beam search with uniform NDC/hop accounting
+//! ([`search`]), connectivity
 //! repair utilities ([`connectivity`]), binary persistence ([`serialize`]),
 //! and the [`index::AnnIndex`] trait every index in the workspace implements.
 
@@ -12,6 +14,7 @@ pub mod adjacency;
 pub mod connectivity;
 pub mod index;
 pub mod pool;
+pub mod scratch_pool;
 pub mod search;
 pub mod serialize;
 pub mod visited;
@@ -19,5 +22,29 @@ pub mod visited;
 pub use adjacency::{FlatGraph, GraphView, VarGraph};
 pub use index::{AnnIndex, BruteForceIndex, FrozenGraphIndex, GraphStats, QueryResult};
 pub use pool::{Candidate, Pool};
-pub use search::{beam_search, beam_search_collect, beam_search_collect_dyn, beam_search_dyn, greedy_descent, greedy_descent_dyn, Scratch, SearchStats};
+pub use scratch_pool::ScratchPool;
+pub use search::{
+    beam_search, beam_search_collect, beam_search_collect_dyn, beam_search_dyn, greedy_descent,
+    greedy_descent_dyn, Scratch, SearchStats,
+};
 pub use visited::VisitedSet;
+
+#[cfg(test)]
+mod send_sync_assertions {
+    //! Compile-time concurrency audit: the serving layer shares these
+    //! across threads, so a lost auto-trait is a build error, not a
+    //! runtime surprise.
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn substrate_types_are_send_sync() {
+        assert_send_sync::<FlatGraph>();
+        assert_send_sync::<VarGraph>();
+        assert_send_sync::<Pool>();
+        assert_send_sync::<VisitedSet>();
+        assert_send_sync::<Scratch>();
+        assert_send_sync::<ScratchPool>();
+    }
+}

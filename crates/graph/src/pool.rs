@@ -93,9 +93,7 @@ impl Pool {
         }
         // Binary search on distance; ties keep insertion order stable-by-id
         // for determinism.
-        let pos = self
-            .items
-            .partition_point(|c| c.dist < dist || (c.dist == dist && c.id < id));
+        let pos = self.items.partition_point(|c| c.dist < dist || (c.dist == dist && c.id < id));
         self.items.insert(pos, Candidate { dist, id, expanded: false });
         if self.items.len() > self.cap {
             self.items.pop();

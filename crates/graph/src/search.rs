@@ -178,13 +178,31 @@ pub fn beam_search_collect_dyn<G: GraphView>(
     use ann_vectors::{CosineKernel, IpKernel, L2Kernel, Metric};
     match metric {
         Metric::L2 => beam_search_collect::<L2Kernel, G>(
-            store, graph, entries, query, l, scratch, visited_log,
+            store,
+            graph,
+            entries,
+            query,
+            l,
+            scratch,
+            visited_log,
         ),
         Metric::Ip => beam_search_collect::<IpKernel, G>(
-            store, graph, entries, query, l, scratch, visited_log,
+            store,
+            graph,
+            entries,
+            query,
+            l,
+            scratch,
+            visited_log,
         ),
         Metric::Cosine => beam_search_collect::<CosineKernel, G>(
-            store, graph, entries, query, l, scratch, visited_log,
+            store,
+            graph,
+            entries,
+            query,
+            l,
+            scratch,
+            visited_log,
         ),
     }
 }
@@ -204,9 +222,7 @@ pub fn beam_search_dyn<G: GraphView>(
     match metric {
         Metric::L2 => beam_search::<L2Kernel, G>(store, graph, entries, query, l, scratch),
         Metric::Ip => beam_search::<IpKernel, G>(store, graph, entries, query, l, scratch),
-        Metric::Cosine => {
-            beam_search::<CosineKernel, G>(store, graph, entries, query, l, scratch)
-        }
+        Metric::Cosine => beam_search::<CosineKernel, G>(store, graph, entries, query, l, scratch),
     }
 }
 
@@ -223,9 +239,7 @@ pub fn greedy_descent_dyn<G: GraphView>(
     match metric {
         Metric::L2 => greedy_descent::<L2Kernel, G>(store, graph, entry, query, stats),
         Metric::Ip => greedy_descent::<IpKernel, G>(store, graph, entry, query, stats),
-        Metric::Cosine => {
-            greedy_descent::<CosineKernel, G>(store, graph, entry, query, stats)
-        }
+        Metric::Cosine => greedy_descent::<CosineKernel, G>(store, graph, entry, query, stats),
     }
 }
 
@@ -287,8 +301,7 @@ mod tests {
     fn beam_search_walks_the_line() {
         let (store, g) = line(50);
         let mut scratch = Scratch::new(50);
-        let stats =
-            beam_search::<L2Kernel, _>(&store, &g, &[0], &[42.2], 4, &mut scratch);
+        let stats = beam_search::<L2Kernel, _>(&store, &g, &[0], &[42.2], 4, &mut scratch);
         let (ids, dists) = scratch.pool.top_k(1);
         assert_eq!(ids, vec![42]);
         assert!((dists[0] - 0.04).abs() < 1e-4);
@@ -314,8 +327,7 @@ mod tests {
     fn multiple_entries_dedup() {
         let (store, g) = line(10);
         let mut scratch = Scratch::new(10);
-        let stats =
-            beam_search::<L2Kernel, _>(&store, &g, &[3, 3, 5], &[4.0], 4, &mut scratch);
+        let stats = beam_search::<L2Kernel, _>(&store, &g, &[3, 3, 5], &[4.0], 4, &mut scratch);
         let (ids, _) = scratch.pool.top_k(1);
         assert_eq!(ids, vec![4]);
         // Entry 3 evaluated once, not twice.
@@ -326,8 +338,7 @@ mod tests {
     fn greedy_descent_reaches_global_min_on_line() {
         let (store, g) = line(100);
         let mut stats = SearchStats::default();
-        let (node, dist) =
-            greedy_descent::<L2Kernel, _>(&store, &g, 0, &[77.3], &mut stats);
+        let (node, dist) = greedy_descent::<L2Kernel, _>(&store, &g, 0, &[77.3], &mut stats);
         assert_eq!(node, 77);
         assert!((dist - 0.09).abs() < 1e-3);
         assert_eq!(stats.hops, 77);
@@ -336,13 +347,7 @@ mod tests {
     #[test]
     fn greedy_descent_stops_at_local_minimum() {
         // Two clusters with no bridge: start in the wrong one, get stuck.
-        let store = VecStore::from_rows(&[
-            vec![0.0],
-            vec![1.0],
-            vec![100.0],
-            vec![101.0],
-        ])
-        .unwrap();
+        let store = VecStore::from_rows(&[vec![0.0], vec![1.0], vec![100.0], vec![101.0]]).unwrap();
         let mut g = VarGraph::new(4);
         g.add_edge(0, 1);
         g.add_edge(1, 0);
@@ -355,8 +360,7 @@ mod tests {
 
     #[test]
     fn beam_search_on_disconnected_graph_only_sees_component() {
-        let store =
-            VecStore::from_rows(&[vec![0.0], vec![1.0], vec![5.0], vec![6.0]]).unwrap();
+        let store = VecStore::from_rows(&[vec![0.0], vec![1.0], vec![5.0], vec![6.0]]).unwrap();
         let mut g = VarGraph::new(4);
         g.add_edge(0, 1);
         g.add_edge(1, 0);

@@ -180,29 +180,23 @@ pub fn build_hcnng(
                 if t >= params.num_trees {
                     break;
                 }
-                let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+                let mut rng =
+                    StdRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
                 let ids: Vec<u32> = (0..n as u32).collect();
-                divisive_clustering(
-                    &store,
-                    metric,
-                    ids,
-                    params.leaf_size,
-                    &mut rng,
-                    &mut |leaf| {
-                        for (u, v) in bounded_mst(&store, metric, leaf, params.mst_max_degree) {
-                            {
-                                let mut g = adjacency[u as usize].lock();
-                                if !g.contains(&v) {
-                                    g.push(v);
-                                }
-                            }
-                            let mut g = adjacency[v as usize].lock();
-                            if !g.contains(&u) {
-                                g.push(u);
+                divisive_clustering(&store, metric, ids, params.leaf_size, &mut rng, &mut |leaf| {
+                    for (u, v) in bounded_mst(&store, metric, leaf, params.mst_max_degree) {
+                        {
+                            let mut g = adjacency[u as usize].lock();
+                            if !g.contains(&v) {
+                                g.push(v);
                             }
                         }
-                    },
-                );
+                        let mut g = adjacency[v as usize].lock();
+                        if !g.contains(&u) {
+                            g.push(u);
+                        }
+                    }
+                });
             });
         }
     });
@@ -256,14 +250,8 @@ mod tests {
 
     #[test]
     fn bounded_mst_spans_when_degree_allows() {
-        let store = VecStore::from_rows(&[
-            vec![0.0],
-            vec![1.0],
-            vec![2.0],
-            vec![3.0],
-            vec![10.0],
-        ])
-        .unwrap();
+        let store =
+            VecStore::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![10.0]]).unwrap();
         let ids: Vec<u32> = (0..5).collect();
         let edges = bounded_mst(&store, Metric::L2, &ids, 3);
         assert_eq!(edges.len(), 4, "spanning tree over 5 nodes has 4 edges");

@@ -198,10 +198,17 @@ fn insert(
     // Phase 2: beam search and linking from min(l_u, top_level) down to 0.
     let mut entries = vec![(cur_d, cur)];
     for level in (0..=l_u.min(top_level)).rev() {
-        let cands =
-            search_layer(store, metric, state, query, &entries, params.ef_construction, level, scratch);
-        let filtered: Vec<(f32, u32)> =
-            cands.iter().copied().filter(|&(_, c)| c != u).collect();
+        let cands = search_layer(
+            store,
+            metric,
+            state,
+            query,
+            &entries,
+            params.ef_construction,
+            level,
+            scratch,
+        );
+        let filtered: Vec<(f32, u32)> = cands.iter().copied().filter(|&(_, c)| c != u).collect();
         let m_sel = params.m;
         let selected =
             select_neighbors_heuristic(store, metric, &filtered, m_sel, params.keep_pruned);
@@ -232,11 +239,7 @@ fn insert(
 }
 
 /// Build the linked structure; returns (state, levels).
-pub(crate) fn build_graph(
-    store: &VecStore,
-    metric: Metric,
-    params: &HnswParams,
-) -> BuildState {
+pub(crate) fn build_graph(store: &VecStore, metric: Metric, params: &HnswParams) -> BuildState {
     let n = store.len();
     assert!(n > 0, "caller validates non-empty store");
     let levels = assign_levels(n, params);

@@ -4,8 +4,8 @@ use crate::build::build_graph;
 use crate::params::HnswParams;
 use ann_graph::serialize::{graph_from_bytes, graph_to_bytes};
 use ann_graph::{
-    beam_search_dyn, AnnIndex, FlatGraph, GraphStats, GraphView, QueryResult, Scratch,
-    SearchStats, VarGraph,
+    beam_search_dyn, AnnIndex, FlatGraph, GraphStats, GraphView, QueryResult, Scratch, SearchStats,
+    VarGraph,
 };
 use ann_vectors::error::{AnnError, Result};
 use ann_vectors::io::fnv1a;
@@ -98,10 +98,7 @@ impl Hnsw {
 
     fn upper_neighbors(&self, u: u32, level: usize) -> &[u32] {
         debug_assert!(level >= 1);
-        self.upper[u as usize]
-            .get(level - 1)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.upper[u as usize].get(level - 1).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Route greedily from the entry point down to layer 1, returning the
@@ -278,25 +275,12 @@ impl AnnIndex for Hnsw {
         self.store.len()
     }
 
-    fn search_with(
-        &self,
-        query: &[f32],
-        k: usize,
-        l: usize,
-        scratch: &mut Scratch,
-    ) -> QueryResult {
+    fn search_with(&self, query: &[f32], k: usize, l: usize, scratch: &mut Scratch) -> QueryResult {
         let mut stats = SearchStats::default();
         let entry0 = self.route(query, &mut stats);
         let ef = l.max(k);
-        let s = beam_search_dyn(
-            self.metric,
-            &self.store,
-            &self.layer0,
-            &[entry0],
-            query,
-            ef,
-            scratch,
-        );
+        let s =
+            beam_search_dyn(self.metric, &self.store, &self.layer0, &[entry0], query, ef, scratch);
         stats.accumulate(s);
         let (ids, dists) = scratch.pool.top_k(k);
         QueryResult { ids, dists, stats }
@@ -333,12 +317,10 @@ mod tests {
         let empty = Arc::new(VecStore::new(4).unwrap());
         assert!(Hnsw::build(empty, Metric::L2, HnswParams::default()).is_err());
         let (store, _) = dataset(20, 1, 4, 1);
-        assert!(Hnsw::build(
-            store.clone(),
-            Metric::L2,
-            HnswParams { m: 1, ..Default::default() }
-        )
-        .is_err());
+        assert!(
+            Hnsw::build(store.clone(), Metric::L2, HnswParams { m: 1, ..Default::default() })
+                .is_err()
+        );
         assert!(Hnsw::build(
             store,
             Metric::L2,

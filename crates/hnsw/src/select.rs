@@ -58,18 +58,20 @@ mod tests {
     /// Base point at origin; candidates on a line so occlusion is obvious.
     fn line_store() -> VecStore {
         VecStore::from_rows(&[
-            vec![0.0, 0.0],  // 0: base
-            vec![1.0, 0.0],  // 1: near, same direction
-            vec![2.0, 0.0],  // 2: behind 1 (occluded by it)
-            vec![0.0, 1.5],  // 3: different direction
-            vec![3.0, 0.0],  // 4: far behind 1
+            vec![0.0, 0.0], // 0: base
+            vec![1.0, 0.0], // 1: near, same direction
+            vec![2.0, 0.0], // 2: behind 1 (occluded by it)
+            vec![0.0, 1.5], // 3: different direction
+            vec![3.0, 0.0], // 4: far behind 1
         ])
         .unwrap()
     }
 
     fn candidates_for_base0(store: &VecStore, ids: &[u32]) -> Vec<(f32, u32)> {
-        let mut c: Vec<(f32, u32)> =
-            ids.iter().map(|&i| (Metric::L2.distance(store.get(0), store.get(i)), i)).collect();
+        let mut c: Vec<(f32, u32)> = ids
+            .iter()
+            .map(|&i| (Metric::L2.distance(store.get(0), store.get(i)), i))
+            .collect();
         c.sort_by(|a, b| a.0.total_cmp(&b.0));
         c
     }

@@ -397,12 +397,9 @@ mod tests {
     fn nn_descent_on_uniform_data() {
         let store = uniform(8, 500, 5);
         let exact = brute_force_knn_graph(Metric::L2, &store, 8).unwrap();
-        let approx = nn_descent(
-            Metric::L2,
-            &store,
-            NnDescentParams { k: 8, seed: 5, ..Default::default() },
-        )
-        .unwrap();
+        let approx =
+            nn_descent(Metric::L2, &store, NnDescentParams { k: 8, seed: 5, ..Default::default() })
+                .unwrap();
         let recall = approx.recall_against(&exact);
         assert!(recall > 0.85, "NN-Descent recall too low: {recall}");
     }
@@ -410,12 +407,9 @@ mod tests {
     #[test]
     fn nn_descent_rows_sorted_and_self_free() {
         let store = clustered(300, 6, 7);
-        let g = nn_descent(
-            Metric::L2,
-            &store,
-            NnDescentParams { k: 6, seed: 7, ..Default::default() },
-        )
-        .unwrap();
+        let g =
+            nn_descent(Metric::L2, &store, NnDescentParams { k: 6, seed: 7, ..Default::default() })
+                .unwrap();
         for u in 0..300u32 {
             assert!(!g.neighbors(u).contains(&u));
             let d = g.dists(u);

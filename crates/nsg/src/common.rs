@@ -3,8 +3,8 @@
 //! type both NSG and SSG produce.
 
 use ann_graph::{
-    beam_search_collect_dyn, beam_search_dyn, connectivity::attach_unreachable, GraphView,
-    Scratch, VarGraph,
+    beam_search_collect_dyn, beam_search_dyn, connectivity::attach_unreachable, GraphView, Scratch,
+    VarGraph,
 };
 use ann_vectors::metric::Metric;
 use ann_vectors::parallel::num_threads;
@@ -70,8 +70,7 @@ where
     F: Fn(u32, &[(f32, u32)]) -> Vec<u32> + Sync,
 {
     let n = forward.len();
-    let lists: Vec<Mutex<Vec<u32>>> =
-        forward.iter().map(|l| Mutex::new(l.clone())).collect();
+    let lists: Vec<Mutex<Vec<u32>>> = forward.iter().map(|l| Mutex::new(l.clone())).collect();
     let cursor = AtomicUsize::new(0);
     let threads = num_threads();
     std::thread::scope(|s| {
@@ -92,10 +91,8 @@ where
                     }
                     // Overflow: re-prune q's list ∪ {p}.
                     let vq = store.get(q);
-                    let mut cands: Vec<(f32, u32)> = guard
-                        .iter()
-                        .map(|&w| (metric.distance(vq, store.get(w)), w))
-                        .collect();
+                    let mut cands: Vec<(f32, u32)> =
+                        guard.iter().map(|&w| (metric.distance(vq, store.get(w)), w)).collect();
                     cands.push((metric.distance(vq, store.get(p as u32)), p as u32));
                     cands.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
                     *guard = prune(q, &cands);

@@ -87,10 +87,8 @@ pub fn build_ssg(
                 cand_ids.sort_unstable();
                 cand_ids.dedup();
                 cand_ids.retain(|&c| c != p);
-                let mut cands: Vec<(f32, u32)> = cand_ids
-                    .into_iter()
-                    .map(|c| (metric.distance(vp, store.get(c)), c))
-                    .collect();
+                let mut cands: Vec<(f32, u32)> =
+                    cand_ids.into_iter().map(|c| (metric.distance(vp, store.get(c)), c)).collect();
                 cands.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
                 cands.truncate(params.c);
                 let selected = angle_prune(&store, p, &cands, params.r, cos_theta);
@@ -98,8 +96,7 @@ pub fn build_ssg(
             });
         }
     });
-    let forward: Vec<Vec<u32>> =
-        forward.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    let forward: Vec<Vec<u32>> = forward.into_iter().map(|m| m.into_inner().unwrap()).collect();
 
     // Phase 2: reverse edges under the same angular rule.
     let lists = inter_insert(&store, metric, &forward, params.r, |q, cands| {
@@ -143,13 +140,9 @@ mod tests {
             SsgParams { angle_degrees: 270.0, ..Default::default() }
         )
         .is_err());
-        assert!(build_ssg(
-            store,
-            Metric::L2,
-            &knn,
-            SsgParams { r: 0, ..Default::default() }
-        )
-        .is_err());
+        assert!(
+            build_ssg(store, Metric::L2, &knn, SsgParams { r: 0, ..Default::default() }).is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! # ann-service — concurrent snapshot-based query serving for τ-MNG
+//!
+//! Turns the [`tau_mg`] library into a query engine:
+//!
+//! * **Snapshot serving** ([`snapshot`]) — readers search lock-free against
+//!   immutable [`Snapshot`]s (an `Arc`-shared frozen [`tau_mg::TauIndex`]
+//!   plus stable external ids), while the single [`IndexWriter`] applies
+//!   inserts/deletes to a [`tau_mg::DynamicTauMng`] replica and atomically
+//!   publishes compacted snapshots through the [`SnapshotCell`].
+//! * **Worker pool** ([`service`]) — [`AnnService`] runs batched queries
+//!   from a bounded queue with per-request deadlines. Under saturation it
+//!   degrades the beam width `L` toward a floor instead of failing
+//!   requests: recall is shed, availability is not, and every degradation
+//!   is reported.
+//! * **Metrics** ([`metrics`]) — a dependency-free registry of atomic
+//!   counters and log₂ histograms: QPS, latency quantiles, NDC, queue
+//!   depth, shed/deadline counters, snapshot generation and age.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ann_service::{AnnService, ServiceConfig};
+//! use ann_vectors::{synthetic, Metric};
+//! use tau_mg::{build_tau_mng, TauMngParams};
+//!
+//! let base = Arc::new(synthetic::uniform(8, 400, 7));
+//! let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 10).unwrap();
+//! let index = build_tau_mng(
+//!     base.clone(),
+//!     Metric::L2,
+//!     &knn,
+//!     TauMngParams { tau: 0.1, ..Default::default() },
+//! )
+//! .unwrap();
+//!
+//! let (service, mut writer) =
+//!     AnnService::launch(index, TauMngParams::default(), ServiceConfig::default());
+//! // Readers:
+//! let result = service.submit(vec![base.get(0).to_vec()], 3).wait().unwrap();
+//! assert_eq!(result.replies[0].ids[0], 0);
+//! // Writer, concurrently:
+//! let id = writer.insert(base.get(1)).unwrap();
+//! writer.publish().unwrap();
+//! assert!(id >= 400);
+//! service.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod service;
+pub mod snapshot;
+
+pub use metrics::{Counter, Gauge, Histogram, Metrics};
+pub use service::{AnnService, BatchHandle, BatchResult, QueryOptions, QueryReply, ServiceConfig};
+pub use snapshot::{Hit, IndexWriter, Snapshot, SnapshotCell};
+
+#[cfg(test)]
+mod send_sync_assertions {
+    //! The whole point of this crate is cross-thread sharing; a lost
+    //! auto-trait should be a compile error here, not a runtime surprise.
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn service_types_are_share_safe() {
+        assert_send_sync::<Snapshot>();
+        assert_send_sync::<SnapshotCell>();
+        assert_send_sync::<Metrics>();
+        assert_send_sync::<AnnService>();
+        assert_send_sync::<tau_mg::TauIndex>();
+        // The writer is single-owner by design: movable to a maintenance
+        // thread, not shareable.
+        assert_send::<IndexWriter>();
+        assert_send::<tau_mg::DynamicTauMng>();
+    }
+}

@@ -1,0 +1,334 @@
+//! Lock-free metrics registry: atomic counters, gauges, and fixed-bucket
+//! log₂ histograms. No dependencies, no allocation on the record path.
+//!
+//! Everything here is written on the query hot path, so every primitive is
+//! a relaxed atomic: the registry tolerates torn *reads across* metrics
+//! (a render may see a count from one instant and a histogram from the
+//! next) but each individual value is exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous up/down gauge (queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Increment, returning the value *after* the increment.
+    #[inline]
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Decrement (saturating at 0 against races at shutdown).
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in [`Histogram`]; bucket `i` covers values whose
+/// base-2 magnitude is `i` (`[2^(i-1), 2^i)`, with bucket 0 holding 0..=1).
+const BUCKETS: usize = 40;
+
+/// Fixed-bucket log₂ histogram of `u64` samples.
+///
+/// Quantiles are read as the *upper bound* of the bucket containing the
+/// requested rank — at most 2× the true value, which is the right fidelity
+/// for latency SLO monitoring at zero coordination cost.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = (64 - v.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`); 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        self.max()
+    }
+}
+
+/// The service-wide metrics registry.
+///
+/// Shared as an `Arc` between the workers, the writer, and whoever scrapes
+/// [`Metrics::render`].
+#[derive(Debug)]
+pub struct Metrics {
+    /// Queries accepted (each batch member counts once).
+    pub queries: Counter,
+    /// Batches accepted.
+    pub batches: Counter,
+    /// Queries answered.
+    pub completed: Counter,
+    /// Queries answered with a beam narrower than requested (recall shed
+    /// under queue pressure or deadline).
+    pub shed_degraded: Counter,
+    /// Batches executed inline on the submitting thread because the queue
+    /// was full (maximum degradation, but still answered).
+    pub shed_overflow: Counter,
+    /// Queries whose deadline had already expired when a worker picked them
+    /// up (answered anyway, at the degradation floor).
+    pub deadline_missed: Counter,
+    /// Snapshots published.
+    pub snapshots_published: Counter,
+    /// Current queued batches.
+    pub queue_depth: Gauge,
+    /// Per-query wall latency, µs (measured from enqueue to answer).
+    pub latency_us: Histogram,
+    /// Per-query distance computations (the paper's NDC).
+    pub ndc: Histogram,
+    /// Moving estimate of per-query service time, ns (exponentially
+    /// weighted, α = 1/8) — the deadline policy's cost model.
+    pub service_ns_ewma: AtomicU64,
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            queries: Counter::default(),
+            batches: Counter::default(),
+            completed: Counter::default(),
+            shed_degraded: Counter::default(),
+            shed_overflow: Counter::default(),
+            deadline_missed: Counter::default(),
+            snapshots_published: Counter::default(),
+            queue_depth: Gauge::default(),
+            latency_us: Histogram::default(),
+            ndc: Histogram::default(),
+            service_ns_ewma: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a per-query service-time sample into the EWMA.
+    #[inline]
+    pub fn observe_service_ns(&self, sample: u64) {
+        let _ = self.service_ns_ewma.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+            Some(if old == 0 { sample } else { old - old / 8 + sample / 8 })
+        });
+    }
+
+    /// Current per-query service-time estimate, ns.
+    pub fn service_ns(&self) -> u64 {
+        self.service_ns_ewma.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the registry was created.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Completed queries per second of uptime.
+    pub fn qps(&self) -> f64 {
+        self.completed.get() as f64 / self.uptime_secs().max(1e-9)
+    }
+
+    /// Human-readable dump for examples and the bench harness.
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("# ann-service metrics\n");
+        s.push_str(&format!("uptime_secs        {:.2}\n", self.uptime_secs()));
+        s.push_str(&format!("queries_total      {}\n", self.queries.get()));
+        s.push_str(&format!("batches_total      {}\n", self.batches.get()));
+        s.push_str(&format!("completed_total    {}\n", self.completed.get()));
+        s.push_str(&format!("qps                {:.1}\n", self.qps()));
+        s.push_str(&format!("shed_degraded      {}\n", self.shed_degraded.get()));
+        s.push_str(&format!("shed_overflow      {}\n", self.shed_overflow.get()));
+        s.push_str(&format!("deadline_missed    {}\n", self.deadline_missed.get()));
+        s.push_str(&format!("snapshots_published {}\n", self.snapshots_published.get()));
+        s.push_str(&format!("queue_depth        {}\n", self.queue_depth.get()));
+        s.push_str(&format!(
+            "latency_us         p50<={} p95<={} p99<={} max={} mean={:.0} n={}\n",
+            self.latency_us.quantile(0.50),
+            self.latency_us.quantile(0.95),
+            self.latency_us.quantile(0.99),
+            self.latency_us.max(),
+            self.latency_us.mean(),
+            self.latency_us.count(),
+        ));
+        s.push_str(&format!(
+            "ndc                p50<={} p99<={} mean={:.0}\n",
+            self.ndc.quantile(0.50),
+            self.ndc.quantile(0.99),
+            self.ndc.mean(),
+        ));
+        s.push_str(&format!("service_ns_ewma    {}\n", self.service_ns()));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.5);
+        // True median 500; bucket upper bound must bracket it within 2x.
+        assert!((500..=1024).contains(&p50), "p50 bound {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990..=1024).contains(&p99), "p99 bound {p99}");
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+        assert!((h.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_zero_and_empty() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.99), 0);
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 1, "zero lands in the first bucket");
+    }
+
+    #[test]
+    fn gauge_saturates_at_zero() {
+        let g = Gauge::default();
+        g.dec();
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.inc(), 1);
+        g.dec();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let m = Metrics::new();
+        m.observe_service_ns(8000);
+        assert_eq!(m.service_ns(), 8000, "first sample adopted directly");
+        for _ in 0..100 {
+            m.observe_service_ns(1000);
+        }
+        let v = m.service_ns();
+        assert!(v < 1100, "EWMA should converge toward 1000, got {v}");
+    }
+
+    #[test]
+    fn render_mentions_all_counters() {
+        let m = Metrics::new();
+        m.queries.add(5);
+        m.latency_us.record(120);
+        let text = m.render();
+        for key in ["queries_total", "qps", "shed_degraded", "latency_us", "ndc"] {
+            assert!(text.contains(key), "render missing {key}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let m = std::sync::Arc::new(Metrics::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..10_000 {
+                        m.completed.inc();
+                        m.latency_us.record(i % 512);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.completed.get(), 40_000);
+        assert_eq!(m.latency_us.count(), 40_000);
+    }
+}

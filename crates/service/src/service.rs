@@ -1,0 +1,561 @@
+//! The query engine: a worker pool over a bounded queue, with per-request
+//! deadlines and graceful degradation under load.
+//!
+//! ## Load-shedding policy
+//!
+//! The service never rejects a query; it sheds **recall**, not
+//! availability, by shrinking the beam width `L` toward
+//! [`ServiceConfig::min_l`]:
+//!
+//! 1. **Queue pressure** — beam width degrades linearly from the requested
+//!    `L` down to `min_l` as queue occupancy rises through
+//!    `[pressure_lo, pressure_hi]`. An idle service always serves full
+//!    quality; a saturated one serves the floor.
+//! 2. **Deadlines** — each batch may carry a deadline. A worker estimates
+//!    the remaining work from the EWMA of per-query service time and scales
+//!    `L` so the whole batch lands inside the deadline; a batch picked up
+//!    already-expired runs at the floor (and is counted as a miss).
+//! 3. **Overflow** — if the bounded queue is full at submission, the batch
+//!    executes *inline on the submitting thread* at the floor beam width.
+//!    Backpressure is thereby applied to exactly the thread producing the
+//!    load, and the request still gets an answer.
+//!
+//! Every degraded query is visible in [`Metrics`] (`shed_degraded`,
+//! `shed_overflow`, `deadline_missed`), and every reply carries the beam
+//! width actually used, so callers can observe the quality they got.
+
+use ann_graph::{Scratch, ScratchPool};
+use tau_mg::{TauIndex, TauMngParams};
+
+use crate::metrics::Metrics;
+use crate::snapshot::{Hit, IndexWriter, Snapshot, SnapshotCell};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for [`AnnService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads executing searches.
+    pub workers: usize,
+    /// Bounded queue capacity, in batches. Submissions beyond this run
+    /// inline, degraded.
+    pub queue_capacity: usize,
+    /// Beam width used when a request does not specify one.
+    pub default_l: usize,
+    /// Degradation floor for the beam width. Never degraded below `k`.
+    pub min_l: usize,
+    /// Queue occupancy (fraction of capacity) below which no pressure
+    /// degradation is applied.
+    pub pressure_lo: f64,
+    /// Queue occupancy at and above which the beam width sits at the floor.
+    pub pressure_hi: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            default_l: 100,
+            min_l: 16,
+            pressure_lo: 0.25,
+            pressure_hi: 0.75,
+        }
+    }
+}
+
+/// Per-batch request options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOptions {
+    /// Beam width; `None` uses [`ServiceConfig::default_l`].
+    pub l: Option<usize>,
+    /// Wall-clock budget for the whole batch, measured from submission.
+    pub deadline: Option<Duration>,
+}
+
+/// One query's answer as delivered by the service.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// External ids, nearest first.
+    pub ids: Vec<u64>,
+    /// Matching distances.
+    pub dists: Vec<f32>,
+    /// Generation of the snapshot that answered.
+    pub generation: u64,
+    /// Beam width actually used (≤ the requested one under load).
+    pub effective_l: usize,
+    /// Whether load shedding narrowed the beam for this query.
+    pub degraded: bool,
+    /// Enqueue-to-answer latency.
+    pub latency_us: u64,
+    /// Distance computations spent on this query.
+    pub ndc: u64,
+}
+
+/// All replies for one submitted batch, in submission order.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// One reply per query.
+    pub replies: Vec<QueryReply>,
+}
+
+/// Handle to a batch in flight. Dropping it abandons the answer (the
+/// workers still execute and account the batch).
+#[derive(Debug)]
+pub struct BatchHandle {
+    rx: Receiver<BatchResult>,
+}
+
+impl BatchHandle {
+    /// Block until the batch is answered. `None` only if the service shut
+    /// down with the batch unanswered.
+    pub fn wait(self) -> Option<BatchResult> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<BatchResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Job {
+    queries: Vec<Vec<f32>>,
+    k: usize,
+    l: usize,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: mpsc::Sender<BatchResult>,
+}
+
+/// The concurrent query engine: readers over [`SnapshotCell`] snapshots.
+pub struct AnnService {
+    tx: SyncSender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    cell: Arc<SnapshotCell>,
+    metrics: Arc<Metrics>,
+    overflow_scratch: Arc<ScratchPool>,
+    config: ServiceConfig,
+}
+
+impl AnnService {
+    /// Wrap a frozen index and start serving. Returns the service and the
+    /// single [`IndexWriter`] that mutates and republishes it.
+    ///
+    /// `params` governs the writer's inserts (its τ is overridden by the
+    /// index's τ).
+    pub fn launch(
+        index: TauIndex,
+        params: TauMngParams,
+        config: ServiceConfig,
+    ) -> (AnnService, IndexWriter) {
+        let metrics = Arc::new(Metrics::new());
+        let (writer, cell) = IndexWriter::attach(index, params, Arc::clone(&metrics));
+        (Self::start(cell, metrics, config), writer)
+    }
+
+    /// Start a worker pool over an existing cell (for sharing one metrics
+    /// registry or cell across services in tests).
+    pub fn start(cell: Arc<SnapshotCell>, metrics: Arc<Metrics>, config: ServiceConfig) -> Self {
+        let workers_n = config.workers.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let (tx, rx) = mpsc::sync_channel::<Job>(capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let nodes_hint = cell.load().len();
+        let workers = (0..workers_n)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let cell = Arc::clone(&cell);
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || worker_loop(&rx, &cell, &metrics, config))
+            })
+            .collect();
+        AnnService {
+            tx,
+            workers,
+            cell,
+            metrics,
+            overflow_scratch: Arc::new(ScratchPool::new(nodes_hint)),
+            config,
+        }
+    }
+
+    /// The metrics registry (shared with the writer).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The snapshot currently being served.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.cell.load()
+    }
+
+    /// Submit a batch with default options.
+    pub fn submit(&self, queries: Vec<Vec<f32>>, k: usize) -> BatchHandle {
+        self.submit_with(queries, k, QueryOptions::default())
+    }
+
+    /// Submit a batch of queries for `k`-NN search.
+    ///
+    /// Never fails and never blocks on a full queue: overflow batches run
+    /// inline on the calling thread at the degradation floor.
+    pub fn submit_with(&self, queries: Vec<Vec<f32>>, k: usize, opts: QueryOptions) -> BatchHandle {
+        let now = Instant::now();
+        let l = opts.l.unwrap_or(self.config.default_l).max(k);
+        let (reply, rx) = mpsc::channel();
+        self.metrics.batches.inc();
+        self.metrics.queries.add(queries.len() as u64);
+        if queries.is_empty() {
+            let _ = reply.send(BatchResult { replies: Vec::new() });
+            return BatchHandle { rx };
+        }
+        let job =
+            Job { queries, k, l, deadline: opts.deadline.map(|d| now + d), enqueued: now, reply };
+        self.metrics.queue_depth.inc();
+        match self.tx.try_send(job) {
+            Ok(()) => BatchHandle { rx },
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                // Shed: answer inline, maximally degraded, on the thread
+                // that produced the pressure.
+                self.metrics.queue_depth.dec();
+                self.metrics.shed_overflow.inc();
+                let snapshot = self.cell.load();
+                let floor = floor_l(&self.config, job.k);
+                self.overflow_scratch.with(|scratch| {
+                    run_batch(&job, &snapshot, &self.metrics, floor, scratch);
+                });
+                BatchHandle { rx }
+            }
+        }
+    }
+
+    /// One-line serving status: generation, snapshot age, live points.
+    pub fn status(&self) -> String {
+        let snap = self.cell.load();
+        format!(
+            "serving gen={} points={} snapshot_age_secs={:.2}\n{}",
+            snap.generation(),
+            snap.len(),
+            snap.age_secs(),
+            self.metrics.render()
+        )
+    }
+
+    /// Stop accepting work, finish queued batches, and join the workers.
+    pub fn shutdown(self) {
+        drop(self.tx);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for AnnService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnnService")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.config.queue_capacity)
+            .field("generation", &self.cell.load().generation())
+            .finish()
+    }
+}
+
+/// The beam-width floor: never below `k`, never above the requested width.
+fn floor_l(config: &ServiceConfig, k: usize) -> usize {
+    config.min_l.max(k)
+}
+
+/// Queue-pressure degradation: linear from full `l` at `pressure_lo`
+/// occupancy down to the floor at `pressure_hi`.
+fn pressure_l(config: &ServiceConfig, requested: usize, k: usize, depth: u64) -> usize {
+    let floor = floor_l(config, k);
+    if requested <= floor {
+        return requested.max(k);
+    }
+    let occ = depth as f64 / config.queue_capacity.max(1) as f64;
+    let span = (config.pressure_hi - config.pressure_lo).max(1e-9);
+    let quality = (1.0 - (occ - config.pressure_lo) / span).clamp(0.0, 1.0);
+    floor + ((requested - floor) as f64 * quality).round() as usize
+}
+
+/// Deadline degradation: scale the beam so `queries_left` searches fit in
+/// the time left, under the EWMA per-query cost model (cost ∝ L, to first
+/// order: beam search expands ~L nodes).
+fn deadline_l(
+    candidate: usize,
+    floor: usize,
+    deadline: Option<Instant>,
+    now: Instant,
+    queries_left: usize,
+    per_query_ns: u64,
+    missed: &crate::metrics::Counter,
+) -> usize {
+    let Some(deadline) = deadline else {
+        return candidate;
+    };
+    let Some(remaining) = deadline.checked_duration_since(now) else {
+        missed.inc();
+        return floor.min(candidate);
+    };
+    if per_query_ns == 0 || queries_left == 0 {
+        return candidate;
+    }
+    let needed = per_query_ns.saturating_mul(queries_left as u64);
+    let remaining_ns = remaining.as_nanos().min(u64::MAX as u128) as u64;
+    if needed <= remaining_ns {
+        return candidate;
+    }
+    let scale = remaining_ns as f64 / needed as f64;
+    floor.max((candidate as f64 * scale).round() as usize).min(candidate)
+}
+
+/// Execute every query of `job` against `snapshot` at beam width
+/// `effective_l`, recording metrics, and deliver the batch reply.
+fn run_batch(
+    job: &Job,
+    snapshot: &Snapshot,
+    metrics: &Metrics,
+    effective_l: usize,
+    scratch: &mut Scratch,
+) {
+    let mut replies = Vec::with_capacity(job.queries.len());
+    for q in &job.queries {
+        let t0 = Instant::now();
+        let hit = snapshot.search(q, job.k, effective_l, scratch);
+        replies.push(finish_reply(job, snapshot, metrics, effective_l, t0, hit));
+    }
+    let _ = job.reply.send(BatchResult { replies });
+}
+
+fn finish_reply(
+    job: &Job,
+    snapshot: &Snapshot,
+    metrics: &Metrics,
+    effective_l: usize,
+    started: Instant,
+    hit: Hit,
+) -> QueryReply {
+    metrics.observe_service_ns(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    let latency_us = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    metrics.latency_us.record(latency_us);
+    metrics.ndc.record(hit.stats.ndc);
+    metrics.completed.inc();
+    let degraded = effective_l < job.l;
+    if degraded {
+        metrics.shed_degraded.inc();
+    }
+    QueryReply {
+        ids: hit.ids,
+        dists: hit.dists,
+        generation: snapshot.generation(),
+        effective_l,
+        degraded,
+        latency_us,
+        ndc: hit.stats.ndc,
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    cell: &SnapshotCell,
+    metrics: &Metrics,
+    config: ServiceConfig,
+) {
+    let mut scratch = Scratch::new(cell.load().len());
+    loop {
+        // Hold the receiver lock only for the dequeue, never for a search.
+        let job = {
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(job) = job else { return };
+        metrics.queue_depth.dec();
+        let snapshot = cell.load();
+        let floor = floor_l(&config, job.k);
+        let mut replies = Vec::with_capacity(job.queries.len());
+        let total = job.queries.len();
+        for (i, q) in job.queries.iter().enumerate() {
+            let now = Instant::now();
+            let candidate = pressure_l(&config, job.l, job.k, metrics.queue_depth.get());
+            let effective_l = deadline_l(
+                candidate,
+                floor,
+                job.deadline,
+                now,
+                total - i,
+                metrics.service_ns(),
+                &metrics.deadline_missed,
+            );
+            let hit = snapshot.search(q, job.k, effective_l, &mut scratch);
+            replies.push(finish_reply(&job, &snapshot, metrics, effective_l, now, hit));
+        }
+        let _ = job.reply.send(BatchResult { replies });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_vectors::metric::Metric;
+    use ann_vectors::synthetic::{mixture_base, mixture_queries, FrozenMixture, MixtureSpec};
+
+    fn served(
+        n: usize,
+        seed: u64,
+        config: ServiceConfig,
+    ) -> (AnnService, IndexWriter, ann_vectors::VecStore) {
+        let mix = FrozenMixture::new(&MixtureSpec::default_for(8), seed);
+        let base = Arc::new(mixture_base(&mix, n, seed));
+        let queries = mixture_queries(&mix, 32, seed);
+        let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 12).unwrap();
+        let idx = tau_mg::build_tau_mng(
+            base,
+            Metric::L2,
+            &knn,
+            TauMngParams { tau: 0.2, r: 24, l: 64, c: 200 },
+        )
+        .unwrap();
+        let (service, writer) = AnnService::launch(idx, TauMngParams::default(), config);
+        (service, writer, queries)
+    }
+
+    #[test]
+    fn round_trip_batch() {
+        let (service, _writer, queries) = served(400, 1, ServiceConfig::default());
+        let batch: Vec<Vec<f32>> = (0..4u32).map(|q| queries.get(q).to_vec()).collect();
+        let result = service.submit(batch, 5).wait().expect("service alive");
+        assert_eq!(result.replies.len(), 4);
+        for r in &result.replies {
+            assert_eq!(r.ids.len(), 5);
+            assert_eq!(r.generation, 0);
+            assert!(!r.degraded, "idle service must not degrade");
+            assert_eq!(r.effective_l, 100);
+        }
+        assert_eq!(service.metrics().completed.get(), 4);
+        service.shutdown();
+    }
+
+    #[test]
+    fn empty_batch_answers_immediately() {
+        let (service, _writer, _q) = served(100, 2, ServiceConfig::default());
+        let result = service.submit(Vec::new(), 5).wait().unwrap();
+        assert!(result.replies.is_empty());
+        service.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_runs_at_floor_and_counts_misses() {
+        let config = ServiceConfig { min_l: 20, ..Default::default() };
+        let (service, _writer, queries) = served(400, 3, config);
+        let opts = QueryOptions { deadline: Some(Duration::ZERO), ..Default::default() };
+        let result = service.submit_with(vec![queries.get(0).to_vec()], 5, opts).wait().unwrap();
+        assert_eq!(result.replies[0].effective_l, 20);
+        assert!(result.replies[0].degraded);
+        assert_eq!(service.metrics().deadline_missed.get(), 1);
+        assert_eq!(service.metrics().shed_degraded.get(), 1);
+        assert_eq!(result.replies[0].ids.len(), 5, "missed deadline still answered");
+        service.shutdown();
+    }
+
+    #[test]
+    fn overflow_executes_inline_degraded() {
+        // No workers draining: occupy the 1-slot queue, then overflow.
+        let config =
+            ServiceConfig { workers: 1, queue_capacity: 1, min_l: 16, ..Default::default() };
+        let metrics = Arc::new(Metrics::new());
+        let (service, _writer, queries) = {
+            let mix = FrozenMixture::new(&MixtureSpec::default_for(8), 4);
+            let base = Arc::new(mixture_base(&mix, 300, 4));
+            let queries = mixture_queries(&mix, 8, 4);
+            let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 12).unwrap();
+            let idx = tau_mg::build_tau_mng(
+                base,
+                Metric::L2,
+                &knn,
+                TauMngParams { tau: 0.2, r: 24, l: 64, c: 200 },
+            )
+            .unwrap();
+            let (writer, cell) =
+                IndexWriter::attach(idx, TauMngParams::default(), Arc::clone(&metrics));
+            // A service with zero live workers: start() clamps workers to 1,
+            // so instead saturate with slow work — simpler: fill the queue
+            // while the single worker is busy with a large batch.
+            (AnnService::start(cell, Arc::clone(&metrics), config), writer, queries)
+        };
+        // Keep the worker busy and the queue full long enough to overflow.
+        let busy: Vec<Vec<f32>> =
+            (0..8u32).cycle().take(256).map(|q| queries.get(q).to_vec()).collect();
+        // The worker picks up h1; h2 sits in the queue, or itself overflows.
+        let h1 = service.submit(busy.clone(), 10);
+        let h2 = service.submit(busy.clone(), 10);
+        // Submit until one of *our* probes overflows: since h2 may have
+        // overflowed, compare the counter around each individual submit.
+        let mut overflowed = None;
+        for _ in 0..64 {
+            let before = service.metrics().shed_overflow.get();
+            let h = service.submit(vec![queries.get(0).to_vec()], 10);
+            if service.metrics().shed_overflow.get() > before {
+                overflowed = Some(h);
+                break;
+            }
+        }
+        let h = overflowed.expect("queue never overflowed");
+        let r = h.wait().unwrap();
+        assert_eq!(r.replies.len(), 1);
+        assert!(r.replies[0].degraded);
+        assert_eq!(r.replies[0].effective_l, 16);
+        assert_eq!(r.replies[0].ids.len(), 10, "overflow still answered");
+        drop(h1.wait());
+        drop(h2.wait());
+        service.shutdown();
+    }
+
+    #[test]
+    fn pressure_math_is_monotone() {
+        let config = ServiceConfig::default(); // capacity 64, lo .25, hi .75
+        let full = pressure_l(&config, 100, 10, 0);
+        assert_eq!(full, 100);
+        let mid = pressure_l(&config, 100, 10, 32); // 50% occupancy
+        assert!(mid < 100 && mid > 16, "midpoint should be partial: {mid}");
+        let sat = pressure_l(&config, 100, 10, 64);
+        assert_eq!(sat, 16);
+        assert_eq!(pressure_l(&config, 12, 10, 64), 12, "requests below floor untouched");
+        // k dominates min_l.
+        assert_eq!(pressure_l(&config, 100, 40, 64), 40);
+    }
+
+    #[test]
+    fn deadline_math_scales_toward_floor() {
+        let now = Instant::now();
+        let m = Metrics::new();
+        // No deadline: untouched.
+        assert_eq!(deadline_l(100, 16, None, now, 10, 1_000, &m.deadline_missed), 100);
+        // Plenty of time: untouched.
+        let far = now + Duration::from_secs(10);
+        assert_eq!(deadline_l(100, 16, Some(far), now, 10, 1_000, &m.deadline_missed), 100);
+        // Half the needed time: roughly halved beam.
+        let tight = now + Duration::from_micros(5);
+        let l = deadline_l(100, 16, Some(tight), now, 10, 1_000, &m.deadline_missed);
+        assert!((40..=60).contains(&l), "expected ~50, got {l}");
+        assert_eq!(m.deadline_missed.get(), 0);
+        // Already expired: floor + miss counted.
+        let past = now.checked_sub(Duration::from_millis(1)).unwrap_or(now);
+        assert_eq!(deadline_l(100, 16, Some(past), now, 10, 1_000, &m.deadline_missed), 16);
+        assert_eq!(m.deadline_missed.get(), 1);
+    }
+
+    #[test]
+    fn writer_publish_visible_to_service() {
+        let (service, mut writer, queries) = served(300, 5, ServiceConfig::default());
+        assert_eq!(service.snapshot().generation(), 0);
+        let added = writer.insert(queries.get(0)).unwrap();
+        writer.publish().unwrap();
+        assert_eq!(service.snapshot().generation(), 1);
+        let r = service.submit(vec![queries.get(0).to_vec()], 1).wait().unwrap();
+        assert_eq!(r.replies[0].ids, vec![added], "query point itself must be NN");
+        assert_eq!(r.replies[0].generation, 1);
+        service.shutdown();
+    }
+}

@@ -1,0 +1,390 @@
+//! Immutable index snapshots and the single-writer publish cycle.
+//!
+//! The serving model is classic read-copy-update at the index granularity:
+//!
+//! * readers grab an `Arc<Snapshot>` from the [`SnapshotCell`] (one brief
+//!   `RwLock` read for the `Arc` clone) and then search entirely lock-free
+//!   against the frozen [`TauIndex`] inside;
+//! * one [`IndexWriter`] owns a [`DynamicTauMng`] replica, applies inserts
+//!   and tombstone deletes there, and on [`IndexWriter::publish`] compacts
+//!   it into a fresh frozen index that is atomically swapped into the cell.
+//!
+//! Readers therefore never see a half-updated graph and never observe a
+//! tombstone: every snapshot they can hold is a compacted index in which
+//! deleted points simply do not exist.
+//!
+//! Compaction remaps internal `u32` ids, so snapshots carry a table of
+//! stable **external ids** (`u64`, assigned at insert and never reused).
+//! All results leaving this crate are external ids.
+
+use ann_graph::{Scratch, SearchStats};
+use ann_vectors::error::{AnnError, Result};
+use tau_mg::{DynamicTauMng, TauIndex, TauMngParams, TauSearchOptions};
+
+use crate::metrics::Metrics;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// One query's answer in external-id space.
+#[derive(Debug, Clone)]
+pub struct Hit {
+    /// External ids, nearest first.
+    pub ids: Vec<u64>,
+    /// Matching distances.
+    pub dists: Vec<f32>,
+    /// Traversal accounting (NDC, hops, QEO skips).
+    pub stats: SearchStats,
+}
+
+/// An immutable, searchable publication of the index.
+#[derive(Debug)]
+pub struct Snapshot {
+    index: TauIndex,
+    /// `external_ids[internal]` — stable across compactions.
+    external_ids: Vec<u64>,
+    generation: u64,
+    published_at: Instant,
+}
+
+impl Snapshot {
+    /// The frozen index being served.
+    pub fn index(&self) -> &TauIndex {
+        &self.index
+    }
+
+    /// Number of points in this snapshot.
+    pub fn len(&self) -> usize {
+        self.external_ids.len()
+    }
+
+    /// Whether the snapshot is empty (never true for published snapshots —
+    /// compaction of an empty index is an error upstream).
+    pub fn is_empty(&self) -> bool {
+        self.external_ids.is_empty()
+    }
+
+    /// Monotone publish counter (0 for the initial snapshot).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Seconds since this snapshot was published.
+    pub fn age_secs(&self) -> f64 {
+        self.published_at.elapsed().as_secs_f64()
+    }
+
+    /// External id of an internal slot.
+    pub fn external_id(&self, internal: u32) -> u64 {
+        self.external_ids[internal as usize]
+    }
+
+    /// τ-monotonic search returning external ids.
+    pub fn search(&self, query: &[f32], k: usize, l: usize, scratch: &mut Scratch) -> Hit {
+        let r = self.index.search_opts(query, k, l, TauSearchOptions::default(), scratch);
+        Hit {
+            ids: r.ids.iter().map(|&i| self.external_ids[i as usize]).collect(),
+            dists: r.dists,
+            stats: r.stats,
+        }
+    }
+}
+
+/// The swap point between the writer and the readers.
+///
+/// A `RwLock<Arc<_>>` rather than bare atomics: the lock is held only for
+/// the duration of an `Arc` clone or store (no search, no allocation), so
+/// contention is negligible, and it needs no unsafe code.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl SnapshotCell {
+    /// Cell serving `initial`.
+    pub fn new(initial: Arc<Snapshot>) -> Self {
+        SnapshotCell { current: RwLock::new(initial) }
+    }
+
+    /// The snapshot to serve this request from. The returned `Arc` keeps
+    /// that snapshot alive even if the writer publishes mid-search.
+    pub fn load(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Atomically replace the served snapshot.
+    pub fn publish(&self, snapshot: Arc<Snapshot>) {
+        *self.current.write().unwrap_or_else(std::sync::PoisonError::into_inner) = snapshot;
+    }
+}
+
+/// The single writer: owns the mutable replica and the id mappings.
+///
+/// Exactly one writer should exist per [`SnapshotCell`]; it is `Send` (move
+/// it to a maintenance thread) but deliberately not shareable.
+pub struct IndexWriter {
+    dynamic: DynamicTauMng,
+    params: TauMngParams,
+    /// internal id (in `dynamic`) → external id.
+    ext_of_internal: Vec<u64>,
+    /// external id → live internal id.
+    int_of_external: HashMap<u64, u32>,
+    next_external: u64,
+    generation: u64,
+    cell: Arc<SnapshotCell>,
+    metrics: Arc<Metrics>,
+}
+
+impl IndexWriter {
+    /// Wrap a frozen index for serving: returns the writer and the cell the
+    /// readers (an [`crate::AnnService`]) should load from. The index's
+    /// existing points get external ids `0..n` in internal order.
+    ///
+    /// `params` governs subsequent inserts/repairs; its τ is overridden by
+    /// the index's τ.
+    pub fn attach(
+        index: TauIndex,
+        params: TauMngParams,
+        metrics: Arc<Metrics>,
+    ) -> (IndexWriter, Arc<SnapshotCell>) {
+        let n = index.store().len();
+        let external_ids: Vec<u64> = (0..n as u64).collect();
+        let dynamic = DynamicTauMng::from_index_with_params(&index, params);
+        let params = dynamic.params();
+        let int_of_external = external_ids.iter().map(|&e| (e, e as u32)).collect();
+        let cell = Arc::new(SnapshotCell::new(Arc::new(Snapshot {
+            index,
+            external_ids: external_ids.clone(),
+            generation: 0,
+            published_at: Instant::now(),
+        })));
+        let writer = IndexWriter {
+            dynamic,
+            params,
+            ext_of_internal: external_ids,
+            int_of_external,
+            next_external: n as u64,
+            generation: 0,
+            cell: Arc::clone(&cell),
+            metrics,
+        };
+        (writer, cell)
+    }
+
+    /// Number of live points in the writer's replica (may differ from the
+    /// published snapshot until the next [`IndexWriter::publish`]).
+    pub fn len(&self) -> usize {
+        self.dynamic.len()
+    }
+
+    /// Whether the replica has no live points.
+    pub fn is_empty(&self) -> bool {
+        self.dynamic.is_empty()
+    }
+
+    /// Tombstones accumulated since the last publish.
+    pub fn pending_deletes(&self) -> usize {
+        self.dynamic.num_deleted()
+    }
+
+    /// Generation of the most recently published snapshot.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Insert a vector into the replica, returning its stable external id.
+    /// Visible to readers after the next [`IndexWriter::publish`].
+    ///
+    /// # Errors
+    /// Propagates [`DynamicTauMng::insert`] validation errors.
+    pub fn insert(&mut self, v: &[f32]) -> Result<u64> {
+        let internal = self.dynamic.insert(v)?;
+        let ext = self.next_external;
+        self.next_external += 1;
+        debug_assert_eq!(internal as usize, self.ext_of_internal.len());
+        self.ext_of_internal.push(ext);
+        self.int_of_external.insert(ext, internal);
+        Ok(ext)
+    }
+
+    /// Tombstone an external id in the replica. The point stays visible to
+    /// readers until the next publish (snapshots are immutable), then is
+    /// gone for good.
+    ///
+    /// # Errors
+    /// `IdOutOfRange` for unknown or already-deleted external ids.
+    pub fn delete(&mut self, external: u64) -> Result<()> {
+        let internal = self
+            .int_of_external
+            .remove(&external)
+            .ok_or(AnnError::IdOutOfRange { id: external, len: self.next_external })?;
+        match self.dynamic.delete(internal) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.int_of_external.insert(external, internal);
+                Err(e)
+            }
+        }
+    }
+
+    /// Compact the replica (dropping tombstones, repairing the graph) and
+    /// atomically publish the result. Returns the new generation.
+    ///
+    /// In-flight searches keep their old snapshot alive via its `Arc`;
+    /// subsequent loads see the new one.
+    ///
+    /// # Errors
+    /// `EmptyDataset` if every point has been deleted.
+    pub fn publish(&mut self) -> Result<u64> {
+        let (index, remap) = self.dynamic.compact()?;
+        let mut external_ids = vec![0u64; index.store().len()];
+        for (old, slot) in remap.iter().enumerate() {
+            if let Some(new_id) = slot {
+                external_ids[*new_id as usize] = self.ext_of_internal[old];
+            }
+        }
+        // Re-adopt the compacted index so the replica and the publication
+        // share a well-repaired graph (and tombstone debt resets to zero).
+        self.dynamic = DynamicTauMng::from_index_with_params(&index, self.params);
+        self.ext_of_internal = external_ids.clone();
+        self.int_of_external =
+            external_ids.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
+        self.generation += 1;
+        self.cell.publish(Arc::new(Snapshot {
+            index,
+            external_ids,
+            generation: self.generation,
+            published_at: Instant::now(),
+        }));
+        self.metrics.snapshots_published.inc();
+        Ok(self.generation)
+    }
+}
+
+impl std::fmt::Debug for IndexWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexWriter")
+            .field("live", &self.dynamic.len())
+            .field("pending_deletes", &self.pending_deletes())
+            .field("generation", &self.generation)
+            .field("next_external", &self.next_external)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_vectors::metric::Metric;
+    use ann_vectors::synthetic::{mixture_base, FrozenMixture, MixtureSpec};
+    use ann_vectors::VecStore;
+
+    fn frozen(n: usize, seed: u64) -> (TauIndex, VecStore) {
+        let mix = FrozenMixture::new(&MixtureSpec::default_for(8), seed);
+        let base = mixture_base(&mix, n, seed);
+        let arc = Arc::new(base.clone());
+        let knn = ann_knng::brute_force_knn_graph(Metric::L2, &arc, 12).unwrap();
+        let idx = tau_mg::build_tau_mng(
+            arc,
+            Metric::L2,
+            &knn,
+            TauMngParams { tau: 0.2, r: 24, l: 64, c: 200 },
+        )
+        .unwrap();
+        (idx, base)
+    }
+
+    #[test]
+    fn attach_serves_initial_points_under_identity_ids() {
+        let (idx, base) = frozen(300, 1);
+        let (writer, cell) =
+            IndexWriter::attach(idx, TauMngParams::default(), Arc::new(Metrics::new()));
+        assert_eq!(writer.len(), 300);
+        assert_eq!(writer.generation(), 0);
+        let snap = cell.load();
+        assert_eq!(snap.len(), 300);
+        let mut scratch = Scratch::new(300);
+        let hit = snap.search(base.get(7), 1, 32, &mut scratch);
+        assert_eq!(hit.ids, vec![7]);
+        assert_eq!(hit.dists[0], 0.0);
+    }
+
+    #[test]
+    fn external_ids_survive_compaction() {
+        let (idx, base) = frozen(300, 2);
+        let metrics = Arc::new(Metrics::new());
+        let (mut writer, cell) = IndexWriter::attach(idx, TauMngParams::default(), metrics.clone());
+        // Delete the first 50, insert 10 fresh copies of later points.
+        for ext in 0..50u64 {
+            writer.delete(ext).unwrap();
+        }
+        let mut added = Vec::new();
+        for i in 0..10u32 {
+            added.push(writer.insert(base.get(100 + i)).unwrap());
+        }
+        assert_eq!(added, (300..310u64).collect::<Vec<_>>());
+        let gen = writer.publish().unwrap();
+        assert_eq!(gen, 1);
+        assert_eq!(metrics.snapshots_published.get(), 1);
+
+        let snap = cell.load();
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.len(), 260);
+        let mut scratch = Scratch::new(snap.len());
+        // Point 100 now exists twice: externals 100 and 300. A k=2 search
+        // at its location must return exactly that pair, in some order.
+        let hit = snap.search(base.get(100), 2, 48, &mut scratch);
+        let mut pair = hit.ids.clone();
+        pair.sort_unstable();
+        assert_eq!(pair, vec![100, 300]);
+        // Deleted externals never come back from any query.
+        for q in 0..20u32 {
+            let hit = snap.search(base.get(q), 10, 64, &mut scratch);
+            assert!(hit.ids.iter().all(|&e| e >= 50), "tombstone in {:?}", hit.ids);
+        }
+    }
+
+    #[test]
+    fn delete_validation() {
+        let (idx, _) = frozen(100, 3);
+        let (mut writer, _cell) =
+            IndexWriter::attach(idx, TauMngParams::default(), Arc::new(Metrics::new()));
+        writer.delete(5).unwrap();
+        assert!(writer.delete(5).is_err(), "double delete by external id");
+        assert!(writer.delete(100).is_err(), "unknown external id");
+        assert_eq!(writer.pending_deletes(), 1);
+    }
+
+    #[test]
+    fn publish_keeps_old_snapshot_alive_for_holders() {
+        let (idx, base) = frozen(200, 4);
+        let (mut writer, cell) =
+            IndexWriter::attach(idx, TauMngParams::default(), Arc::new(Metrics::new()));
+        let old = cell.load();
+        for ext in 0..100u64 {
+            writer.delete(ext).unwrap();
+        }
+        writer.publish().unwrap();
+        // The old Arc still answers from the pre-delete world.
+        assert_eq!(old.len(), 200);
+        let mut scratch = Scratch::new(200);
+        let hit = old.search(base.get(3), 1, 32, &mut scratch);
+        assert_eq!(hit.ids, vec![3]);
+        // New loads see the shrunken world.
+        assert_eq!(cell.load().len(), 100);
+        assert!(old.generation() < cell.load().generation());
+    }
+
+    #[test]
+    fn empty_publish_is_an_error_and_keeps_serving() {
+        let (idx, _) = frozen(50, 5);
+        let (mut writer, cell) =
+            IndexWriter::attach(idx, TauMngParams::default(), Arc::new(Metrics::new()));
+        for ext in 0..50u64 {
+            writer.delete(ext).unwrap();
+        }
+        assert!(writer.publish().is_err());
+        assert_eq!(cell.load().generation(), 0, "failed publish must not swap");
+        assert_eq!(cell.load().len(), 50);
+    }
+}

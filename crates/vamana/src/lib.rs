@@ -218,9 +218,7 @@ pub fn build_vamana(
                                 .map(|&w| (metric.distance(vq, store.get(w)), w))
                                 .collect();
                             cands.push((metric.distance(vq, vp), p));
-                            cands.sort_by(|a, b| {
-                                a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1))
-                            });
+                            cands.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
                             *guard = robust_prune(&store, metric, &cands, params.r, alpha);
                         }
                     }
@@ -252,13 +250,9 @@ mod tests {
 
     #[test]
     fn robust_prune_alpha_one_is_mrng() {
-        let s = VecStore::from_rows(&[
-            vec![0.0, 0.0],
-            vec![1.0, 0.0],
-            vec![2.0, 0.0],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let s =
+            VecStore::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0], vec![2.0, 0.0], vec![0.0, 1.0]])
+                .unwrap();
         let cands = vec![(1.0f32, 1u32), (1.0, 3), (4.0, 2)];
         // Node 2 is dominated by node 1: d(1,2)=1 <= d(0,2)=4.
         assert_eq!(robust_prune(&s, Metric::L2, &cands, 8, 1.0), vec![1, 3]);
@@ -269,13 +263,9 @@ mod tests {
 
     #[test]
     fn robust_prune_respects_cap() {
-        let s = VecStore::from_rows(&[
-            vec![0.0, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![-1.0, 0.0],
-        ])
-        .unwrap();
+        let s =
+            VecStore::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, 0.0]])
+                .unwrap();
         let cands = vec![(1.0f32, 1u32), (1.0, 2), (1.0, 3)];
         assert_eq!(robust_prune(&s, Metric::L2, &cands, 2, 1.0).len(), 2);
     }
@@ -297,12 +287,9 @@ mod tests {
             VamanaParams { alpha: 0.5, ..Default::default() }
         )
         .is_err());
-        assert!(build_vamana(
-            store,
-            Metric::L2,
-            VamanaParams { r: 0, ..Default::default() }
-        )
-        .is_err());
+        assert!(
+            build_vamana(store, Metric::L2, VamanaParams { r: 0, ..Default::default() }).is_err()
+        );
         let empty = Arc::new(VecStore::new(4).unwrap());
         assert!(build_vamana(empty, Metric::L2, VamanaParams::default()).is_err());
     }

@@ -107,10 +107,7 @@ pub fn brute_force_ground_truth(
         return Err(AnnError::DimensionMismatch { expected: base.dim(), got: queries.dim() });
     }
     if k == 0 || k > base.len() {
-        return Err(AnnError::InvalidParameter(format!(
-            "k = {k} not in 1..={}",
-            base.len()
-        )));
+        return Err(AnnError::InvalidParameter(format!("k = {k} not in 1..={}", base.len())));
     }
     let rows = parallel_map(queries.len(), num_threads(), |qi| {
         let q = queries.get(qi as u32);
@@ -202,8 +199,7 @@ mod tests {
 
     #[test]
     fn cosine_ground_truth_prefers_aligned() {
-        let base =
-            VecStore::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.7, 0.7]]).unwrap();
+        let base = VecStore::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.7, 0.7]]).unwrap();
         let q = VecStore::from_rows(&[vec![1.0, 0.1]]).unwrap();
         let gt = brute_force_ground_truth(Metric::Cosine, &base, &q, 3).unwrap();
         assert_eq!(gt.ids(0)[0], 0);

@@ -48,9 +48,8 @@ pub fn read_fvecs(path: &Path) -> Result<VecStore> {
             _ => {}
         }
         let mut row = vec![0u8; d * 4];
-        r.read_exact(&mut row).map_err(|_| {
-            AnnError::CorruptIndex("fvecs row payload truncated".into())
-        })?;
+        r.read_exact(&mut row)
+            .map_err(|_| AnnError::CorruptIndex("fvecs row payload truncated".into()))?;
         for c in row.chunks_exact(4) {
             data.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
         }

@@ -34,3 +34,18 @@ pub use metric::{CosineKernel, IpKernel, L2Kernel, Metric, MetricKernel};
 pub use store::VecStore;
 pub use synthetic::{Dataset, Recipe};
 pub use topk::TopK;
+
+#[cfg(test)]
+mod send_sync_assertions {
+    //! Compile-time concurrency audit: serving shares these across threads.
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn vector_types_are_send_sync() {
+        assert_send_sync::<VecStore>();
+        assert_send_sync::<Metric>();
+        assert_send_sync::<GroundTruth>();
+    }
+}

@@ -409,10 +409,7 @@ impl Recipe {
     /// the τ-MG construction relies on; see `tau-mg` crate docs).
     pub fn build(self, n_base: usize, n_queries: usize, seed: u64) -> Dataset {
         let (mut base, mut queries) = if self == Recipe::UniformControl {
-            (
-                uniform(self.dim(), n_base, seed),
-                uniform(self.dim(), n_queries, seed ^ 0xFFFF),
-            )
+            (uniform(self.dim(), n_base, seed), uniform(self.dim(), n_queries, seed ^ 0xFFFF))
         } else {
             let mix = FrozenMixture::new(&self.spec(), seed);
             (mixture_base(&mix, n_base, seed), mixture_queries(&mix, n_queries, seed))
@@ -421,12 +418,7 @@ impl Recipe {
             base.normalize();
             queries.normalize();
         }
-        Dataset {
-            name: self.name().to_string(),
-            metric: self.metric(),
-            base,
-            queries,
-        }
+        Dataset { name: self.name().to_string(), metric: self.metric(), base, queries }
     }
 }
 
@@ -529,11 +521,7 @@ mod tests {
     #[test]
     fn power_law_masses_skew_cluster_sizes() {
         // With a strong mass exponent the first cluster should dominate.
-        let spec = MixtureSpec {
-            clusters: 16,
-            mass_exponent: 2.0,
-            ..MixtureSpec::default_for(4)
-        };
+        let spec = MixtureSpec { clusters: 16, mass_exponent: 2.0, ..MixtureSpec::default_for(4) };
         let mix = FrozenMixture::new(&spec, 21);
         // Heuristic check: samples concentrate near a small number of centers.
         let s = mixture_base(&mix, 500, 21);

@@ -1,7 +1,7 @@
 //! Property-based tests of the vector substrate: metric axioms, top-k
 //! selection against a sort oracle, recall bounds, and serialization.
 
-use ann_vectors::accuracy::{recall_at_k, rderr_at_k};
+use ann_vectors::accuracy::{rderr_at_k, recall_at_k};
 use ann_vectors::io::{vstore_from_bytes, vstore_to_bytes};
 use ann_vectors::metric::{cosine_dissim, dot, l2_sq, reference, Metric};
 use ann_vectors::{TopK, VecStore};

@@ -12,8 +12,8 @@
 
 use ann_suite::ann_graph::AnnIndex;
 use ann_suite::ann_knng::{nn_descent, NnDescentParams};
-use ann_suite::ann_vectors::synthetic::{mean_nn_distance, Recipe};
 use ann_suite::ann_vectors::brute_force_ground_truth;
+use ann_suite::ann_vectors::synthetic::{mean_nn_distance, Recipe};
 use ann_suite::tau_mg::{build_tau_mng, DynamicTauMng, TauMngParams};
 use std::sync::Arc;
 
@@ -25,8 +25,9 @@ fn main() {
     let tau = mean_nn_distance(&base, 200, 21) * 0.03;
     let knn = nn_descent(metric, &base, NnDescentParams { k: 24, seed: 21, ..Default::default() })
         .expect("knn");
-    let frozen = build_tau_mng(base.clone(), metric, &knn, TauMngParams { tau, ..Default::default() })
-        .expect("bulk build");
+    let frozen =
+        build_tau_mng(base.clone(), metric, &knn, TauMngParams { tau, ..Default::default() })
+            .expect("bulk build");
     println!("day 0: bulk-built over {} vectors (tau = {tau:.3})", base.len());
 
     // Go dynamic.
@@ -70,8 +71,7 @@ fn main() {
     let mut recall = 0.0;
     for q in 0..ds.queries.len() as u32 {
         let r = snapshot.search(ds.queries.get(q), 10, 80);
-        recall +=
-            ann_suite::ann_vectors::accuracy::recall_at_k(gt.ids(q as usize), &r.ids, 10);
+        recall += ann_suite::ann_vectors::accuracy::recall_at_k(gt.ids(q as usize), &r.ids, 10);
     }
     recall /= ds.queries.len() as f64;
     println!("snapshot recall@10 (L=80): {recall:.4}");

@@ -50,8 +50,5 @@ fn main() {
 }
 
 fn ann_bench_scale() -> usize {
-    std::env::var("N")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10_000)
+    std::env::var("N").ok().and_then(|v| v.parse().ok()).unwrap_or(10_000)
 }

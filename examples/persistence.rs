@@ -29,8 +29,9 @@ fn main() {
     let tau = mean_nn_distance(&base, 200, 11);
     let knn = nn_descent(metric, &base, NnDescentParams { k: 24, seed: 11, ..Default::default() })
         .expect("kNN graph");
-    let index = build_tau_mng(base.clone(), metric, &knn, TauMngParams { tau, ..Default::default() })
-        .expect("build");
+    let index =
+        build_tau_mng(base.clone(), metric, &knn, TauMngParams { tau, ..Default::default() })
+            .expect("build");
 
     save_vstore(&store_path, &base, metric).expect("save vectors");
     std::fs::write(&index_path, index.to_bytes()).expect("save index");
@@ -46,9 +47,14 @@ fn main() {
     let (loaded_store, loaded_metric) = load_vstore(&store_path).expect("load vectors");
     let loaded_store = Arc::new(loaded_store);
     let bytes = std::fs::read(&index_path).expect("read index");
-    let served = TauIndex::from_bytes(&bytes, loaded_store.clone(), loaded_metric)
-        .expect("load index");
-    println!("reloaded {} over {} vectors (tau = {:.3})", served.name(), loaded_store.len(), served.tau());
+    let served =
+        TauIndex::from_bytes(&bytes, loaded_store.clone(), loaded_metric).expect("load index");
+    println!(
+        "reloaded {} over {} vectors (tau = {:.3})",
+        served.name(),
+        loaded_store.len(),
+        served.tau()
+    );
 
     let mut identical = true;
     for q in 0..dataset.queries.len() as u32 {

@@ -23,21 +23,14 @@ fn main() {
     println!("tau = {tau:.3} (mean NN distance)");
 
     // 3. Substrate: an approximate kNN graph via NN-Descent.
-    let knn = nn_descent(
-        Metric::L2,
-        &base,
-        NnDescentParams { k: 32, seed: 42, ..Default::default() },
-    )
-    .expect("kNN graph");
+    let knn =
+        nn_descent(Metric::L2, &base, NnDescentParams { k: 32, seed: 42, ..Default::default() })
+            .expect("kNN graph");
 
     // 4. Build the τ-MNG.
-    let index = build_tau_mng(
-        base.clone(),
-        Metric::L2,
-        &knn,
-        TauMngParams { tau, ..Default::default() },
-    )
-    .expect("tau-MNG");
+    let index =
+        build_tau_mng(base.clone(), Metric::L2, &knn, TauMngParams { tau, ..Default::default() })
+            .expect("tau-MNG");
     let stats = index.graph_stats();
     println!(
         "built {}: {} edges, avg degree {:.1}, {:.1} MiB",
@@ -50,7 +43,10 @@ fn main() {
     // 5. Query: top-10 neighbors with beam width 64.
     let q = dataset.queries.get(0);
     let result = index.search(q, 10, 64);
-    println!("\ntop-10 for query 0 ({} distance evals, {} hops):", result.stats.ndc, result.stats.hops);
+    println!(
+        "\ntop-10 for query 0 ({} distance evals, {} hops):",
+        result.stats.ndc, result.stats.hops
+    );
     for (id, d) in result.ids.iter().zip(&result.dists) {
         println!("  id {id:>6}  dist {d:.4}");
     }

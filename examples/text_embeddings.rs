@@ -28,12 +28,9 @@ fn main() {
     // τ chosen as a small angular budget (chord units). 0.1 ≈ 5.7° on the
     // sphere — tight enough to mean "near-duplicate".
     let tau = 0.1f32;
-    let knn = nn_descent(
-        Metric::Cosine,
-        &base,
-        NnDescentParams { k: 32, seed: 7, ..Default::default() },
-    )
-    .expect("kNN graph");
+    let knn =
+        nn_descent(Metric::Cosine, &base, NnDescentParams { k: 32, seed: 7, ..Default::default() })
+            .expect("kNN graph");
     let index = build_tau_mng(
         base.clone(),
         Metric::Cosine,

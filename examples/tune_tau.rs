@@ -14,8 +14,8 @@
 use ann_suite::ann_eval::{qps_at_recall, run_sweep, MarkdownTable, SweepConfig};
 use ann_suite::ann_graph::AnnIndex;
 use ann_suite::ann_knng::{nn_descent, NnDescentParams};
-use ann_suite::ann_vectors::synthetic::{mean_nn_distance, Recipe};
 use ann_suite::ann_vectors::brute_force_ground_truth;
+use ann_suite::ann_vectors::synthetic::{mean_nn_distance, Recipe};
 use ann_suite::tau_mg::{build_tau_mng, TauMngParams};
 use std::sync::Arc;
 
@@ -40,13 +40,9 @@ fn main() {
     let mut best: Option<(f32, f64)> = None;
     for mult in [0.0f32, 0.25, 0.5, 1.0, 2.0, 4.0] {
         let tau = tau0 * mult;
-        let index = build_tau_mng(
-            base.clone(),
-            metric,
-            &knn,
-            TauMngParams { tau, ..Default::default() },
-        )
-        .expect("build");
+        let index =
+            build_tau_mng(base.clone(), metric, &knn, TauMngParams { tau, ..Default::default() })
+                .expect("build");
         let points = run_sweep(
             &index,
             &dataset.queries,

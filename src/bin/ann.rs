@@ -79,7 +79,10 @@ fn parse(args: &[String]) -> Option<(String, Flags)> {
 }
 
 fn req<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
-    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing required --{key}"))
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required --{key}"))
 }
 
 fn opt_num<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
@@ -96,7 +99,9 @@ fn metric_of(flags: &Flags) -> Result<Metric, String> {
 
 fn load_base(flags: &Flags) -> Result<Arc<VecStore>, String> {
     let path = req(flags, "base")?;
-    read_fvecs(Path::new(path)).map(Arc::new).map_err(|e| format!("reading {path}: {e}"))
+    read_fvecs(Path::new(path))
+        .map(Arc::new)
+        .map_err(|e| format!("reading {path}: {e}"))
 }
 
 fn load_queries(flags: &Flags) -> Result<VecStore, String> {
@@ -119,13 +124,10 @@ fn load_gt(path: &str, k: usize) -> Result<GroundTruth, String> {
 
 fn cmd_gen(flags: &Flags) -> Result<(), String> {
     let recipe_name = req(flags, "recipe")?;
-    let recipe = Recipe::ALL
-        .into_iter()
-        .find(|r| r.name() == recipe_name)
-        .ok_or_else(|| {
-            let names: Vec<&str> = Recipe::ALL.iter().map(|r| r.name()).collect();
-            format!("unknown recipe '{recipe_name}' (one of: {})", names.join(", "))
-        })?;
+    let recipe = Recipe::ALL.into_iter().find(|r| r.name() == recipe_name).ok_or_else(|| {
+        let names: Vec<&str> = Recipe::ALL.iter().map(|r| r.name()).collect();
+        format!("unknown recipe '{recipe_name}' (one of: {})", names.join(", "))
+    })?;
     let n = opt_num(flags, "n", 10_000usize)?;
     let nq = opt_num(flags, "nq", 100usize)?;
     let seed = opt_num(flags, "seed", 42u64)?;
@@ -149,8 +151,7 @@ fn cmd_gt(flags: &Flags) -> Result<(), String> {
     let k = opt_num(flags, "k", 100usize)?;
     let out = req(flags, "out")?;
     let gt = brute_force_ground_truth(metric, &base, &queries, k).map_err(|e| e.to_string())?;
-    let rows: Vec<Vec<u32>> =
-        (0..gt.n_queries()).map(|q| gt.ids(q).to_vec()).collect();
+    let rows: Vec<Vec<u32>> = (0..gt.n_queries()).map(|q| gt.ids(q).to_vec()).collect();
     write_ivecs(Path::new(out), &rows).map_err(|e| e.to_string())?;
     println!("wrote exact top-{k} for {} queries to {out}", gt.n_queries());
     Ok(())
@@ -200,24 +201,18 @@ fn cmd_build(flags: &Flags) -> Result<(), String> {
                     println!("tau = auto = 0.03 * tau0 = {tau:.4} (tau0 = {tau0:.4})");
                     tau
                 }
-                Some(v) => v.parse().map_err(|_| format!("--tau expects a number or 'auto', got '{v}'"))?,
+                Some(v) => {
+                    v.parse().map_err(|_| format!("--tau expects a number or 'auto', got '{v}'"))?
+                }
             };
             let r = opt_num(flags, "r", 40usize)?;
             let l = opt_num(flags, "beam", 128usize)?;
             let knn_k = opt_num(flags, "knn", 32usize)?.min(base.len().saturating_sub(1)).max(1);
-            let knn = nn_descent(
-                metric,
-                &base,
-                NnDescentParams { k: knn_k, ..Default::default() },
-            )
-            .map_err(|e| e.to_string())?;
-            let index = build_tau_mng(
-                base.clone(),
-                metric,
-                &knn,
-                TauMngParams { tau, r, l, c: 500 },
-            )
-            .map_err(|e| e.to_string())?;
+            let knn = nn_descent(metric, &base, NnDescentParams { k: knn_k, ..Default::default() })
+                .map_err(|e| e.to_string())?;
+            let index =
+                build_tau_mng(base.clone(), metric, &knn, TauMngParams { tau, r, l, c: 500 })
+                    .map_err(|e| e.to_string())?;
             index.to_bytes()
         }
         "hnsw" => {

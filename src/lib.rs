@@ -9,7 +9,8 @@
 //! * [`ann_knng`] — kNN-graph substrate (brute force + NN-Descent);
 //! * [`ann_graph`] — graph storage, beam search, `AnnIndex`;
 //! * [`ann_vectors`] — vectors, metrics, synthetic datasets, ground truth;
-//! * [`ann_eval`] — the measurement harness.
+//! * [`ann_eval`] — the measurement harness;
+//! * [`ann_service`] — concurrent snapshot-based query serving.
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the architecture
 //! and the paper-reproduction map.
@@ -21,6 +22,7 @@ pub use ann_hcnng;
 pub use ann_hnsw;
 pub use ann_knng;
 pub use ann_nsg;
+pub use ann_service;
 pub use ann_vamana;
 pub use ann_vectors;
 pub use tau_mg;

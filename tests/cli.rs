@@ -39,8 +39,19 @@ fn full_workflow_succeeds() {
     );
 
     let (ok, out, err) = run(&[
-        "gen", "--recipe", "uqv-like", "--n", "800", "--nq", "20", "--seed", "3",
-        "--base", b, "--queries", q,
+        "gen",
+        "--recipe",
+        "uqv-like",
+        "--n",
+        "800",
+        "--nq",
+        "20",
+        "--seed",
+        "3",
+        "--base",
+        b,
+        "--queries",
+        q,
     ]);
     assert!(ok, "gen failed: {err}");
     assert!(out.contains("800"));
@@ -50,15 +61,29 @@ fn full_workflow_succeeds() {
     assert!(ok, "gt failed: {err}");
 
     let (ok, out, err) = run(&[
-        "build", "--algo", "tau-mng", "--metric", "l2", "--base", b, "--out", i,
-        "--tau", "auto",
+        "build", "--algo", "tau-mng", "--metric", "l2", "--base", b, "--out", i, "--tau", "auto",
     ]);
     assert!(ok, "build failed: {err}");
     assert!(out.contains("tau = auto"));
 
     let (ok, out, err) = run(&[
-        "search", "--algo", "tau-mng", "--metric", "l2", "--base", b, "--index", i,
-        "--queries", q, "--k", "10", "--beam", "64", "--gt", g,
+        "search",
+        "--algo",
+        "tau-mng",
+        "--metric",
+        "l2",
+        "--base",
+        b,
+        "--index",
+        i,
+        "--queries",
+        q,
+        "--k",
+        "10",
+        "--beam",
+        "64",
+        "--gt",
+        g,
     ]);
     assert!(ok, "search failed: {err}");
     assert!(out.contains("recall@10"), "no recall line:\n{out}");
@@ -72,15 +97,29 @@ fn full_workflow_succeeds() {
     assert!(recall > 0.9, "CLI search recall too low: {recall}");
 
     let (ok, out, err) = run(&[
-        "calibrate", "--algo", "tau-mng", "--metric", "l2", "--base", b, "--index", i,
-        "--queries", q, "--gt", g, "--k", "10", "--target", "0.9",
+        "calibrate",
+        "--algo",
+        "tau-mng",
+        "--metric",
+        "l2",
+        "--base",
+        b,
+        "--index",
+        i,
+        "--queries",
+        q,
+        "--gt",
+        g,
+        "--k",
+        "10",
+        "--target",
+        "0.9",
     ]);
     assert!(ok, "calibrate failed: {err}");
     assert!(out.contains("reaches recall@10"));
 
-    let (ok, out, err) = run(&[
-        "info", "--algo", "tau-mng", "--metric", "l2", "--base", b, "--index", i,
-    ]);
+    let (ok, out, err) =
+        run(&["info", "--algo", "tau-mng", "--metric", "l2", "--base", b, "--index", i]);
     assert!(ok, "info failed: {err}");
     assert!(out.contains("tau-MNG"));
     assert!(out.contains("avg degree"));
@@ -92,17 +131,40 @@ fn hnsw_build_and_search() {
     let base = dir.join("base.fvecs");
     let queries = dir.join("q.fvecs");
     let index = dir.join("index.hnsw");
-    let (b, q, i) =
-        (base.to_str().unwrap(), queries.to_str().unwrap(), index.to_str().unwrap());
-    assert!(run(&[
-        "gen", "--recipe", "sift-like", "--n", "500", "--nq", "5", "--base", b,
-        "--queries", q,
-    ])
-    .0);
+    let (b, q, i) = (base.to_str().unwrap(), queries.to_str().unwrap(), index.to_str().unwrap());
+    assert!(
+        run(&[
+            "gen",
+            "--recipe",
+            "sift-like",
+            "--n",
+            "500",
+            "--nq",
+            "5",
+            "--base",
+            b,
+            "--queries",
+            q,
+        ])
+        .0
+    );
     assert!(run(&["build", "--algo", "hnsw", "--metric", "l2", "--base", b, "--out", i]).0);
     let (ok, out, _) = run(&[
-        "search", "--algo", "hnsw", "--metric", "l2", "--base", b, "--index", i,
-        "--queries", q, "--k", "5", "--beam", "32",
+        "search",
+        "--algo",
+        "hnsw",
+        "--metric",
+        "l2",
+        "--base",
+        b,
+        "--index",
+        i,
+        "--queries",
+        q,
+        "--k",
+        "5",
+        "--beam",
+        "32",
     ]);
     assert!(ok);
     assert!(out.contains("QPS"));
@@ -123,22 +185,35 @@ fn error_paths_fail_cleanly() {
     let b = dir.join("b.fvecs");
     let q = dir.join("q.fvecs");
     let (ok, _, err) = run(&[
-        "gen", "--recipe", "no-such", "--base", b.to_str().unwrap(), "--queries",
+        "gen",
+        "--recipe",
+        "no-such",
+        "--base",
+        b.to_str().unwrap(),
+        "--queries",
         q.to_str().unwrap(),
     ]);
     assert!(!ok);
     assert!(err.contains("unknown recipe"));
     // Nonexistent base file.
     let (ok, _, err) = run(&[
-        "gt", "--metric", "l2", "--base", "/nonexistent.fvecs", "--queries",
-        "/nonexistent.fvecs", "--k", "1", "--out", "/tmp/x.ivecs",
+        "gt",
+        "--metric",
+        "l2",
+        "--base",
+        "/nonexistent.fvecs",
+        "--queries",
+        "/nonexistent.fvecs",
+        "--k",
+        "1",
+        "--out",
+        "/tmp/x.ivecs",
     ]);
     assert!(!ok);
     assert!(err.contains("error"));
     // Bad metric.
-    let (ok, _, err) = run(&[
-        "gt", "--metric", "hamming", "--base", "/x", "--queries", "/x", "--out", "/x",
-    ]);
+    let (ok, _, err) =
+        run(&["gt", "--metric", "hamming", "--base", "/x", "--queries", "/x", "--out", "/x"]);
     assert!(!ok);
     assert!(err.contains("unknown metric"));
 }

@@ -46,8 +46,8 @@ fn exact_tau_mg_is_thread_count_independent() {
 fn searches_are_deterministic_given_a_graph() {
     let ds = Recipe::SiftLike.build(400, 10, 23);
     let base = Arc::new(ds.base);
-    let idx = build_tau_mg(base, Metric::L2, TauMgParams { tau: 0.1, degree_cap: Some(16) })
-        .unwrap();
+    let idx =
+        build_tau_mg(base, Metric::L2, TauMgParams { tau: 0.1, degree_cap: Some(16) }).unwrap();
     for q in 0..ds.queries.len() as u32 {
         let a = idx.search(ds.queries.get(q), 5, 32);
         let b = idx.search(ds.queries.get(q), 5, 32);

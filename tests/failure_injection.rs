@@ -47,12 +47,7 @@ fn k_exceeding_n_is_rejected() {
     let q = uniform(4, 2, 3);
     assert!(brute_force_ground_truth(Metric::L2, &base, &q, 11).is_err());
     assert!(brute_force_knn_graph(Metric::L2, &base, 10).is_err());
-    assert!(nn_descent(
-        Metric::L2,
-        &base,
-        NnDescentParams { k: 10, ..Default::default() }
-    )
-    .is_err());
+    assert!(nn_descent(Metric::L2, &base, NnDescentParams { k: 10, ..Default::default() }).is_err());
 }
 
 #[test]
@@ -67,12 +62,9 @@ fn duplicate_points_do_not_break_any_builder() {
     let knn = brute_force_knn_graph(Metric::L2, &base, 5).unwrap();
     let hnsw = Hnsw::build(base.clone(), Metric::L2, HnswParams::default()).unwrap();
     let nsg = build_nsg(base.clone(), Metric::L2, &knn, NsgParams::default()).unwrap();
-    let tmg = build_tau_mg(
-        base.clone(),
-        Metric::L2,
-        TauMgParams { tau: 0.1, degree_cap: Some(16) },
-    )
-    .unwrap();
+    let tmg =
+        build_tau_mg(base.clone(), Metric::L2, TauMgParams { tau: 0.1, degree_cap: Some(16) })
+            .unwrap();
     for idx in [&hnsw as &dyn AnnIndex, &nsg, &tmg] {
         let r = idx.search(&[0.2, 0.2], 5, 20);
         assert_eq!(r.ids.len(), 5, "{}", idx.name());
@@ -97,9 +89,8 @@ fn tau_constructions_reject_non_metric_spaces() {
 #[test]
 fn truncated_and_garbled_index_files_are_refused() {
     let base = Arc::new(uniform(4, 60, 6));
-    let idx =
-        build_tau_mg(base.clone(), Metric::L2, TauMgParams { tau: 0.1, degree_cap: Some(8) })
-            .unwrap();
+    let idx = build_tau_mg(base.clone(), Metric::L2, TauMgParams { tau: 0.1, degree_cap: Some(8) })
+        .unwrap();
     let bytes = idx.to_bytes();
     // Truncations at several depths.
     for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {

@@ -4,8 +4,8 @@
 
 use ann_suite::ann_eval::{qps_at_recall, run_sweep, SweepConfig};
 use ann_suite::ann_hnsw::{Hnsw, HnswParams};
-use ann_suite::ann_vectors::synthetic::Recipe;
 use ann_suite::ann_vectors::brute_force_ground_truth;
+use ann_suite::ann_vectors::synthetic::Recipe;
 use std::sync::Arc;
 
 #[test]

@@ -1,0 +1,147 @@
+//! Snapshot-consistency stress test for `ann-service`: a writer running an
+//! insert/delete/compact/publish loop races concurrent readers for over a
+//! second of wall clock, and the readers must never observe a
+//! deleted-and-published point, never get a short answer, and never panic.
+//!
+//! The check is exact, not statistical: every reply carries the generation
+//! of the snapshot that answered it, the writer records the generation at
+//! which each deletion was published, and a reply of generation `g` must
+//! not contain any external id whose deletion was published at or before
+//! `g`. (A reply from an *older* snapshot may legitimately contain a point
+//! deleted later — that is the RCU contract, not a bug.)
+
+use ann_suite::ann_service::{AnnService, ServiceConfig};
+use ann_suite::ann_vectors::synthetic::{
+    mixture_base, mixture_queries, FrozenMixture, MixtureSpec,
+};
+use ann_suite::ann_vectors::Metric;
+use ann_suite::tau_mg::{build_tau_mng, TauMngParams};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N0: usize = 800;
+const DIM: usize = 8;
+const K: usize = 5;
+const READERS: usize = 4;
+const CHURN: usize = 8; // inserts and deletes per publish cycle
+const RUN_FOR: Duration = Duration::from_millis(1200);
+
+#[test]
+fn readers_never_observe_published_deletions() {
+    let mix = FrozenMixture::new(&MixtureSpec::default_for(DIM), 0xC0FFEE);
+    let base = Arc::new(mixture_base(&mix, N0, 0xC0FFEE));
+    let queries = mixture_queries(&mix, 64, 0xC0FFEE);
+    let knn = ann_suite::ann_knng::brute_force_knn_graph(Metric::L2, &base, 12).unwrap();
+    let params = TauMngParams { tau: 0.2, r: 24, l: 64, c: 200 };
+    let index = build_tau_mng(base.clone(), Metric::L2, &knn, params).unwrap();
+
+    let (svc, mut writer) = AnnService::launch(
+        index,
+        params,
+        ServiceConfig { workers: READERS, queue_capacity: 64, ..Default::default() },
+    );
+    let service = &svc;
+    let stop = AtomicBool::new(false);
+    let stop = &stop;
+    let queries = &queries;
+
+    // (generation the reply came from, external ids it returned)
+    type Observations = Vec<(u64, Vec<u64>)>;
+
+    let (deleted_at, observations): (HashMap<u64, u64>, Vec<Observations>) =
+        std::thread::scope(|s| {
+            let readers: Vec<_> = (0..READERS)
+                .map(|r| {
+                    s.spawn(move || {
+                        let mut seen: Observations = Vec::with_capacity(4096);
+                        let mut cursor = r as u32;
+                        let mut last_gen = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let batch: Vec<Vec<f32>> = (0..4)
+                                .map(|i| queries.get((cursor + i) % queries.len() as u32).to_vec())
+                                .collect();
+                            cursor = (cursor + 4) % queries.len() as u32;
+                            let result = service
+                                .submit(batch, K)
+                                .wait()
+                                .expect("service alive while readers run");
+                            for reply in result.replies {
+                                assert_eq!(
+                                    reply.ids.len(),
+                                    K,
+                                    "short answer under churn (gen {})",
+                                    reply.generation
+                                );
+                                assert!(
+                                    reply.generation >= last_gen,
+                                    "snapshot generation went backwards for one reader: \
+                                     {} after {last_gen}",
+                                    reply.generation
+                                );
+                                last_gen = reply.generation;
+                                seen.push((reply.generation, reply.ids));
+                            }
+                        }
+                        seen
+                    })
+                })
+                .collect();
+
+            // Writer: churn and publish until the clock runs out, recording
+            // the publish generation of every deletion.
+            let mut deleted_at: HashMap<u64, u64> = HashMap::new();
+            let mut delete_cursor = 0u64;
+            let started = Instant::now();
+            let mut insert_cursor = 0u32;
+            while started.elapsed() < RUN_FOR {
+                let mut cycle_deletes = Vec::with_capacity(CHURN);
+                for _ in 0..CHURN {
+                    writer.insert(base.get(insert_cursor)).expect("insert under churn");
+                    insert_cursor = (insert_cursor + 1) % N0 as u32;
+                    writer.delete(delete_cursor).expect("delete oldest live id");
+                    cycle_deletes.push(delete_cursor);
+                    delete_cursor += 1;
+                }
+                let generation = writer.publish().expect("publish under churn");
+                for ext in cycle_deletes {
+                    deleted_at.insert(ext, generation);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            let observations =
+                readers.into_iter().map(|h| h.join().expect("reader panicked")).collect();
+            (deleted_at, observations)
+        });
+
+    // The writer must have actually raced the readers through several
+    // snapshot cycles, and the readers must have actually searched.
+    let generations = writer.generation();
+    assert!(generations >= 3, "writer only published {generations} generations in 1.2s");
+    assert!(!deleted_at.is_empty());
+    let total: usize = observations.iter().map(Vec::len).sum();
+    assert!(total > 100, "readers only completed {total} queries in 1.2s");
+
+    // The exact consistency check: no reply contains an id whose deletion
+    // was published at or before the reply's generation.
+    for seen in &observations {
+        for (generation, ids) in seen {
+            for id in ids {
+                if let Some(&dg) = deleted_at.get(id) {
+                    assert!(
+                        *generation < dg,
+                        "reply from generation {generation} contains external id {id}, \
+                         whose deletion was published at generation {dg}"
+                    );
+                }
+            }
+        }
+    }
+
+    // Sanity on the counters the serving layer reports.
+    let m = service.metrics();
+    assert_eq!(m.completed.get(), total as u64);
+    assert_eq!(m.snapshots_published.get(), generations);
+    svc.shutdown();
+}
