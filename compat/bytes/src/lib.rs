@@ -7,6 +7,8 @@
 //! readers. Semantics (including panics on underflow) follow the real crate
 //! so swapping the registry version back in is a one-line Cargo change.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 
 /// Immutable contiguous byte buffer (frozen form of [`BytesMut`]).

@@ -10,6 +10,8 @@
 //! configuration, outlier analysis, HTML reports, or statistics beyond
 //! that — the numbers are for quick regression eyeballing, not papers.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -182,6 +184,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point (expanded from `criterion_group!`).
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+

@@ -7,6 +7,8 @@
 //! via `PoisonError::into_inner` preserves `parking_lot` semantics: a
 //! panicked critical section does not wedge every later locker.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Non-poisoning mutual-exclusion lock.

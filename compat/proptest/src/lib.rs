@@ -13,6 +13,8 @@
 //! * **`prop_assert*` panic immediately** instead of returning `Err`, which
 //!   is indistinguishable at the test harness level.
 
+#![forbid(unsafe_code)]
+
 use rand::SeedableRng;
 
 pub mod strategy;

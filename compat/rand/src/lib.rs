@@ -10,6 +10,8 @@
 //! everything in this workspace treats seeds as opaque determinism handles,
 //! never as fixtures of specific values.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// A seedable random number generator (xoshiro256**).

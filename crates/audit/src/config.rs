@@ -1,0 +1,196 @@
+//! `audit.toml` parsing: a minimal, dependency-free TOML-subset reader.
+//!
+//! The lint configuration needs exactly three shapes — `[section]` headers
+//! (dotted names allowed), `key = "string"`, and `key = ["a", "b"]` — so
+//! this module parses that subset and nothing more. Keys may be quoted
+//! (paths contain `/` and `.`), `#` starts a comment, blank lines are
+//! ignored. Anything else is a hard error: the config is checked in and
+//! small, so failing loudly beats guessing.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A parsed `audit.toml`: section name → key → list of strings.
+///
+/// Scalar string values are represented as one-element lists; the lint
+/// rules only ever consume string sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditConfigFile {
+    sections: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+}
+
+impl AuditConfigFile {
+    /// Parse a config from its text.
+    ///
+    /// # Errors
+    /// A `String` describing the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut cfg = AuditConfigFile::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate();
+        while let Some((no, raw)) = lines.next() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {}: unterminated section header", no + 1))?;
+                section = name.trim().trim_matches('"').to_string();
+                cfg.sections.entry(section.clone()).or_default();
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", no + 1))?;
+            let key = key.trim().trim_matches('"').to_string();
+            // Multi-line arrays: keep consuming lines until the bracket
+            // closes (brackets never appear inside the quoted path strings
+            // this config holds).
+            let mut value = value.trim().to_string();
+            if value.starts_with('[') && !value.contains(']') {
+                for (_, cont) in lines.by_ref() {
+                    value.push_str(strip_comment(cont).trim());
+                    if value.contains(']') {
+                        break;
+                    }
+                }
+            }
+            let values = parse_value(&value).map_err(|e| format!("line {}: {e}", no + 1))?;
+            cfg.sections.entry(section.clone()).or_default().insert(key, values);
+        }
+        Ok(cfg)
+    }
+
+    /// Load and parse a config file.
+    ///
+    /// # Errors
+    /// IO failure or a parse error, as a message.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// The string list at `section.key` (empty if absent).
+    pub fn list(&self, section: &str, key: &str) -> &[String] {
+        self.sections.get(section).and_then(|s| s.get(key)).map_or(&[], Vec::as_slice)
+    }
+
+    /// All keys of a section (empty if absent).
+    pub fn keys(&self, section: &str) -> Vec<&str> {
+        self.sections
+            .get(section)
+            .map(|s| s.keys().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether a section exists.
+    pub fn has_section(&self, section: &str) -> bool {
+        self.sections.contains_key(section)
+    }
+}
+
+/// Drop a trailing `# comment`, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `"string"` or `["a", "b"]` into a list of strings.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| "unterminated array".to_string())?;
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Vec::new());
+        }
+        // A trailing comma leaves one empty element; ignore it.
+        inner
+            .split(',')
+            .map(str::trim)
+            .filter(|e| !e.is_empty())
+            .map(parse_string)
+            .collect()
+    } else {
+        Ok(vec![parse_string(value)?])
+    }
+}
+
+fn parse_string(token: &str) -> Result<String, String> {
+    let token = token.trim();
+    if token.len() >= 2 && token.starts_with('"') && token.ends_with('"') {
+        Ok(token[1..token.len() - 1].to_string())
+    } else {
+        Err(format!("expected a quoted string, got `{token}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_arrays() {
+        let cfg = AuditConfigFile::parse(
+            r#"
+# top comment
+[no_panic]
+paths = ["crates/service/src", "crates/core/src/search.rs"]
+
+[atomics.allow]
+"crates/service/src/metrics.rs" = ["Relaxed"] # trailing comment
+
+[unsafe_code]
+allow = []
+
+[lossy_casts]
+single = "crates/graph/src"
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.list("no_panic", "paths"),
+            &["crates/service/src", "crates/core/src/search.rs"]
+        );
+        assert_eq!(cfg.list("atomics.allow", "crates/service/src/metrics.rs"), &["Relaxed"]);
+        assert!(cfg.list("unsafe_code", "allow").is_empty());
+        assert_eq!(cfg.list("lossy_casts", "single"), &["crates/graph/src"]);
+        assert_eq!(cfg.keys("atomics.allow"), vec!["crates/service/src/metrics.rs"]);
+        assert!(cfg.has_section("unsafe_code"));
+        assert!(!cfg.has_section("nope"));
+        assert!(cfg.list("nope", "paths").is_empty());
+    }
+
+    #[test]
+    fn multiline_arrays_with_trailing_commas() {
+        let cfg = AuditConfigFile::parse(
+            "[s]\npaths = [\n    \"a\", # why a\n    \"b\",\n]\nnext = \"c\"",
+        )
+        .unwrap();
+        assert_eq!(cfg.list("s", "paths"), &["a", "b"]);
+        assert_eq!(cfg.list("s", "next"), &["c"]);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = AuditConfigFile::parse("[s]\nk = [\"a#b\"]").unwrap();
+        assert_eq!(cfg.list("s", "k"), &["a#b"]);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_numbers() {
+        assert!(AuditConfigFile::parse("[s\n").unwrap_err().contains("line 1"));
+        assert!(AuditConfigFile::parse("[s]\nk v").unwrap_err().contains("line 2"));
+        assert!(AuditConfigFile::parse("[s]\nk = [\"a\"").unwrap_err().contains("array"));
+        assert!(AuditConfigFile::parse("[s]\nk = bare").unwrap_err().contains("quoted"));
+    }
+}

@@ -1,0 +1,429 @@
+//! The graph-invariant auditor: mechanical verification of the structural
+//! guarantees every built index and published snapshot must satisfy.
+//!
+//! Checks are split by cost:
+//!
+//! * **structural** (exact, `O(E)`): edge targets in bounds, no self-loops,
+//!   no duplicate neighbors, per-node degree within the builder's cap, full
+//!   reachability from the entry point;
+//! * **geometric** (sampled): stored QEO edge lengths match recomputed
+//!   distances, the τ-MG occlusion rule justifies omitted near edges on
+//!   random node triples, and greedy descent reaches sampled database
+//!   points (the observable consequence of τ-monotonicity);
+//! * **persistence** (exact): `TauIndex::to_bytes` round-trips.
+//!
+//! Sampled checks are deterministic for a fixed [`AuditOptions::seed`].
+
+use crate::violation::Violation;
+use ann_graph::connectivity::bfs_reachable;
+use ann_graph::GraphView;
+use ann_vectors::metric::l2_sq;
+use ann_vectors::VecStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tau_mg::TauIndex;
+
+/// Stop reporting a structural rule after this many findings: a corrupted
+/// index trips the same rule on most nodes, and one screenful pinpoints the
+/// bug as well as a million lines would.
+const MAX_PER_RULE: usize = 64;
+
+/// Tolerance for float comparisons in the geometric checks, relative to the
+/// distance being compared (f32 arithmetic over different summation orders).
+const REL_EPS: f32 = 1e-4;
+
+/// What to audit and how hard to sample.
+#[derive(Debug, Clone)]
+pub struct AuditOptions {
+    /// The builder's out-degree cap, if the graph was built under one.
+    pub degree_cap: Option<usize>,
+    /// Nodes sampled by each geometric check (0 disables them).
+    pub samples: usize,
+    /// How many of each sampled node's true nearest neighbors must be
+    /// present or occlusion-justified (0 disables the occlusion check).
+    pub occlusion_depth: usize,
+    /// Minimum fraction of sampled targets greedy descent must reach
+    /// (`None` disables the descent check). This is a catastrophe detector,
+    /// not a quality bar: the τ-MNG and its baselines are *practical*
+    /// relaxations whose pure-greedy reach rate is distribution-dependent
+    /// (≈0.9 on SIFT-like data, ≈0.4–0.6 on GloVe-like), but an index with
+    /// scrambled or mis-remapped edges craters to nearly zero. The default
+    /// floor sits below any legitimate build and far above wreckage.
+    pub monotonicity_floor: Option<f64>,
+    /// Verify `TauIndex::to_bytes` → `from_bytes` fidelity.
+    pub check_round_trip: bool,
+    /// Seed for the sampled checks.
+    pub seed: u64,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            degree_cap: None,
+            samples: 64,
+            occlusion_depth: 2,
+            monotonicity_floor: Some(0.25),
+            check_round_trip: true,
+            seed: 0xA0D1,
+        }
+    }
+}
+
+impl AuditOptions {
+    /// The deterministic subset run on every `IndexWriter::publish` in
+    /// debug builds: structural + edge lengths + round trip, no sampled
+    /// geometric checks (those are probabilistic and belong in offline
+    /// audits, not on the publish path).
+    pub fn publish_gate(degree_cap: Option<usize>) -> Self {
+        AuditOptions {
+            degree_cap,
+            samples: 16,
+            occlusion_depth: 0,
+            monotonicity_floor: None,
+            check_round_trip: true,
+            seed: 0xA0D1,
+        }
+    }
+}
+
+/// Structural audit of any adjacency structure.
+///
+/// `entry` enables the reachability check (`None` for graphs with no single
+/// entry point, e.g. a directed kNN graph); `cap` enables the degree check.
+pub fn audit_graph<G: GraphView>(
+    graph: &G,
+    entry: Option<u32>,
+    cap: Option<usize>,
+) -> Vec<Violation> {
+    let n = graph.num_nodes();
+    let mut v = Vec::new();
+    if let Some(e) = entry {
+        if e as usize >= n {
+            v.push(Violation::EntryOutOfBounds { entry: e, n });
+            return v;
+        }
+    }
+    let mut oob = 0usize;
+    let mut loops = 0usize;
+    let mut dups = 0usize;
+    let mut over = 0usize;
+    let mut seen: Vec<u32> = Vec::new();
+    for u in 0..n as u32 {
+        let nbrs = graph.neighbors(u);
+        if let Some(c) = cap {
+            if nbrs.len() > c && over < MAX_PER_RULE {
+                v.push(Violation::DegreeOverflow { node: u, degree: nbrs.len(), cap: c });
+                over += 1;
+            }
+        }
+        seen.clear();
+        for &t in nbrs {
+            if t as usize >= n {
+                if oob < MAX_PER_RULE {
+                    v.push(Violation::EdgeOutOfBounds { node: u, target: t, n });
+                }
+                oob += 1;
+                continue;
+            }
+            if t == u {
+                if loops < MAX_PER_RULE {
+                    v.push(Violation::SelfLoop { node: u });
+                }
+                loops += 1;
+            }
+            if seen.contains(&t) {
+                if dups < MAX_PER_RULE {
+                    v.push(Violation::DuplicateNeighbor { node: u, target: t });
+                }
+                dups += 1;
+            } else {
+                seen.push(t);
+            }
+        }
+    }
+    // Reachability is only meaningful once edges are well-formed: BFS over
+    // out-of-bounds targets would index out of range.
+    if oob == 0 {
+        if let Some(e) = entry {
+            let reached = bfs_reachable(graph, e);
+            let missing = reached.iter().filter(|&&r| !r).count();
+            if missing > 0 {
+                let example = reached.iter().position(|&r| !r).unwrap_or_default() as u32;
+                v.push(Violation::Unreachable { count: missing, example });
+            }
+        }
+    }
+    v
+}
+
+/// Verify a published snapshot's external-id table: ids must be unique and
+/// must not resurrect tombstones.
+pub fn audit_external_ids<F>(external: &[u64], is_tombstone: F) -> Vec<Violation>
+where
+    F: Fn(u64) -> bool,
+{
+    let mut v = Vec::new();
+    let mut sorted: Vec<u64> = external.to_vec();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] && v.len() < MAX_PER_RULE {
+            v.push(Violation::DuplicateExternalId { external: w[0] });
+        }
+    }
+    v.dedup();
+    for &e in external {
+        if is_tombstone(e) {
+            v.push(Violation::TombstoneInSnapshot { external: e });
+            if v.len() >= 2 * MAX_PER_RULE {
+                break;
+            }
+        }
+    }
+    v
+}
+
+/// Full audit of a frozen τ-index: structural, geometric, persistence.
+pub fn audit_tau_index(index: &TauIndex, opts: &AuditOptions) -> Vec<Violation> {
+    let mut v = audit_graph(index.graph(), Some(index.entry_point()), opts.degree_cap);
+    if !v.is_empty() {
+        // Geometric checks would chase the same corruption (or panic on
+        // out-of-bounds ids); report the structural root cause alone.
+        return v;
+    }
+    let n = index.store().len();
+    if n == 0 || opts.samples == 0 {
+        return v;
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    check_edge_lengths(index, opts.samples, &mut rng, &mut v);
+    if opts.occlusion_depth > 0 {
+        check_occlusion(index, opts.samples, opts.occlusion_depth, &mut rng, &mut v);
+    }
+    if let Some(floor) = opts.monotonicity_floor {
+        check_monotonic_descent(index, opts.samples, floor, &mut rng, &mut v);
+    }
+    if opts.check_round_trip {
+        check_round_trip(index, &mut v);
+    }
+    v
+}
+
+/// Sampled check that the stored QEO edge lengths match the actual
+/// Euclidean distances between edge endpoints.
+fn check_edge_lengths(index: &TauIndex, samples: usize, rng: &mut StdRng, v: &mut Vec<Violation>) {
+    let n = index.store().len();
+    let store = index.store();
+    let mut found = 0usize;
+    for _ in 0..samples.min(n) {
+        let u = rng.random_range(0..n as u32);
+        let nbrs = index.graph().neighbors(u);
+        let lens = index.edge_lengths(u);
+        for (slot, (&t, &stored)) in nbrs.iter().zip(lens).enumerate() {
+            let actual = l2_sq(store.get(u), store.get(t)).sqrt();
+            if (stored - actual).abs() > REL_EPS * actual.max(1.0) {
+                if found < MAX_PER_RULE {
+                    v.push(Violation::EdgeLengthMismatch { node: u, slot, stored, actual });
+                }
+                found += 1;
+            }
+        }
+    }
+}
+
+/// Sampled verification of the τ-MG occlusion rule on node triples
+/// `(p, b, r)`: for each sampled node `p` and each of its `depth` true
+/// nearest neighbors `b`, either the edge `(p, b)` exists or some kept
+/// neighbor `r` of `p` occludes it (`d(p, r) < d(p, b)` and
+/// `d(r, b) < d(p, b) − 3τ`). An omission with no witness means the
+/// selection rule was not applied (or the graph was corrupted after
+/// construction): greedy search loses its monotone step at `p`.
+fn check_occlusion(
+    index: &TauIndex,
+    samples: usize,
+    depth: usize,
+    rng: &mut StdRng,
+    v: &mut Vec<Violation>,
+) {
+    let n = index.store().len();
+    let store = index.store();
+    let slack = 3.0 * index.tau();
+    let mut found = 0usize;
+    for _ in 0..samples.min(n) {
+        let p = rng.random_range(0..n as u32);
+        let vp = store.get(p);
+        // True top-`depth` neighbors of p by exact scan.
+        let mut top: Vec<(f32, u32)> = Vec::with_capacity(depth + 1);
+        for b in 0..n as u32 {
+            if b == p {
+                continue;
+            }
+            let d = l2_sq(vp, store.get(b)).sqrt();
+            if top.len() < depth || d < top.last().map_or(f32::INFINITY, |e| e.0) {
+                let at = top.partition_point(|e| e.0 <= d);
+                top.insert(at, (d, b));
+                top.truncate(depth);
+            }
+        }
+        let nbrs = index.graph().neighbors(p);
+        for &(d_pb, b) in &top {
+            if nbrs.contains(&b) {
+                continue;
+            }
+            let eps = REL_EPS * d_pb.max(1.0);
+            let justified = nbrs.iter().any(|&r| {
+                let d_pr = l2_sq(vp, store.get(r)).sqrt();
+                d_pr < d_pb + eps && l2_sq(store.get(r), store.get(b)).sqrt() < d_pb - slack + eps
+            });
+            if !justified {
+                if found < MAX_PER_RULE {
+                    v.push(Violation::OcclusionUnjustified { p, b, dist: d_pb });
+                }
+                found += 1;
+            }
+        }
+    }
+}
+
+/// Fraction of `samples` random database points that pure greedy descent
+/// from `entry` lands on exactly (or on an exact duplicate): the query is
+/// the point itself, the inner-most τ-tube query. One descent step moves to
+/// the neighbor strictly closest to the query; the walk stops at the first
+/// local minimum.
+fn greedy_reach_rate<G: GraphView>(
+    graph: &G,
+    store: &VecStore,
+    entry: u32,
+    samples: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let n = graph.num_nodes();
+    let samples = samples.min(n).max(1);
+    let mut ok = 0usize;
+    for _ in 0..samples {
+        let t = rng.random_range(0..n as u32);
+        let q = store.get(t);
+        let mut u = entry;
+        let mut du = l2_sq(q, store.get(u));
+        loop {
+            let mut best = u;
+            let mut bd = du;
+            for &w in graph.neighbors(u) {
+                let dw = l2_sq(q, store.get(w));
+                if dw < bd {
+                    bd = dw;
+                    best = w;
+                }
+            }
+            if best == u {
+                break;
+            }
+            u = best;
+            du = bd;
+        }
+        if u == t || du == 0.0 {
+            ok += 1;
+        }
+    }
+    ok as f64 / samples as f64
+}
+
+/// Sampled greedy-descent check against a configured floor.
+fn check_monotonic_descent(
+    index: &TauIndex,
+    samples: usize,
+    floor: f64,
+    rng: &mut StdRng,
+    v: &mut Vec<Violation>,
+) {
+    let samples = samples.min(index.store().len());
+    let rate = greedy_reach_rate(index.graph(), index.store(), index.entry_point(), samples, rng);
+    if rate < floor {
+        v.push(Violation::MonotonicityBelowFloor { rate, floor, samples });
+    }
+}
+
+/// Exact serialize→deserialize fidelity through `TauIndex::to_bytes`.
+fn check_round_trip(index: &TauIndex, v: &mut Vec<Violation>) {
+    let bytes = index.to_bytes();
+    let back = match TauIndex::from_bytes(&bytes, index.store().clone(), index.metric()) {
+        Ok(b) => b,
+        Err(_) => {
+            v.push(Violation::RoundTripMismatch { what: "deserialization failed" });
+            return;
+        }
+    };
+    if back.graph() != index.graph() {
+        v.push(Violation::RoundTripMismatch { what: "graph adjacency" });
+    }
+    if back.entry_point() != index.entry_point() {
+        v.push(Violation::RoundTripMismatch { what: "entry point" });
+    }
+    if back.tau() != index.tau() {
+        v.push(Violation::RoundTripMismatch { what: "tau" });
+    }
+    for u in 0..index.store().len() as u32 {
+        if back.edge_lengths(u) != index.edge_lengths(u) {
+            v.push(Violation::RoundTripMismatch { what: "edge lengths" });
+            break;
+        }
+    }
+}
+
+/// The auditor as a configured object: build one with the options for your
+/// context (offline repro audit, publish gate, CI) and reuse it across
+/// indexes.
+#[derive(Debug, Clone, Default)]
+pub struct GraphAuditor {
+    opts: AuditOptions,
+}
+
+impl GraphAuditor {
+    /// Auditor with explicit options.
+    pub fn new(opts: AuditOptions) -> Self {
+        GraphAuditor { opts }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &AuditOptions {
+        &self.opts
+    }
+
+    /// Structural audit of any graph (degree cap from the options).
+    pub fn audit_graph<G: GraphView>(&self, graph: &G, entry: Option<u32>) -> Vec<Violation> {
+        audit_graph(graph, entry, self.opts.degree_cap)
+    }
+
+    /// Full audit of a τ-index.
+    pub fn audit_index(&self, index: &TauIndex) -> Vec<Violation> {
+        audit_tau_index(index, &self.opts)
+    }
+}
+
+/// Convenience: audit a graph-and-store pair that is not a τ-index (HNSW
+/// bottom layer, NSG/SSG/Vamana/HCNNG flat graphs) — structural checks plus
+/// the greedy-descent floor, which applies to any graph searched greedily
+/// from a fixed entry.
+pub fn audit_flat_index<G: GraphView>(
+    graph: &G,
+    store: &VecStore,
+    entry: u32,
+    opts: &AuditOptions,
+) -> Vec<Violation> {
+    let mut v = audit_graph(graph, Some(entry), opts.degree_cap);
+    if !v.is_empty() {
+        return v;
+    }
+    let n = graph.num_nodes();
+    if n == 0 || opts.samples == 0 {
+        return v;
+    }
+    if let Some(floor) = opts.monotonicity_floor {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let samples = opts.samples.min(n);
+        let rate = greedy_reach_rate(graph, store, entry, samples, &mut rng);
+        if rate < floor {
+            v.push(Violation::MonotonicityBelowFloor { rate, floor, samples });
+        }
+    }
+    v
+}

@@ -1,0 +1,38 @@
+//! # ann-audit
+//!
+//! Static analysis for the workspace, in two dependency-free passes:
+//!
+//! 1. **A source lint pass** ([`lint`]) that enforces repo-specific rules a
+//!    generic clippy run cannot: no panicking operators in the serving and
+//!    search hot paths, atomic orderings restricted to a per-file allowlist
+//!    (or carrying an explicit `// ordering:` justification), `unsafe`
+//!    forbidden outside a whitelist (empty — the workspace is unsafe-free),
+//!    and lossy `as` casts on graph-id types flagged outside whitelisted
+//!    serialization sites. Rules and whitelists live in the checked-in
+//!    `audit.toml`; run it with `cargo run -p ann-audit -- lint`.
+//!
+//! 2. **A graph-invariant auditor** ([`graph_audit`]) that mechanically
+//!    verifies the structural guarantees the paper's search correctness
+//!    rests on: edge targets in bounds, no self-loops or duplicate
+//!    neighbors, degrees within the builder's cap, full reachability from
+//!    the entry point, the τ-MNG occlusion rule on sampled node triples,
+//!    and serialize→deserialize round-trip fidelity. The serving layer runs
+//!    it on every [`IndexWriter::publish`] in debug builds; the
+//!    `repro_audit` binary (in `ann-bench`) runs it over every builder's
+//!    output.
+//!
+//! [`IndexWriter::publish`]: https://docs.rs/ann-service
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod graph_audit;
+pub mod lint;
+pub mod violation;
+
+pub use config::AuditConfigFile;
+pub use graph_audit::{
+    audit_external_ids, audit_flat_index, audit_graph, audit_tau_index, AuditOptions, GraphAuditor,
+};
+pub use lint::{run_lint, Finding};
+pub use violation::Violation;

@@ -1,0 +1,564 @@
+//! The repo-specific source lint pass.
+//!
+//! Four rules a generic clippy run cannot express, driven by the checked-in
+//! `audit.toml`:
+//!
+//! * **no-panic** — panicking operators (`.unwrap()`, `.expect(`, `panic!`,
+//!   `todo!`, `unimplemented!`, `unreachable!`) are forbidden in the
+//!   configured hot paths (serving layer and search kernels) outside
+//!   `#[cfg(test)]` code;
+//! * **atomic-ordering** — every `Ordering::…` use must either be in the
+//!   file's configured allowlist or carry an `// ordering:` justification
+//!   comment on the same or preceding line;
+//! * **no-unsafe** — `unsafe` is forbidden outside an explicit whitelist
+//!   (currently empty: the workspace is unsafe-free and this keeps it so
+//!   mechanically);
+//! * **lossy-cast** — `as u32`/`as u16`/`as u8` narrowing casts in the
+//!   configured id-critical paths must be in a whitelisted serialization
+//!   site or carry a `// cast:` justification comment.
+//!
+//! The scanner strips comments and string literals with a small state
+//! machine (line comments, nested block comments, plain/raw/byte strings,
+//! char literals vs. lifetimes) so rules only ever match real code, and
+//! comments are kept per line so justifications can be found.
+
+use crate::config::AuditConfigFile;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the lint root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Lint rules materialized from an [`AuditConfigFile`].
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Path prefixes where panicking operators are forbidden.
+    pub no_panic_paths: Vec<String>,
+    /// Per-file atomic orderings allowed without justification.
+    pub atomics_allow: BTreeMap<String, Vec<String>>,
+    /// Path prefixes where `unsafe` is tolerated (empty today).
+    pub unsafe_allow: Vec<String>,
+    /// Path prefixes where the lossy-cast rule applies.
+    pub cast_paths: Vec<String>,
+    /// Whitelisted serialization/layout sites within the cast paths.
+    pub cast_allow: Vec<String>,
+    /// Directory names skipped entirely.
+    pub skip_dirs: Vec<String>,
+}
+
+impl LintConfig {
+    /// Build the rule set from a parsed `audit.toml`.
+    pub fn from_file(cfg: &AuditConfigFile) -> Self {
+        let list = |s: &str, k: &str| cfg.list(s, k).to_vec();
+        let mut atomics_allow = BTreeMap::new();
+        for key in cfg.keys("atomics.allow") {
+            atomics_allow.insert(key.to_string(), cfg.list("atomics.allow", key).to_vec());
+        }
+        let mut skip_dirs = list("lint", "skip");
+        if skip_dirs.is_empty() {
+            skip_dirs = vec!["target".into(), ".git".into()];
+        }
+        LintConfig {
+            no_panic_paths: list("no_panic", "paths"),
+            atomics_allow,
+            unsafe_allow: list("unsafe_code", "allow"),
+            cast_paths: list("lossy_casts", "paths"),
+            cast_allow: list("lossy_casts", "allow"),
+            skip_dirs,
+        }
+    }
+}
+
+/// Whether `rel` is `prefix` itself or lies under it.
+fn under(rel: &str, prefix: &str) -> bool {
+    rel == prefix || rel.strip_prefix(prefix).is_some_and(|r| r.starts_with('/'))
+}
+
+fn under_any(rel: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| under(rel, p))
+}
+
+/// Run the lint pass over every `.rs` file under `root`.
+///
+/// # Errors
+/// IO failures while walking or reading, as a message.
+pub fn run_lint(root: &Path, cfg: &LintConfig) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    walk(root, root, &cfg.skip_dirs, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(root.join(file))
+            .map_err(|e| format!("cannot read {file}: {e}"))?;
+        lint_file(file, &text, cfg, &mut findings);
+    }
+    Ok(findings)
+}
+
+fn walk(root: &Path, dir: &Path, skip: &[String], out: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if skip.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, skip, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Scanner state carried across lines of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Nested block comment depth.
+    Block(u32),
+    /// Inside a plain (escaped) string literal.
+    Str,
+    /// Inside a raw string with this many `#`s.
+    RawStr(u8),
+}
+
+/// Split one line into (code, comment), updating the cross-line mode.
+/// String-literal contents are blanked from the code text so needles never
+/// match inside them.
+fn split_line(line: &str, mode: &mut Mode) -> (String, String) {
+    let b: Vec<char> = line.chars().collect();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        match *mode {
+            Mode::Block(depth) => {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    *mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    *mode = if depth == 1 { Mode::Code } else { Mode::Block(depth - 1) };
+                    i += 2;
+                } else {
+                    comment.push(b[i]);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if b[i] == '\\' {
+                    i += 2;
+                } else if b[i] == '"' {
+                    *mode = Mode::Code;
+                    code.push('"');
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if b[i] == '"' {
+                    let h = hashes as usize;
+                    if b[i + 1..].len() >= h && b[i + 1..i + 1 + h].iter().all(|&c| c == '#') {
+                        *mode = Mode::Code;
+                        code.push('"');
+                        i += 1 + h;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Code => match b[i] {
+                '/' if b.get(i + 1) == Some(&'/') => {
+                    comment.push_str(&line.chars().skip(i + 2).collect::<String>());
+                    i = b.len();
+                }
+                '/' if b.get(i + 1) == Some(&'*') => {
+                    *mode = Mode::Block(1);
+                    i += 2;
+                }
+                '"' => {
+                    *mode = Mode::Str;
+                    code.push('"');
+                    i += 1;
+                }
+                'r' | 'b' if is_raw_string_start(&b, i) => {
+                    // r"..." / r#"..."# / br"..." / b"...": count hashes.
+                    let mut j = i + 1;
+                    if b.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u8;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    // b.get(j) is the opening quote.
+                    code.push('"');
+                    *mode = if hashes == 0 && b[i] == 'b' && b.get(i + 1) != Some(&'r') {
+                        Mode::Str // b"..." escapes like a plain string
+                    } else {
+                        Mode::RawStr(hashes)
+                    };
+                    i = j + 1;
+                }
+                '\'' => {
+                    // Char literal vs lifetime.
+                    if b.get(i + 1) == Some(&'\\') {
+                        // Escaped char literal: skip to closing quote.
+                        let mut j = i + 2;
+                        while j < b.len() && b[j] != '\'' {
+                            j += 1;
+                        }
+                        i = j + 1;
+                    } else if b.get(i + 2) == Some(&'\'') {
+                        i += 3; // 'x'
+                    } else {
+                        code.push('\''); // lifetime
+                        i += 1;
+                    }
+                }
+                c => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+        }
+    }
+    (code, comment)
+}
+
+/// Is `b[i]` the start of a raw/byte string literal (not an identifier that
+/// happens to contain `r` or `b`)?
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let prev_ident = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
+    if prev_ident {
+        return false;
+    }
+    let mut j = i + 1;
+    if b[i] == 'b' && b.get(j) == Some(&'r') {
+        j += 1;
+    } else if b[i] == 'b' {
+        return b.get(j) == Some(&'"');
+    }
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&'"')
+}
+
+const PANIC_NEEDLES: [&str; 6] =
+    [".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!", "unreachable!"];
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn lint_file(rel: &str, text: &str, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let check_panics = under_any(rel, &cfg.no_panic_paths);
+    let check_casts = under_any(rel, &cfg.cast_paths) && !under_any(rel, &cfg.cast_allow);
+    let check_unsafe = !under_any(rel, &cfg.unsafe_allow);
+    let atomics_allow: &[String] = cfg.atomics_allow.get(rel).map_or(&[], Vec::as_slice);
+
+    let mut mode = Mode::Code;
+    let mut depth: i64 = 0; // brace depth over code text
+    let mut cfg_test_pending = false;
+    let mut test_region_floor: Option<i64> = None;
+    let mut prev_comment = String::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let (code, comment) = split_line(raw, &mut mode);
+        let in_test_at_start = test_region_floor.is_some();
+
+        // Track #[cfg(test)] regions: the attribute arms `pending`; the next
+        // `{` opens the region, a `;` first means a braceless item.
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            cfg_test_pending = true;
+        }
+        let mut entered_test = false;
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if cfg_test_pending {
+                        cfg_test_pending = false;
+                        if test_region_floor.is_none() {
+                            test_region_floor = Some(depth);
+                            entered_test = true;
+                        }
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(floor) = test_region_floor {
+                        if depth < floor {
+                            test_region_floor = None;
+                        }
+                    }
+                }
+                ';' if cfg_test_pending && test_region_floor.is_none() => {
+                    cfg_test_pending = false;
+                }
+                _ => {}
+            }
+        }
+        let in_test = in_test_at_start || entered_test;
+
+        if check_panics && !in_test {
+            for needle in PANIC_NEEDLES {
+                if code.contains(needle) {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: "no-panic",
+                        message: format!(
+                            "`{needle}` in a serving/search hot path; return an error or \
+                             restructure (test code is exempt via #[cfg(test)])"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if check_unsafe && contains_word(&code, "unsafe") {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: line_no,
+                rule: "no-unsafe",
+                message: "`unsafe` is forbidden outside the audit.toml whitelist \
+                          (currently empty: the workspace is unsafe-free)"
+                    .to_string(),
+            });
+        }
+
+        for ord in ORDERINGS {
+            let pat = format!("Ordering::{ord}");
+            if !code.contains(pat.as_str()) {
+                continue;
+            }
+            let allowed = atomics_allow.iter().any(|a| a == ord);
+            let justified = comment.contains("ordering:") || prev_comment.contains("ordering:");
+            if !allowed && !justified {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: line_no,
+                    rule: "atomic-ordering",
+                    message: format!(
+                        "Ordering::{ord} is not in this file's allowlist; add a \
+                         `// ordering:` justification or extend audit.toml"
+                    ),
+                });
+            }
+            break; // one finding per line, not per occurrence
+        }
+
+        if check_casts && !in_test {
+            for ty in ["u32", "u16", "u8"] {
+                if has_cast_to(&code, ty)
+                    && !comment.contains("cast:")
+                    && !prev_comment.contains("cast:")
+                {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: "lossy-cast",
+                        message: format!(
+                            "`as {ty}` on an id-critical path can truncate; add a \
+                             `// cast:` justification or whitelist a serialization site"
+                        ),
+                    });
+                }
+            }
+        }
+
+        prev_comment = comment;
+    }
+}
+
+/// Does `code` contain `word` delimited by non-identifier characters?
+fn contains_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let pre =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let post =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if pre && post {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Does `code` contain a cast `as <ty>` (token-delimited)?
+fn has_cast_to(code: &str, ty: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(" as ") {
+        let after = from + pos + 4;
+        let rest = &code[after..];
+        if rest.starts_with(ty) {
+            let end = after + ty.len();
+            if end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+                return true;
+            }
+        }
+        from = from + pos + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_all(rel_hot: &str) -> LintConfig {
+        LintConfig {
+            no_panic_paths: vec![rel_hot.to_string()],
+            atomics_allow: BTreeMap::new(),
+            unsafe_allow: Vec::new(),
+            cast_paths: vec![rel_hot.to_string()],
+            cast_allow: Vec::new(),
+            skip_dirs: vec!["target".into()],
+        }
+    }
+
+    fn lint_one(rel: &str, text: &str, cfg: &LintConfig) -> Vec<Finding> {
+        let mut out = Vec::new();
+        lint_file(rel, text, cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn panic_rules() {
+        let cfg = cfg_all("hot");
+        assert_eq!(lint_one("hot/a.rs", "let y = x.unwrap();\n", &cfg).len(), 1);
+        assert_eq!(lint_one("cold/a.rs", "let y = x.unwrap();\n", &cfg).len(), 0);
+        // unwrap_or_else is not unwrap().
+        assert_eq!(lint_one("hot/a.rs", "let y = x.unwrap_or_else(f);\n", &cfg).len(), 0);
+        // Comments and strings never match.
+        assert_eq!(lint_one("hot/a.rs", "// x.unwrap()\n", &cfg).len(), 0);
+        assert_eq!(lint_one("hot/a.rs", "let s = \".unwrap()\";\n", &cfg).len(), 0);
+        assert_eq!(lint_one("hot/a.rs", "/* panic! *//* todo! */\n", &cfg).len(), 0);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let cfg = cfg_all("hot");
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\nfn h() { y.expect(\"\"); }\n";
+        let f = lint_one("hot/a.rs", src, &cfg);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_swallow_file() {
+        let cfg = cfg_all("hot");
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn f() { x.unwrap(); }\n";
+        assert_eq!(lint_one("hot/a.rs", src, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn atomics_need_allowlist_or_justification() {
+        let mut cfg = cfg_all("hot");
+        let src = "a.load(Ordering::Relaxed);\n";
+        assert_eq!(lint_one("x/a.rs", src, &cfg).len(), 1);
+        // Same-line justification.
+        assert_eq!(
+            lint_one("x/a.rs", "a.load(Ordering::Relaxed); // ordering: counter\n", &cfg).len(),
+            0
+        );
+        // Preceding-line justification.
+        assert_eq!(
+            lint_one("x/a.rs", "// ordering: counter\na.load(Ordering::Relaxed);\n", &cfg).len(),
+            0
+        );
+        // Allowlist.
+        cfg.atomics_allow.insert("x/a.rs".into(), vec!["Relaxed".into()]);
+        assert_eq!(lint_one("x/a.rs", src, &cfg).len(), 0);
+        // SeqCst still flagged.
+        assert_eq!(lint_one("x/a.rs", "a.load(Ordering::SeqCst);\n", &cfg).len(), 1);
+        // cmp::Ordering variants never match.
+        assert_eq!(lint_one("x/a.rs", "match o { Ordering::Less => {} }\n", &cfg).len(), 0);
+    }
+
+    #[test]
+    fn unsafe_is_flagged_everywhere_even_in_tests() {
+        let cfg = cfg_all("hot");
+        assert_eq!(lint_one("x/a.rs", "unsafe { *p }\n", &cfg).len(), 1);
+        assert_eq!(
+            lint_one("x/a.rs", "#[cfg(test)]\nmod t { fn f() { unsafe {} } }\n", &cfg).len(),
+            1
+        );
+        // The forbid attribute itself must not match.
+        assert_eq!(lint_one("x/a.rs", "#![forbid(unsafe_code)]\n", &cfg).len(), 0);
+        // Word inside a doc comment is fine.
+        assert_eq!(lint_one("x/a.rs", "//! needs no unsafe code\n", &cfg).len(), 0);
+    }
+
+    #[test]
+    fn lossy_casts_rule() {
+        let cfg = cfg_all("hot");
+        assert_eq!(lint_one("hot/a.rs", "let x = n as u32;\n", &cfg).len(), 1);
+        assert_eq!(lint_one("hot/a.rs", "let x = n as u64;\n", &cfg).len(), 0);
+        assert_eq!(lint_one("hot/a.rs", "let x = n as usize;\n", &cfg).len(), 0);
+        assert_eq!(
+            lint_one("hot/a.rs", "let x = n as u32; // cast: n < 2^32 by construction\n", &cfg)
+                .len(),
+            0
+        );
+        assert_eq!(lint_one("cold/a.rs", "let x = n as u32;\n", &cfg).len(), 0);
+        let mut allow = cfg;
+        allow.cast_allow.push("hot/ser.rs".into());
+        assert_eq!(lint_one("hot/ser.rs", "let x = n as u32;\n", &allow).len(), 0);
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_do_not_confuse_the_scanner() {
+        let cfg = cfg_all("hot");
+        let src =
+            "let s = r#\"panic!\"#;\nlet c = '{';\nlet l: &'static str = \"x\";\nx.unwrap();\n";
+        let f = lint_one("hot/a.rs", src, &cfg);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn multiline_block_comments_and_strings() {
+        let cfg = cfg_all("hot");
+        let src = "/*\n .unwrap()\n*/\nlet s = \"line1\nline2 .unwrap()\";\n";
+        assert_eq!(lint_one("hot/a.rs", src, &cfg).len(), 0);
+    }
+
+    #[test]
+    fn under_prefix_semantics() {
+        assert!(under("a/b/c.rs", "a/b"));
+        assert!(under("a/b", "a/b"));
+        assert!(!under("a/bc/d.rs", "a/b"));
+    }
+}

@@ -1,0 +1,115 @@
+//! `ann-audit` CLI: run the workspace source lint pass.
+//!
+//! ```text
+//! cargo run -p ann-audit -- lint [--root DIR] [--config FILE]
+//! ```
+//!
+//! Findings print as `file:line: rule: message`, one per line; a non-empty
+//! report exits with status 1 so CI fails. Usage and configuration errors
+//! exit with status 2.
+
+use ann_audit::config::AuditConfigFile;
+use ann_audit::lint::{run_lint, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_cmd(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+ann-audit: workspace static analysis
+
+USAGE:
+    ann-audit lint [--root DIR] [--config FILE]
+
+Runs the repo-specific lint pass (no-panic hot paths, atomic-ordering
+allowlists, no-unsafe, lossy id casts) over every .rs file under the root.
+The root defaults to the nearest ancestor directory containing audit.toml;
+the config defaults to <root>/audit.toml.
+";
+
+fn lint_cmd(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>| {
+            it.next().cloned().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        let result = match arg.as_str() {
+            "--root" => value(&mut it).map(|v| root = Some(PathBuf::from(v))),
+            "--config" => value(&mut it).map(|v| config = Some(PathBuf::from(v))),
+            other => Err(format!("unknown flag `{other}`")),
+        };
+        if let Err(e) = result {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let root = match root.map_or_else(find_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config.unwrap_or_else(|| root.join("audit.toml"));
+    let cfg = match AuditConfigFile::load(&config_path) {
+        Ok(c) => LintConfig::from_file(&c),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match run_lint(&root, &cfg) {
+        Ok(findings) if findings.is_empty() => {
+            println!("ann-audit lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("ann-audit lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The nearest ancestor of the current directory containing `audit.toml`.
+fn find_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("audit.toml").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => {
+                return Err(format!(
+                    "no audit.toml found in {} or any ancestor; pass --root",
+                    cwd.display()
+                ))
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Graph and snapshot invariant violations reported by the auditor.
+
+/// One broken invariant found in a built index or published snapshot.
+///
+/// Every variant names the offending node(s) so a report pinpoints the
+/// corruption rather than just declaring the index bad.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The entry point does not name a node.
+    EntryOutOfBounds {
+        /// The stored entry id.
+        entry: u32,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge targets a node id outside `0..n`.
+    EdgeOutOfBounds {
+        /// Source node.
+        node: u32,
+        /// Offending target.
+        target: u32,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A node lists itself as a neighbor.
+    SelfLoop {
+        /// The node.
+        node: u32,
+    },
+    /// A node lists the same neighbor twice.
+    DuplicateNeighbor {
+        /// Source node.
+        node: u32,
+        /// The repeated target.
+        target: u32,
+    },
+    /// A node's out-degree exceeds the builder's cap.
+    DegreeOverflow {
+        /// The node.
+        node: u32,
+        /// Its out-degree.
+        degree: usize,
+        /// The cap it should respect.
+        cap: usize,
+    },
+    /// Nodes exist that the entry point cannot reach.
+    Unreachable {
+        /// How many nodes are unreachable.
+        count: usize,
+        /// One example unreachable node.
+        example: u32,
+    },
+    /// A kept edge length in the QEO side table disagrees with the actual
+    /// Euclidean distance between its endpoints.
+    EdgeLengthMismatch {
+        /// Source node.
+        node: u32,
+        /// Slot within the node's neighbor list.
+        slot: usize,
+        /// Stored length.
+        stored: f32,
+        /// Recomputed length.
+        actual: f32,
+    },
+    /// A sampled near neighbor `b` of `p` has no edge from `p` and no kept
+    /// neighbor `r` of `p` occludes it under the τ-MG rule
+    /// (`d(p, r) < d(p, b)` and `d(r, b) < d(p, b) − 3τ`): the omission of
+    /// `(p, b)` is unjustified, so the graph is not τ-monotonic at `p`.
+    OcclusionUnjustified {
+        /// The node whose neighborhood broke the rule.
+        p: u32,
+        /// The near neighbor whose edge was dropped without a witness.
+        b: u32,
+        /// Euclidean distance `d(p, b)`.
+        dist: f32,
+    },
+    /// Greedy descent from the entry point failed to reach sampled database
+    /// points at the required rate — the monotonicity the τ construction
+    /// promises for in-tube queries is broken in bulk.
+    MonotonicityBelowFloor {
+        /// Fraction of sampled targets greedy descent reached.
+        rate: f64,
+        /// The configured floor.
+        floor: f64,
+        /// Targets sampled.
+        samples: usize,
+    },
+    /// Serialize→deserialize through `TauIndex::to_bytes` did not reproduce
+    /// the index.
+    RoundTripMismatch {
+        /// What differed.
+        what: &'static str,
+    },
+    /// A published snapshot maps two internal slots to one external id.
+    DuplicateExternalId {
+        /// The repeated external id.
+        external: u64,
+    },
+    /// A deleted (tombstoned) external id is still present in a published
+    /// snapshot — readers could observe a point that was deleted before the
+    /// publish.
+    TombstoneInSnapshot {
+        /// The deleted external id found in the snapshot.
+        external: u64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Violation::EntryOutOfBounds { entry, n } => {
+                write!(f, "entry point {entry} out of bounds for {n} nodes")
+            }
+            Violation::EdgeOutOfBounds { node, target, n } => {
+                write!(f, "node {node} has edge to {target}, out of bounds for {n} nodes")
+            }
+            Violation::SelfLoop { node } => write!(f, "node {node} has a self-loop"),
+            Violation::DuplicateNeighbor { node, target } => {
+                write!(f, "node {node} lists neighbor {target} more than once")
+            }
+            Violation::DegreeOverflow { node, degree, cap } => {
+                write!(f, "node {node} has out-degree {degree}, exceeding cap {cap}")
+            }
+            Violation::Unreachable { count, example } => {
+                write!(f, "{count} nodes unreachable from the entry point (e.g. node {example})")
+            }
+            Violation::EdgeLengthMismatch { node, slot, stored, actual } => {
+                write!(f, "node {node} slot {slot}: stored edge length {stored} != actual {actual}")
+            }
+            Violation::OcclusionUnjustified { p, b, dist } => {
+                write!(
+                    f,
+                    "node {p} omits near neighbor {b} (d_eu {dist}) with no occluding \
+                     witness under the tau-MG rule"
+                )
+            }
+            Violation::MonotonicityBelowFloor { rate, floor, samples } => {
+                write!(
+                    f,
+                    "greedy descent reached only {rate:.3} of {samples} sampled targets \
+                     (floor {floor:.3})"
+                )
+            }
+            Violation::RoundTripMismatch { what } => {
+                write!(f, "serialize/deserialize round trip changed {what}")
+            }
+            Violation::DuplicateExternalId { external } => {
+                write!(f, "external id {external} appears on more than one internal slot")
+            }
+            Violation::TombstoneInSnapshot { external } => {
+                write!(f, "deleted external id {external} is present in a published snapshot")
+            }
+        }
+    }
+}

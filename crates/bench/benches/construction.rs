@@ -29,7 +29,7 @@ fn bench_construction(c: &mut Criterion) {
             nn_descent(metric, &base, NnDescentParams { k: 32, seed: 7, ..Default::default() })
                 .expect("nn-descent")
                 .num_nodes()
-        })
+        });
     });
     group.bench_function("tau_mng", |b| {
         b.iter(|| {
@@ -37,7 +37,7 @@ fn bench_construction(c: &mut Criterion) {
                 .expect("tau-MNG")
                 .graph_stats()
                 .num_edges
-        })
+        });
     });
     group.bench_function("nsg", |b| {
         b.iter(|| {
@@ -45,7 +45,7 @@ fn bench_construction(c: &mut Criterion) {
                 .expect("NSG")
                 .graph_stats()
                 .num_edges
-        })
+        });
     });
     group.bench_function("hnsw", |b| {
         b.iter(|| {
@@ -53,7 +53,7 @@ fn bench_construction(c: &mut Criterion) {
                 .expect("HNSW")
                 .graph_stats()
                 .num_edges
-        })
+        });
     });
     group.bench_function("vamana", |b| {
         b.iter(|| {
@@ -61,7 +61,7 @@ fn bench_construction(c: &mut Criterion) {
                 .expect("Vamana")
                 .graph_stats()
                 .num_edges
-        })
+        });
     });
     group.finish();
 }

@@ -23,16 +23,16 @@ fn bench_kernels(c: &mut Criterion) {
         let (a, b) = make_pair(dim);
         group.throughput(Throughput::Elements(dim as u64));
         group.bench_with_input(BenchmarkId::new("l2_sq", dim), &dim, |bench, _| {
-            bench.iter(|| l2_sq(black_box(&a), black_box(&b)))
+            bench.iter(|| l2_sq(black_box(&a), black_box(&b)));
         });
         group.bench_with_input(BenchmarkId::new("l2_sq_naive", dim), &dim, |bench, _| {
-            bench.iter(|| reference::l2_sq(black_box(&a), black_box(&b)))
+            bench.iter(|| reference::l2_sq(black_box(&a), black_box(&b)));
         });
         group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
-            bench.iter(|| dot(black_box(&a), black_box(&b)))
+            bench.iter(|| dot(black_box(&a), black_box(&b)));
         });
         group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bench, _| {
-            bench.iter(|| cosine_dissim(black_box(&a), black_box(&b)))
+            bench.iter(|| cosine_dissim(black_box(&a), black_box(&b)));
         });
     }
     group.finish();

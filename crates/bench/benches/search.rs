@@ -29,7 +29,7 @@ fn bench_search(c: &mut Criterion) {
                     );
                     q = q.wrapping_add(1);
                     r.ids.len()
-                })
+                });
             });
         }
     }
@@ -68,7 +68,7 @@ fn bench_tau_search_options(c: &mut Criterion) {
                 );
                 q = q.wrapping_add(1);
                 r.ids.len()
-            })
+            });
         });
     }
     group.finish();

@@ -28,7 +28,7 @@ fn bench_pool(c: &mut Criterion) {
                     pool.insert(black_box(d), i as u32);
                 }
                 pool.len()
-            })
+            });
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_visited(c: &mut Criterion) {
                 acc += v.insert(black_box(i)) as u32;
             }
             acc
-        })
+        });
     });
     group.bench_function("clear_is_o1", |b| {
         let mut v = VisitedSet::new(1_000_000);
@@ -53,7 +53,7 @@ fn bench_visited(c: &mut Criterion) {
         b.iter(|| {
             v.clear();
             black_box(v.contains(3))
-        })
+        });
     });
     group.finish();
 }

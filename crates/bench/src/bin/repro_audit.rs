@@ -1,0 +1,86 @@
+//! Repro binary: run the graph-invariant auditor over every contender's
+//! freshly built index at the configured scale (`ANN_SCALE=fast|default|full`).
+//!
+//! This is the offline counterpart of the debug-build publish gate in
+//! `ann-service`: full sampled geometry (edge lengths, τ-MG occlusion rule,
+//! greedy-descent floor) on top of the structural checks, over every builder
+//! in the comparison grid plus the shared kNN graph. Exit status is non-zero
+//! if any index fails its invariants, so the repro pipeline can gate on it.
+
+use ann_bench::{params, prepare, Scale, KNN_K, TAU_MULT};
+use ann_eval::audit::{
+    audit_bare_graph, audit_entry_graph, audit_frozen, audit_tau, AuditOptions, AuditReport,
+};
+use ann_hcnng::build_hcnng;
+use ann_hnsw::Hnsw;
+use ann_nsg::{build_nsg, build_ssg};
+use ann_vamana::build_vamana;
+use std::process::ExitCode;
+use tau_mg::build_tau_mng;
+
+fn main() -> ExitCode {
+    let scale = Scale::from_env();
+    let mut dirty = 0usize;
+    for recipe in scale.recipes() {
+        let data = prepare(recipe, scale);
+        println!("== {} (n = {}) ==", data.name, data.base.len());
+        let mut reports: Vec<AuditReport> = Vec::new();
+
+        // The shared kNN graph: directed, no entry point, degree exactly k.
+        reports.push(audit_bare_graph(
+            "kNN",
+            &data.knn.to_var_graph(),
+            Some(KNN_K.min(data.base.len() - 1)),
+        ));
+
+        // Builders whose graphs guarantee greedy navigability: full checks.
+        let navigable = AuditOptions::default();
+        // Builders without that guarantee (HCNNG's union-of-MSTs, HNSW's
+        // bottom layer stripped of its routing layers): structural +
+        // reachability only.
+        let structural = AuditOptions { monotonicity_floor: None, ..AuditOptions::default() };
+
+        let hnsw = Hnsw::build(data.base.clone(), data.metric, params::hnsw()).expect("HNSW");
+        reports.push(audit_entry_graph(
+            "HNSW layer0",
+            hnsw.bottom_layer(),
+            &data.base,
+            hnsw.entry_point().0,
+            Some(hnsw.params().max_m0()),
+            &structural,
+        ));
+
+        let nsg = build_nsg(data.base.clone(), data.metric, &data.knn, params::nsg()).expect("NSG");
+        reports.push(audit_frozen("NSG", &nsg, Some(params::nsg().r), &navigable));
+
+        let ssg = build_ssg(data.base.clone(), data.metric, &data.knn, params::ssg()).expect("SSG");
+        reports.push(audit_frozen("SSG", &ssg, Some(params::ssg().r), &navigable));
+
+        let vamana =
+            build_vamana(data.base.clone(), data.metric, params::vamana()).expect("Vamana");
+        reports.push(audit_frozen("Vamana", &vamana, Some(params::vamana().r), &navigable));
+
+        let hcnng = build_hcnng(data.base.clone(), data.metric, params::hcnng()).expect("HCNNG");
+        reports.push(audit_frozen("HCNNG", &hcnng, None, &structural));
+
+        let tau = params::tau_mng(data.tau0 * TAU_MULT);
+        let tmng = build_tau_mng(data.base.clone(), data.metric, &data.knn, tau).expect("tau-MNG");
+        reports.push(audit_tau(
+            "tau-MNG",
+            &tmng,
+            &AuditOptions { degree_cap: Some(tau.r), ..AuditOptions::default() },
+        ));
+
+        for r in &reports {
+            println!("{r}");
+            dirty += r.violations.len();
+        }
+    }
+    if dirty == 0 {
+        println!("repro_audit: all indexes clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("repro_audit: {dirty} violation(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -10,7 +10,7 @@
 //! process). `fast` exists so the whole grid can smoke-run in CI time;
 //! `full` is the overnight setting.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod experiments;
 

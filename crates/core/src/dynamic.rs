@@ -87,6 +87,7 @@ impl DynamicTauMng {
     pub fn from_index_with_params(index: &TauIndex, params: TauMngParams) -> Self {
         let n = index.store().len();
         let mut graph = VarGraph::new(n);
+        // cast: node count fits u32, the graph id type.
         for u in 0..n as u32 {
             graph.set_neighbors(u, index.graph().neighbors(u).to_vec());
         }
@@ -225,7 +226,7 @@ impl DynamicTauMng {
                 .copied()
                 .find(|&v| !self.deleted[v as usize])
                 .unwrap_or_else(|| {
-                    (0..self.store.len() as u32)
+                    (0..self.store.len() as u32) // cast: store len fits u32
                         .find(|&v| !self.deleted[v as usize])
                         .expect("live > 0")
                 });
@@ -242,6 +243,7 @@ impl DynamicTauMng {
         let mut spliced = 0usize;
         // For each live node that points at a tombstone, merge the
         // tombstones' out-lists into its candidates and re-prune.
+        // cast: node count fits u32, the graph id type.
         for p in 0..n as u32 {
             if self.deleted[p as usize] {
                 continue;
@@ -277,6 +279,7 @@ impl DynamicTauMng {
             self.graph.set_neighbors(p, pruned);
         }
         // Clear tombstone out-lists so they stop consuming memory.
+        // cast: node count fits u32, the graph id type.
         for d in 0..n as u32 {
             if self.deleted[d as usize] {
                 self.graph.set_neighbors(d, Vec::new());
@@ -334,6 +337,7 @@ impl DynamicTauMng {
         let n = self.store.len();
         let mut remap: Vec<Option<u32>> = vec![None; n];
         let mut new_store = VecStore::with_capacity(self.store.dim(), self.live)?;
+        // cast: node count fits u32, the graph id type.
         for old in 0..n as u32 {
             if !self.deleted[old as usize] {
                 let new_id = new_store.push(self.store.get(old))?;
@@ -341,6 +345,7 @@ impl DynamicTauMng {
             }
         }
         let mut new_graph = VarGraph::new(self.live);
+        // cast: node count fits u32, the graph id type.
         for old in 0..n as u32 {
             let Some(new_id) = remap[old as usize] else {
                 continue;

@@ -63,9 +63,9 @@ pub fn build_tau_mg(store: Arc<VecStore>, metric: Metric, params: TauMgParams) -
     let entry = store.medoid(metric)?;
 
     let lists = parallel_map(n, num_threads(), |p| {
-        let p = p as u32;
+        let p = p as u32; // cast: node count fits u32, the graph id type
         let vp = store.get(p);
-        let mut cands: Vec<(f32, u32)> = (0..n as u32)
+        let mut cands: Vec<(f32, u32)> = (0..n as u32) // cast: same bound
             .filter(|&i| i != p)
             .map(|i| (metric.distance(vp, store.get(i)), i))
             .collect();
@@ -75,7 +75,7 @@ pub fn build_tau_mg(store: Arc<VecStore>, metric: Metric, params: TauMgParams) -
 
     let mut graph = VarGraph::new(n);
     for (u, list) in lists.into_iter().enumerate() {
-        graph.set_neighbors(u as u32, list);
+        graph.set_neighbors(u as u32, list); // cast: u < n fits u32
     }
     let flat = FlatGraph::freeze(&graph, None);
     Ok(TauIndex::assemble(store, metric, view, flat, entry, params.tau, "tau-MG"))

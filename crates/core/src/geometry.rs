@@ -75,6 +75,7 @@ impl EuclideanView {
 /// Verify that every vector in the store is unit-normalized (within `tol`).
 /// Required before trusting [`EuclideanView::UnitSphere`].
 pub fn check_unit_norm(store: &VecStore, tol: f32) -> Result<()> {
+    // cast: store len fits u32, the graph id type.
     for i in 0..store.len() as u32 {
         let v = store.get(i);
         let n = ann_vectors::metric::dot(v, v).sqrt();

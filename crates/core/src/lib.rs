@@ -52,7 +52,7 @@
 //! assert_eq!(result.ids.len(), 10);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod dynamic;
 pub mod exact;

@@ -99,7 +99,7 @@ pub fn build_tau_mng(
                     if p >= n {
                         break;
                     }
-                    let p = p as u32;
+                    let p = p as u32; // cast: node count fits u32
                     let extra: Vec<(f32, u32)> = knn
                         .neighbors(p)
                         .iter()
@@ -133,9 +133,9 @@ pub fn build_tau_mng(
     // Phase 3: connectivity repair.
     let mut graph = VarGraph::new(n);
     for (u, list) in lists.into_iter().enumerate() {
-        graph.set_neighbors(u as u32, list);
+        graph.set_neighbors(u as u32, list); // cast: u < n fits u32
     }
-    repair_connectivity(&mut graph, &store, metric, entry, params.l);
+    repair_connectivity(&mut graph, &store, metric, entry, params.l, params.r);
 
     let flat = FlatGraph::freeze(&graph, None);
     Ok(TauIndex::assemble(store, metric, view, flat, entry, params.tau, "tau-MNG"))
@@ -187,7 +187,7 @@ mod tests {
         let params = TauMngParams { tau: tau0, r: 16, ..Default::default() };
         let idx = build_tau_mng(store, Metric::L2, &knn, params).unwrap();
         assert!(fully_reachable(idx.graph(), idx.entry_point()));
-        assert!(idx.graph().max_degree() <= params.r + 4);
+        assert!(idx.graph().max_degree() <= params.r, "repair must respect the degree cap");
         assert_eq!(idx.name(), "tau-MNG");
         assert!((idx.tau() - tau0).abs() < 1e-6);
     }

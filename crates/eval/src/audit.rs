@@ -1,0 +1,140 @@
+//! Post-build invariant auditing for the harness.
+//!
+//! Every repro experiment builds indexes and then measures them; this module
+//! inserts the missing middle step — *verify the index is structurally sound
+//! before trusting numbers measured on it*. It adapts the workspace graph
+//! types to [`ann_audit`] and renders one-line-per-problem reports the repro
+//! binaries can print.
+
+pub use ann_audit::{AuditOptions, Violation};
+
+use ann_audit::{audit_flat_index, audit_graph, GraphAuditor};
+use ann_graph::index::FrozenGraphIndex;
+use ann_graph::GraphView;
+use ann_vectors::VecStore;
+
+/// The outcome of auditing one named index.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Which index was audited (builder name).
+    pub name: String,
+    /// Everything found wrong (empty = clean).
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// Whether the audit found nothing wrong.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "{}: clean", self.name);
+        }
+        writeln!(f, "{}: {} violation(s)", self.name, self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Audit a frozen single-graph index (NSG, SSG, Vamana, HCNNG): structural
+/// checks plus the greedy-descent floor from `opts`, with `cap` overriding
+/// the options' degree cap (builders know theirs; pass `None` for builders
+/// like HCNNG whose accumulated-MST degrees have no single cap).
+pub fn audit_frozen(
+    name: &str,
+    index: &FrozenGraphIndex,
+    cap: Option<usize>,
+    opts: &AuditOptions,
+) -> AuditReport {
+    let mut opts = opts.clone();
+    opts.degree_cap = cap;
+    AuditReport {
+        name: name.to_string(),
+        violations: audit_flat_index(index.graph(), index.store(), index.entry_point(), &opts),
+    }
+}
+
+/// Audit a bare adjacency structure (kNN graphs, HNSW bottom layers):
+/// structural checks only — no entry point means no reachability or descent
+/// guarantee to verify.
+pub fn audit_bare_graph<G: GraphView>(name: &str, graph: &G, cap: Option<usize>) -> AuditReport {
+    AuditReport { name: name.to_string(), violations: audit_graph(graph, None, cap) }
+}
+
+/// Audit a graph searched greedily from `entry` but not wrapped in a frozen
+/// index (e.g. an HNSW bottom layer with its layer-0 entry).
+pub fn audit_entry_graph<G: GraphView>(
+    name: &str,
+    graph: &G,
+    store: &VecStore,
+    entry: u32,
+    cap: Option<usize>,
+    opts: &AuditOptions,
+) -> AuditReport {
+    let mut opts = opts.clone();
+    opts.degree_cap = cap;
+    AuditReport { name: name.to_string(), violations: audit_flat_index(graph, store, entry, &opts) }
+}
+
+/// Audit a τ-index with the full check suite from `opts`.
+pub fn audit_tau(name: &str, index: &tau_mg::TauIndex, opts: &AuditOptions) -> AuditReport {
+    AuditReport {
+        name: name.to_string(),
+        violations: GraphAuditor::new(opts.clone()).audit_index(index),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_graph::{FlatGraph, VarGraph};
+    use std::sync::Arc;
+
+    fn line_store(n: usize) -> Arc<VecStore> {
+        let rows: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32, 0.0]).collect();
+        Arc::new(VecStore::from_rows(&rows).unwrap())
+    }
+
+    fn line_graph(n: usize) -> VarGraph {
+        // Bidirectional chain: fully reachable, greedy descent always works
+        // in 1-D.
+        let mut g = VarGraph::new(n);
+        for i in 0..n as u32 - 1 {
+            g.add_edge(i, i + 1);
+            g.add_edge(i + 1, i);
+        }
+        g
+    }
+
+    #[test]
+    fn clean_frozen_index_reports_clean() {
+        let store = line_store(8);
+        let idx = FrozenGraphIndex::new(
+            store,
+            ann_vectors::Metric::L2,
+            FlatGraph::freeze(&line_graph(8), None),
+            0,
+            "chain",
+        );
+        let report = audit_frozen("chain", &idx, Some(2), &AuditOptions::default());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(format!("{report}"), "chain: clean");
+    }
+
+    #[test]
+    fn violations_render_one_per_line() {
+        let mut g = line_graph(4);
+        g.add_edge(0, 0); // self-loop
+        let report = audit_bare_graph("bad", &FlatGraph::freeze(&g, None), Some(1));
+        assert!(!report.is_clean());
+        let text = format!("{report}");
+        assert!(text.contains("self-loop"), "{text}");
+        assert!(text.contains("out-degree"), "{text}");
+    }
+}

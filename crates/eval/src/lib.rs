@@ -6,13 +6,15 @@
 //! composition of these pieces, so measurement methodology lives in exactly
 //! one place.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod build;
 pub mod report;
 pub mod sweep;
 pub mod tune;
 
+pub use audit::{audit_bare_graph, audit_entry_graph, audit_frozen, audit_tau, AuditReport};
 pub use build::{timed_build, BuildReport};
 pub use report::{banner, fmt_f, results_dir, write_report, CsvTable, MarkdownTable};
 pub use sweep::{ndc_at_recall, qps_at_recall, run_sweep, SweepConfig, SweepPoint};

@@ -55,7 +55,7 @@ where
         let Some(orphan) = seen.iter().position(|&b| !b) else {
             return added;
         };
-        let orphan = orphan as u32;
+        let orphan = orphan as u32; // cast: node index fits u32
         let mut a = anchor(graph, orphan);
         if !seen[a as usize] || a == orphan {
             a = root;

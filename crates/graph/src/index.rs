@@ -200,6 +200,7 @@ impl AnnIndex for BruteForceIndex {
     ) -> QueryResult {
         let k = k.min(self.store.len());
         let mut top = ann_vectors::TopK::new(k.max(1));
+        // cast: store len fits u32, the graph id type.
         for i in 0..self.store.len() as u32 {
             let d = self.metric.distance(query, self.store.get(i));
             if d < top.threshold() {

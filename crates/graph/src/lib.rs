@@ -8,7 +8,7 @@
 //! repair utilities ([`connectivity`]), binary persistence ([`serialize`]),
 //! and the [`index::AnnIndex`] trait every index in the workspace implements.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod adjacency;
 pub mod connectivity;

@@ -318,7 +318,7 @@ mod tests {
         assert_eq!(ids[0], 10);
         // 9/11, 8/12 ... all at the right distances, sorted ascending.
         assert!(dists.windows(2).all(|w| w[0] <= w[1]));
-        let mut sorted_ids = ids.clone();
+        let mut sorted_ids = ids;
         sorted_ids.sort_unstable();
         assert_eq!(sorted_ids, vec![8, 9, 10, 11, 12]);
     }

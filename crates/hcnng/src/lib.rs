@@ -14,7 +14,7 @@
 //! paper's comparison set. Searches use the workspace-common beam search
 //! from the medoid.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use ann_graph::{FlatGraph, FrozenGraphIndex, VarGraph};
 use ann_vectors::error::{AnnError, Result};

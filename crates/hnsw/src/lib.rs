@@ -11,7 +11,7 @@
 //!   so NDC numbers are directly comparable with every other index here;
 //! * [`Hnsw::to_bytes`] / [`Hnsw::from_bytes`] — checksummed persistence.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod build;
 pub mod index;

@@ -12,7 +12,7 @@
 //! Both produce a [`KnnGraph`]: a dense `n × k` table of neighbor ids and
 //! distances, convertible to a [`VarGraph`] for refinement.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use ann_graph::VarGraph;
 use ann_vectors::error::{AnnError, Result};

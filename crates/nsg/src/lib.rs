@@ -11,7 +11,7 @@
 //! * both yield a [`common::MonotonicIndex`] implementing
 //!   [`ann_graph::AnnIndex`].
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod common;
 pub mod nsg;

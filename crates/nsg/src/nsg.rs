@@ -111,7 +111,7 @@ pub fn build_nsg(
     for (u, list) in lists.into_iter().enumerate() {
         graph.set_neighbors(u as u32, list);
     }
-    repair_connectivity(&mut graph, &store, metric, entry, params.l);
+    repair_connectivity(&mut graph, &store, metric, entry, params.l, params.r);
 
     let flat = FlatGraph::freeze(&graph, None);
     Ok(MonotonicIndex::new(store, metric, flat, entry, "NSG"))
@@ -164,7 +164,7 @@ mod tests {
         let idx = build_nsg(store, Metric::L2, &knn, params).unwrap();
         // Connectivity repair may add a handful of overflow edges; the bulk
         // must respect R.
-        assert!(idx.graph().max_degree() <= params.r + 4);
+        assert!(idx.graph().max_degree() <= params.r, "repair must respect the degree cap");
         assert!(idx.graph_stats().avg_degree <= params.r as f64);
     }
 

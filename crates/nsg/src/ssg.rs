@@ -108,7 +108,7 @@ pub fn build_ssg(
     for (u, list) in lists.into_iter().enumerate() {
         graph.set_neighbors(u as u32, list);
     }
-    repair_connectivity(&mut graph, &store, metric, entry, params.l);
+    repair_connectivity(&mut graph, &store, metric, entry, params.l, params.r);
 
     let flat = FlatGraph::freeze(&graph, None);
     Ok(MonotonicIndex::new(store, metric, flat, entry, "SSG"))
@@ -152,7 +152,7 @@ mod tests {
         let params = SsgParams { r: 16, ..Default::default() };
         let idx = build_ssg(store, Metric::L2, &knn, params).unwrap();
         assert!(fully_reachable(idx.graph(), idx.entry_point()));
-        assert!(idx.graph().max_degree() <= params.r + 4);
+        assert!(idx.graph().max_degree() <= params.r, "repair must respect the degree cap");
     }
 
     #[test]

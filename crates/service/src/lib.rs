@@ -46,7 +46,7 @@
 //! service.shutdown();
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod metrics;
 pub mod service;

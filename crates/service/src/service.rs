@@ -489,7 +489,7 @@ mod tests {
             (0..8u32).cycle().take(256).map(|q| queries.get(q).to_vec()).collect();
         // The worker picks up h1; h2 sits in the queue, or itself overflows.
         let h1 = service.submit(busy.clone(), 10);
-        let h2 = service.submit(busy.clone(), 10);
+        let h2 = service.submit(busy, 10);
         // Submit until one of *our* probes overflows: since h2 may have
         // overflowed, compare the counter around each individual submit.
         let mut overflowed = None;

@@ -17,7 +17,7 @@
 //! stable **external ids** (`u64`, assigned at insert and never reused).
 //! All results leaving this crate are external ids.
 
-use ann_graph::{Scratch, SearchStats};
+use ann_graph::{GraphView, Scratch, SearchStats};
 use ann_vectors::error::{AnnError, Result};
 use tau_mg::{DynamicTauMng, TauIndex, TauMngParams, TauSearchOptions};
 
@@ -133,6 +133,10 @@ pub struct IndexWriter {
     generation: u64,
     cell: Arc<SnapshotCell>,
     metrics: Arc<Metrics>,
+    /// Degree bound every published graph must respect: dynamic updates
+    /// never push a touched list past `params.r`, and untouched lists keep
+    /// the attached index's original degrees.
+    audit_cap: usize,
 }
 
 impl IndexWriter {
@@ -151,6 +155,8 @@ impl IndexWriter {
         let external_ids: Vec<u64> = (0..n as u64).collect();
         let dynamic = DynamicTauMng::from_index_with_params(&index, params);
         let params = dynamic.params();
+        let audit_cap = index.graph().max_degree().max(params.r);
+        // cast: initial external ids are identity-mapped slots, all < n <= u32::MAX.
         let int_of_external = external_ids.iter().map(|&e| (e, e as u32)).collect();
         let cell = Arc::new(SnapshotCell::new(Arc::new(Snapshot {
             index,
@@ -167,6 +173,7 @@ impl IndexWriter {
             generation: 0,
             cell: Arc::clone(&cell),
             metrics,
+            audit_cap,
         };
         (writer, cell)
     }
@@ -243,12 +250,18 @@ impl IndexWriter {
                 external_ids[*new_id as usize] = self.ext_of_internal[old];
             }
         }
+        // Debug builds audit every publication before readers can see it:
+        // a violation here means a writer bug was about to become
+        // reader-visible corruption. `self.int_of_external` still holds the
+        // pre-publish live set, so it is the tombstone oracle.
+        #[cfg(debug_assertions)]
+        self.debug_audit_publication(&index, &external_ids);
         // Re-adopt the compacted index so the replica and the publication
         // share a well-repaired graph (and tombstone debt resets to zero).
         self.dynamic = DynamicTauMng::from_index_with_params(&index, self.params);
         self.ext_of_internal = external_ids.clone();
         self.int_of_external =
-            external_ids.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
+            external_ids.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect(); // cast: slot < n
         self.generation += 1;
         self.cell.publish(Arc::new(Snapshot {
             index,
@@ -258,6 +271,26 @@ impl IndexWriter {
         }));
         self.metrics.snapshots_published.inc();
         Ok(self.generation)
+    }
+
+    /// The publish-path invariant gate (debug builds only): deterministic
+    /// structural checks on the compacted graph, serialize round-trip
+    /// fidelity, and external-id hygiene (uniqueness, no tombstone
+    /// resurrection, no phantom ids).
+    #[cfg(debug_assertions)]
+    fn debug_audit_publication(&self, index: &TauIndex, external_ids: &[u64]) {
+        use ann_audit::{audit_external_ids, audit_tau_index, AuditOptions};
+        let mut violations =
+            audit_tau_index(index, &AuditOptions::publish_gate(Some(self.audit_cap)));
+        violations
+            .extend(audit_external_ids(external_ids, |e| !self.int_of_external.contains_key(&e)));
+        let report: Vec<String> = violations.iter().map(ToString::to_string).collect();
+        assert!(
+            violations.is_empty(),
+            "IndexWriter::publish produced a corrupt snapshot (generation {}):\n{}",
+            self.generation + 1,
+            report.join("\n")
+        );
     }
 }
 
@@ -334,7 +367,7 @@ mod tests {
         // Point 100 now exists twice: externals 100 and 300. A k=2 search
         // at its location must return exactly that pair, in some order.
         let hit = snap.search(base.get(100), 2, 48, &mut scratch);
-        let mut pair = hit.ids.clone();
+        let mut pair = hit.ids;
         pair.sort_unstable();
         assert_eq!(pair, vec![100, 300]);
         // Deleted externals never come back from any query.

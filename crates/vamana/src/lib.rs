@@ -11,7 +11,7 @@
 //! edges that pure RNG pruning would cut — the same intuition the τ-MG rule
 //! formalizes with its 3τ term.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use ann_graph::{FlatGraph, FrozenGraphIndex, Pool, VarGraph, VisitedSet};
 use ann_vectors::error::{AnnError, Result};

@@ -130,9 +130,8 @@ mod tests {
 
     #[test]
     fn mean_metrics_aggregate() {
-        let gt =
-            GroundTruth::from_rows(2, vec![vec![(1.0, 0), (2.0, 1)], vec![(1.0, 5), (3.0, 6)]])
-                .unwrap();
+        let gt = GroundTruth::from_rows(2, &[vec![(1.0, 0), (2.0, 1)], vec![(1.0, 5), (3.0, 6)]])
+            .unwrap();
         let results = vec![vec![0, 1], vec![6, 7]];
         let r = mean_recall_at_k(&gt, &results, 2);
         assert!((r - 0.75).abs() < 1e-9); // (1.0 + 0.5) / 2

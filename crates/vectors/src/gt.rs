@@ -22,7 +22,7 @@ impl GroundTruth {
     ///
     /// # Errors
     /// `InvalidParameter` if any row has a different length than `k`.
-    pub fn from_rows(k: usize, rows: Vec<Vec<(f32, u32)>>) -> Result<Self> {
+    pub fn from_rows(k: usize, rows: &[Vec<(f32, u32)>]) -> Result<Self> {
         let mut ids = Vec::with_capacity(rows.len() * k);
         let mut dists = Vec::with_capacity(rows.len() * k);
         for (qi, row) in rows.iter().enumerate() {
@@ -120,7 +120,7 @@ pub fn brute_force_ground_truth(
         }
         top.into_sorted()
     });
-    GroundTruth::from_rows(k, rows)
+    GroundTruth::from_rows(k, &rows)
 }
 
 #[cfg(test)]
@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn from_rows_rejects_ragged_input() {
         let rows = vec![vec![(0.0, 0u32)], vec![]];
-        assert!(GroundTruth::from_rows(1, rows).is_err());
+        assert!(GroundTruth::from_rows(1, &rows).is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   threads (the approved dependency set has no rayon);
 //! * [`io`] — fvecs/ivecs interchange plus a checksummed binary snapshot.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod accuracy;
 pub mod error;

@@ -110,7 +110,7 @@ impl FrozenMixture {
             (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(spec.mass_exponent)).collect();
         let total: f64 = masses.iter().sum();
         let mut acc = 0.0;
-        for m in masses.iter_mut() {
+        for m in &mut masses {
             acc += *m / total;
             *m = acc;
         }
@@ -138,7 +138,7 @@ impl FrozenMixture {
             if rng.random::<f64>() < self.background {
                 // Background sample: broad Gaussian spanning the cluster
                 // layout — the density bridge between clusters.
-                for x in buf.iter_mut() {
+                for x in &mut buf {
                     *x = gaussian(rng) as f32 * self.center_spread;
                 }
                 store.push(&buf).expect("dim matches");
@@ -199,7 +199,7 @@ pub fn tau_tube_queries(base: &VecStore, n: usize, tau: f32, seed: u64) -> VecSt
         let anchor = rng.random_range(0..base.len() as u32);
         // Random direction on the sphere.
         let mut norm_sq = 0.0f32;
-        for d in dir.iter_mut() {
+        for d in &mut dir {
             *d = gaussian(&mut rng) as f32;
             norm_sq += *d * *d;
         }
@@ -218,7 +218,7 @@ pub fn uniform(dim: usize, n: usize, seed: u64) -> VecStore {
     let mut store = VecStore::with_capacity(dim, n).expect("dim > 0");
     let mut buf = vec![0.0f32; dim];
     for _ in 0..n {
-        for x in buf.iter_mut() {
+        for x in &mut buf {
             *x = rng.random::<f32>() * 2.0 - 1.0;
         }
         store.push(&buf).expect("dim matches");

@@ -56,7 +56,7 @@ proptest! {
             top.push(d, i as u32);
         }
         let got: Vec<f32> = top.into_sorted().iter().map(|e| e.0).collect();
-        let mut want = dists.clone();
+        let mut want = dists;
         want.sort_by(f32::total_cmp);
         want.truncate(k);
         prop_assert_eq!(got, want);
@@ -78,7 +78,7 @@ proptest! {
     fn rderr_nonnegative_and_zero_for_exact(
         dists in prop::collection::vec(0.01f32..100.0, 1..20),
     ) {
-        let mut sorted = dists.clone();
+        let mut sorted = dists;
         sorted.sort_by(f32::total_cmp);
         let k = sorted.len();
         prop_assert_eq!(rderr_at_k(&sorted, &sorted, k), 0.0);

@@ -66,7 +66,7 @@ fn main() {
     assert!(identical);
 
     // --- Corruption is refused, not served --------------------------------
-    let mut corrupted = bytes.clone();
+    let mut corrupted = bytes;
     let mid = corrupted.len() / 2;
     corrupted[mid] ^= 0x20;
     match TauIndex::from_bytes(&corrupted, loaded_store, loaded_metric) {

@@ -119,7 +119,7 @@ fn load_gt(path: &str, k: usize) -> Result<GroundTruth, String> {
     if rows.iter().any(|r| r.len() < k) {
         return Err(format!("ground truth shallower than k = {k}"));
     }
-    GroundTruth::from_rows(k, rows).map_err(|e| e.to_string())
+    GroundTruth::from_rows(k, &rows).map_err(|e| e.to_string())
 }
 
 fn cmd_gen(flags: &Flags) -> Result<(), String> {

@@ -10,11 +10,15 @@
 //! * [`ann_graph`] — graph storage, beam search, `AnnIndex`;
 //! * [`ann_vectors`] — vectors, metrics, synthetic datasets, ground truth;
 //! * [`ann_eval`] — the measurement harness;
-//! * [`ann_service`] — concurrent snapshot-based query serving.
+//! * [`ann_service`] — concurrent snapshot-based query serving;
+//! * [`ann_audit`] — source lint pass and graph-invariant auditor.
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the architecture
 //! and the paper-reproduction map.
 
+#![forbid(unsafe_code)]
+
+pub use ann_audit;
 pub use ann_bench;
 pub use ann_eval;
 pub use ann_graph;

@@ -63,8 +63,7 @@ fn duplicate_points_do_not_break_any_builder() {
     let hnsw = Hnsw::build(base.clone(), Metric::L2, HnswParams::default()).unwrap();
     let nsg = build_nsg(base.clone(), Metric::L2, &knn, NsgParams::default()).unwrap();
     let tmg =
-        build_tau_mg(base.clone(), Metric::L2, TauMgParams { tau: 0.1, degree_cap: Some(16) })
-            .unwrap();
+        build_tau_mg(base, Metric::L2, TauMgParams { tau: 0.1, degree_cap: Some(16) }).unwrap();
     for idx in [&hnsw as &dyn AnnIndex, &nsg, &tmg] {
         let r = idx.search(&[0.2, 0.2], 5, 20);
         assert_eq!(r.ids.len(), 5, "{}", idx.name());

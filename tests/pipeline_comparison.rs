@@ -89,9 +89,9 @@ fn k_larger_than_l_is_clamped() {
 fn k_equal_n_returns_all_points_on_connected_index() {
     let ds = Recipe::UqvLike.build(60, 3, 5);
     let base = Arc::new(ds.base);
-    let hnsw = Hnsw::build(base.clone(), ds.metric, HnswParams::default()).unwrap();
+    let hnsw = Hnsw::build(base, ds.metric, HnswParams::default()).unwrap();
     let r = hnsw.search(ds.queries.get(0), 60, 200);
-    let mut ids = r.ids.clone();
+    let mut ids = r.ids;
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), 60, "full sweep must reach every point");
