@@ -5,8 +5,8 @@
 //! entry points, metric, τ, edge lengths, …).
 
 use crate::adjacency::FlatGraph;
-use ann_vectors::error::{AnnError, Result};
-use ann_vectors::io::fnv1a;
+use ann_vectors::error::{AnnError, IntegrityCheck, Result};
+use ann_vectors::io::{fnv1a, write_atomic};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const GRAPH_MAGIC: u32 = 0x4752_4631; // "GRF1"
@@ -35,21 +35,27 @@ pub fn graph_to_bytes(g: &FlatGraph) -> Bytes {
 /// Deserialize a graph written by [`graph_to_bytes`], validating magic,
 /// version, checksum, per-node lengths and neighbor-id ranges.
 pub fn graph_from_bytes(buf: &[u8]) -> Result<FlatGraph> {
+    graph_checked(buf).map_err(|(_, detail)| AnnError::CorruptIndex(detail))
+}
+
+/// The graph parser with the failing [`IntegrityCheck`] attached, so
+/// file-level loaders can report which validation step rejected the data.
+fn graph_checked(buf: &[u8]) -> std::result::Result<FlatGraph, (IntegrityCheck, String)> {
     if buf.len() < 20 + 8 {
-        return Err(AnnError::CorruptIndex("graph buffer too short".into()));
+        return Err((IntegrityCheck::Truncated, "graph buffer too short".into()));
     }
     let (body, tail) = buf.split_at(buf.len() - 8);
     let expect = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
     if fnv1a(body) != expect {
-        return Err(AnnError::CorruptIndex("graph checksum mismatch".into()));
+        return Err((IntegrityCheck::Checksum, "graph checksum mismatch".into()));
     }
     let mut b = body;
     if b.get_u32_le() != GRAPH_MAGIC {
-        return Err(AnnError::CorruptIndex("graph bad magic".into()));
+        return Err((IntegrityCheck::Magic, "graph bad magic".into()));
     }
     let version = b.get_u16_le();
     if version != GRAPH_VERSION {
-        return Err(AnnError::CorruptIndex(format!("graph version {version} unsupported")));
+        return Err((IntegrityCheck::Version, format!("graph version {version} unsupported")));
     }
     let _reserved = b.get_u16_le();
     let cap = b.get_u32_le();
@@ -57,18 +63,18 @@ pub fn graph_from_bytes(buf: &[u8]) -> Result<FlatGraph> {
     let need = n
         .checked_mul(4)
         .and_then(|x| x.checked_add(n.checked_mul(cap as usize)?.checked_mul(4)?))
-        .ok_or_else(|| AnnError::CorruptIndex("graph size overflow".into()))?;
+        .ok_or((IntegrityCheck::Bounds, "graph size overflow".to_string()))?;
     if b.remaining() != need {
-        return Err(AnnError::CorruptIndex(format!(
-            "graph payload is {} bytes, header promises {need}",
-            b.remaining()
-        )));
+        return Err((
+            IntegrityCheck::Bounds,
+            format!("graph payload is {} bytes, header promises {need}", b.remaining()),
+        ));
     }
     let mut lens = Vec::with_capacity(n);
     for _ in 0..n {
         let l = b.get_u32_le();
         if l > cap {
-            return Err(AnnError::CorruptIndex(format!("node length {l} exceeds cap {cap}")));
+            return Err((IntegrityCheck::Bounds, format!("node length {l} exceeds cap {cap}")));
         }
         lens.push(l);
     }
@@ -80,24 +86,28 @@ pub fn graph_from_bytes(buf: &[u8]) -> Result<FlatGraph> {
     for (u, &l) in lens.iter().enumerate() {
         let row = &data[u * cap as usize..u * cap as usize + l as usize];
         if let Some(&bad) = row.iter().find(|&&v| v as usize >= n) {
-            return Err(AnnError::CorruptIndex(format!(
-                "node {u} references out-of-range neighbor {bad}"
-            )));
+            return Err((
+                IntegrityCheck::Bounds,
+                format!("node {u} references out-of-range neighbor {bad}"),
+            ));
         }
     }
     Ok(FlatGraph::from_raw_parts(cap, lens, data))
 }
 
-/// Save a graph to disk.
+/// Save a graph to disk, atomically (temp file + fsync + rename).
 pub fn save_graph(path: &std::path::Path, g: &FlatGraph) -> Result<()> {
-    std::fs::write(path, graph_to_bytes(g))?;
-    Ok(())
+    write_atomic(path, &graph_to_bytes(g))
 }
 
 /// Load a graph saved by [`save_graph`].
+///
+/// # Errors
+/// [`AnnError::CorruptFile`] with path and failed-check context on any
+/// validation failure; `Io` on filesystem errors.
 pub fn load_graph(path: &std::path::Path) -> Result<FlatGraph> {
     let buf = std::fs::read(path)?;
-    graph_from_bytes(&buf)
+    graph_checked(&buf).map_err(|(check, detail)| AnnError::corrupt_file(path, None, check, detail))
 }
 
 #[cfg(test)]
@@ -163,6 +173,24 @@ mod tests {
         let g = sample();
         save_graph(&p, &g).unwrap();
         assert_eq!(load_graph(&p).unwrap(), g);
+    }
+
+    #[test]
+    fn load_graph_errors_carry_path_and_check() {
+        let dir = std::env::temp_dir().join("ann_graph_ser_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("garbled.bin");
+        let mut raw = graph_to_bytes(&sample()).to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF; // breaks the checksum trailer
+        std::fs::write(&p, raw).unwrap();
+        match load_graph(&p) {
+            Err(AnnError::CorruptFile(ctx)) => {
+                assert_eq!(ctx.path, p);
+                assert_eq!(ctx.check, IntegrityCheck::Checksum);
+            }
+            other => panic!("expected CorruptFile, got {other:?}"),
+        }
     }
 
     #[test]

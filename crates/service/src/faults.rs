@@ -1,0 +1,234 @@
+//! Disk fault injection for the durable snapshot store.
+//!
+//! [`FaultFs`] wraps an inner [`SnapshotFs`] and counts every operation.
+//! A test *arms* one fault at one operation index; when the counter
+//! reaches it, the fault fires — as an error, as silently corrupted
+//! bytes, or as a simulated process death after which every further
+//! operation fails. The kill-point matrix in `tests/durability.rs`
+//! sweeps the arm point across the whole persist sequence and asserts
+//! recovery always serves a checksum-valid snapshot.
+
+use crate::store::SnapshotFs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// What happens when the armed operation index is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation fails and the "process" is dead: every subsequent
+    /// operation fails too, until [`FaultFs::heal`] simulates a restart.
+    Crash,
+    /// A write persists only a prefix of the data, then the process dies
+    /// (power loss mid-write). Non-write operations degrade to [`Fault::Crash`].
+    TornWrite,
+    /// A write persists only a prefix but *reports success* — the lying
+    /// disk. Non-write operations degrade to [`Fault::ErrorOnce`].
+    ShortWrite,
+    /// One bit of the written data is flipped, and the write reports
+    /// success. Non-write operations degrade to [`Fault::ErrorOnce`].
+    BitFlip,
+    /// The operation fails once (ENOSPC, transient EIO); later operations
+    /// succeed. This is the retry-path fault.
+    ErrorOnce,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Operations observed so far.
+    ops: usize,
+    /// `(operation index, fault)` to fire, if armed.
+    armed: Option<(usize, Fault)>,
+    /// Set once a Crash/TornWrite fired: the process is "dead".
+    crashed: bool,
+}
+
+/// A [`SnapshotFs`] that injects one configured fault at one operation
+/// index, over a real inner filesystem.
+#[derive(Debug)]
+pub struct FaultFs<F: SnapshotFs> {
+    inner: F,
+    state: Mutex<FaultState>,
+}
+
+impl<F: SnapshotFs> FaultFs<F> {
+    /// Wrap `inner` with no fault armed.
+    pub fn new(inner: F) -> Self {
+        FaultFs { inner, state: Mutex::new(FaultState::default()) }
+    }
+
+    /// Arm `fault` to fire at absolute operation index `at_op` (0-based,
+    /// counted from construction or the last [`FaultFs::heal`] — read
+    /// [`FaultFs::ops`] first to aim relative to "now").
+    pub fn arm(&self, at_op: usize, fault: Fault) {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.armed = Some((at_op, fault));
+    }
+
+    /// Operations observed so far.
+    pub fn ops(&self) -> usize {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).ops
+    }
+
+    /// Simulate a restart: clear the crashed flag and any armed fault.
+    /// The operation counter keeps running so arm points stay absolute.
+    pub fn heal(&self) {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.crashed = false;
+        st.armed = None;
+    }
+
+    /// Count one operation; return the fault to apply, if any.
+    fn step(&self) -> Option<Fault> {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let here = st.ops;
+        st.ops += 1;
+        if st.crashed {
+            return Some(Fault::Crash);
+        }
+        match st.armed {
+            Some((at, fault)) if at == here => {
+                st.armed = None;
+                if matches!(fault, Fault::Crash | Fault::TornWrite) {
+                    st.crashed = true;
+                }
+                Some(fault)
+            }
+            _ => None,
+        }
+    }
+
+    fn injected(kind: &str) -> std::io::Error {
+        std::io::Error::other(format!("injected fault: {kind}"))
+    }
+}
+
+impl<F: SnapshotFs> SnapshotFs for FaultFs<F> {
+    fn write_file(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+        match self.step() {
+            None => self.inner.write_file(path, data),
+            Some(Fault::Crash) => Err(Self::injected("crash")),
+            Some(Fault::ErrorOnce) => Err(Self::injected("transient write error")),
+            Some(Fault::TornWrite) => {
+                let _ = self.inner.write_file(path, &data[..data.len() / 2]);
+                Err(Self::injected("torn write, power lost"))
+            }
+            Some(Fault::ShortWrite) => self.inner.write_file(path, &data[..data.len() / 2]),
+            Some(Fault::BitFlip) => {
+                let mut garbled = data.to_vec();
+                let at = garbled.len() / 3;
+                if let Some(byte) = garbled.get_mut(at) {
+                    *byte ^= 0x10;
+                }
+                self.inner.write_file(path, &garbled)
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        match self.step() {
+            None => self.inner.rename(from, to),
+            Some(Fault::ShortWrite | Fault::BitFlip) => self.inner.rename(from, to),
+            Some(_) => Err(Self::injected("rename failed")),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+        match self.step() {
+            None | Some(Fault::ShortWrite | Fault::BitFlip) => self.inner.sync_dir(dir),
+            Some(_) => Err(Self::injected("dir sync failed")),
+        }
+    }
+
+    fn read_file(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        match self.step() {
+            None | Some(Fault::ShortWrite | Fault::BitFlip) => self.inner.read_file(path),
+            Some(_) => Err(Self::injected("read failed")),
+        }
+    }
+
+    fn list_dir(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        match self.step() {
+            None | Some(Fault::ShortWrite | Fault::BitFlip) => self.inner.list_dir(dir),
+            Some(_) => Err(Self::injected("list failed")),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        match self.step() {
+            None | Some(Fault::ShortWrite | Fault::BitFlip) => self.inner.remove_file(path),
+            Some(_) => Err(Self::injected("remove failed")),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+        // Directory creation happens once at open, before any interesting
+        // kill point; counting it would shift every arm index by one per
+        // reopen, so it is not an injection point.
+        self.inner.create_dir_all(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::RealFs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join("ann_service_faultfs").join(name);
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn crash_is_sticky_until_heal() {
+        let dir = tmp("sticky");
+        let fs = FaultFs::new(RealFs);
+        let p = dir.join("a");
+        fs.arm(0, Fault::Crash);
+        assert!(fs.write_file(&p, b"x").is_err());
+        assert!(fs.write_file(&p, b"x").is_err(), "dead process stays dead");
+        fs.heal();
+        assert!(fs.write_file(&p, b"x").is_ok());
+        assert_eq!(std::fs::read(&p).unwrap(), b"x");
+    }
+
+    #[test]
+    fn error_once_is_transient() {
+        let dir = tmp("transient");
+        let fs = FaultFs::new(RealFs);
+        let p = dir.join("a");
+        fs.arm(0, Fault::ErrorOnce);
+        assert!(fs.write_file(&p, b"abcd").is_err());
+        assert!(fs.write_file(&p, b"abcd").is_ok());
+    }
+
+    #[test]
+    fn short_write_lies_and_torn_write_dies() {
+        let dir = tmp("liar");
+        let fs = FaultFs::new(RealFs);
+        let p = dir.join("short");
+        fs.arm(0, Fault::ShortWrite);
+        assert!(fs.write_file(&p, b"abcdefgh").is_ok(), "short write reports success");
+        assert_eq!(std::fs::read(&p).unwrap().len(), 4);
+
+        let q = dir.join("torn");
+        fs.arm(fs.ops(), Fault::TornWrite);
+        assert!(fs.write_file(&q, b"abcdefgh").is_err(), "torn write loses power");
+        assert_eq!(std::fs::read(&q).unwrap().len(), 4, "prefix hit the disk");
+        assert!(fs.write_file(&q, b"x").is_err(), "and the process is dead");
+    }
+
+    #[test]
+    fn bit_flip_corrupts_silently() {
+        let dir = tmp("flip");
+        let fs = FaultFs::new(RealFs);
+        let p = dir.join("a");
+        let data = vec![0u8; 64];
+        fs.arm(0, Fault::BitFlip);
+        assert!(fs.write_file(&p, &data).is_ok());
+        let on_disk = std::fs::read(&p).unwrap();
+        assert_eq!(on_disk.len(), 64);
+        assert_ne!(on_disk, data, "exactly one bit must differ");
+    }
+}

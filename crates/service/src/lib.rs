@@ -14,7 +14,16 @@
 //!   is reported.
 //! * **Metrics** ([`metrics`]) — a dependency-free registry of atomic
 //!   counters and log₂ histograms: QPS, latency quantiles, NDC, queue
-//!   depth, shed/deadline counters, snapshot generation and age.
+//!   depth, shed/deadline counters, snapshot generation and age, and
+//!   persistence health.
+//! * **Durable snapshots** ([`store`]) — every publication can be written
+//!   to a [`SnapshotStore`] as a checksummed, generation-named envelope via
+//!   temp file + fsync + atomic rename; on restart,
+//!   [`SnapshotStore::recover`] loads the newest valid generation (warm
+//!   start) and quarantines corrupt files. [`faults`] provides the
+//!   fault-injecting filesystem the crash-safety tests run on. Persistence
+//!   failures degrade gracefully: serving continues from memory and the
+//!   failure is visible in the metrics and [`AnnService::status`].
 //!
 //! ## Quick example
 //!
@@ -48,13 +57,19 @@
 
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod metrics;
 pub mod service;
 pub mod snapshot;
+pub mod store;
 
+pub use faults::{Fault, FaultFs};
 pub use metrics::{Counter, Gauge, Histogram, Metrics};
 pub use service::{AnnService, BatchHandle, BatchResult, QueryOptions, QueryReply, ServiceConfig};
 pub use snapshot::{Hit, IndexWriter, Snapshot, SnapshotCell};
+pub use store::{
+    RealFs, RecoveredSnapshot, RecoveryReport, SnapshotFs, SnapshotStore, SnapshotStoreConfig,
+};
 
 #[cfg(test)]
 mod send_sync_assertions {

@@ -51,6 +51,12 @@ impl Gauge {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
     }
 
+    /// Overwrite the gauge (health flags, last-persisted generation).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -158,6 +164,19 @@ pub struct Metrics {
     pub deadline_missed: Counter,
     /// Snapshots published.
     pub snapshots_published: Counter,
+    /// Snapshots durably persisted to the snapshot store (read-back
+    /// verified on disk).
+    pub snapshots_persisted: Counter,
+    /// Persistence attempts retried after a transient failure.
+    pub persist_retries: Counter,
+    /// Publishes whose persistence ultimately failed after all retries
+    /// (serving continued from the in-memory snapshot).
+    pub persist_failures: Counter,
+    /// Health flag: 1 while the most recent persistence attempt failed,
+    /// 0 once a snapshot lands durably again.
+    pub persist_failed: Gauge,
+    /// Generation of the newest durably persisted snapshot.
+    pub persisted_generation: Gauge,
     /// Current queued batches.
     pub queue_depth: Gauge,
     /// Per-query wall latency, µs (measured from enqueue to answer).
@@ -180,6 +199,11 @@ impl Default for Metrics {
             shed_overflow: Counter::default(),
             deadline_missed: Counter::default(),
             snapshots_published: Counter::default(),
+            snapshots_persisted: Counter::default(),
+            persist_retries: Counter::default(),
+            persist_failures: Counter::default(),
+            persist_failed: Gauge::default(),
+            persisted_generation: Gauge::default(),
             queue_depth: Gauge::default(),
             latency_us: Histogram::default(),
             ndc: Histogram::default(),
@@ -231,6 +255,11 @@ impl Metrics {
         s.push_str(&format!("shed_overflow      {}\n", self.shed_overflow.get()));
         s.push_str(&format!("deadline_missed    {}\n", self.deadline_missed.get()));
         s.push_str(&format!("snapshots_published {}\n", self.snapshots_published.get()));
+        s.push_str(&format!("snapshots_persisted {}\n", self.snapshots_persisted.get()));
+        s.push_str(&format!("persist_retries    {}\n", self.persist_retries.get()));
+        s.push_str(&format!("persist_failures   {}\n", self.persist_failures.get()));
+        s.push_str(&format!("persist_failed     {}\n", self.persist_failed.get()));
+        s.push_str(&format!("persisted_generation {}\n", self.persisted_generation.get()));
         s.push_str(&format!("queue_depth        {}\n", self.queue_depth.get()));
         s.push_str(&format!(
             "latency_us         p50<={} p95<={} p99<={} max={} mean={:.0} n={}\n",

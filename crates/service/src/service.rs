@@ -231,11 +231,14 @@ impl AnnService {
         }
     }
 
-    /// One-line serving status: generation, snapshot age, live points.
+    /// One-line serving status: generation, snapshot age, live points, and
+    /// persistence health (`persist=FAILED` means the last durable write
+    /// did not land and the service is running on its in-memory snapshot).
     pub fn status(&self) -> String {
         let snap = self.cell.load();
+        let persist = if self.metrics.persist_failed.get() != 0 { "FAILED" } else { "ok" };
         format!(
-            "serving gen={} points={} snapshot_age_secs={:.2}\n{}",
+            "serving gen={} points={} snapshot_age_secs={:.2} persist={persist}\n{}",
             snap.generation(),
             snap.len(),
             snap.age_secs(),

@@ -22,6 +22,7 @@ use ann_vectors::error::{AnnError, Result};
 use tau_mg::{DynamicTauMng, TauIndex, TauMngParams, TauSearchOptions};
 
 use crate::metrics::Metrics;
+use crate::store::{RecoveredSnapshot, SnapshotStore};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -74,19 +75,35 @@ impl Snapshot {
         self.published_at.elapsed().as_secs_f64()
     }
 
-    /// External id of an internal slot.
-    pub fn external_id(&self, internal: u32) -> u64 {
-        self.external_ids[internal as usize]
+    /// External id of an internal slot, or `None` for out-of-range slots.
+    ///
+    /// Checked rather than indexing: this sits on the serving path, and a
+    /// stale or hostile internal id must degrade to "no such point", never
+    /// to a reader panic.
+    pub fn external_id(&self, internal: u32) -> Option<u64> {
+        self.external_ids.get(internal as usize).copied()
+    }
+
+    /// The full internal→external id table, in internal order.
+    pub fn external_ids(&self) -> &[u64] {
+        &self.external_ids
     }
 
     /// τ-monotonic search returning external ids.
     pub fn search(&self, query: &[f32], k: usize, l: usize, scratch: &mut Scratch) -> Hit {
         let r = self.index.search_opts(query, k, l, TauSearchOptions::default(), scratch);
-        Hit {
-            ids: r.ids.iter().map(|&i| self.external_ids[i as usize]).collect(),
-            dists: r.dists,
-            stats: r.stats,
+        let mut ids = Vec::with_capacity(r.ids.len());
+        let mut dists = Vec::with_capacity(r.dists.len());
+        for (&internal, &d) in r.ids.iter().zip(&r.dists) {
+            // An in-range id is an index invariant; if it ever breaks, drop
+            // the hit rather than panic under a reader.
+            debug_assert!((internal as usize) < self.external_ids.len());
+            if let Some(e) = self.external_id(internal) {
+                ids.push(e);
+                dists.push(d);
+            }
         }
+        Hit { ids, dists, stats: r.stats }
     }
 }
 
@@ -137,6 +154,12 @@ pub struct IndexWriter {
     /// never push a touched list past `params.r`, and untouched lists keep
     /// the attached index's original degrees.
     audit_cap: usize,
+    /// Durable store each publication is persisted to, when configured.
+    store: Option<Arc<SnapshotStore>>,
+    /// Last persistence failure (rendered), cleared by the next success.
+    /// Persistence failures never fail a publish: the in-memory swap has
+    /// already happened and readers keep being served.
+    last_persist_error: Option<String>,
 }
 
 impl IndexWriter {
@@ -174,6 +197,67 @@ impl IndexWriter {
             cell: Arc::clone(&cell),
             metrics,
             audit_cap,
+            store: None,
+            last_persist_error: None,
+        };
+        (writer, cell)
+    }
+
+    /// [`IndexWriter::attach`] plus durable persistence: every publication
+    /// (including the initial snapshot, as generation 0) is written to
+    /// `store`. A persistence failure degrades gracefully — it is recorded
+    /// in the metrics (`persist_failed`) and in
+    /// [`IndexWriter::last_persist_error`], and serving continues from the
+    /// in-memory snapshot.
+    pub fn attach_durable(
+        index: TauIndex,
+        params: TauMngParams,
+        metrics: Arc<Metrics>,
+        store: Arc<SnapshotStore>,
+    ) -> (IndexWriter, Arc<SnapshotCell>) {
+        let (mut writer, cell) = IndexWriter::attach(index, params, metrics);
+        writer.store = Some(store);
+        writer.persist_current();
+        (writer, cell)
+    }
+
+    /// Warm-start a writer from a snapshot recovered off disk (see
+    /// [`SnapshotStore::recover`]): the cell immediately serves the
+    /// recovered generation, external ids resume exactly where they left
+    /// off, and the generation counter continues from the recovered one.
+    pub fn from_recovered(
+        recovered: RecoveredSnapshot,
+        metrics: Arc<Metrics>,
+        store: Option<Arc<SnapshotStore>>,
+    ) -> (IndexWriter, Arc<SnapshotCell>) {
+        let RecoveredSnapshot { index, external_ids, generation, params } = recovered;
+        let dynamic = DynamicTauMng::from_index_with_params(&index, params);
+        let params = dynamic.params();
+        let audit_cap = index.graph().max_degree().max(params.r);
+        let int_of_external =
+            // cast: slot index < n <= u32::MAX, guaranteed by the envelope decoder.
+            external_ids.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
+        let next_external = external_ids.iter().max().map_or(0, |&m| m + 1);
+        let cell = Arc::new(SnapshotCell::new(Arc::new(Snapshot {
+            index,
+            external_ids: external_ids.clone(),
+            generation,
+            published_at: Instant::now(),
+        })));
+        // The recovered generation is already durable; nothing to persist.
+        metrics.persisted_generation.set(generation);
+        let writer = IndexWriter {
+            dynamic,
+            params,
+            ext_of_internal: external_ids,
+            int_of_external,
+            next_external,
+            generation,
+            cell: Arc::clone(&cell),
+            metrics,
+            audit_cap,
+            store,
+            last_persist_error: None,
         };
         (writer, cell)
     }
@@ -270,7 +354,37 @@ impl IndexWriter {
             published_at: Instant::now(),
         }));
         self.metrics.snapshots_published.inc();
+        // Persist after the swap: durability lags availability, never
+        // blocks it. Failures are recorded, not propagated — readers are
+        // already on the new snapshot.
+        self.persist_current();
         Ok(self.generation)
+    }
+
+    /// Write the currently served snapshot to the durable store, if one is
+    /// configured. Retries with bounded exponential backoff inside
+    /// [`SnapshotStore::persist_with_retry`]; on final failure the service
+    /// keeps serving and the failure is visible in the metrics
+    /// (`persist_failed`, `persist_failures`) and
+    /// [`IndexWriter::last_persist_error`].
+    fn persist_current(&mut self) {
+        let Some(store) = &self.store else { return };
+        let snap = self.cell.load();
+        match store.persist_with_retry(&snap, self.params, &self.metrics) {
+            Ok(_) => self.last_persist_error = None,
+            Err(e) => self.last_persist_error = Some(e.to_string()),
+        }
+    }
+
+    /// The durable store this writer persists to, if any.
+    pub fn snapshot_store(&self) -> Option<&Arc<SnapshotStore>> {
+        self.store.as_ref()
+    }
+
+    /// Rendered error of the most recent failed persistence attempt, or
+    /// `None` while persistence is healthy (or not configured).
+    pub fn last_persist_error(&self) -> Option<&str> {
+        self.last_persist_error.as_deref()
     }
 
     /// The publish-path invariant gate (debug builds only): deterministic

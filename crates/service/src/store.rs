@@ -1,0 +1,667 @@
+//! Durable snapshot store: crash-safe publish-to-disk and warm-restart
+//! recovery for the serving stack.
+//!
+//! ## Durability contract
+//!
+//! * **Atomic publish** — a snapshot is written as a single `SNP1` envelope
+//!   (generation, build params, external-id table, the vector store, and
+//!   the `TauIndex` structure, FNV-1a-checksummed like every other on-disk
+//!   format in this workspace) via temp file → `sync_all` → atomic rename →
+//!   directory fsync. A crash at any point leaves either the previous
+//!   generation set or the new one — never a torn file under a live name.
+//! * **Read-back verification** — [`SnapshotStore::persist`] only reports
+//!   success after re-reading the renamed file and verifying its checksum,
+//!   so a silent short write or bit flip between memory and platter cannot
+//!   be counted as durable (and cannot trigger retention of nothing else).
+//! * **Recovery** — [`SnapshotStore::recover`] scans the directory
+//!   newest-generation-first, validates each candidate (checksum, format,
+//!   embedded payloads, and — by default — the GraphAuditor deterministic
+//!   suite plus the S1–S2 external-id checks), **quarantines** corrupt
+//!   files by renaming them to `*.corrupt` (never deletes, never panics),
+//!   and returns the newest valid generation with typed
+//!   [`AnnError::CorruptFile`] context for everything it set aside.
+//! * **Retention** — the newest `retain` generations are kept; older files
+//!   and stale temp files are pruned best-effort *after* the new generation
+//!   is durable and verified.
+//!
+//! All filesystem traffic goes through the [`SnapshotFs`] trait so the
+//! crash-safety contract is provable: the fault-injecting implementation in
+//! [`crate::faults`] simulates torn writes, short writes, bit flips,
+//! ENOSPC, rename failure, and crash-between-steps, and the kill-point
+//! matrix test in `tests/durability.rs` asserts recovery serves a valid
+//! snapshot after a crash at *every* step.
+
+use ann_vectors::error::{AnnError, IntegrityCheck, Result};
+use ann_vectors::io::{fnv1a, vstore_from_bytes, vstore_to_bytes};
+use bytes::{Buf, BufMut, BytesMut};
+use tau_mg::{TauIndex, TauMngParams};
+
+use crate::metrics::Metrics;
+use crate::snapshot::Snapshot;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SNAP_MAGIC: u32 = 0x534E_5031; // "SNP1"
+const SNAP_VERSION: u16 = 1;
+/// Fixed header (52) + store-length field (8) + index-length field (8) +
+/// checksum trailer (8): the smallest parseable envelope.
+const SNAP_MIN_LEN: usize = 76;
+
+/// The injectable filesystem surface the store runs on.
+///
+/// Production uses [`RealFs`]; crash-safety tests substitute
+/// [`crate::faults::FaultFs`] to inject torn writes, ENOSPC, rename
+/// failure, and crashes between any two steps. Every method is one
+/// *fault-injection point*: the store's durability argument is that any
+/// prefix of its call sequence leaves the directory recoverable.
+pub trait SnapshotFs: Send + Sync + std::fmt::Debug {
+    /// Create (or truncate) `path`, write all of `data`, and fsync it.
+    fn write_file(&self, path: &Path, data: &[u8]) -> std::io::Result<()>;
+    /// Atomically rename `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+    /// Fsync a directory so a completed rename is durable.
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()>;
+    /// Read an entire file.
+    fn read_file(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+    /// List the files in a directory (full paths).
+    fn list_dir(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> std::io::Result<()>;
+    /// Create a directory and its parents.
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()>;
+}
+
+/// The production [`SnapshotFs`]: plain `std::fs` with real fsyncs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl SnapshotFs for RealFs {
+    fn write_file(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(data)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+        // Directory handles can only be fsynced on unix; elsewhere the
+        // rename is as durable as the platform allows.
+        #[cfg(unix)]
+        {
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+        }
+        Ok(())
+    }
+
+    fn read_file(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+}
+
+/// Tuning for a [`SnapshotStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotStoreConfig {
+    /// Generations kept on disk (≥ 1). Older files are pruned only after
+    /// the newest generation is durable and read-back-verified.
+    pub retain: usize,
+    /// Retries after the first failed persistence attempt.
+    pub max_retries: u32,
+    /// Base delay of the bounded exponential backoff between retries
+    /// (doubles per retry; `ZERO` disables sleeping, for tests).
+    pub backoff: Duration,
+    /// Run the GraphAuditor deterministic suite and the S1–S2 external-id
+    /// checks on every recovered snapshot before serving it.
+    pub audit_on_recover: bool,
+}
+
+impl Default for SnapshotStoreConfig {
+    fn default() -> Self {
+        SnapshotStoreConfig {
+            retain: 3,
+            max_retries: 3,
+            backoff: Duration::from_millis(10),
+            audit_on_recover: true,
+        }
+    }
+}
+
+/// A snapshot reconstructed from disk: everything needed to serve it and to
+/// rehydrate an [`crate::IndexWriter`] replica.
+#[derive(Debug)]
+pub struct RecoveredSnapshot {
+    /// The frozen index (with its vector store and metric).
+    pub index: TauIndex,
+    /// `external_ids[internal]`, exactly as published.
+    pub external_ids: Vec<u64>,
+    /// The generation this snapshot was published as.
+    pub generation: u64,
+    /// Build parameters governing subsequent inserts/repairs.
+    pub params: TauMngParams,
+}
+
+/// What a recovery scan found.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The newest valid snapshot, if any generation survived validation.
+    pub recovered: Option<RecoveredSnapshot>,
+    /// Files that failed validation, each renamed to `*.corrupt` and paired
+    /// with the typed error explaining which check rejected it. Empty on a
+    /// clean directory — so `recovered: None` with an empty list means "no
+    /// snapshot", while a non-empty list means "snapshots existed but were
+    /// damaged": the two states the bare filesystem cannot distinguish.
+    pub quarantined: Vec<(PathBuf, AnnError)>,
+}
+
+/// Generation-addressed, checksummed, crash-safe snapshot persistence.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    fs: Arc<dyn SnapshotFs>,
+    config: SnapshotStoreConfig,
+}
+
+impl SnapshotStore {
+    /// Open (creating if needed) a store over `dir` on the real filesystem.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Arc<SnapshotStore>> {
+        Self::open_with_fs(dir, Arc::new(RealFs), SnapshotStoreConfig::default())
+    }
+
+    /// Open with an explicit filesystem and configuration (fault-injection
+    /// tests, custom retention).
+    pub fn open_with_fs(
+        dir: impl Into<PathBuf>,
+        fs: Arc<dyn SnapshotFs>,
+        config: SnapshotStoreConfig,
+    ) -> Result<Arc<SnapshotStore>> {
+        let dir = dir.into();
+        fs.create_dir_all(&dir)?;
+        Ok(Arc::new(SnapshotStore { dir, fs, config }))
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &SnapshotStoreConfig {
+        &self.config
+    }
+
+    /// File name of a generation: zero-padded so lexicographic order is
+    /// numeric order.
+    fn file_name(generation: u64) -> String {
+        format!("gen-{generation:020}.snap")
+    }
+
+    fn parse_generation(path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        name.strip_prefix("gen-")?.strip_suffix(".snap")?.parse().ok()
+    }
+
+    /// Persist one snapshot durably (single attempt).
+    ///
+    /// Sequence: encode → write temp + fsync → rename over the generation
+    /// name → directory fsync → read back and verify the checksum → prune
+    /// old generations (best-effort). Returns the final path.
+    ///
+    /// # Errors
+    /// `Io` on filesystem failure at any step; [`AnnError::CorruptFile`] if
+    /// the read-back does not verify (the bytes on disk are not the bytes
+    /// written — the caller should retry, and must not treat the snapshot
+    /// as durable).
+    pub fn persist(&self, snapshot: &Snapshot, params: TauMngParams) -> Result<PathBuf> {
+        let generation = snapshot.generation();
+        let bytes = encode_snapshot(snapshot, params);
+        let final_path = self.dir.join(Self::file_name(generation));
+        let tmp = self.dir.join(format!("{}.tmp", Self::file_name(generation)));
+        self.fs.write_file(&tmp, &bytes)?;
+        if let Err(e) = self.fs.rename(&tmp, &final_path) {
+            let _ = self.fs.remove_file(&tmp);
+            return Err(e.into());
+        }
+        self.fs.sync_dir(&self.dir)?;
+        let on_disk = self.fs.read_file(&final_path)?;
+        verify_envelope_checksum(&on_disk).map_err(|(check, detail)| {
+            AnnError::corrupt_file(&final_path, Some(generation), check, detail)
+        })?;
+        self.prune();
+        Ok(final_path)
+    }
+
+    /// [`SnapshotStore::persist`] with bounded exponential backoff, keeping
+    /// the persistence health metrics current: on success
+    /// `snapshots_persisted`/`persisted_generation` advance and the
+    /// `persist_failed` flag clears; on final failure `persist_failures`
+    /// increments and `persist_failed` is raised. The caller keeps serving
+    /// its in-memory snapshot either way.
+    pub fn persist_with_retry(
+        &self,
+        snapshot: &Snapshot,
+        params: TauMngParams,
+        metrics: &Metrics,
+    ) -> Result<PathBuf> {
+        let mut delay = self.config.backoff;
+        let mut attempt = 0u32;
+        loop {
+            match self.persist(snapshot, params) {
+                Ok(path) => {
+                    metrics.snapshots_persisted.inc();
+                    metrics.persisted_generation.set(snapshot.generation());
+                    metrics.persist_failed.set(0);
+                    return Ok(path);
+                }
+                Err(e) => {
+                    if attempt >= self.config.max_retries {
+                        metrics.persist_failures.inc();
+                        metrics.persist_failed.set(1);
+                        return Err(e);
+                    }
+                    metrics.persist_retries.inc();
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    delay = delay.saturating_mul(2);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Generations currently on disk, ascending (unvalidated).
+    pub fn generations(&self) -> Result<Vec<u64>> {
+        let mut gens: Vec<u64> = self
+            .fs
+            .list_dir(&self.dir)?
+            .iter()
+            .filter_map(|p| Self::parse_generation(p))
+            .collect();
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Load and fully validate one generation.
+    ///
+    /// # Errors
+    /// [`AnnError::CorruptFile`] carrying the path, generation, and failing
+    /// check on any validation failure; `Io` if the file cannot be read.
+    pub fn load_generation(&self, generation: u64) -> Result<RecoveredSnapshot> {
+        self.load_file(&self.dir.join(Self::file_name(generation)), generation)
+    }
+
+    fn load_file(&self, path: &Path, generation: u64) -> Result<RecoveredSnapshot> {
+        let buf = self.fs.read_file(path)?;
+        let rec = decode_snapshot(&buf).map_err(|(check, detail)| {
+            AnnError::corrupt_file(path, Some(generation), check, detail)
+        })?;
+        if rec.generation != generation {
+            return Err(AnnError::corrupt_file(
+                path,
+                Some(generation),
+                IntegrityCheck::Bounds,
+                format!(
+                    "file named generation {generation} contains generation {}",
+                    rec.generation
+                ),
+            ));
+        }
+        if self.config.audit_on_recover {
+            audit_recovered(&rec).map_err(|detail| {
+                AnnError::corrupt_file(path, Some(generation), IntegrityCheck::Payload, detail)
+            })?;
+        }
+        Ok(rec)
+    }
+
+    /// Scan the directory and recover the newest valid generation.
+    ///
+    /// Candidates are validated newest-first; every file that fails is
+    /// renamed to `*.corrupt` (quarantined, never deleted) and reported
+    /// with its typed error. An empty directory recovers to `None` with an
+    /// empty quarantine list.
+    ///
+    /// # Errors
+    /// Only on directory-level I/O failure; per-file corruption is part of
+    /// the [`RecoveryReport`], not an error.
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        let mut candidates: Vec<(u64, PathBuf)> = self
+            .fs
+            .list_dir(&self.dir)?
+            .into_iter()
+            .filter_map(|p| Self::parse_generation(&p).map(|g| (g, p)))
+            .collect();
+        candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
+        let mut quarantined = Vec::new();
+        for (generation, path) in candidates {
+            match self.load_file(&path, generation) {
+                Ok(rec) => return Ok(RecoveryReport { recovered: Some(rec), quarantined }),
+                Err(e) => {
+                    self.quarantine(&path);
+                    quarantined.push((path, e));
+                }
+            }
+        }
+        Ok(RecoveryReport { recovered: None, quarantined })
+    }
+
+    /// Set a corrupt file aside under a `*.corrupt` name (best-effort —
+    /// recovery must proceed even on a read-only or failing disk).
+    fn quarantine(&self, path: &Path) {
+        let mut name = path.as_os_str().to_owned();
+        name.push(".corrupt");
+        let _ = self.fs.rename(path, Path::new(&name));
+    }
+
+    /// Best-effort retention: keep the newest `retain` generations, drop
+    /// older ones and stale temp files. Failures are ignored — leftover
+    /// files cost disk, not correctness, and recovery skips or quarantines
+    /// them.
+    fn prune(&self) {
+        let Ok(entries) = self.fs.list_dir(&self.dir) else {
+            return;
+        };
+        let mut gens: Vec<(u64, &PathBuf)> = entries
+            .iter()
+            .filter_map(|p| Self::parse_generation(p).map(|g| (g, p)))
+            .collect();
+        gens.sort_unstable_by_key(|g| std::cmp::Reverse(g.0));
+        for (_, path) in gens.iter().skip(self.config.retain.max(1)) {
+            let _ = self.fs.remove_file(path);
+        }
+        for path in &entries {
+            let is_tmp = path.extension().is_some_and(|e| e == "tmp");
+            if is_tmp {
+                let _ = self.fs.remove_file(path);
+            }
+        }
+    }
+}
+
+/// Serialize a published snapshot into the `SNP1` envelope.
+pub(crate) fn encode_snapshot(snapshot: &Snapshot, params: TauMngParams) -> Vec<u8> {
+    let index = snapshot.index();
+    let store_bytes = vstore_to_bytes(index.store(), index.metric());
+    let index_bytes = index.to_bytes();
+    let ext = snapshot.external_ids();
+    let mut buf = BytesMut::with_capacity(
+        SNAP_MIN_LEN + ext.len() * 8 + store_bytes.len() + index_bytes.len(),
+    );
+    buf.put_u32_le(SNAP_MAGIC);
+    buf.put_u16_le(SNAP_VERSION);
+    buf.put_u16_le(0); // reserved
+    buf.put_u64_le(snapshot.generation());
+    buf.put_f32_le(params.tau);
+    buf.put_u64_le(params.r as u64);
+    buf.put_u64_le(params.l as u64);
+    buf.put_u64_le(params.c as u64);
+    buf.put_u64_le(ext.len() as u64);
+    for &e in ext {
+        buf.put_u64_le(e);
+    }
+    buf.put_u64_le(store_bytes.len() as u64);
+    buf.extend_from_slice(&store_bytes);
+    buf.put_u64_le(index_bytes.len() as u64);
+    buf.extend_from_slice(&index_bytes);
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    buf.to_vec()
+}
+
+/// Fast integrity gate: length + whole-envelope checksum, no decoding.
+/// Used by the post-rename read-back in [`SnapshotStore::persist`].
+fn verify_envelope_checksum(buf: &[u8]) -> std::result::Result<(), (IntegrityCheck, String)> {
+    if buf.len() < SNAP_MIN_LEN {
+        return Err((
+            IntegrityCheck::Truncated,
+            format!("{} bytes is shorter than the minimal {SNAP_MIN_LEN}-byte envelope", buf.len()),
+        ));
+    }
+    let (body, tail) = buf.split_at(buf.len() - 8);
+    let mut tail8 = [0u8; 8];
+    tail8.copy_from_slice(tail);
+    if fnv1a(body) != u64::from_le_bytes(tail8) {
+        return Err((IntegrityCheck::Checksum, "snapshot envelope checksum mismatch".into()));
+    }
+    Ok(())
+}
+
+/// Parse and validate a full `SNP1` envelope.
+pub(crate) fn decode_snapshot(
+    buf: &[u8],
+) -> std::result::Result<RecoveredSnapshot, (IntegrityCheck, String)> {
+    verify_envelope_checksum(buf)?;
+    let mut b = &buf[..buf.len() - 8];
+    if b.get_u32_le() != SNAP_MAGIC {
+        return Err((IntegrityCheck::Magic, "snapshot bad magic".into()));
+    }
+    let version = b.get_u16_le();
+    if version != SNAP_VERSION {
+        return Err((
+            IntegrityCheck::Version,
+            format!("snapshot version {version} unsupported (this build reads {SNAP_VERSION})"),
+        ));
+    }
+    let _reserved = b.get_u16_le();
+    let generation = b.get_u64_le();
+    let tau = b.get_f32_le();
+    if !tau.is_finite() || tau < 0.0 {
+        return Err((IntegrityCheck::Bounds, format!("snapshot params carry invalid tau {tau}")));
+    }
+    let r = b.get_u64_le() as usize;
+    let l = b.get_u64_le() as usize;
+    let c = b.get_u64_le() as usize;
+    let n = b.get_u64_le() as usize;
+    let ext_bytes = n.checked_mul(8).filter(|&need| need + 16 <= b.remaining()).ok_or((
+        IntegrityCheck::Bounds,
+        format!("external-id table of {n} entries does not fit the envelope"),
+    ))?;
+    let mut external_ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        external_ids.push(b.get_u64_le());
+    }
+    let _ = ext_bytes;
+    let store_len = b.get_u64_le() as usize;
+    if store_len + 8 > b.remaining() {
+        return Err((
+            IntegrityCheck::Bounds,
+            format!("store section of {store_len} bytes exceeds the envelope"),
+        ));
+    }
+    let (store, metric) = vstore_from_bytes(&b[..store_len])
+        .map_err(|e| (IntegrityCheck::Payload, format!("embedded vector store rejected: {e}")))?;
+    b.advance(store_len);
+    let index_len = b.get_u64_le() as usize;
+    if index_len != b.remaining() {
+        return Err((
+            IntegrityCheck::Bounds,
+            format!(
+                "index section promises {index_len} bytes, {} remain in the envelope",
+                b.remaining()
+            ),
+        ));
+    }
+    let index = TauIndex::from_bytes(&b[..index_len], Arc::new(store), metric)
+        .map_err(|e| (IntegrityCheck::Payload, format!("embedded index rejected: {e}")))?;
+    if external_ids.len() != index.store().len() {
+        return Err((
+            IntegrityCheck::Bounds,
+            format!(
+                "external-id table has {} entries, index has {} points",
+                external_ids.len(),
+                index.store().len()
+            ),
+        ));
+    }
+    Ok(
+        RecoveredSnapshot {
+            index,
+            external_ids,
+            generation,
+            params: TauMngParams { tau, r, l, c },
+        },
+    )
+}
+
+/// The recovery gate: the GraphAuditor deterministic suite (structural
+/// checks, sampled edge lengths, serialize round trip) plus the S1–S2
+/// snapshot checks (external-id uniqueness; the tombstone oracle is vacuous
+/// at recovery — a recovered snapshot has no pending deletes by
+/// construction). Returns the first violations rendered as one message.
+fn audit_recovered(rec: &RecoveredSnapshot) -> std::result::Result<(), String> {
+    use ann_audit::{audit_external_ids, audit_tau_index, AuditOptions};
+    let mut violations = audit_tau_index(&rec.index, &AuditOptions::publish_gate(None));
+    violations.extend(audit_external_ids(&rec.external_ids, |_| false));
+    if violations.is_empty() {
+        return Ok(());
+    }
+    let rendered: Vec<String> = violations.iter().take(4).map(ToString::to_string).collect();
+    Err(format!("graph audit rejected recovered snapshot: {}", rendered.join("; ")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::IndexWriter;
+    use ann_vectors::metric::Metric;
+    use ann_vectors::synthetic::uniform;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join("ann_service_store_tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn snapshot_cell(n: usize, seed: u64) -> (Arc<crate::SnapshotCell>, TauMngParams) {
+        let base = Arc::new(uniform(6, n, seed));
+        let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 8).unwrap();
+        let params = TauMngParams { tau: 0.15, r: 16, l: 48, c: 150 };
+        let idx = tau_mg::build_tau_mng(base, Metric::L2, &knn, params).unwrap();
+        let (_writer, cell) = IndexWriter::attach(idx, params, Arc::new(Metrics::new()));
+        (cell, params)
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let (cell, params) = snapshot_cell(120, 1);
+        let snap = cell.load();
+        let bytes = encode_snapshot(&snap, params);
+        let rec = decode_snapshot(&bytes).unwrap();
+        assert_eq!(rec.generation, 0);
+        assert_eq!(rec.external_ids, (0..120u64).collect::<Vec<_>>());
+        assert_eq!(rec.index.store().len(), 120);
+        assert_eq!(rec.params.r, params.r);
+        assert!((rec.params.tau - snap.index().tau()).abs() < 1e-6 || rec.params.tau == params.tau);
+        audit_recovered(&rec).unwrap();
+    }
+
+    #[test]
+    fn envelope_rejects_every_header_corruption() {
+        let (cell, params) = snapshot_cell(60, 2);
+        let bytes = encode_snapshot(&cell.load(), params);
+        for pos in 0..SNAP_MIN_LEN.min(bytes.len()) {
+            let mut garbled = bytes.clone();
+            garbled[pos] ^= 0xFF;
+            assert!(decode_snapshot(&garbled).is_err(), "garbled byte {pos} accepted");
+        }
+        assert!(matches!(decode_snapshot(&[]), Err((IntegrityCheck::Truncated, _))));
+        assert!(matches!(
+            decode_snapshot(&bytes[..bytes.len() - 3]),
+            Err((IntegrityCheck::Checksum, _))
+        ));
+    }
+
+    #[test]
+    fn envelope_reports_version_skew() {
+        let (cell, params) = snapshot_cell(40, 3);
+        let mut bytes = encode_snapshot(&cell.load(), params);
+        bytes[4] = 99; // version field
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        match decode_snapshot(&bytes) {
+            Err((IntegrityCheck::Version, detail)) => assert!(detail.contains("99"), "{detail}"),
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn persist_recover_roundtrip_and_retention() {
+        let dir = unique_dir("roundtrip");
+        let store = SnapshotStore::open_with_fs(
+            &dir,
+            Arc::new(RealFs),
+            SnapshotStoreConfig { retain: 2, ..Default::default() },
+        )
+        .unwrap();
+        let (cell, params) = snapshot_cell(80, 4);
+        let snap = cell.load();
+        store.persist(&snap, params).unwrap();
+        assert_eq!(store.generations().unwrap(), vec![0]);
+        let report = store.recover().unwrap();
+        assert!(report.quarantined.is_empty());
+        let rec = report.recovered.unwrap();
+        assert_eq!(rec.generation, 0);
+        assert_eq!(rec.external_ids.len(), 80);
+    }
+
+    #[test]
+    fn recover_quarantines_corrupt_newest_and_serves_older() {
+        let dir = unique_dir("quarantine");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let (cell, params) = snapshot_cell(70, 5);
+        let snap = cell.load();
+        store.persist(&snap, params).unwrap();
+        // Hand-forge a corrupt "generation 1" file (newest).
+        let bogus = dir.join(SnapshotStore::file_name(1));
+        std::fs::write(&bogus, b"not a snapshot at all").unwrap();
+        let report = store.recover().unwrap();
+        let rec = report.recovered.unwrap();
+        assert_eq!(rec.generation, 0, "must fall back to the older valid generation");
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(matches!(report.quarantined[0].1, AnnError::CorruptFile(_)));
+        assert!(!bogus.exists(), "corrupt file must be renamed away");
+        let q: PathBuf = {
+            let mut s = bogus.as_os_str().to_owned();
+            s.push(".corrupt");
+            s.into()
+        };
+        assert!(q.exists(), "quarantined file must be preserved, not deleted");
+    }
+
+    #[test]
+    fn empty_directory_recovers_to_none_without_noise() {
+        let dir = unique_dir("empty");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let report = store.recover().unwrap();
+        assert!(report.recovered.is_none());
+        assert!(report.quarantined.is_empty());
+    }
+}

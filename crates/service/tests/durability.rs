@@ -1,0 +1,324 @@
+//! Crash-safety and warm-restart tests for the durable snapshot store.
+//!
+//! The centerpiece is the **kill-point matrix**: every fault kind is
+//! injected at every filesystem operation of the persist sequence, and
+//! after each simulated crash a fresh process ("restart") must recover a
+//! checksum-valid, audit-clean snapshot — at either the previous or the
+//! new generation, never nothing, never garbage.
+
+use ann_service::{
+    Fault, FaultFs, IndexWriter, Metrics, RealFs, SnapshotStore, SnapshotStoreConfig,
+};
+use ann_vectors::error::AnnError;
+use ann_vectors::metric::Metric;
+use ann_vectors::synthetic::uniform;
+use ann_vectors::VecStore;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use tau_mg::{TauIndex, TauMngParams};
+
+const PARAMS: TauMngParams = TauMngParams { tau: 0.15, r: 16, l: 48, c: 150 };
+
+fn test_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir()
+        .join("ann_service_durability")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Build one small index, returning it as (bytes, store) so the matrix can
+/// cheaply re-materialize a fresh `TauIndex` per iteration.
+fn index_fixture() -> (Vec<u8>, Arc<VecStore>) {
+    let base = Arc::new(uniform(6, 90, 42));
+    let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 8).unwrap();
+    let idx = tau_mg::build_tau_mng(Arc::clone(&base), Metric::L2, &knn, PARAMS).unwrap();
+    (idx.to_bytes(), base)
+}
+
+fn materialize(bytes: &[u8], store: &Arc<VecStore>) -> TauIndex {
+    TauIndex::from_bytes(bytes, Arc::clone(store), Metric::L2).unwrap()
+}
+
+/// No-retry, single-generation-retention config: the harshest setting —
+/// any unnoticed corruption of the newest generation would leave nothing
+/// to recover.
+fn harsh() -> SnapshotStoreConfig {
+    SnapshotStoreConfig {
+        retain: 1,
+        max_retries: 0,
+        backoff: Duration::ZERO,
+        audit_on_recover: true,
+    }
+}
+
+#[test]
+fn kill_point_matrix_recovery_always_serves_a_valid_snapshot() {
+    let (bytes, base) = index_fixture();
+    let faults = [
+        Fault::Crash,
+        Fault::TornWrite,
+        Fault::ShortWrite,
+        Fault::BitFlip,
+        Fault::ErrorOnce,
+    ];
+
+    // Probe: count the filesystem operations of one publish-persist on a
+    // clean run, so the matrix can sweep exactly that window.
+    let probe_ops = {
+        let dir = test_dir("probe");
+        let fs = Arc::new(FaultFs::new(RealFs));
+        let store = SnapshotStore::open_with_fs(&dir, Arc::clone(&fs) as _, harsh()).unwrap();
+        let (mut writer, _cell) = IndexWriter::attach_durable(
+            materialize(&bytes, &base),
+            PARAMS,
+            Arc::new(Metrics::new()),
+            store,
+        );
+        let before = fs.ops();
+        writer.insert(base.get(0)).unwrap();
+        writer.publish().unwrap();
+        assert!(writer.last_persist_error().is_none(), "clean probe must persist");
+        fs.ops() - before
+    };
+    assert!(
+        probe_ops >= 4,
+        "persist must span write/rename/sync/verify, saw {probe_ops} ops"
+    );
+
+    for fault in faults {
+        for at in 0..probe_ops {
+            let tag = format!("{fault:?}@{at}");
+            let dir = test_dir(&format!("matrix-{fault:?}-{at}"));
+            let fs = Arc::new(FaultFs::new(RealFs));
+            let store = SnapshotStore::open_with_fs(&dir, Arc::clone(&fs) as _, harsh()).unwrap();
+            let metrics = Arc::new(Metrics::new());
+            let (mut writer, cell) = IndexWriter::attach_durable(
+                materialize(&bytes, &base),
+                PARAMS,
+                Arc::clone(&metrics),
+                store,
+            );
+            assert!(writer.last_persist_error().is_none(), "{tag}: gen 0 must persist cleanly");
+
+            // Arm the fault inside the next persist window, then publish.
+            fs.arm(fs.ops() + at, fault);
+            let ext = writer.insert(base.get(1)).unwrap();
+            let gen = writer.publish().expect("in-memory publish never fails on disk faults");
+            assert_eq!(gen, 1, "{tag}");
+
+            // Serving continues on the in-memory snapshot regardless.
+            let snap = cell.load();
+            assert_eq!(snap.generation(), 1, "{tag}: readers must see the new generation");
+            assert_eq!(snap.external_id(snap.len() as u32 - 1), Some(ext), "{tag}");
+
+            // "Restart": a clean process over the same directory.
+            let reopened = SnapshotStore::open(&dir).unwrap();
+            let report = reopened.recover().unwrap();
+            let rec = report.recovered.unwrap_or_else(|| {
+                panic!(
+                    "{tag}: nothing recoverable; quarantined: {:?}",
+                    report.quarantined.iter().map(|(p, e)| (p, e.to_string())).collect::<Vec<_>>()
+                )
+            });
+            assert!(
+                rec.generation == 0 || rec.generation == 1,
+                "{tag}: impossible generation {}",
+                rec.generation
+            );
+            assert_eq!(
+                rec.external_ids.len(),
+                rec.index.store().len(),
+                "{tag}: id table must match the index"
+            );
+            // The persist health flag must agree with what recovery found:
+            // if the writer believed the persist landed, generation 1 must
+            // actually be recoverable.
+            if writer.last_persist_error().is_none() {
+                assert_eq!(rec.generation, 1, "{tag}: reported-durable snapshot lost");
+            }
+
+            // And the recovered world keeps working: warm-start a writer,
+            // mutate, publish durably.
+            let (mut w2, c2) =
+                IndexWriter::from_recovered(rec, Arc::new(Metrics::new()), Some(reopened));
+            w2.insert(base.get(2)).unwrap();
+            let g2 = w2.publish().unwrap();
+            assert!(g2 > 0, "{tag}");
+            assert!(w2.last_persist_error().is_none(), "{tag}: healed disk must persist");
+            assert_eq!(c2.load().generation(), g2, "{tag}");
+        }
+    }
+}
+
+#[test]
+fn warm_restart_serves_the_last_published_generation() {
+    let dir = test_dir("warm-restart");
+    let (bytes, base) = index_fixture();
+    // Insert vectors that do NOT duplicate base points, so nearest-neighbor
+    // assertions are unambiguous.
+    let extra = uniform(6, 3, 777);
+    let metrics = Arc::new(Metrics::new());
+    let store = SnapshotStore::open(&dir).unwrap();
+    let (mut writer, _cell) = IndexWriter::attach_durable(
+        materialize(&bytes, &base),
+        PARAMS,
+        Arc::clone(&metrics),
+        store,
+    );
+    let a = writer.insert(extra.get(0)).unwrap();
+    writer.publish().unwrap();
+    writer.delete(0).unwrap();
+    let b = writer.insert(extra.get(1)).unwrap();
+    writer.publish().unwrap();
+    assert_eq!(metrics.persisted_generation.get(), 2);
+    drop(writer); // "process exit"
+
+    let reopened = SnapshotStore::open(&dir).unwrap();
+    let report = reopened.recover().unwrap();
+    assert!(report.quarantined.is_empty(), "clean shutdown leaves no corpses");
+    let rec = report.recovered.unwrap();
+    assert_eq!(rec.generation, 2);
+    let m2 = Arc::new(Metrics::new());
+    let (mut w2, cell) = IndexWriter::from_recovered(rec, Arc::clone(&m2), Some(reopened));
+    assert_eq!(m2.persisted_generation.get(), 2);
+
+    // The recovered snapshot is immediately searchable with the same
+    // external-id space: inserted points findable, deleted ones gone.
+    let snap = cell.load();
+    assert_eq!(snap.generation(), 2);
+    let mut scratch = ann_graph::Scratch::new(snap.len());
+    let hit = snap.search(extra.get(0), 1, 48, &mut scratch);
+    assert_eq!(hit.ids, vec![a]);
+    let hit = snap.search(extra.get(1), 1, 48, &mut scratch);
+    assert_eq!(hit.ids, vec![b]);
+    let hit = snap.search(base.get(0), 10, 64, &mut scratch);
+    assert!(hit.ids.iter().all(|&e| e != 0), "deleted external id resurrected");
+
+    // External-id allocation resumes above everything ever issued.
+    let c = w2.insert(extra.get(2)).unwrap();
+    assert!(c > b, "id allocation must not reuse {b}");
+    assert_eq!(w2.publish().unwrap(), 3);
+}
+
+#[test]
+fn retention_keeps_only_the_newest_generations() {
+    let dir = test_dir("retention");
+    let (bytes, base) = index_fixture();
+    let store = SnapshotStore::open_with_fs(
+        &dir,
+        Arc::new(RealFs),
+        SnapshotStoreConfig { retain: 2, ..SnapshotStoreConfig::default() },
+    )
+    .unwrap();
+    let (mut writer, _cell) = IndexWriter::attach_durable(
+        materialize(&bytes, &base),
+        PARAMS,
+        Arc::new(Metrics::new()),
+        Arc::clone(&store),
+    );
+    for i in 0..4 {
+        writer.insert(base.get(10 + i)).unwrap();
+        writer.publish().unwrap();
+    }
+    assert_eq!(store.generations().unwrap(), vec![3, 4], "retain=2 keeps the newest two");
+    // And the newest is the one recovery picks.
+    assert_eq!(store.recover().unwrap().recovered.unwrap().generation, 4);
+}
+
+#[test]
+fn persist_failure_degrades_gracefully_and_heals() {
+    let dir = test_dir("degrade");
+    let (bytes, base) = index_fixture();
+    let fs = Arc::new(FaultFs::new(RealFs));
+    let store = SnapshotStore::open_with_fs(&dir, Arc::clone(&fs) as _, harsh()).unwrap();
+    let metrics = Arc::new(Metrics::new());
+    let (mut writer, cell) = IndexWriter::attach_durable(
+        materialize(&bytes, &base),
+        PARAMS,
+        Arc::clone(&metrics),
+        store,
+    );
+    assert_eq!(metrics.persist_failed.get(), 0);
+    assert_eq!(metrics.persisted_generation.get(), 0);
+
+    // Kill the disk mid-persist: publish still succeeds, health flips.
+    fs.arm(fs.ops(), Fault::Crash);
+    writer.insert(base.get(6)).unwrap();
+    assert_eq!(writer.publish().unwrap(), 1);
+    assert_eq!(cell.load().generation(), 1, "serving switched despite dead disk");
+    assert_eq!(metrics.persist_failed.get(), 1);
+    assert_eq!(metrics.persist_failures.get(), 1);
+    assert!(writer.last_persist_error().unwrap().contains("injected"));
+
+    // Disk comes back: the next publish persists and clears the flag.
+    fs.heal();
+    writer.insert(base.get(7)).unwrap();
+    assert_eq!(writer.publish().unwrap(), 2);
+    assert_eq!(metrics.persist_failed.get(), 0);
+    assert_eq!(metrics.persisted_generation.get(), 2);
+    assert!(writer.last_persist_error().is_none());
+    assert_eq!(metrics.snapshots_persisted.get(), 2, "gen 0 and gen 2 landed");
+}
+
+#[test]
+fn transient_errors_are_retried_with_backoff() {
+    let dir = test_dir("retry");
+    let (bytes, base) = index_fixture();
+    let fs = Arc::new(FaultFs::new(RealFs));
+    let store = SnapshotStore::open_with_fs(
+        &dir,
+        Arc::clone(&fs) as _,
+        SnapshotStoreConfig {
+            retain: 1,
+            max_retries: 2,
+            backoff: Duration::ZERO,
+            audit_on_recover: true,
+        },
+    )
+    .unwrap();
+    let metrics = Arc::new(Metrics::new());
+    let (mut writer, _cell) = IndexWriter::attach_durable(
+        materialize(&bytes, &base),
+        PARAMS,
+        Arc::clone(&metrics),
+        store,
+    );
+    // One ENOSPC-style hiccup on the first write of the next persist.
+    fs.arm(fs.ops(), Fault::ErrorOnce);
+    writer.insert(base.get(8)).unwrap();
+    writer.publish().unwrap();
+    assert!(writer.last_persist_error().is_none(), "retry must absorb a transient error");
+    assert_eq!(metrics.persist_retries.get(), 1);
+    assert_eq!(metrics.persist_failed.get(), 0);
+    assert_eq!(metrics.persisted_generation.get(), 1);
+}
+
+#[test]
+fn load_generation_reports_typed_context() {
+    let dir = test_dir("typed-context");
+    let (bytes, base) = index_fixture();
+    let store = SnapshotStore::open(&dir).unwrap();
+    let (_writer, _cell) = IndexWriter::attach_durable(
+        materialize(&bytes, &base),
+        PARAMS,
+        Arc::new(Metrics::new()),
+        Arc::clone(&store),
+    );
+    // Valid load works and carries the right generation.
+    assert_eq!(store.load_generation(0).unwrap().generation, 0);
+    // A missing generation is an Io error, not corruption.
+    assert!(matches!(store.load_generation(9), Err(AnnError::Io(_))));
+    // Truncate the file: typed CorruptFile with path + generation context.
+    let path = dir.join("gen-00000000000000000000.snap");
+    let raw = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+    match store.load_generation(0) {
+        Err(AnnError::CorruptFile(ctx)) => {
+            assert_eq!(ctx.path, path);
+            assert_eq!(ctx.generation, Some(0));
+        }
+        other => panic!("expected CorruptFile, got {other:?}"),
+    }
+}

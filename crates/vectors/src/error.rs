@@ -2,6 +2,62 @@
 
 use std::fmt;
 
+/// Which validation step rejected a persisted artifact.
+///
+/// File-level loaders attach this to [`AnnError::CorruptFile`] so operators
+/// can tell a torn write (checksum) from a format skew (version) from a
+/// hostile or mis-addressed file (magic) without parsing error prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityCheck {
+    /// File shorter than the minimal fixed layout (header + trailer).
+    Truncated,
+    /// Magic number mismatch: not this format at all.
+    Magic,
+    /// Recognized format, unsupported version.
+    Version,
+    /// Whole-file checksum mismatch: torn/short write or bit rot.
+    Checksum,
+    /// A size, count, or range field contradicts the payload.
+    Bounds,
+    /// An embedded payload failed its own validation.
+    Payload,
+}
+
+impl IntegrityCheck {
+    /// Stable lowercase name for logs and error text.
+    pub fn name(self) -> &'static str {
+        match self {
+            IntegrityCheck::Truncated => "truncated",
+            IntegrityCheck::Magic => "magic",
+            IntegrityCheck::Version => "version",
+            IntegrityCheck::Checksum => "checksum",
+            IntegrityCheck::Bounds => "bounds",
+            IntegrityCheck::Payload => "payload",
+        }
+    }
+}
+
+impl fmt::Display for IntegrityCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Context for a corrupt persisted file: where it was, which generation it
+/// claimed to be (when the container is generation-addressed), and which
+/// validation step rejected it.
+#[derive(Debug)]
+pub struct CorruptFileContext {
+    /// Path of the offending file.
+    pub path: std::path::PathBuf,
+    /// Generation the file was addressed as, if any.
+    pub generation: Option<u64>,
+    /// The validation step that failed.
+    pub check: IntegrityCheck,
+    /// Human-readable detail from the failing check.
+    pub detail: String,
+}
+
 /// Errors surfaced by dataset handling, index construction and persistence.
 #[derive(Debug)]
 pub enum AnnError {
@@ -25,8 +81,28 @@ pub enum AnnError {
     InvalidParameter(String),
     /// A persisted artifact failed validation (bad magic, version, checksum…).
     CorruptIndex(String),
+    /// A persisted *file* failed validation, with path/generation/check
+    /// context attached (the file-level sibling of [`AnnError::CorruptIndex`]).
+    CorruptFile(Box<CorruptFileContext>),
     /// Underlying I/O failure.
     Io(std::io::Error),
+}
+
+impl AnnError {
+    /// Build a [`AnnError::CorruptFile`] with full context.
+    pub fn corrupt_file(
+        path: impl Into<std::path::PathBuf>,
+        generation: Option<u64>,
+        check: IntegrityCheck,
+        detail: impl Into<String>,
+    ) -> AnnError {
+        AnnError::CorruptFile(Box::new(CorruptFileContext {
+            path: path.into(),
+            generation,
+            check,
+            detail: detail.into(),
+        }))
+    }
 }
 
 impl fmt::Display for AnnError {
@@ -41,6 +117,13 @@ impl fmt::Display for AnnError {
             }
             AnnError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             AnnError::CorruptIndex(msg) => write!(f, "corrupt index: {msg}"),
+            AnnError::CorruptFile(ctx) => {
+                write!(f, "corrupt file {}", ctx.path.display())?;
+                if let Some(generation) = ctx.generation {
+                    write!(f, " (generation {generation})")?;
+                }
+                write!(f, ": {} check failed: {}", ctx.check, ctx.detail)
+            }
             AnnError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -77,6 +160,23 @@ mod tests {
         assert!(e.to_string().contains('9'));
         let e = AnnError::CorruptIndex("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn corrupt_file_context_is_rendered() {
+        let e = AnnError::corrupt_file(
+            "/data/gen-7.snap",
+            Some(7),
+            IntegrityCheck::Checksum,
+            "trailer mismatch",
+        );
+        let s = e.to_string();
+        assert!(s.contains("/data/gen-7.snap"), "{s}");
+        assert!(s.contains("generation 7"), "{s}");
+        assert!(s.contains("checksum check failed"), "{s}");
+        assert!(s.contains("trailer mismatch"), "{s}");
+        let e = AnnError::corrupt_file("f.bin", None, IntegrityCheck::Magic, "not GRF1");
+        assert!(!e.to_string().contains("generation"), "{e}");
     }
 
     #[test]

@@ -7,15 +7,66 @@
 //! * **vstore** — this workspace's own binary snapshot of a [`VecStore`]
 //!   (+ metric), versioned and checksummed, built with `bytes`.
 
-use crate::error::{AnnError, Result};
+use crate::error::{AnnError, IntegrityCheck, Result};
 use crate::metric::Metric;
 use crate::store::VecStore;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 
 const VSTORE_MAGIC: u32 = 0x5653_5430; // "VST0"
 const VSTORE_VERSION: u16 = 1;
+
+/// Uniquifies temp-file names when several threads write through
+/// [`write_atomic`] into the same directory.
+// ordering: monotone uniqueness counter; no data is published through it.
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Durably replace `path` with `data`.
+///
+/// The crash-safety contract: readers of `path` see either the old file or
+/// the new one, never a torn mix, even across power loss. Implemented as
+/// temp file in the same directory → `write_all` → `sync_all` → atomic
+/// `rename` over `path` → parent-directory fsync (so the rename itself is
+/// durable). On any failure the temp file is removed best-effort and `path`
+/// is untouched.
+pub fn write_atomic(path: &Path, data: &[u8]) -> Result<()> {
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed); // ordering: uniqueness counter
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(".{}.{seq}.tmp", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp_name);
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(data)?;
+        f.sync_all()
+    };
+    if let Err(e) = write() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    sync_parent_dir(path)
+}
+
+/// Fsync the directory containing `path`, making a just-completed rename
+/// durable. A no-op on platforms without directory handles (Windows).
+pub fn sync_parent_dir(path: &Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+        if let Some(dir) = parent {
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
+    Ok(())
+}
 
 /// Read an entire `.fvecs` file into a store.
 ///
@@ -58,18 +109,17 @@ pub fn read_fvecs(path: &Path) -> Result<VecStore> {
     VecStore::from_flat(dim, data)
 }
 
-/// Write a store as `.fvecs`.
+/// Write a store as `.fvecs`, atomically (temp file + fsync + rename).
 pub fn write_fvecs(path: &Path, store: &VecStore) -> Result<()> {
-    let mut w = BufWriter::new(std::fs::File::create(path)?);
     let dim = store.dim() as i32;
+    let mut data = Vec::with_capacity(store.len() * (store.dim() + 1) * 4);
     for i in 0..store.len() as u32 {
-        w.write_all(&dim.to_le_bytes())?;
+        data.extend_from_slice(&dim.to_le_bytes());
         for x in store.get(i) {
-            w.write_all(&x.to_le_bytes())?;
+            data.extend_from_slice(&x.to_le_bytes());
         }
     }
-    w.flush()?;
-    Ok(())
+    write_atomic(path, &data)
 }
 
 /// Read an `.ivecs` file (e.g. ground-truth id lists) as rows of `u32`.
@@ -99,17 +149,16 @@ pub fn read_ivecs(path: &Path) -> Result<Vec<Vec<u32>>> {
     Ok(rows)
 }
 
-/// Write rows of ids as `.ivecs`.
+/// Write rows of ids as `.ivecs`, atomically (temp file + fsync + rename).
 pub fn write_ivecs(path: &Path, rows: &[Vec<u32>]) -> Result<()> {
-    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    let mut data = Vec::with_capacity(rows.iter().map(|r| (r.len() + 1) * 4).sum());
     for row in rows {
-        w.write_all(&(row.len() as i32).to_le_bytes())?;
+        data.extend_from_slice(&(row.len() as i32).to_le_bytes());
         for id in row {
-            w.write_all(&id.to_le_bytes())?;
+            data.extend_from_slice(&id.to_le_bytes());
         }
     }
-    w.flush()?;
-    Ok(())
+    write_atomic(path, &data)
 }
 
 /// Serialize a store (with its metric) to the versioned `vstore` format.
@@ -130,52 +179,65 @@ pub fn vstore_to_bytes(store: &VecStore, metric: Metric) -> Bytes {
 }
 
 /// Deserialize a `vstore` buffer, validating magic, version and checksum.
-pub fn vstore_from_bytes(mut buf: &[u8]) -> Result<(VecStore, Metric)> {
+pub fn vstore_from_bytes(buf: &[u8]) -> Result<(VecStore, Metric)> {
+    vstore_checked(buf).map_err(|(_, detail)| AnnError::CorruptIndex(detail))
+}
+
+/// The `vstore` parser with the failing [`IntegrityCheck`] attached, so
+/// file-level loaders can report which validation step rejected the data.
+pub(crate) fn vstore_checked(
+    mut buf: &[u8],
+) -> std::result::Result<(VecStore, Metric), (IntegrityCheck, String)> {
     if buf.len() < 24 + 8 {
-        return Err(AnnError::CorruptIndex("vstore buffer too short".into()));
+        return Err((IntegrityCheck::Truncated, "vstore buffer too short".into()));
     }
     let (body, tail) = buf.split_at(buf.len() - 8);
     let expect = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
     if fnv1a(body) != expect {
-        return Err(AnnError::CorruptIndex("vstore checksum mismatch".into()));
+        return Err((IntegrityCheck::Checksum, "vstore checksum mismatch".into()));
     }
     buf = body;
     if buf.get_u32_le() != VSTORE_MAGIC {
-        return Err(AnnError::CorruptIndex("vstore bad magic".into()));
+        return Err((IntegrityCheck::Magic, "vstore bad magic".into()));
     }
     let version = buf.get_u16_le();
     if version != VSTORE_VERSION {
-        return Err(AnnError::CorruptIndex(format!("vstore version {version} unsupported")));
+        return Err((IntegrityCheck::Version, format!("vstore version {version} unsupported")));
     }
     let metric = Metric::from_tag(buf.get_u8())
-        .ok_or_else(|| AnnError::CorruptIndex("vstore unknown metric tag".into()))?;
+        .ok_or((IntegrityCheck::Bounds, "vstore unknown metric tag".to_string()))?;
     let _reserved = buf.get_u8();
     let dim = buf.get_u64_le() as usize;
     let n = buf.get_u64_le() as usize;
     if buf.remaining() != dim * n * 4 {
-        return Err(AnnError::CorruptIndex(format!(
-            "vstore payload is {} bytes, header promises {}",
-            buf.remaining(),
-            dim * n * 4
-        )));
+        return Err((
+            IntegrityCheck::Bounds,
+            format!("vstore payload is {} bytes, header promises {}", buf.remaining(), dim * n * 4),
+        ));
     }
     let mut data = Vec::with_capacity(dim * n);
     for _ in 0..dim * n {
         data.push(buf.get_f32_le());
     }
-    Ok((VecStore::from_flat(dim, data)?, metric))
+    let store = VecStore::from_flat(dim, data)
+        .map_err(|e| (IntegrityCheck::Payload, format!("vstore payload rejected: {e}")))?;
+    Ok((store, metric))
 }
 
-/// Save a store to disk in `vstore` format.
+/// Save a store to disk in `vstore` format, atomically.
 pub fn save_vstore(path: &Path, store: &VecStore, metric: Metric) -> Result<()> {
-    std::fs::write(path, vstore_to_bytes(store, metric))?;
-    Ok(())
+    write_atomic(path, &vstore_to_bytes(store, metric))
 }
 
 /// Load a store saved by [`save_vstore`].
+///
+/// # Errors
+/// [`AnnError::CorruptFile`] with path and failed-check context on any
+/// validation failure; `Io` on filesystem errors.
 pub fn load_vstore(path: &Path) -> Result<(VecStore, Metric)> {
     let buf = std::fs::read(path)?;
-    vstore_from_bytes(&buf)
+    vstore_checked(&buf)
+        .map_err(|(check, detail)| AnnError::corrupt_file(path, None, check, detail))
 }
 
 /// FNV-1a, the workspace-standard integrity checksum (fast, dependency-free;
@@ -274,6 +336,42 @@ mod tests {
         let (s2, m) = load_vstore(&p).unwrap();
         assert_eq!(s, s2);
         assert_eq!(m, Metric::Ip);
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_cleans_up() {
+        let p = tmp("atomic.bin");
+        write_atomic(&p, b"first").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"first");
+        write_atomic(&p, b"second").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"second");
+        // No temp litter left behind in the directory.
+        let dir = p.parent().unwrap();
+        let litter: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(litter.is_empty(), "{litter:?}");
+    }
+
+    #[test]
+    fn load_vstore_errors_carry_path_and_check() {
+        let p = tmp("ctx.vstore");
+        let s = sample_store();
+        save_vstore(&p, &s, Metric::L2).unwrap();
+        let mut b = std::fs::read(&p).unwrap();
+        let mid = b.len() / 2;
+        b[mid] ^= 0x10;
+        std::fs::write(&p, b).unwrap();
+        match load_vstore(&p) {
+            Err(AnnError::CorruptFile(ctx)) => {
+                assert_eq!(ctx.path, p);
+                assert_eq!(ctx.check, crate::error::IntegrityCheck::Checksum);
+                assert_eq!(ctx.generation, None);
+            }
+            other => panic!("expected CorruptFile, got {other:?}"),
+        }
     }
 
     #[test]

@@ -6,7 +6,9 @@ use ann_suite::ann_graph::AnnIndex;
 use ann_suite::ann_hnsw::{Hnsw, HnswParams};
 use ann_suite::ann_knng::{brute_force_knn_graph, nn_descent, NnDescentParams};
 use ann_suite::ann_nsg::{build_nsg, NsgParams};
-use ann_suite::ann_vectors::error::AnnError;
+use ann_suite::ann_service::{IndexWriter, Metrics, SnapshotStore};
+use ann_suite::ann_vectors::error::{AnnError, IntegrityCheck};
+use ann_suite::ann_vectors::io::fnv1a;
 use ann_suite::ann_vectors::synthetic::uniform;
 use ann_suite::ann_vectors::{brute_force_ground_truth, Metric, VecStore};
 use ann_suite::tau_mg::{build_tau_mg, build_tau_mng, TauIndex, TauMgParams, TauMngParams};
@@ -107,6 +109,100 @@ fn truncated_and_garbled_index_files_are_refused() {
             "garbled byte {pos} accepted"
         );
     }
+}
+
+/// Persist one real snapshot (generation 0) into a fresh directory and
+/// return the store plus the raw bytes of the snapshot file.
+fn persisted_snapshot(tag: &str) -> (Arc<SnapshotStore>, std::path::PathBuf, Vec<u8>) {
+    let dir = std::env::temp_dir()
+        .join("ann_suite_disk_faults")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = Arc::new(uniform(5, 70, 8));
+    let knn = brute_force_knn_graph(Metric::L2, &base, 8).unwrap();
+    let params = TauMngParams { tau: 0.1, r: 16, l: 48, c: 150 };
+    let idx = build_tau_mng(base, Metric::L2, &knn, params).unwrap();
+    let store = SnapshotStore::open(&dir).unwrap();
+    let (_writer, _cell) =
+        IndexWriter::attach_durable(idx, params, Arc::new(Metrics::new()), Arc::clone(&store));
+    let path = dir.join("gen-00000000000000000000.snap");
+    let bytes = std::fs::read(&path).unwrap();
+    (store, path, bytes)
+}
+
+fn expect_check(store: &SnapshotStore, want: IntegrityCheck) {
+    match store.load_generation(0) {
+        Err(AnnError::CorruptFile(ctx)) => {
+            assert_eq!(ctx.check, want, "wrong check blamed: {}", ctx.detail);
+            assert_eq!(ctx.generation, Some(0));
+            assert!(ctx.path.ends_with("gen-00000000000000000000.snap"));
+        }
+        other => panic!("expected CorruptFile({want:?}), got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_length_snapshot_is_a_typed_truncation() {
+    let (store, path, _bytes) = persisted_snapshot("zero-length");
+    std::fs::write(&path, b"").unwrap();
+    expect_check(&store, IntegrityCheck::Truncated);
+}
+
+#[test]
+fn truncated_snapshots_are_typed_at_both_depths() {
+    // Cut below the minimal envelope: blamed on truncation.
+    let (store, path, bytes) = persisted_snapshot("truncated-short");
+    std::fs::write(&path, &bytes[..40]).unwrap();
+    expect_check(&store, IntegrityCheck::Truncated);
+    // Cut mid-payload: long enough to parse, caught by the checksum.
+    let (store, path, bytes) = persisted_snapshot("truncated-long");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    expect_check(&store, IntegrityCheck::Checksum);
+}
+
+#[test]
+fn bit_flipped_snapshot_is_a_typed_checksum_failure() {
+    let (store, path, mut bytes) = persisted_snapshot("bit-flip");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&path, &bytes).unwrap();
+    expect_check(&store, IntegrityCheck::Checksum);
+}
+
+#[test]
+fn wrong_version_snapshot_is_a_typed_version_skew() {
+    // Bump the version field and re-seal the checksum, so the *only*
+    // defect is the version — proving version skew is not misreported as
+    // corruption.
+    let (store, path, mut bytes) = persisted_snapshot("wrong-version");
+    bytes[4] = 0x7F;
+    let body = bytes.len() - 8;
+    let sum = fnv1a(&bytes[..body]);
+    bytes[body..].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    expect_check(&store, IntegrityCheck::Version);
+}
+
+#[test]
+fn recovery_quarantines_damaged_newest_and_falls_back() {
+    let (store, path, bytes) = persisted_snapshot("fallback");
+    // Forge a damaged "generation 1" from real generation-0 bytes.
+    let newer = path.with_file_name("gen-00000000000000000001.snap");
+    let mut damaged = bytes;
+    let mid = damaged.len() / 3;
+    damaged[mid] ^= 0x01;
+    std::fs::write(&newer, &damaged).unwrap();
+
+    let report = store.recover().unwrap();
+    let rec = report.recovered.expect("older valid generation must be served");
+    assert_eq!(rec.generation, 0);
+    assert_eq!(report.quarantined.len(), 1);
+    assert!(matches!(report.quarantined[0].1, AnnError::CorruptFile(_)));
+    assert!(!newer.exists(), "damaged file left in place");
+    assert!(
+        newer.with_file_name("gen-00000000000000000001.snap.corrupt").exists(),
+        "damaged file must be preserved under quarantine, not deleted"
+    );
 }
 
 #[test]
