@@ -14,7 +14,9 @@
 //!   return it), then [`DynamicTauMng::repair`] splices each in-neighbor to
 //!   the tombstone's out-neighbors under the τ rule and drops tombstone
 //!   edges;
-//! * **compact** — rebuild contiguous ids, dropping tombstones, and freeze
+//! * **compact** — rebuild contiguous ids, dropping tombstones, reconnect
+//!   any survivors the dropped edges orphaned (each is edged from its
+//!   nearest reachable neighbor, respecting the degree cap), and freeze
 //!   back into an immutable [`TauIndex`].
 //!
 //! Invariants maintained (tested below and in `tests/` at the workspace
@@ -28,6 +30,7 @@ use crate::prune::tau_prune;
 use ann_graph::{
     beam_search_collect_dyn, FlatGraph, GraphView, QueryResult, Scratch, SearchStats, VarGraph,
 };
+use ann_nsg::repair_connectivity;
 use ann_vectors::error::{AnnError, Result};
 use ann_vectors::metric::Metric;
 use ann_vectors::VecStore;
@@ -355,6 +358,20 @@ impl DynamicTauMng {
             new_graph.set_neighbors(new_id, nbrs);
         }
         let entry = remap[self.entry as usize].expect("entry is live after delete bookkeeping");
+        // Dropping tombstoned nodes (and their edges) can orphan survivors —
+        // on strongly clustered data a tombstone is often the only bridge
+        // into its cluster. Reconnect every unreachable node by edging it
+        // from its nearest reachable neighbor (degree cap respected), so a
+        // compacted index always passes the reachability audit that gates
+        // publication and recovery.
+        repair_connectivity(
+            &mut new_graph,
+            &new_store,
+            self.metric,
+            entry,
+            self.params.l,
+            self.params.r,
+        );
         let store = Arc::new(new_store);
         if self.view == EuclideanView::UnitSphere {
             check_unit_norm(&store, 1e-3)?;
@@ -492,6 +509,40 @@ mod tests {
         use ann_graph::AnnIndex;
         let r = frozen.search(queries.get(0), 5, 40);
         assert_eq!(r.ids.len(), 5);
+    }
+
+    #[test]
+    fn compaction_reconnects_clustered_orphans() {
+        // Clusters inserted one after another: the first few points of each
+        // later cluster are the only bridges back toward the entry point.
+        // Deleting those bridges used to leave the whole cluster unreachable
+        // after compact(), tripping the reachability audit that gates
+        // publication and recovery.
+        let (clusters, per, bridge) = (4u32, 100u32, 20u32);
+        let mut rng: u64 = 0x1234_5678;
+        let mut jitter = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let mut dynamic = DynamicTauMng::new(8, Metric::L2, params(0.2)).unwrap();
+        for c in 0..clusters {
+            for _ in 0..per {
+                let v: Vec<f32> = (0..8).map(|_| c as f32 * 100.0 + jitter() * 0.5).collect();
+                dynamic.insert(&v).unwrap();
+            }
+        }
+        for c in 1..clusters {
+            for id in c * per..c * per + bridge {
+                dynamic.delete(id).unwrap();
+            }
+        }
+        let (frozen, remap) = dynamic.compact().unwrap();
+        assert_eq!(frozen.store().len(), (clusters * per - (clusters - 1) * bridge) as usize);
+        assert!(remap[..per as usize].iter().all(Option::is_some));
+        assert!(
+            ann_graph::connectivity::fully_reachable(frozen.graph(), frozen.entry_point()),
+            "compacted clustered index must leave no orphaned nodes"
+        );
     }
 
     #[test]

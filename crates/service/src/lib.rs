@@ -12,6 +12,14 @@
 //!   degrades the beam width `L` toward a floor instead of failing
 //!   requests: recall is shed, availability is not, and every degradation
 //!   is reported.
+//! * **Sharded serving** ([`shard`]) — the unit of serving is a
+//!   [`ShardSet`] of independent shards (own cell, writer, and durable
+//!   subdirectory each), routed by a deterministic hash of the external id.
+//!   Workers fan each query across all healthy shards and k-way merge the
+//!   per-shard top-k by distance; a shard that cannot recover is
+//!   quarantined and the rest keep serving (`shards_degraded` in the
+//!   metrics). One shard is the degenerate case — the unsharded API is
+//!   unchanged.
 //! * **Metrics** ([`metrics`]) — a dependency-free registry of atomic
 //!   counters and log₂ histograms: QPS, latency quantiles, NDC, queue
 //!   depth, shed/deadline counters, snapshot generation and age, and
@@ -60,12 +68,17 @@
 pub mod faults;
 pub mod metrics;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
 pub mod store;
 
 pub use faults::{Fault, FaultFs};
-pub use metrics::{Counter, Gauge, Histogram, Metrics};
+pub use metrics::{Counter, Gauge, Histogram, Metrics, ShardMetrics};
 pub use service::{AnnService, BatchHandle, BatchResult, QueryOptions, QueryReply, ServiceConfig};
+pub use shard::{
+    merge_topk, shard_beam, split_index, Fanout, ShardPart, ShardRouter, ShardSet,
+    ShardSetRecovery, ShardSetWriter,
+};
 pub use snapshot::{Hit, IndexWriter, Snapshot, SnapshotCell};
 pub use store::{
     RealFs, RecoveredSnapshot, RecoveryReport, SnapshotFs, SnapshotStore, SnapshotStoreConfig,
@@ -86,10 +99,12 @@ mod send_sync_assertions {
         assert_send_sync::<SnapshotCell>();
         assert_send_sync::<Metrics>();
         assert_send_sync::<AnnService>();
+        assert_send_sync::<ShardSet>();
         assert_send_sync::<tau_mg::TauIndex>();
-        // The writer is single-owner by design: movable to a maintenance
+        // The writers are single-owner by design: movable to a maintenance
         // thread, not shareable.
         assert_send::<IndexWriter>();
+        assert_send::<ShardSetWriter>();
         assert_send::<tau_mg::DynamicTauMng>();
     }
 }

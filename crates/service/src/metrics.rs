@@ -141,6 +141,29 @@ impl Histogram {
     }
 }
 
+/// Per-shard slice of the registry.
+///
+/// One entry per shard in the serving [`crate::ShardSet`]; the unsharded
+/// service is shard 0 of a one-entry set. Same relaxed-atomic discipline as
+/// the global registry.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Snapshots this shard has published.
+    pub publishes: Counter,
+    /// Generation of this shard's newest durably persisted snapshot.
+    pub persisted_generation: Gauge,
+    /// Live points in this shard's newest published snapshot.
+    pub points: Gauge,
+    /// Per-shard searches executed (each fanned-out query counts once per
+    /// healthy shard it touched) — the shard's queue-depth contribution.
+    pub searches: Counter,
+    /// Distance computations spent in this shard.
+    pub ndc: Counter,
+    /// Health flag: 1 while the shard is quarantined (recovery found no
+    /// servable generation), 0 while it serves.
+    pub degraded: Gauge,
+}
+
 /// The service-wide metrics registry.
 ///
 /// Shared as an `Arc` between the workers, the writer, and whoever scrapes
@@ -186,6 +209,11 @@ pub struct Metrics {
     /// Moving estimate of per-query service time, ns (exponentially
     /// weighted, α = 1/8) — the deadline policy's cost model.
     pub service_ns_ewma: AtomicU64,
+    /// Shards currently serving degraded (quarantined at recovery).
+    pub shards_degraded: Gauge,
+    /// Per-shard counters, one entry per shard (a single entry when the
+    /// service is unsharded).
+    shards: Vec<ShardMetrics>,
     started: Instant,
 }
 
@@ -208,15 +236,35 @@ impl Default for Metrics {
             latency_us: Histogram::default(),
             ndc: Histogram::default(),
             service_ns_ewma: AtomicU64::new(0),
+            shards_degraded: Gauge::default(),
+            shards: vec![ShardMetrics::default()],
             started: Instant::now(),
         }
     }
 }
 
 impl Metrics {
-    /// Fresh registry.
+    /// Fresh registry for a single-shard (unsharded) service.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh registry with one [`ShardMetrics`] slot per shard.
+    pub fn with_shards(n: usize) -> Self {
+        Metrics {
+            shards: (0..n.max(1)).map(|_| ShardMetrics::default()).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Number of shard slots.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `i`'s counters, if the slot exists.
+    pub fn shard(&self, i: usize) -> Option<&ShardMetrics> {
+        self.shards.get(i)
     }
 
     /// Fold a per-query service-time sample into the EWMA.
@@ -277,6 +325,19 @@ impl Metrics {
             self.ndc.mean(),
         ));
         s.push_str(&format!("service_ns_ewma    {}\n", self.service_ns()));
+        s.push_str(&format!("shards_degraded    {}\n", self.shards_degraded.get()));
+        for (i, sh) in self.shards.iter().enumerate() {
+            s.push_str(&format!(
+                "shard[{i}]           publishes={} persisted_gen={} points={} \
+                 searches={} ndc={} degraded={}\n",
+                sh.publishes.get(),
+                sh.persisted_generation.get(),
+                sh.points.get(),
+                sh.searches.get(),
+                sh.ndc.get(),
+                sh.degraded.get(),
+            ));
+        }
         s
     }
 }
@@ -341,6 +402,25 @@ mod tests {
         for key in ["queries_total", "qps", "shed_degraded", "latency_us", "ndc"] {
             assert!(text.contains(key), "render missing {key}:\n{text}");
         }
+    }
+
+    #[test]
+    fn shard_slots_render_and_bound_check() {
+        let m = Metrics::with_shards(3);
+        assert_eq!(m.shard_count(), 3);
+        assert!(m.shard(2).is_some() && m.shard(3).is_none());
+        if let Some(sh) = m.shard(1) {
+            sh.publishes.inc();
+            sh.points.set(42);
+            sh.degraded.set(1);
+        }
+        m.shards_degraded.set(1);
+        let text = m.render();
+        assert!(text.contains("shards_degraded    1"), "{text}");
+        assert!(text.contains("shard[1]"), "{text}");
+        assert!(text.contains("points=42"), "{text}");
+        // `new()` still provides shard 0 so the unsharded path has a slot.
+        assert_eq!(Metrics::new().shard_count(), 1);
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! The query engine: a worker pool over a bounded queue, with per-request
 //! deadlines and graceful degradation under load.
 //!
+//! Workers serve a [`ShardSet`]: each batch loads every healthy shard's
+//! snapshot once, fans each query across them, and k-way merges the
+//! per-shard top-k into the reply (the unsharded service is simply a
+//! one-shard set). A reply's `generation` is the *minimum* generation
+//! across the shards that answered — the stamp every shard is guaranteed
+//! to have reached.
+//!
 //! ## Load-shedding policy
 //!
 //! The service never rejects a query; it sheds **recall**, not
@@ -20,14 +27,20 @@
 //!    Backpressure is thereby applied to exactly the thread producing the
 //!    load, and the request still gets an answer.
 //!
+//! Under sharding the degraded beam is a **total** budget: a query's
+//! effective `L` is split evenly across healthy shards (floored at `k` per
+//! shard), so shedding narrows every shard's beam in proportion.
+//!
 //! Every degraded query is visible in [`Metrics`] (`shed_degraded`,
 //! `shed_overflow`, `deadline_missed`), and every reply carries the beam
 //! width actually used, so callers can observe the quality they got.
 
 use ann_graph::{Scratch, ScratchPool};
+use ann_vectors::error::{AnnError, Result};
 use tau_mg::{TauIndex, TauMngParams};
 
 use crate::metrics::Metrics;
+use crate::shard::{split_index, Fanout, ShardSet, ShardSetWriter};
 use crate::snapshot::{Hit, IndexWriter, Snapshot, SnapshotCell};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -82,15 +95,18 @@ pub struct QueryReply {
     pub ids: Vec<u64>,
     /// Matching distances.
     pub dists: Vec<f32>,
-    /// Generation of the snapshot that answered.
+    /// Generation the answer is coherent with: the minimum generation
+    /// across the shard snapshots that answered (the snapshot's own
+    /// generation when unsharded).
     pub generation: u64,
-    /// Beam width actually used (≤ the requested one under load).
+    /// Beam width actually used (≤ the requested one under load; the total
+    /// across shards when sharded).
     pub effective_l: usize,
     /// Whether load shedding narrowed the beam for this query.
     pub degraded: bool,
     /// Enqueue-to-answer latency.
     pub latency_us: u64,
-    /// Distance computations spent on this query.
+    /// Distance computations spent on this query (summed across shards).
     pub ndc: u64,
 }
 
@@ -130,11 +146,14 @@ struct Job {
     reply: mpsc::Sender<BatchResult>,
 }
 
-/// The concurrent query engine: readers over [`SnapshotCell`] snapshots.
+/// The concurrent query engine: readers fanning out over a [`ShardSet`].
 pub struct AnnService {
     tx: SyncSender<Job>,
     workers: Vec<JoinHandle<()>>,
-    cell: Arc<SnapshotCell>,
+    set: Arc<ShardSet>,
+    /// First healthy shard's cell — the whole story when unsharded, a
+    /// representative shard otherwise (see [`AnnService::snapshot`]).
+    primary: Arc<SnapshotCell>,
     metrics: Arc<Metrics>,
     overflow_scratch: Arc<ScratchPool>,
     config: ServiceConfig,
@@ -156,26 +175,74 @@ impl AnnService {
         (Self::start(cell, metrics, config), writer)
     }
 
+    /// Partition a frozen index across `shards` shards (see
+    /// [`split_index`]) and start serving the set. Returns the service and
+    /// the [`ShardSetWriter`] that mutates and republishes it. `shards = 1`
+    /// adopts the index unchanged — exact parity with [`AnnService::launch`].
+    ///
+    /// # Errors
+    /// `InvalidParameter` if `shards == 0` or the corpus cannot populate
+    /// every shard; propagates per-shard build errors.
+    pub fn launch_sharded(
+        index: TauIndex,
+        params: TauMngParams,
+        config: ServiceConfig,
+        shards: usize,
+    ) -> Result<(AnnService, ShardSetWriter)> {
+        let metrics = Arc::new(Metrics::with_shards(shards.max(1)));
+        let parts = split_index(index, params, shards)?;
+        let (writer, set) = ShardSetWriter::attach(parts, params, Arc::clone(&metrics))?;
+        let service = Self::start_sharded(set, metrics, config)?;
+        Ok((service, writer))
+    }
+
     /// Start a worker pool over an existing cell (for sharing one metrics
     /// registry or cell across services in tests).
     pub fn start(cell: Arc<SnapshotCell>, metrics: Arc<Metrics>, config: ServiceConfig) -> Self {
+        let set = ShardSet::single(Arc::clone(&cell));
+        Self::start_inner(set, cell, metrics, config)
+    }
+
+    /// Start a worker pool over an existing [`ShardSet`] (e.g. one produced
+    /// by [`ShardSetWriter::attach_durable`] or sharded recovery).
+    ///
+    /// # Errors
+    /// `InvalidParameter` if the set has no healthy shard to serve.
+    pub fn start_sharded(
+        set: Arc<ShardSet>,
+        metrics: Arc<Metrics>,
+        config: ServiceConfig,
+    ) -> Result<Self> {
+        let primary = (0..set.shards()).find_map(|s| set.cell(s).cloned()).ok_or_else(|| {
+            AnnError::InvalidParameter("shard set has no healthy shard to serve".into())
+        })?;
+        Ok(Self::start_inner(set, primary, metrics, config))
+    }
+
+    fn start_inner(
+        set: Arc<ShardSet>,
+        primary: Arc<SnapshotCell>,
+        metrics: Arc<Metrics>,
+        config: ServiceConfig,
+    ) -> Self {
         let workers_n = config.workers.max(1);
         let capacity = config.queue_capacity.max(1);
         let (tx, rx) = mpsc::sync_channel::<Job>(capacity);
         let rx = Arc::new(Mutex::new(rx));
-        let nodes_hint = cell.load().len();
+        let nodes_hint = set.total_points();
         let workers = (0..workers_n)
             .map(|_| {
                 let rx = Arc::clone(&rx);
-                let cell = Arc::clone(&cell);
+                let set = Arc::clone(&set);
                 let metrics = Arc::clone(&metrics);
-                std::thread::spawn(move || worker_loop(&rx, &cell, &metrics, config))
+                std::thread::spawn(move || worker_loop(&rx, &set, &metrics, config))
             })
             .collect();
         AnnService {
             tx,
             workers,
-            cell,
+            set,
+            primary,
             metrics,
             overflow_scratch: Arc::new(ScratchPool::new(nodes_hint)),
             config,
@@ -187,9 +254,16 @@ impl AnnService {
         &self.metrics
     }
 
-    /// The snapshot currently being served.
+    /// The shard set being served.
+    pub fn shard_set(&self) -> &Arc<ShardSet> {
+        &self.set
+    }
+
+    /// The first healthy shard's current snapshot. For an unsharded
+    /// service this is *the* snapshot; for a sharded one it is a
+    /// representative shard (use [`AnnService::shard_set`] for the rest).
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        self.cell.load()
+        self.primary.load()
     }
 
     /// Submit a batch with default options.
@@ -221,27 +295,36 @@ impl AnnService {
                 // that produced the pressure.
                 self.metrics.queue_depth.dec();
                 self.metrics.shed_overflow.inc();
-                let snapshot = self.cell.load();
+                let mut snaps = Vec::new();
+                self.set.load_into(&mut snaps);
+                let mut fanout = Fanout::new(self.set.shards());
                 let floor = floor_l(&self.config, job.k);
                 self.overflow_scratch.with(|scratch| {
-                    run_batch(&job, &snapshot, &self.metrics, floor, scratch);
+                    run_batch(&job, &snaps, &self.metrics, floor, scratch, &mut fanout);
                 });
                 BatchHandle { rx }
             }
         }
     }
 
-    /// One-line serving status: generation, snapshot age, live points, and
-    /// persistence health (`persist=FAILED` means the last durable write
-    /// did not land and the service is running on its in-memory snapshot).
+    /// One-line serving status: shard health, set generation, snapshot
+    /// age, live points, and persistence health (`persist=FAILED` means
+    /// the last durable write did not land and the service is running on
+    /// an in-memory snapshot), followed by the full metrics render
+    /// (including the per-shard counters).
     pub fn status(&self) -> String {
-        let snap = self.cell.load();
+        let mut snaps = Vec::new();
+        self.set.load_into(&mut snaps);
+        let shards = snaps.len();
+        let healthy = snaps.iter().flatten().count();
+        let generation = snaps.iter().flatten().map(|s| s.generation()).min().unwrap_or(0);
+        let points: usize = snaps.iter().flatten().map(|s| s.len()).sum();
+        let age = snaps.iter().flatten().map(|s| s.age_secs()).fold(0.0_f64, f64::max);
         let persist = if self.metrics.persist_failed.get() != 0 { "FAILED" } else { "ok" };
         format!(
-            "serving gen={} points={} snapshot_age_secs={:.2} persist={persist}\n{}",
-            snap.generation(),
-            snap.len(),
-            snap.age_secs(),
+            "serving shards={shards} healthy={healthy} shards_degraded={} gen={generation} \
+             points={points} snapshot_age_secs={age:.2} persist={persist}\n{}",
+            shards - healthy,
             self.metrics.render()
         )
     }
@@ -260,7 +343,8 @@ impl std::fmt::Debug for AnnService {
         f.debug_struct("AnnService")
             .field("workers", &self.workers.len())
             .field("queue_capacity", &self.config.queue_capacity)
-            .field("generation", &self.cell.load().generation())
+            .field("shards", &self.set.shards())
+            .field("generation", &self.set.min_generation())
             .finish()
     }
 }
@@ -314,27 +398,30 @@ fn deadline_l(
     floor.max((candidate as f64 * scale).round() as usize).min(candidate)
 }
 
-/// Execute every query of `job` against `snapshot` at beam width
-/// `effective_l`, recording metrics, and deliver the batch reply.
+/// Execute every query of `job` against the loaded shard snapshots at
+/// total beam width `effective_l`, recording metrics, and deliver the
+/// batch reply.
 fn run_batch(
     job: &Job,
-    snapshot: &Snapshot,
+    snaps: &[Option<Arc<Snapshot>>],
     metrics: &Metrics,
     effective_l: usize,
     scratch: &mut Scratch,
+    fanout: &mut Fanout,
 ) {
+    let generation = snaps.iter().flatten().map(|s| s.generation()).min().unwrap_or(0);
     let mut replies = Vec::with_capacity(job.queries.len());
     for q in &job.queries {
         let t0 = Instant::now();
-        let hit = snapshot.search(q, job.k, effective_l, scratch);
-        replies.push(finish_reply(job, snapshot, metrics, effective_l, t0, hit));
+        let hit = fanout.search(snaps, q, job.k, effective_l, scratch, Some(metrics));
+        replies.push(finish_reply(job, generation, metrics, effective_l, t0, hit));
     }
     let _ = job.reply.send(BatchResult { replies });
 }
 
 fn finish_reply(
     job: &Job,
-    snapshot: &Snapshot,
+    generation: u64,
     metrics: &Metrics,
     effective_l: usize,
     started: Instant,
@@ -352,7 +439,7 @@ fn finish_reply(
     QueryReply {
         ids: hit.ids,
         dists: hit.dists,
-        generation: snapshot.generation(),
+        generation,
         effective_l,
         degraded,
         latency_us,
@@ -362,11 +449,13 @@ fn finish_reply(
 
 fn worker_loop(
     rx: &Mutex<Receiver<Job>>,
-    cell: &SnapshotCell,
+    set: &ShardSet,
     metrics: &Metrics,
     config: ServiceConfig,
 ) {
-    let mut scratch = Scratch::new(cell.load().len());
+    let mut scratch = Scratch::new(set.total_points());
+    let mut snaps: Vec<Option<Arc<Snapshot>>> = Vec::new();
+    let mut fanout = Fanout::new(set.shards());
     loop {
         // Hold the receiver lock only for the dequeue, never for a search.
         let job = {
@@ -375,7 +464,10 @@ fn worker_loop(
         };
         let Ok(job) = job else { return };
         metrics.queue_depth.dec();
-        let snapshot = cell.load();
+        // One coherent set of snapshots per batch: every query in the
+        // batch merges over the same shard generations.
+        set.load_into(&mut snaps);
+        let generation = snaps.iter().flatten().map(|s| s.generation()).min().unwrap_or(0);
         let floor = floor_l(&config, job.k);
         let mut replies = Vec::with_capacity(job.queries.len());
         let total = job.queries.len();
@@ -391,8 +483,8 @@ fn worker_loop(
                 metrics.service_ns(),
                 &metrics.deadline_missed,
             );
-            let hit = snapshot.search(q, job.k, effective_l, &mut scratch);
-            replies.push(finish_reply(&job, &snapshot, metrics, effective_l, now, hit));
+            let hit = fanout.search(&snaps, q, job.k, effective_l, &mut scratch, Some(metrics));
+            replies.push(finish_reply(&job, generation, metrics, effective_l, now, hit));
         }
         let _ = job.reply.send(BatchResult { replies });
     }
@@ -404,11 +496,7 @@ mod tests {
     use ann_vectors::metric::Metric;
     use ann_vectors::synthetic::{mixture_base, mixture_queries, FrozenMixture, MixtureSpec};
 
-    fn served(
-        n: usize,
-        seed: u64,
-        config: ServiceConfig,
-    ) -> (AnnService, IndexWriter, ann_vectors::VecStore) {
+    fn built(n: usize, seed: u64) -> (TauIndex, ann_vectors::VecStore) {
         let mix = FrozenMixture::new(&MixtureSpec::default_for(8), seed);
         let base = Arc::new(mixture_base(&mix, n, seed));
         let queries = mixture_queries(&mix, 32, seed);
@@ -420,6 +508,15 @@ mod tests {
             TauMngParams { tau: 0.2, r: 24, l: 64, c: 200 },
         )
         .unwrap();
+        (idx, queries)
+    }
+
+    fn served(
+        n: usize,
+        seed: u64,
+        config: ServiceConfig,
+    ) -> (AnnService, IndexWriter, ann_vectors::VecStore) {
+        let (idx, queries) = built(n, seed);
         let (service, writer) = AnnService::launch(idx, TauMngParams::default(), config);
         (service, writer, queries)
     }
@@ -560,5 +657,55 @@ mod tests {
         assert_eq!(r.replies[0].ids, vec![added], "query point itself must be NN");
         assert_eq!(r.replies[0].generation, 1);
         service.shutdown();
+    }
+
+    #[test]
+    fn sharded_launch_serves_and_publishes() {
+        let (idx, queries) = built(500, 6);
+        let (service, mut writer) =
+            AnnService::launch_sharded(idx, TauMngParams::default(), ServiceConfig::default(), 3)
+                .unwrap();
+        assert_eq!(service.shard_set().shards(), 3);
+        assert_eq!(service.shard_set().healthy(), 3);
+        // Self-queries come back exact through the fan-out/merge.
+        let batch: Vec<Vec<f32>> = (0..4u32).map(|q| queries.get(q).to_vec()).collect();
+        let result = service.submit(batch, 5).wait().unwrap();
+        for r in &result.replies {
+            assert_eq!(r.ids.len(), 5);
+            assert_eq!(r.generation, 0);
+            assert_eq!(r.effective_l, 100, "reply reports the total beam budget");
+        }
+        // Mutate through the set writer; the published generation is
+        // reflected in replies once every touched shard has republished.
+        let added = writer.insert(queries.get(0)).unwrap();
+        let gen = writer.publish().unwrap();
+        assert_eq!(gen, 1);
+        let r = service.submit(vec![queries.get(0).to_vec()], 1).wait().unwrap();
+        assert_eq!(r.replies[0].ids, vec![added], "inserted duplicate must be the NN");
+        let status = service.status();
+        assert!(status.contains("shards=3 healthy=3 shards_degraded=0"), "{status}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn one_shard_launch_matches_unsharded_service() {
+        // Same corpus, same seed: launch() and launch_sharded(.., 1) must
+        // answer identically (the degenerate case adopts the index as-is).
+        let (idx_a, queries) = built(400, 7);
+        let (idx_b, _) = built(400, 7);
+        let (plain, _w1) =
+            AnnService::launch(idx_a, TauMngParams::default(), ServiceConfig::default());
+        let (one, _w2) =
+            AnnService::launch_sharded(idx_b, TauMngParams::default(), ServiceConfig::default(), 1)
+                .unwrap();
+        let batch: Vec<Vec<f32>> = (0..16u32).map(|q| queries.get(q).to_vec()).collect();
+        let ra = plain.submit(batch.clone(), 10).wait().unwrap();
+        let rb = one.submit(batch, 10).wait().unwrap();
+        for (a, b) in ra.replies.iter().zip(&rb.replies) {
+            assert_eq!(a.ids, b.ids, "one-shard fan-out must match the unsharded path");
+            assert_eq!(a.dists, b.dists);
+        }
+        plain.shutdown();
+        one.shutdown();
     }
 }

@@ -91,9 +91,29 @@ impl Snapshot {
 
     /// τ-monotonic search returning external ids.
     pub fn search(&self, query: &[f32], k: usize, l: usize, scratch: &mut Scratch) -> Hit {
+        let mut ids = Vec::new();
+        let mut dists = Vec::new();
+        let stats = self.search_into(query, k, l, scratch, &mut ids, &mut dists);
+        Hit { ids, dists, stats }
+    }
+
+    /// Allocation-free variant of [`Snapshot::search`] for the sharded
+    /// fan-out path: results are appended to caller-owned buffers (cleared
+    /// first) so a worker can reuse one pair per shard across queries.
+    pub fn search_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        l: usize,
+        scratch: &mut Scratch,
+        ids: &mut Vec<u64>,
+        dists: &mut Vec<f32>,
+    ) -> SearchStats {
+        ids.clear();
+        dists.clear();
         let r = self.index.search_opts(query, k, l, TauSearchOptions::default(), scratch);
-        let mut ids = Vec::with_capacity(r.ids.len());
-        let mut dists = Vec::with_capacity(r.dists.len());
+        ids.reserve(r.ids.len());
+        dists.reserve(r.dists.len());
         for (&internal, &d) in r.ids.iter().zip(&r.dists) {
             // An in-range id is an index invariant; if it ever breaks, drop
             // the hit rather than panic under a reader.
@@ -103,7 +123,7 @@ impl Snapshot {
                 dists.push(d);
             }
         }
-        Hit { ids, dists, stats: r.stats }
+        r.stats
     }
 }
 
@@ -160,6 +180,11 @@ pub struct IndexWriter {
     /// Persistence failures never fail a publish: the in-memory swap has
     /// already happened and readers keep being served.
     last_persist_error: Option<String>,
+    /// Which [`crate::metrics::ShardMetrics`] slot this writer reports to
+    /// (0 for the unsharded service).
+    shard: usize,
+    /// Whether the replica has mutations not yet published.
+    dirty: bool,
 }
 
 impl IndexWriter {
@@ -176,30 +201,95 @@ impl IndexWriter {
     ) -> (IndexWriter, Arc<SnapshotCell>) {
         let n = index.store().len();
         let external_ids: Vec<u64> = (0..n as u64).collect();
+        // cast: initial external ids are identity-mapped slots, all < n <= u32::MAX.
+        let int_of_external = external_ids.iter().map(|&e| (e, e as u32)).collect();
+        Self::attach_inner(index, external_ids, int_of_external, n as u64, params, metrics, None)
+    }
+
+    /// [`IndexWriter::attach`] with a caller-chosen external-id table — the
+    /// sharded path, where a shard serves a routed subset of a global id
+    /// space rather than identity ids. `external_ids[i]` names the point in
+    /// internal slot `i`; the id allocator resumes above the maximum.
+    ///
+    /// When `store` is given, the initial snapshot is persisted as with
+    /// [`IndexWriter::attach_durable`].
+    ///
+    /// # Errors
+    /// `InvalidParameter` if the table length does not match the index's
+    /// point count or the ids are not unique.
+    pub fn attach_with_ids(
+        index: TauIndex,
+        external_ids: Vec<u64>,
+        params: TauMngParams,
+        metrics: Arc<Metrics>,
+        store: Option<Arc<SnapshotStore>>,
+    ) -> Result<(IndexWriter, Arc<SnapshotCell>)> {
+        let n = index.store().len();
+        if external_ids.len() != n {
+            return Err(AnnError::InvalidParameter(format!(
+                "external id table has {} entries for an index of {n} points",
+                external_ids.len()
+            )));
+        }
+        let int_of_external: HashMap<u64, u32> =
+            // cast: slot index < n <= u32::MAX (enforced by the store).
+            external_ids.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
+        if int_of_external.len() != n {
+            return Err(AnnError::InvalidParameter(
+                "external ids must be unique within a shard".into(),
+            ));
+        }
+        let next_external = external_ids.iter().max().map_or(0, |&m| m + 1);
+        Ok(Self::attach_inner(
+            index,
+            external_ids,
+            int_of_external,
+            next_external,
+            params,
+            metrics,
+            store,
+        ))
+    }
+
+    fn attach_inner(
+        index: TauIndex,
+        external_ids: Vec<u64>,
+        int_of_external: HashMap<u64, u32>,
+        next_external: u64,
+        params: TauMngParams,
+        metrics: Arc<Metrics>,
+        store: Option<Arc<SnapshotStore>>,
+    ) -> (IndexWriter, Arc<SnapshotCell>) {
         let dynamic = DynamicTauMng::from_index_with_params(&index, params);
         let params = dynamic.params();
         let audit_cap = index.graph().max_degree().max(params.r);
-        // cast: initial external ids are identity-mapped slots, all < n <= u32::MAX.
-        let int_of_external = external_ids.iter().map(|&e| (e, e as u32)).collect();
         let cell = Arc::new(SnapshotCell::new(Arc::new(Snapshot {
             index,
             external_ids: external_ids.clone(),
             generation: 0,
             published_at: Instant::now(),
         })));
-        let writer = IndexWriter {
+        let mut writer = IndexWriter {
             dynamic,
             params,
             ext_of_internal: external_ids,
             int_of_external,
-            next_external: n as u64,
+            next_external,
             generation: 0,
             cell: Arc::clone(&cell),
             metrics,
             audit_cap,
-            store: None,
+            store,
             last_persist_error: None,
+            shard: 0,
+            dirty: false,
         };
+        if let Some(sm) = writer.metrics.shard(writer.shard) {
+            sm.points.set(writer.dynamic.len() as u64);
+        }
+        if writer.store.is_some() {
+            writer.persist_current();
+        }
         (writer, cell)
     }
 
@@ -215,10 +305,19 @@ impl IndexWriter {
         metrics: Arc<Metrics>,
         store: Arc<SnapshotStore>,
     ) -> (IndexWriter, Arc<SnapshotCell>) {
-        let (mut writer, cell) = IndexWriter::attach(index, params, metrics);
-        writer.store = Some(store);
-        writer.persist_current();
-        (writer, cell)
+        let n = index.store().len();
+        let external_ids: Vec<u64> = (0..n as u64).collect();
+        // cast: identity-mapped slots, all < n <= u32::MAX.
+        let int_of_external = external_ids.iter().map(|&e| (e, e as u32)).collect();
+        Self::attach_inner(
+            index,
+            external_ids,
+            int_of_external,
+            n as u64,
+            params,
+            metrics,
+            Some(store),
+        )
     }
 
     /// Warm-start a writer from a snapshot recovered off disk (see
@@ -258,8 +357,31 @@ impl IndexWriter {
             audit_cap,
             store,
             last_persist_error: None,
+            shard: 0,
+            dirty: false,
         };
+        if let Some(sm) = writer.metrics.shard(writer.shard) {
+            sm.points.set(writer.dynamic.len() as u64);
+            sm.persisted_generation.set(generation);
+        }
         (writer, cell)
+    }
+
+    /// Re-home this writer's per-shard metrics onto slot `shard` (shards of
+    /// a [`crate::ShardSet`] share one registry; the default slot is 0).
+    pub(crate) fn set_shard(&mut self, shard: usize) {
+        self.shard = shard;
+        if let Some(sm) = self.metrics.shard(shard) {
+            sm.points.set(self.dynamic.len() as u64);
+            if self.store.is_some() && self.last_persist_error.is_none() {
+                sm.persisted_generation.set(self.generation);
+            }
+        }
+    }
+
+    /// Whether the replica holds mutations not yet published.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
     }
 
     /// Number of live points in the writer's replica (may differ from the
@@ -289,13 +411,32 @@ impl IndexWriter {
     /// # Errors
     /// Propagates [`DynamicTauMng::insert`] validation errors.
     pub fn insert(&mut self, v: &[f32]) -> Result<u64> {
-        let internal = self.dynamic.insert(v)?;
         let ext = self.next_external;
-        self.next_external += 1;
-        debug_assert_eq!(internal as usize, self.ext_of_internal.len());
-        self.ext_of_internal.push(ext);
-        self.int_of_external.insert(ext, internal);
+        self.insert_with_id(ext, v)?;
         Ok(ext)
+    }
+
+    /// Insert a vector under a caller-allocated external id (the sharded
+    /// path: the [`crate::ShardSetWriter`] allocates ids globally and routes
+    /// each to its owning shard). The local allocator is bumped past
+    /// `external` so plain [`IndexWriter::insert`] never collides with it.
+    ///
+    /// # Errors
+    /// `InvalidParameter` if `external` is already live in this writer;
+    /// propagates [`DynamicTauMng::insert`] validation errors.
+    pub fn insert_with_id(&mut self, external: u64, v: &[f32]) -> Result<u64> {
+        if self.int_of_external.contains_key(&external) {
+            return Err(AnnError::InvalidParameter(format!(
+                "external id {external} is already live in this shard"
+            )));
+        }
+        let internal = self.dynamic.insert(v)?;
+        self.next_external = self.next_external.max(external + 1);
+        debug_assert_eq!(internal as usize, self.ext_of_internal.len());
+        self.ext_of_internal.push(external);
+        self.int_of_external.insert(external, internal);
+        self.dirty = true;
+        Ok(external)
     }
 
     /// Tombstone an external id in the replica. The point stays visible to
@@ -310,12 +451,20 @@ impl IndexWriter {
             .remove(&external)
             .ok_or(AnnError::IdOutOfRange { id: external, len: self.next_external })?;
         match self.dynamic.delete(internal) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.dirty = true;
+                Ok(())
+            }
             Err(e) => {
                 self.int_of_external.insert(external, internal);
                 Err(e)
             }
         }
+    }
+
+    /// Whether this writer currently owns `external` (live, not deleted).
+    pub fn contains(&self, external: u64) -> bool {
+        self.int_of_external.contains_key(&external)
     }
 
     /// Compact the replica (dropping tombstones, repairing the graph) and
@@ -327,6 +476,20 @@ impl IndexWriter {
     /// # Errors
     /// `EmptyDataset` if every point has been deleted.
     pub fn publish(&mut self) -> Result<u64> {
+        self.publish_at(self.generation + 1)
+    }
+
+    /// [`IndexWriter::publish`] at a caller-chosen generation number — the
+    /// sharded path, where shards of one set stamp their snapshots with the
+    /// *set* generation so a merged reply can report one coherent number.
+    /// `generation` must exceed the writer's current generation.
+    pub(crate) fn publish_at(&mut self, generation: u64) -> Result<u64> {
+        if generation <= self.generation {
+            return Err(AnnError::InvalidParameter(format!(
+                "publish generation {generation} must exceed current {}",
+                self.generation
+            )));
+        }
         let (index, remap) = self.dynamic.compact()?;
         let mut external_ids = vec![0u64; index.store().len()];
         for (old, slot) in remap.iter().enumerate() {
@@ -346,7 +509,8 @@ impl IndexWriter {
         self.ext_of_internal = external_ids.clone();
         self.int_of_external =
             external_ids.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect(); // cast: slot < n
-        self.generation += 1;
+        self.generation = generation;
+        self.dirty = false;
         self.cell.publish(Arc::new(Snapshot {
             index,
             external_ids,
@@ -354,6 +518,10 @@ impl IndexWriter {
             published_at: Instant::now(),
         }));
         self.metrics.snapshots_published.inc();
+        if let Some(sm) = self.metrics.shard(self.shard) {
+            sm.publishes.inc();
+            sm.points.set(self.dynamic.len() as u64);
+        }
         // Persist after the swap: durability lags availability, never
         // blocks it. Failures are recorded, not propagated — readers are
         // already on the new snapshot.
@@ -371,7 +539,12 @@ impl IndexWriter {
         let Some(store) = &self.store else { return };
         let snap = self.cell.load();
         match store.persist_with_retry(&snap, self.params, &self.metrics) {
-            Ok(_) => self.last_persist_error = None,
+            Ok(_) => {
+                self.last_persist_error = None;
+                if let Some(sm) = self.metrics.shard(self.shard) {
+                    sm.persisted_generation.set(snap.generation());
+                }
+            }
             Err(e) => self.last_persist_error = Some(e.to_string()),
         }
     }

@@ -203,6 +203,30 @@ impl SnapshotStore {
         Ok(Arc::new(SnapshotStore { dir, fs, config }))
     }
 
+    /// Directory of shard `shard`'s generations under a shard-set root:
+    /// `<root>/shard-<i>`. Sharded serving namespaces durable state per
+    /// shard so each one persists, prunes, and recovers independently.
+    pub fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+        root.join(format!("shard-{shard}"))
+    }
+
+    /// Open (creating if needed) shard `shard`'s store under `root` on the
+    /// real filesystem.
+    pub fn open_shard(root: &Path, shard: usize) -> Result<Arc<SnapshotStore>> {
+        Self::open(Self::shard_dir(root, shard))
+    }
+
+    /// [`SnapshotStore::open_shard`] with an explicit filesystem and
+    /// configuration (fault-injection tests, custom retention).
+    pub fn open_shard_with_fs(
+        root: &Path,
+        shard: usize,
+        fs: Arc<dyn SnapshotFs>,
+        config: SnapshotStoreConfig,
+    ) -> Result<Arc<SnapshotStore>> {
+        Self::open_with_fs(Self::shard_dir(root, shard), fs, config)
+    }
+
     /// The directory this store persists into.
     pub fn dir(&self) -> &Path {
         &self.dir

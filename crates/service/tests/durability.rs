@@ -5,9 +5,16 @@
 //! after each simulated crash a fresh process ("restart") must recover a
 //! checksum-valid, audit-clean snapshot — at either the previous or the
 //! new generation, never nothing, never garbage.
+//!
+//! The sharded tests at the bottom re-run the same discipline against a
+//! [`ShardSetWriter`]: shard-local faults swept through a single shard's
+//! persist window must leave every shard recoverable, and a shard whose
+//! durable state is destroyed outright is quarantined while the rest of
+//! the set keeps serving (and reports `shards_degraded`).
 
 use ann_service::{
-    Fault, FaultFs, IndexWriter, Metrics, RealFs, SnapshotStore, SnapshotStoreConfig,
+    split_index, AnnService, Fault, FaultFs, IndexWriter, Metrics, RealFs, ServiceConfig,
+    ShardSetWriter, SnapshotStore, SnapshotStoreConfig,
 };
 use ann_vectors::error::AnnError;
 use ann_vectors::metric::Metric;
@@ -293,6 +300,151 @@ fn transient_errors_are_retried_with_backoff() {
     assert_eq!(metrics.persist_retries.get(), 1);
     assert_eq!(metrics.persist_failed.get(), 0);
     assert_eq!(metrics.persisted_generation.get(), 1);
+}
+
+const SHARDS: usize = 3;
+
+#[test]
+fn sharded_kill_points_leave_every_shard_recoverable() {
+    let (bytes, base) = index_fixture();
+    let faults = [
+        Fault::Crash,
+        Fault::TornWrite,
+        Fault::ShortWrite,
+        Fault::BitFlip,
+        Fault::ErrorOnce,
+    ];
+
+    // Probe: one insert dirties exactly one shard, so the publish's persist
+    // window is genuinely shard-local — the sweep below injects each fault
+    // at every filesystem operation of that one shard's persist.
+    let probe_ops = {
+        let dir = test_dir("shard-probe");
+        let fs = Arc::new(FaultFs::new(RealFs));
+        let parts = split_index(materialize(&bytes, &base), PARAMS, SHARDS).unwrap();
+        let (mut writer, _set) = ShardSetWriter::attach_durable_with_fs(
+            parts,
+            PARAMS,
+            Arc::new(Metrics::with_shards(SHARDS)),
+            &dir,
+            Arc::clone(&fs) as _,
+            harsh(),
+        )
+        .unwrap();
+        let before = fs.ops();
+        writer.insert(base.get(0)).unwrap();
+        writer.publish().unwrap();
+        assert!(writer.last_persist_error().is_none(), "clean probe must persist");
+        fs.ops() - before
+    };
+    assert!(
+        probe_ops >= 4,
+        "persist must span write/rename/sync/verify, saw {probe_ops} ops"
+    );
+
+    for fault in faults {
+        for at in 0..probe_ops {
+            let tag = format!("{fault:?}@{at}");
+            let dir = test_dir(&format!("shard-matrix-{fault:?}-{at}"));
+            let fs = Arc::new(FaultFs::new(RealFs));
+            let parts = split_index(materialize(&bytes, &base), PARAMS, SHARDS).unwrap();
+            let (mut writer, _set) = ShardSetWriter::attach_durable_with_fs(
+                parts,
+                PARAMS,
+                Arc::new(Metrics::with_shards(SHARDS)),
+                &dir,
+                Arc::clone(&fs) as _,
+                harsh(),
+            )
+            .unwrap();
+            assert!(writer.last_persist_error().is_none(), "{tag}: gen 0 must persist cleanly");
+
+            // Arm the fault inside the dirty shard's persist window.
+            fs.arm(fs.ops() + at, fault);
+            writer.insert(base.get(1)).unwrap();
+            let gen = writer.publish().expect("in-memory publish never fails on disk faults");
+            assert_eq!(gen, 1, "{tag}");
+
+            // "Restart": every shard must come back — the faulted shard at
+            // either the new generation or its retained previous one, the
+            // untouched shards untouched. Never a quarantine.
+            let rec = ShardSetWriter::recover(&dir, SHARDS, Arc::new(Metrics::with_shards(SHARDS)))
+                .unwrap_or_else(|e| panic!("{tag}: sharded recovery failed: {e}"));
+            assert!(
+                rec.degraded.is_empty(),
+                "{tag}: a shard-local persist fault must never quarantine a shard \
+                 (quarantined: {:?})",
+                rec.quarantined.iter().map(|(p, e)| (p, e.to_string())).collect::<Vec<_>>()
+            );
+            assert_eq!(rec.set.healthy(), SHARDS, "{tag}");
+            // If the writer believed the persist landed, the set generation
+            // must actually be recoverable.
+            if writer.last_persist_error().is_none() {
+                assert_eq!(rec.writer.generation(), 1, "{tag}: reported-durable generation lost");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_recovery_quarantines_a_dead_shard_and_serves_the_rest() {
+    let dir = test_dir("shard-degraded");
+    let (bytes, base) = index_fixture();
+    let parts = split_index(materialize(&bytes, &base), PARAMS, SHARDS).unwrap();
+    let (mut writer, _set) =
+        ShardSetWriter::attach_durable(parts, PARAMS, Arc::new(Metrics::with_shards(SHARDS)), &dir)
+            .unwrap();
+    writer.insert(base.get(3)).unwrap();
+    writer.publish().unwrap();
+    assert!(writer.last_persist_error().is_none());
+    drop(writer); // "process exit"
+
+    // Destroy shard 1's durable state entirely: every generation file
+    // overwritten with garbage.
+    let victim = SnapshotStore::shard_dir(&dir, 1);
+    let mut wrecked = 0usize;
+    for entry in std::fs::read_dir(&victim).unwrap().flatten() {
+        std::fs::write(entry.path(), b"torn write wreckage").unwrap();
+        wrecked += 1;
+    }
+    assert!(wrecked > 0, "shard 1 must have had durable files to destroy");
+
+    let metrics = Arc::new(Metrics::with_shards(SHARDS));
+    let rec = ShardSetWriter::recover(&dir, SHARDS, Arc::clone(&metrics)).unwrap();
+    assert_eq!(rec.degraded, vec![1], "exactly the wrecked shard is quarantined");
+    assert!(!rec.quarantined.is_empty(), "the wreckage must be reported");
+    assert_eq!(rec.set.healthy(), SHARDS - 1);
+    assert_eq!(metrics.shards_degraded.get(), 1);
+
+    // The surviving shards serve — and say the set is degraded.
+    let service = AnnService::start_sharded(
+        Arc::clone(&rec.set),
+        Arc::clone(&metrics),
+        ServiceConfig::default(),
+    )
+    .unwrap();
+    let result = service.submit(vec![base.get(0).to_vec()], 3).wait().unwrap();
+    assert_eq!(result.replies[0].ids.len(), 3, "merged answer from the healthy shards");
+    let status = service.status();
+    assert!(
+        status.contains("shards_degraded=1"),
+        "status must report the quarantined shard: {status}"
+    );
+    service.shutdown();
+
+    // The recovered writer routes around the dead shard: new ids are
+    // allocated on healthy shards only, mutations of ids owned by the dead
+    // shard fail loudly, and publishing keeps working.
+    let mut writer = rec.writer;
+    let ext = writer.insert(base.get(4)).unwrap();
+    assert_ne!(ann_vectors::route::shard_of(ext, SHARDS), 1, "insert landed on a dead shard");
+    let owned_by_dead = (0..base.len() as u64)
+        .find(|e| ann_vectors::route::shard_of(*e, SHARDS) == 1)
+        .expect("some original id routes to shard 1");
+    assert!(writer.delete(owned_by_dead).is_err(), "delete to a dead shard must error");
+    let gen = writer.publish().unwrap();
+    assert!(gen >= 2);
+    assert!(writer.last_persist_error().is_none());
 }
 
 #[test]

@@ -24,6 +24,7 @@ pub mod gt;
 pub mod io;
 pub mod metric;
 pub mod parallel;
+pub mod route;
 pub mod store;
 pub mod synthetic;
 pub mod topk;

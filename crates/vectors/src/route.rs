@@ -1,0 +1,101 @@
+//! Deterministic external-id → shard placement.
+//!
+//! Sharded serving partitions a corpus across `N` independent indexes; the
+//! router decides, from nothing but the stable external id, which shard owns
+//! a point. The mapping must be
+//!
+//! * **deterministic** — inserts, deletes and recovery all re-derive the
+//!   owning shard from the id alone, with no placement table to persist;
+//! * **uniform** — shard sizes stay balanced so per-shard build and
+//!   compaction costs are `~1/N` of the whole corpus;
+//! * **stable under `N = 1`** — a single shard owns everything, making the
+//!   unsharded service the degenerate case of the sharded one.
+//!
+//! The hash is the splitmix64 finalizer: a fixed bijective mixer whose low
+//! bits are well distributed even for sequential ids (the common case, since
+//! the writer allocates external ids by incrementing a counter).
+
+/// Bijective 64-bit mixer (splitmix64 finalizer, Vigna's constants).
+///
+/// Sequential inputs — the writer hands out external ids `0, 1, 2, …` — map
+/// to effectively independent outputs, which is exactly what placement needs.
+#[inline]
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Shard owning `external` in a set of `n_shards` shards.
+///
+/// Returns `0` for `n_shards <= 1` so the single-shard case degenerates to
+/// "one shard owns everything" rather than dividing by zero.
+#[inline]
+#[must_use]
+pub fn shard_of(external: u64, n_shards: usize) -> usize {
+    if n_shards <= 1 {
+        return 0;
+    }
+    // Widening multiply maps the hash onto [0, n_shards) without modulo
+    // bias; n_shards is far below 2^32 in practice so the bias of the
+    // plain `%` would be negligible anyway, but this is also faster.
+    let h = mix64(external) as u128;
+    ((h.wrapping_mul(n_shards as u128)) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        for id in [0_u64, 1, 17, u64::MAX] {
+            assert_eq!(shard_of(id, 1), 0);
+            assert_eq!(shard_of(id, 0), 0);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        for n in 1..=8 {
+            for id in 0..10_000_u64 {
+                let s = shard_of(id, n);
+                assert!(s < n.max(1));
+                assert_eq!(s, shard_of(id, n), "same id must route identically");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_ids_balance_across_shards() {
+        // The writer allocates ids sequentially; the mixer must still spread
+        // them evenly. Allow ±25% of the ideal share over 40k ids.
+        for n in [2_usize, 3, 4, 7] {
+            let mut counts = vec![0_usize; n];
+            let total = 40_000_u64;
+            for id in 0..total {
+                counts[shard_of(id, n)] += 1;
+            }
+            let ideal = total as usize / n;
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(
+                    c > ideal * 3 / 4 && c < ideal * 5 / 4,
+                    "shard {s} holds {c} of {total} ids (ideal {ideal}) for n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixer_is_not_identity_like() {
+        // Adjacent inputs should differ in many output bits (avalanche).
+        let mut min_flips = u32::MAX;
+        for id in 0..1_000_u64 {
+            let flips = (mix64(id) ^ mix64(id + 1)).count_ones();
+            min_flips = min_flips.min(flips);
+        }
+        assert!(min_flips >= 10, "weak avalanche: only {min_flips} bit flips");
+    }
+}

@@ -3,24 +3,44 @@
 //! Shows the full save/load cycle for the vector store and the τ-MNG index
 //! (checksummed binary formats), verifies the reloaded index answers
 //! identically, demonstrates that corruption is detected rather than
-//! served — and then the serving-stack version of the same story: a
-//! durable [`SnapshotStore`] that persists every publication crash-safely
-//! and warm-restarts the service from the newest valid generation.
+//! served — and then the serving-stack version of the same story: a shard
+//! set whose every publication lands crash-safely in per-shard
+//! [`SnapshotStore`] directories, warm-restarts from the newest valid
+//! generation of each shard, and keeps serving (degraded, and saying so)
+//! when one shard's durable state is destroyed.
 //!
 //! ```sh
-//! cargo run --release --example persistence
+//! cargo run --release --example persistence -- --shards 3
 //! ```
 
-use ann_suite::ann_graph::{AnnIndex, Scratch};
+use ann_suite::ann_graph::AnnIndex;
 use ann_suite::ann_knng::{nn_descent, NnDescentParams};
-use ann_suite::ann_service::{IndexWriter, Metrics, SnapshotStore};
+use ann_suite::ann_service::{
+    split_index, AnnService, Metrics, ServiceConfig, ShardSetWriter, SnapshotStore,
+};
 use ann_suite::ann_vectors::io::{load_vstore, save_vstore};
-use ann_suite::ann_vectors::synthetic::{mean_nn_distance, Recipe};
+use ann_suite::ann_vectors::synthetic::{
+    mean_nn_distance, mixture_base, FrozenMixture, MixtureSpec, Recipe,
+};
 use ann_suite::ann_vectors::Metric;
 use ann_suite::tau_mg::{build_tau_mng, TauIndex, TauMngParams};
 use std::sync::Arc;
 
+fn shards_from_args() -> usize {
+    let mut shards = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                shards = n;
+            }
+        }
+    }
+    shards.max(1)
+}
+
 fn main() {
+    let shards = shards_from_args();
     let dir = std::env::temp_dir().join("tau_mg_persistence_example");
     std::fs::create_dir_all(&dir).expect("tmp dir");
     let store_path = dir.join("vectors.vstore");
@@ -78,81 +98,123 @@ fn main() {
         Ok(_) => panic!("corruption must not load"),
     }
 
-    // --- Warm restart through the durable snapshot store ------------------
-    // The serving stack's durability demo runs on a uniform corpus: the
-    // recovery gate audits every recovered graph (reachability included),
-    // and dynamic updates on strongly clustered data can orphan nodes at
-    // compaction — a dynamic-layer limitation the audit exists to catch.
-    let uni = Arc::new(ann_suite::ann_vectors::synthetic::uniform(16, 2_000, 23));
-    let uni_tau = mean_nn_distance(&uni, 200, 23);
-    let uni_knn =
-        nn_descent(Metric::L2, &uni, NnDescentParams { k: 16, seed: 23, ..Default::default() })
-            .expect("kNN graph");
-    let params = TauMngParams { tau: uni_tau, ..Default::default() };
-    let serving = build_tau_mng(uni, Metric::L2, &uni_knn, params).expect("build");
+    // --- Sharded warm restart through per-shard durable stores ------------
+    // A strongly clustered corpus: deleting the points that bridge clusters
+    // used to orphan survivors at compaction and trip the reachability
+    // audit that gates publication and recovery. Compaction now reconnects
+    // orphans (see `tau_mg::DynamicTauMng::compact`), so the durability
+    // demo runs on the hard case on purpose.
+    let spec = MixtureSpec {
+        clusters: 12,
+        center_spread: 10.0,
+        cluster_scale: 0.5,
+        background: 0.0,
+        ..MixtureSpec::default_for(16)
+    };
+    let mix = FrozenMixture::new(&spec, 23);
+    let clustered = Arc::new(mixture_base(&mix, 2_000, 23));
+    let tau = mean_nn_distance(&clustered, 200, 23);
+    let knn = nn_descent(
+        Metric::L2,
+        &clustered,
+        NnDescentParams { k: 16, seed: 23, ..Default::default() },
+    )
+    .expect("kNN graph");
+    let params = TauMngParams { tau, ..Default::default() };
+    let serving = build_tau_mng(clustered, Metric::L2, &knn, params).expect("build");
 
-    // "Process 1": serve with durability — every publish lands on disk as a
+    // "Process 1": split across shards and serve with durability — every
+    // publish lands in the owning shard's `shard-<i>/` directory as a
     // checksummed, generation-named envelope (temp file + fsync + rename).
-    let snap_dir = dir.join("snapshots");
-    let _ = std::fs::remove_dir_all(&snap_dir);
-    let store = SnapshotStore::open(&snap_dir).expect("open snapshot store");
-    let (mut writer, _cell) =
-        IndexWriter::attach_durable(serving, params, Arc::new(Metrics::new()), store);
+    let snap_root = dir.join("snapshots");
+    let _ = std::fs::remove_dir_all(&snap_root);
+    let parts = split_index(serving, params, shards).expect("split");
+    let (mut writer, _set) = ShardSetWriter::attach_durable(
+        parts,
+        params,
+        Arc::new(Metrics::with_shards(shards)),
+        &snap_root,
+    )
+    .expect("attach durable shard set");
     let probe: Vec<f32> = (0..16).map(|i| 0.37 + 0.01 * i as f32).collect();
     let added = writer.insert(&probe).expect("insert");
-    writer.delete(0).expect("delete");
+    for ext in 0..150u64 {
+        writer.delete(ext).expect("delete");
+    }
     writer.publish().expect("publish");
     assert!(writer.last_persist_error().is_none());
     println!(
-        "process 1: published generation {} durably (external id {added} added, 0 deleted)",
+        "process 1: {shards} shard(s), published set generation {} durably \
+         (external id {added} added, 150 cluster points deleted)",
         writer.generation()
     );
+    for s in 0..shards {
+        let shard_dir = SnapshotStore::shard_dir(&snap_root, s);
+        let files = std::fs::read_dir(&shard_dir).map(Iterator::count).unwrap_or(0);
+        println!("  {} holds {files} file(s)", shard_dir.display());
+    }
     drop(writer); // simulated process exit
 
-    // "Process 2": recover the newest valid generation and resume serving.
-    let store = SnapshotStore::open(&snap_dir).expect("reopen snapshot store");
-    let report = store.recover().expect("scan snapshot dir");
-    let recovered = report.recovered.expect("a valid generation must exist");
-    println!(
-        "process 2: recovered generation {} ({} points, {} quarantined files)",
-        recovered.generation,
-        recovered.external_ids.len(),
-        report.quarantined.len()
-    );
-    let (mut writer, cell) =
-        IndexWriter::from_recovered(recovered, Arc::new(Metrics::new()), Some(store));
-    let snap = cell.load();
+    // "Process 2": every shard recovers its own newest valid generation,
+    // and the service resumes over the recovered set.
+    let rec = ShardSetWriter::recover(&snap_root, shards, Arc::new(Metrics::with_shards(shards)))
+        .expect("recover shard set");
+    assert!(rec.degraded.is_empty(), "all shards must recover cleanly");
+    let mut snaps = Vec::new();
+    rec.set.load_into(&mut snaps);
     assert!(
-        snap.external_ids().contains(&added),
-        "warm-restarted snapshot must keep the inserted point's external id"
+        snaps.iter().flatten().any(|s| s.external_ids().contains(&added)),
+        "warm-restarted set must keep the inserted point's external id"
     );
     assert!(
-        !snap.external_ids().contains(&0),
-        "warm-restarted snapshot must not resurrect the deleted external id"
+        snaps.iter().flatten().all(|s| !s.external_ids().contains(&0)),
+        "warm-restarted set must not resurrect a deleted external id"
     );
-    let mut scratch = Scratch::new(snap.len());
-    let hit = snap.search(&probe, 3, 96, &mut scratch);
+    let metrics = Arc::clone(rec.writer.metrics());
+    let service =
+        AnnService::start_sharded(Arc::clone(&rec.set), metrics, ServiceConfig::default())
+            .expect("serve recovered set");
+    let result = service.submit(vec![probe.clone()], 3).wait().expect("service alive");
     println!(
-        "warm restart verified: external ids intact; recovered index serves queries \
-         (top hit {:?} at d={:.1})",
-        hit.ids.first(),
-        hit.dists.first().copied().unwrap_or(f32::NAN)
+        "process 2: recovered {} shard(s) at set generation {}, {} points; \
+         fan-out answer from the recovered set: top hit {:?} at d={:.1}",
+        rec.set.healthy(),
+        rec.writer.generation(),
+        rec.set.total_points(),
+        result.replies[0].ids.first(),
+        result.replies[0].dists.first().copied().unwrap_or(f32::NAN)
     );
+    service.shutdown();
     // And the recovered writer keeps publishing new durable generations.
+    let mut writer = rec.writer;
+    writer
+        .insert(&probe.iter().map(|x| x + 0.5).collect::<Vec<f32>>())
+        .expect("insert");
     writer.publish().expect("publish after recovery");
     assert!(writer.last_persist_error().is_none());
+    drop(writer);
 
-    // A damaged snapshot file is quarantined at the next recovery, never
-    // deleted and never served.
-    let damaged = snap_dir.join(format!("gen-{:020}.snap", writer.generation() + 1));
-    std::fs::write(&damaged, b"torn write wreckage").expect("forge damaged file");
-    let store = SnapshotStore::open(&snap_dir).expect("reopen");
-    let report = store.recover().expect("recover around damage");
-    let (path, err) = &report.quarantined[0];
-    println!("damaged newest generation set aside ({}): {err}", path.display());
-    assert_eq!(
-        report.recovered.expect("older valid generation").generation,
-        writer.generation(),
-        "recovery must fall back to the newest *valid* generation"
-    );
+    // --- One shard lost: quarantine it, keep serving the rest -------------
+    if shards >= 2 {
+        let victim = SnapshotStore::shard_dir(&snap_root, 0);
+        for entry in std::fs::read_dir(&victim).expect("read shard dir").flatten() {
+            std::fs::write(entry.path(), b"torn write wreckage").expect("wreck file");
+        }
+        let rec =
+            ShardSetWriter::recover(&snap_root, shards, Arc::new(Metrics::with_shards(shards)))
+                .expect("recover around a dead shard");
+        assert_eq!(rec.degraded, vec![0], "shard 0 must be quarantined, the rest recovered");
+        let metrics = Arc::clone(rec.writer.metrics());
+        let service = AnnService::start_sharded(rec.set, metrics, ServiceConfig::default())
+            .expect("serve degraded set");
+        let result = service.submit(vec![probe], 3).wait().expect("service alive");
+        let status_head = service.status().lines().next().unwrap_or_default().to_owned();
+        println!(
+            "shard 0's durable state destroyed: recovery quarantined it and the service \
+             answers from the survivors (top hit {:?})\n  status: {status_head}",
+            result.replies[0].ids.first()
+        );
+        assert!(status_head.contains("shards_degraded=1"));
+        service.shutdown();
+    }
 }

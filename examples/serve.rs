@@ -1,16 +1,22 @@
-//! Serving a τ-MNG as a live query engine: snapshots, batching, deadlines,
-//! load shedding, and the metrics that make it observable.
+//! Serving a τ-MNG as a live query engine: shards, snapshots, batching,
+//! deadlines, load shedding, and the metrics that make it observable.
 //!
-//! Walks the `ann-service` stack end to end — launch a worker pool over a
-//! frozen index, query it from concurrent clients, mutate and republish it
-//! with the single writer while reads continue, then oversubscribe it and
-//! watch it shed recall instead of requests (measured quantitatively by
-//! `repro_e13_serving`).
+//! Walks the `ann-service` stack end to end — split a frozen index into a
+//! shard set, launch a worker pool that fans each query across the shards
+//! and merges the per-shard top-k, query it from concurrent clients,
+//! mutate and republish it with the single writer while reads continue,
+//! then oversubscribe it and watch it shed recall instead of requests
+//! (measured quantitatively by `repro_e13_serving`).
 //!
 //! ```sh
-//! cargo run --release --example serve
+//! cargo run --release --example serve -- --shards 3
 //! ```
+//!
+//! `--shards 1` runs the degenerate single-shard configuration and proves
+//! its answers are identical to searching the frozen index directly (the
+//! pre-sharding serving path).
 
+use ann_suite::ann_graph::AnnIndex;
 use ann_suite::ann_knng::{nn_descent, NnDescentParams};
 use ann_suite::ann_service::{AnnService, QueryOptions, ServiceConfig};
 use ann_suite::ann_vectors::synthetic::{mean_nn_distance, Recipe};
@@ -18,7 +24,22 @@ use ann_suite::tau_mg::{build_tau_mng, TauMngParams};
 use std::sync::Arc;
 use std::time::Duration;
 
+fn shards_from_args() -> usize {
+    let mut shards = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                shards = n;
+            }
+        }
+    }
+    shards.max(1)
+}
+
 fn main() {
+    let shards = shards_from_args();
+
     // Build the index to serve.
     let ds = Recipe::SiftLike.build(6_000, 256, 33);
     let metric = ds.metric;
@@ -31,21 +52,62 @@ fn main() {
     let index = build_tau_mng(base.clone(), metric, &knn, params).expect("build");
     println!("built tau-MNG over {} vectors (tau = {tau:.3})\n", base.len());
 
-    // Launch: a worker pool serving immutable snapshots, plus the single
-    // writer that owns the mutable replica.
+    // Reference answers from the frozen index itself — the pre-sharding
+    // single-index path — captured before the launch consumes it.
     let config = ServiceConfig { workers: 4, queue_capacity: 32, ..Default::default() };
-    let (service, mut writer) = AnnService::launch(index, params, config);
+    let parity_batch: Vec<Vec<f32>> = (0..8u32).map(|q| queries.get(q).to_vec()).collect();
+    let reference: Vec<Vec<u64>> = parity_batch
+        .iter()
+        .map(|q| {
+            index
+                .search(q, 10, config.default_l)
+                .ids
+                .iter()
+                .map(|&i| u64::from(i))
+                .collect()
+        })
+        .collect();
 
-    // 1. A batched query round-trip.
-    let batch: Vec<Vec<f32>> = (0..8u32).map(|q| queries.get(q).to_vec()).collect();
-    let result = service.submit(batch, 10).wait().expect("service alive");
+    // Launch: the index is split across `shards` shards (each with its own
+    // snapshot cell), served by a worker pool that fans every query across
+    // all shards and k-way merges the per-shard top-k; plus the single
+    // writer set that owns the mutable replicas.
+    let (service, mut writer) =
+        AnnService::launch_sharded(index, params, config, shards).expect("launch");
+    println!("serving over {shards} shard(s)\n");
+
+    // 1. A batched query round-trip, checked against the single-index
+    //    reference. One shard is the degenerate case: same code path,
+    //    bit-identical answers. More shards search the same total beam
+    //    budget split across shards, so the merged answers agree with the
+    //    single index wherever the budget-split beams converge.
+    let result = service.submit(parity_batch, 10).wait().expect("service alive");
+    let agreeing = result
+        .replies
+        .iter()
+        .zip(&reference)
+        .flat_map(|(r, want)| r.ids.iter().zip(want))
+        .filter(|(got, want)| got == want)
+        .count();
+    if shards == 1 {
+        for (r, want) in result.replies.iter().zip(&reference) {
+            assert_eq!(&r.ids, want, "one shard must reproduce the single-index path exactly");
+        }
+        println!("one-shard parity: all 8x10 results identical to direct index search");
+    } else {
+        println!(
+            "merged top-10 agrees with direct single-index search on {agreeing}/80 slots \
+             at the same total beam budget"
+        );
+    }
     println!(
-        "batch of 8 answered from snapshot generation {} (beam L = {}, first query's NN: {})",
+        "batch of 8 answered from set generation {} (total beam L = {}, first query's NN: {})",
         result.replies[0].generation, result.replies[0].effective_l, result.replies[0].ids[0]
     );
 
-    // 2. Mutate and republish while serving: readers keep their snapshot
-    //    until the writer atomically publishes the compacted next one.
+    // 2. Mutate and republish while serving: readers keep their snapshots
+    //    until the writer atomically publishes each shard's compacted next
+    //    one (only dirty shards republish; the set generation advances).
     for ext in 0..100u64 {
         writer.delete(ext).expect("delete");
     }
@@ -55,13 +117,13 @@ fn main() {
     }
     let generation = writer.publish().expect("publish");
     println!(
-        "writer deleted 100, inserted 100, published generation {generation} \
-         ({} points live)\n",
-        service.snapshot().len()
+        "writer deleted 100, inserted 100, published set generation {generation} \
+         ({} points live across shards)\n",
+        service.shard_set().total_points()
     );
 
     // 3. Deadlines: a batch with a tight budget is answered on time by
-    //    narrowing the beam instead of missing or failing.
+    //    narrowing the per-shard beams instead of missing or failing.
     let batch: Vec<Vec<f32>> = (0..32u32).map(|q| queries.get(q).to_vec()).collect();
     let opts = QueryOptions { deadline: Some(Duration::from_micros(500)), ..Default::default() };
     let result = service.submit_with(batch, 10, opts).wait().expect("service alive");
@@ -90,7 +152,7 @@ fn main() {
     });
     println!("\nafter an 8-client burst against 4 workers:\n");
 
-    // 5. The observability surface.
+    // 5. The observability surface, including the per-shard counters.
     println!("{}", service.status());
     service.shutdown();
 }

@@ -1,0 +1,107 @@
+//! Merge correctness for sharded serving: for any corpus split across
+//! 1..=4 shards by the production router, the k-way merge of exhaustive
+//! per-shard top-k lists must equal the unsharded exhaustive top-k —
+//! exactly, ids and distances, including ties (broken by external id).
+//!
+//! This is the property that makes fan-out/merge *semantics-preserving*:
+//! sharding may only change which beam explores a point, never what the
+//! assembled answer is when every shard answers exactly.
+
+use ann_suite::ann_service::merge_topk;
+use ann_suite::ann_vectors::route::shard_of;
+use ann_suite::ann_vectors::Metric;
+use proptest::prelude::*;
+
+/// Exhaustive top-k over `points`, ordered by `(distance, external id)` —
+/// the same total order the service's merge uses.
+fn exhaustive_topk(
+    metric: Metric,
+    points: &[(u64, Vec<f32>)],
+    query: &[f32],
+    k: usize,
+) -> (Vec<u64>, Vec<f32>) {
+    let mut scored: Vec<(f32, u64)> =
+        points.iter().map(|(ext, v)| (metric.distance(query, v), *ext)).collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    scored.truncate(k);
+    (scored.iter().map(|s| s.1).collect(), scored.iter().map(|s| s.0).collect())
+}
+
+/// Deterministic corpus with plenty of exact duplicates (quantized
+/// coordinates), so distance ties are common and the id tie-break is
+/// actually exercised.
+fn corpus(n: usize, dim: usize, levels: u32, seed: u64) -> Vec<(u64, Vec<f32>)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n as u64)
+        .map(|ext| {
+            // Sparse external ids: shard routing must not depend on density.
+            let id = ext * 7 + (ext % 3) * 1000;
+            let v = (0..dim).map(|_| (next() % u64::from(levels)) as f32).collect();
+            (id, v)
+        })
+        .collect()
+}
+
+fn check_split(points: &[(u64, Vec<f32>)], query: &[f32], k: usize, shards: usize) {
+    let (want_ids, want_dists) = exhaustive_topk(Metric::L2, points, query, k);
+
+    // Route every point with the production placement function, answer
+    // each shard exhaustively, then merge.
+    let mut per_shard: Vec<Vec<(u64, Vec<f32>)>> = vec![Vec::new(); shards];
+    for (ext, v) in points {
+        per_shard[shard_of(*ext, shards)].push((*ext, v.clone()));
+    }
+    let mut ids = Vec::with_capacity(shards);
+    let mut dists = Vec::with_capacity(shards);
+    for shard in &per_shard {
+        let (i, d) = exhaustive_topk(Metric::L2, shard, query, k);
+        ids.push(i);
+        dists.push(d);
+    }
+    let (got_ids, got_dists) = merge_topk(&ids, &dists, k);
+
+    assert_eq!(
+        got_ids, want_ids,
+        "sharded merge diverged from unsharded top-{k} ({shards} shards)"
+    );
+    assert_eq!(
+        got_dists, want_dists,
+        "merged distances must be bitwise equal to the unsharded ones"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merged_shard_topk_equals_unsharded_topk(
+        n in 1usize..120,
+        k in 1usize..14,
+        shards in 1usize..5,
+        levels in 2u32..5,
+        seed in 0u64..10_000,
+    ) {
+        let points = corpus(n, 6, levels, seed);
+        let query: Vec<f32> = corpus(1, 6, levels, seed ^ 0xABCD)[0].1.clone();
+        check_split(&points, &query, k, shards);
+    }
+}
+
+#[test]
+fn merge_handles_every_shard_count_on_one_corpus() {
+    // One deterministic corpus through all supported splits, k beyond the
+    // corpus size included (short answers must merge short, not pad).
+    let points = corpus(40, 4, 3, 99);
+    let query = vec![1.0, 0.0, 2.0, 1.0];
+    for shards in 1..=4 {
+        for k in [1, 3, 40, 64] {
+            check_split(&points, &query, k, shards);
+        }
+    }
+}
