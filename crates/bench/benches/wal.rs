@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the per-shard write-ahead log (DESIGN.md §7e): what
+//! one journaled insert costs under each fsync policy, and how fast a
+//! journal replays. Strict mode pays a real fsync plus a read-back verify
+//! per append, so the sample counts are kept small and the gap to
+//! `Batched`/`None` is the point of the comparison, not the absolute
+//! numbers.
+
+use ann_service::{read_wal_dir, DurabilityMode, Metrics, RealFs, ShardWal, SnapshotFs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ann_bench_wal_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn pseudo_vector(dim: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..dim)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 2_000) as f32 / 1_000.0 - 1.0
+        })
+        .collect()
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    // Strict fsyncs (and read-back-verifies) every record; keep the sample
+    // budget small enough that the bench finishes on spinning storage.
+    group.sample_size(10);
+    let vector = pseudo_vector(128, 0xFEED);
+    let modes = [
+        ("strict", DurabilityMode::Strict),
+        (
+            "batched_64",
+            DurabilityMode::Batched { max_records: 64, max_delay: Duration::from_secs(3600) },
+        ),
+        ("none", DurabilityMode::None),
+    ];
+    for (tag, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(tag), &mode, |b, &mode| {
+            let dir = scratch_dir(tag);
+            let fs: Arc<dyn SnapshotFs> = Arc::new(RealFs);
+            let metrics = Arc::new(Metrics::new());
+            let mut wal = ShardWal::fresh(&dir, 0, Arc::clone(&fs), mode, metrics);
+            let mut ext = 0u64;
+            b.iter(|| {
+                ext += 1;
+                wal.append_insert(black_box(ext), black_box(&vector)).expect("append")
+            });
+            drop(wal);
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_replay");
+    group.sample_size(20);
+    // A journal of 1000 inserts, written once; the bench measures the
+    // decode-and-verify read path recovery runs on.
+    let dir = scratch_dir("replay");
+    let fs: Arc<dyn SnapshotFs> = Arc::new(RealFs);
+    let metrics = Arc::new(Metrics::new());
+    let mut wal = ShardWal::fresh(&dir, 0, Arc::clone(&fs), DurabilityMode::None, metrics);
+    let vector = pseudo_vector(128, 0xBEEF);
+    for ext in 1..=1_000u64 {
+        wal.append_insert(ext, &vector).expect("append");
+    }
+    wal.sync().expect("sync");
+    drop(wal);
+    group.bench_function("read_1000x128d", |b| {
+        b.iter(|| {
+            let replay = read_wal_dir(&fs, &dir, black_box(0)).expect("replay");
+            assert_eq!(replay.records.len(), 1_000);
+            replay.last_lsn
+        });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_replay);
+criterion_main!(benches);

@@ -166,6 +166,44 @@ impl<F: SnapshotFs> SnapshotFs for FaultFs<F> {
         // reopen, so it is not an injection point.
         self.inner.create_dir_all(dir)
     }
+
+    fn append_file(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+        // Same write-fault semantics as `write_file`: the WAL append is a
+        // data write and must survive torn tails, lying short appends, and
+        // silent bit flips.
+        match self.step() {
+            None => self.inner.append_file(path, data),
+            Some(Fault::Crash) => Err(Self::injected("crash")),
+            Some(Fault::ErrorOnce) => Err(Self::injected("transient append error")),
+            Some(Fault::TornWrite) => {
+                let _ = self.inner.append_file(path, &data[..data.len() / 2]);
+                Err(Self::injected("torn append, power lost"))
+            }
+            Some(Fault::ShortWrite) => self.inner.append_file(path, &data[..data.len() / 2]),
+            Some(Fault::BitFlip) => {
+                let mut garbled = data.to_vec();
+                let at = garbled.len() / 3;
+                if let Some(byte) = garbled.get_mut(at) {
+                    *byte ^= 0x10;
+                }
+                self.inner.append_file(path, &garbled)
+            }
+        }
+    }
+
+    fn sync_file(&self, path: &Path) -> std::io::Result<()> {
+        match self.step() {
+            None | Some(Fault::ShortWrite | Fault::BitFlip) => self.inner.sync_file(path),
+            Some(_) => Err(Self::injected("file sync failed")),
+        }
+    }
+
+    fn read_suffix(&self, path: &Path, from: u64) -> std::io::Result<Vec<u8>> {
+        match self.step() {
+            None | Some(Fault::ShortWrite | Fault::BitFlip) => self.inner.read_suffix(path, from),
+            Some(_) => Err(Self::injected("suffix read failed")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +255,24 @@ mod tests {
         assert!(fs.write_file(&q, b"abcdefgh").is_err(), "torn write loses power");
         assert_eq!(std::fs::read(&q).unwrap().len(), 4, "prefix hit the disk");
         assert!(fs.write_file(&q, b"x").is_err(), "and the process is dead");
+    }
+
+    #[test]
+    fn append_faults_mirror_write_faults() {
+        let dir = tmp("append");
+        let fs = FaultFs::new(RealFs);
+        let p = dir.join("seg");
+        fs.write_file(&p, b"base").unwrap();
+        fs.arm(fs.ops(), Fault::ShortWrite);
+        assert!(fs.append_file(&p, b"abcdefgh").is_ok(), "short append lies");
+        assert_eq!(std::fs::read(&p).unwrap(), b"baseabcd");
+        fs.arm(fs.ops(), Fault::TornWrite);
+        assert!(fs.append_file(&p, b"ijklmnop").is_err(), "torn append loses power");
+        assert_eq!(std::fs::read(&p).unwrap(), b"baseabcdijkl", "prefix hit the disk");
+        assert!(fs.sync_file(&p).is_err(), "and the process is dead");
+        fs.heal();
+        assert!(fs.sync_file(&p).is_ok());
+        assert_eq!(fs.read_suffix(&p, 4).unwrap(), b"abcdijkl");
     }
 
     #[test]

@@ -32,6 +32,13 @@
 //!   fault-injecting filesystem the crash-safety tests run on. Persistence
 //!   failures degrade gracefully: serving continues from memory and the
 //!   failure is visible in the metrics and [`AnnService::status`].
+//! * **Write-ahead log** ([`wal`]) — durable writers journal every
+//!   insert/delete to a per-shard, checksummed, append-only [`ShardWal`]
+//!   *before* acknowledging it, under a configurable [`DurabilityMode`]
+//!   (`Strict` fsync-per-record with read-back verification, `Batched`, or
+//!   `None`). Recovery replays the journal suffix newer than the snapshot's
+//!   covered LSN, so a crash between publishes converges to the last
+//!   acknowledged write; publishing truncates superseded segments.
 //!
 //! ## Quick example
 //!
@@ -71,6 +78,7 @@ pub mod service;
 pub mod shard;
 pub mod snapshot;
 pub mod store;
+pub mod wal;
 
 pub use faults::{Fault, FaultFs};
 pub use metrics::{Counter, Gauge, Histogram, Metrics, ShardMetrics};
@@ -83,6 +91,7 @@ pub use snapshot::{Hit, IndexWriter, Snapshot, SnapshotCell};
 pub use store::{
     RealFs, RecoveredSnapshot, RecoveryReport, SnapshotFs, SnapshotStore, SnapshotStoreConfig,
 };
+pub use wal::{read_wal_dir, DurabilityMode, ShardWal, WalOp, WalRecord, WalReplay};
 
 #[cfg(test)]
 mod send_sync_assertions {

@@ -200,6 +200,21 @@ pub struct Metrics {
     pub persist_failed: Gauge,
     /// Generation of the newest durably persisted snapshot.
     pub persisted_generation: Gauge,
+    /// WAL records appended and acknowledged.
+    pub wal_appends: Counter,
+    /// WAL fsyncs issued (one per append under Strict; amortized under
+    /// Batched; zero under None).
+    pub wal_fsyncs: Counter,
+    /// WAL records replayed into writers at recovery.
+    pub wal_replayed: Counter,
+    /// WAL segments removed by publish-driven truncation.
+    pub wal_truncated: Counter,
+    /// Journal bytes appended and acknowledged.
+    pub wal_bytes: Counter,
+    /// Health flag: 1 while the most recent WAL append failed (mutations
+    /// are being rejected rather than silently un-journaled), 0 once an
+    /// append lands again.
+    pub wal_failed: Gauge,
     /// Current queued batches.
     pub queue_depth: Gauge,
     /// Per-query wall latency, µs (measured from enqueue to answer).
@@ -232,6 +247,12 @@ impl Default for Metrics {
             persist_failures: Counter::default(),
             persist_failed: Gauge::default(),
             persisted_generation: Gauge::default(),
+            wal_appends: Counter::default(),
+            wal_fsyncs: Counter::default(),
+            wal_replayed: Counter::default(),
+            wal_truncated: Counter::default(),
+            wal_bytes: Counter::default(),
+            wal_failed: Gauge::default(),
             queue_depth: Gauge::default(),
             latency_us: Histogram::default(),
             ndc: Histogram::default(),
@@ -308,6 +329,12 @@ impl Metrics {
         s.push_str(&format!("persist_failures   {}\n", self.persist_failures.get()));
         s.push_str(&format!("persist_failed     {}\n", self.persist_failed.get()));
         s.push_str(&format!("persisted_generation {}\n", self.persisted_generation.get()));
+        s.push_str(&format!("wal_appends        {}\n", self.wal_appends.get()));
+        s.push_str(&format!("wal_fsyncs         {}\n", self.wal_fsyncs.get()));
+        s.push_str(&format!("wal_replayed       {}\n", self.wal_replayed.get()));
+        s.push_str(&format!("wal_truncated      {}\n", self.wal_truncated.get()));
+        s.push_str(&format!("wal_bytes          {}\n", self.wal_bytes.get()));
+        s.push_str(&format!("wal_failed         {}\n", self.wal_failed.get()));
         s.push_str(&format!("queue_depth        {}\n", self.queue_depth.get()));
         s.push_str(&format!(
             "latency_us         p50<={} p95<={} p99<={} max={} mean={:.0} n={}\n",
@@ -399,7 +426,19 @@ mod tests {
         m.queries.add(5);
         m.latency_us.record(120);
         let text = m.render();
-        for key in ["queries_total", "qps", "shed_degraded", "latency_us", "ndc"] {
+        for key in [
+            "queries_total",
+            "qps",
+            "shed_degraded",
+            "latency_us",
+            "ndc",
+            "wal_appends",
+            "wal_fsyncs",
+            "wal_replayed",
+            "wal_truncated",
+            "wal_bytes",
+            "wal_failed",
+        ] {
             assert!(text.contains(key), "render missing {key}:\n{text}");
         }
     }

@@ -308,10 +308,12 @@ impl AnnService {
     }
 
     /// One-line serving status: shard health, set generation, snapshot
-    /// age, live points, and persistence health (`persist=FAILED` means
-    /// the last durable write did not land and the service is running on
-    /// an in-memory snapshot), followed by the full metrics render
-    /// (including the per-shard counters).
+    /// age, live points, persistence health (`persist=FAILED` means the
+    /// last durable write did not land and the service is running on an
+    /// in-memory snapshot), and write-ahead-log health (`wal=FAILED` means
+    /// the last journal append was not acknowledged — mutations are being
+    /// rejected rather than silently un-journaled), followed by the full
+    /// metrics render (including the per-shard counters).
     pub fn status(&self) -> String {
         let mut snaps = Vec::new();
         self.set.load_into(&mut snaps);
@@ -321,9 +323,10 @@ impl AnnService {
         let points: usize = snaps.iter().flatten().map(|s| s.len()).sum();
         let age = snaps.iter().flatten().map(|s| s.age_secs()).fold(0.0_f64, f64::max);
         let persist = if self.metrics.persist_failed.get() != 0 { "FAILED" } else { "ok" };
+        let wal = if self.metrics.wal_failed.get() != 0 { "FAILED" } else { "ok" };
         format!(
             "serving shards={shards} healthy={healthy} shards_degraded={} gen={generation} \
-             points={points} snapshot_age_secs={age:.2} persist={persist}\n{}",
+             points={points} snapshot_age_secs={age:.2} persist={persist} wal={wal}\n{}",
             shards - healthy,
             self.metrics.render()
         )

@@ -525,13 +525,29 @@ impl ShardSetWriter {
                     quarantined.extend(report.quarantined);
                     if let Some(rec) = report.recovered {
                         let top = rec.external_ids.iter().max().map_or(0, |&m| m + 1);
-                        next_external = next_external.max(top);
-                        generation = generation.max(rec.generation);
-                        let (mut writer, cell) =
-                            IndexWriter::from_recovered(rec, Arc::clone(&metrics), Some(store));
-                        writer.set_shard(s);
-                        writers.push(Some(writer));
-                        cells.push(Some(cell));
+                        let dir = store.dir().to_path_buf();
+                        // WAL replay happens inside `from_recovered`; a
+                        // replay whose republication fails its audit
+                        // quarantines this shard exactly like a corrupt
+                        // snapshot would.
+                        match IndexWriter::from_recovered(rec, Arc::clone(&metrics), Some(store)) {
+                            Ok((mut writer, cell)) => {
+                                next_external = next_external.max(top);
+                                // Replay may have republished past the
+                                // recovered generation; the set counter must
+                                // clear every shard's current generation.
+                                generation = generation.max(writer.generation());
+                                writer.set_shard(s);
+                                writers.push(Some(writer));
+                                cells.push(Some(cell));
+                            }
+                            Err(e) => {
+                                quarantined.push((dir, e));
+                                writers.push(None);
+                                cells.push(None);
+                                degraded.push(s);
+                            }
+                        }
                     } else {
                         writers.push(None);
                         cells.push(None);

@@ -23,7 +23,8 @@ use tau_mg::{DynamicTauMng, TauIndex, TauMngParams, TauSearchOptions};
 
 use crate::metrics::Metrics;
 use crate::store::{RecoveredSnapshot, SnapshotStore};
-use std::collections::HashMap;
+use crate::wal::{ShardWal, WalOp};
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
@@ -185,6 +186,16 @@ pub struct IndexWriter {
     shard: usize,
     /// Whether the replica has mutations not yet published.
     dirty: bool,
+    /// The shard's write-ahead log, present exactly when `store` is: every
+    /// insert/delete is journaled *before* it is applied or acknowledged.
+    wal: Option<ShardWal>,
+    /// Newest LSN acknowledged through the journal (0 before any append);
+    /// recorded as the covered LSN of the next persisted snapshot.
+    last_lsn: u64,
+    /// Generations believed durable on disk, oldest first, paired with the
+    /// covered LSN each was persisted with; trimmed to the store's retain-K.
+    /// Drives the WAL floor (prune protection) and journal truncation.
+    durable: VecDeque<(u64, u64)>,
 }
 
 impl IndexWriter {
@@ -269,6 +280,18 @@ impl IndexWriter {
             generation: 0,
             published_at: Instant::now(),
         })));
+        // A fresh attach starts a fresh journal: any segments left over from
+        // an earlier life of the directory must not replay on top of the new
+        // generation 0 about to be persisted.
+        let wal = store.as_ref().map(|st| {
+            ShardWal::fresh(
+                st.dir(),
+                0,
+                Arc::clone(st.fs()),
+                st.config().durability,
+                Arc::clone(&metrics),
+            )
+        });
         let mut writer = IndexWriter {
             dynamic,
             params,
@@ -283,6 +306,9 @@ impl IndexWriter {
             last_persist_error: None,
             shard: 0,
             dirty: false,
+            wal,
+            last_lsn: 0,
+            durable: VecDeque::new(),
         };
         if let Some(sm) = writer.metrics.shard(writer.shard) {
             sm.points.set(writer.dynamic.len() as u64);
@@ -324,12 +350,26 @@ impl IndexWriter {
     /// [`SnapshotStore::recover`]): the cell immediately serves the
     /// recovered generation, external ids resume exactly where they left
     /// off, and the generation counter continues from the recovered one.
+    ///
+    /// When `store` is given, any write-ahead-log records newer than the
+    /// snapshot's covered LSN are replayed into the replica and republished,
+    /// so every mutation acknowledged before the crash is serving again. The
+    /// replayed publication is re-audited when the store's
+    /// `audit_on_recover` is set.
+    ///
+    /// # Errors
+    /// `CorruptIndex` if the replayed publication fails its audit; `Io` if
+    /// the journal directory cannot be listed or a segment cannot be read
+    /// (recovery fails closed rather than dropping acknowledged writes it
+    /// cannot see). Journal segments with *integrity* damage are not errors
+    /// — replay stops at the first invalid record, which is exactly the
+    /// acknowledged prefix under strict durability.
     pub fn from_recovered(
         recovered: RecoveredSnapshot,
         metrics: Arc<Metrics>,
         store: Option<Arc<SnapshotStore>>,
-    ) -> (IndexWriter, Arc<SnapshotCell>) {
-        let RecoveredSnapshot { index, external_ids, generation, params } = recovered;
+    ) -> Result<(IndexWriter, Arc<SnapshotCell>)> {
+        let RecoveredSnapshot { index, external_ids, generation, params, covered_lsn } = recovered;
         let dynamic = DynamicTauMng::from_index_with_params(&index, params);
         let params = dynamic.params();
         let audit_cap = index.graph().max_degree().max(params.r);
@@ -345,7 +385,7 @@ impl IndexWriter {
         })));
         // The recovered generation is already durable; nothing to persist.
         metrics.persisted_generation.set(generation);
-        let writer = IndexWriter {
+        let mut writer = IndexWriter {
             dynamic,
             params,
             ext_of_internal: external_ids,
@@ -359,18 +399,127 @@ impl IndexWriter {
             last_persist_error: None,
             shard: 0,
             dirty: false,
+            wal: None,
+            last_lsn: covered_lsn,
+            durable: VecDeque::from([(generation, covered_lsn)]),
         };
         if let Some(sm) = writer.metrics.shard(writer.shard) {
             sm.points.set(writer.dynamic.len() as u64);
             sm.persisted_generation.set(generation);
         }
-        (writer, cell)
+        if let Some(store) = writer.store.clone() {
+            writer.replay_wal(&store)?;
+        }
+        Ok((writer, cell))
+    }
+
+    /// Replay journal records newer than the recovered snapshot's covered
+    /// LSN, then resume journaling above everything on disk. Called once
+    /// from [`IndexWriter::from_recovered`].
+    fn replay_wal(&mut self, store: &Arc<SnapshotStore>) -> Result<()> {
+        let replay = crate::wal::read_wal_dir(store.fs(), store.dir(), self.last_lsn)?;
+        // Torn tails (integrity damage) are the expected residue of a crash
+        // mid-append and replay simply stops there. A segment the filesystem
+        // *refused to read* is different: the acknowledged suffix may exist
+        // but be unknowable, so fail closed instead of silently dropping it.
+        if let Some((path, e)) = replay.damaged.iter().find(|(_, e)| matches!(e, AnnError::Io(_))) {
+            return Err(AnnError::Io(std::io::Error::other(format!(
+                "wal replay: segment {} unreadable: {e}; failing closed rather than \
+                 dropping acknowledged writes",
+                path.display()
+            ))));
+        }
+        let mut applied = 0u64;
+        for rec in &replay.records {
+            match &rec.op {
+                WalOp::Insert { external, vector } => {
+                    // Replay is replace-on-conflict: a live id means an
+                    // earlier incarnation survived in the snapshot while a
+                    // later journaled insert re-used it — the later (higher
+                    // LSN) write wins, mirroring the original apply order.
+                    if let Some(internal) = self.int_of_external.remove(external) {
+                        if let Err(e) = self.dynamic.delete(internal) {
+                            self.int_of_external.insert(*external, internal);
+                            self.last_persist_error = Some(format!(
+                                "wal replay: displacing live id {external} failed: {e}"
+                            ));
+                            continue;
+                        }
+                        self.dirty = true;
+                    }
+                    match self.dynamic.insert(vector) {
+                        Ok(internal) => {
+                            debug_assert_eq!(internal as usize, self.ext_of_internal.len());
+                            self.ext_of_internal.push(*external);
+                            self.int_of_external.insert(*external, internal);
+                            self.next_external = self.next_external.max(external + 1);
+                            self.dirty = true;
+                            applied += 1;
+                        }
+                        // Inapplicable records (wrong dimension, capacity)
+                        // were never applied before the crash either; skip.
+                        Err(e) => {
+                            self.last_persist_error =
+                                Some(format!("wal replay: insert {external} skipped: {e}"));
+                        }
+                    }
+                }
+                WalOp::Delete { external } => {
+                    let Some(internal) = self.int_of_external.remove(external) else {
+                        continue;
+                    };
+                    match self.dynamic.delete(internal) {
+                        Ok(()) => {
+                            self.dirty = true;
+                            applied += 1;
+                        }
+                        Err(e) => {
+                            self.int_of_external.insert(*external, internal);
+                            self.last_persist_error =
+                                Some(format!("wal replay: delete {external} skipped: {e}"));
+                        }
+                    }
+                }
+            }
+            self.last_lsn = rec.lsn;
+        }
+        self.metrics.wal_replayed.add(applied);
+        // Resume above every LSN seen on disk — including the name-LSN of
+        // every segment file: a torn first append leaves a segment whose
+        // only record is unreadable, and reusing its name would append into
+        // the torn bytes.
+        let max_segment = replay.segments.iter().map(|&(first, _)| first).max().unwrap_or(0);
+        let next_lsn = replay.last_lsn.max(self.last_lsn).max(max_segment) + 1;
+        self.wal = Some(ShardWal::resume(
+            store.dir(),
+            self.shard as u32, // cast: shard counts are tiny.
+            Arc::clone(store.fs()),
+            store.config().durability,
+            Arc::clone(&self.metrics),
+            next_lsn,
+            replay.segments,
+        ));
+        if self.dirty {
+            // Fold the replayed mutations into a durable publication so the
+            // journal can be truncated. A failed publish (e.g. replay
+            // deleted every point) keeps the writer dirty; the records stay
+            // journaled and serving continues from the recovered snapshot.
+            if self.publish().is_ok() && store.config().audit_on_recover {
+                let snap = self.cell.load();
+                crate::store::audit_serving_state(snap.index(), snap.external_ids())
+                    .map_err(AnnError::CorruptIndex)?;
+            }
+        }
+        Ok(())
     }
 
     /// Re-home this writer's per-shard metrics onto slot `shard` (shards of
     /// a [`crate::ShardSet`] share one registry; the default slot is 0).
     pub(crate) fn set_shard(&mut self, shard: usize) {
         self.shard = shard;
+        if let Some(wal) = &mut self.wal {
+            wal.set_shard(shard as u32); // cast: shard counts are tiny.
+        }
         if let Some(sm) = self.metrics.shard(shard) {
             sm.points.set(self.dynamic.len() as u64);
             if self.store.is_some() && self.last_persist_error.is_none() {
@@ -423,12 +572,19 @@ impl IndexWriter {
     ///
     /// # Errors
     /// `InvalidParameter` if `external` is already live in this writer;
+    /// `Io`/`CorruptWal` if the write-ahead log refused to acknowledge the
+    /// mutation (durable writers only — nothing is applied in that case);
     /// propagates [`DynamicTauMng::insert`] validation errors.
     pub fn insert_with_id(&mut self, external: u64, v: &[f32]) -> Result<u64> {
         if self.int_of_external.contains_key(&external) {
             return Err(AnnError::InvalidParameter(format!(
                 "external id {external} is already live in this shard"
             )));
+        }
+        // Journal before apply: an error here means the mutation was never
+        // acknowledged and the replica is untouched.
+        if let Some(wal) = &mut self.wal {
+            self.last_lsn = wal.append_insert(external, v)?;
         }
         let internal = self.dynamic.insert(v)?;
         self.next_external = self.next_external.max(external + 1);
@@ -444,12 +600,23 @@ impl IndexWriter {
     /// gone for good.
     ///
     /// # Errors
-    /// `IdOutOfRange` for unknown or already-deleted external ids.
+    /// `IdOutOfRange` for unknown or already-deleted external ids;
+    /// `Io`/`CorruptWal` if the write-ahead log refused to acknowledge the
+    /// mutation (durable writers only — the point stays live in that case).
     pub fn delete(&mut self, external: u64) -> Result<()> {
         let internal = self
             .int_of_external
             .remove(&external)
             .ok_or(AnnError::IdOutOfRange { id: external, len: self.next_external })?;
+        if let Some(wal) = &mut self.wal {
+            match wal.append_delete(external) {
+                Ok(lsn) => self.last_lsn = lsn,
+                Err(e) => {
+                    self.int_of_external.insert(external, internal);
+                    return Err(e);
+                }
+            }
+        }
         match self.dynamic.delete(internal) {
             Ok(()) => {
                 self.dirty = true;
@@ -535,14 +702,50 @@ impl IndexWriter {
     /// keeps serving and the failure is visible in the metrics
     /// (`persist_failed`, `persist_failures`) and
     /// [`IndexWriter::last_persist_error`].
+    ///
+    /// The snapshot is stamped with the newest acknowledged LSN, and on
+    /// success the journal is truncated up to the covered LSN of the oldest
+    /// *retained* generation — never further, so every generation that
+    /// pruning can leave behind keeps a complete replay suffix.
     fn persist_current(&mut self) {
-        let Some(store) = &self.store else { return };
+        let Some(store) = self.store.clone() else {
+            return;
+        };
         let snap = self.cell.load();
-        match store.persist_with_retry(&snap, self.params, &self.metrics) {
+        let covered = self.last_lsn;
+        if self.wal.is_some() {
+            // Raise the prune floor *before* persisting: persist() prunes
+            // internally, and the generation it must not GC is determined by
+            // what the durable set will look like after this publication.
+            let retain = store.config().retain.max(1);
+            let drop_n = (self.durable.len() + 1).saturating_sub(retain);
+            let floor_gen = self
+                .durable
+                .iter()
+                .map(|&(g, _)| g)
+                .chain(std::iter::once(snap.generation()))
+                .nth(drop_n)
+                .unwrap_or_else(|| snap.generation());
+            store.set_wal_floor(floor_gen);
+        }
+        match store.persist_with_retry(&snap, self.params, covered, &self.metrics) {
             Ok(_) => {
                 self.last_persist_error = None;
                 if let Some(sm) = self.metrics.shard(self.shard) {
                     sm.persisted_generation.set(snap.generation());
+                }
+                self.durable.push_back((snap.generation(), covered));
+                let retain = store.config().retain.max(1);
+                while self.durable.len() > retain {
+                    self.durable.pop_front();
+                }
+                // Records at or below the oldest retained generation's
+                // covered LSN can never be needed again: every snapshot we
+                // might recover from already contains them.
+                if let (Some(&(_, floor_lsn)), Some(wal)) =
+                    (self.durable.front(), self.wal.as_mut())
+                {
+                    wal.truncate_through(floor_lsn);
                 }
             }
             Err(e) => self.last_persist_error = Some(e.to_string()),

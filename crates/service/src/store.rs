@@ -30,6 +30,13 @@
 //! ENOSPC, rename failure, and crash-between-steps, and the kill-point
 //! matrix test in `tests/durability.rs` asserts recovery serves a valid
 //! snapshot after a crash at *every* step.
+//!
+//! Since the write-ahead log landed (see [`crate::wal`]), the envelope also
+//! records the **covered LSN** — the newest journal record whose effect is
+//! already folded into the snapshot — and pruning respects a *WAL floor*:
+//! a generation that live journal segments still replay on top of is never
+//! garbage-collected, no matter how far beyond the retain-K horizon it
+//! falls.
 
 use ann_vectors::error::{AnnError, IntegrityCheck, Result};
 use ann_vectors::io::{fnv1a, vstore_from_bytes, vstore_to_bytes};
@@ -38,15 +45,17 @@ use tau_mg::{TauIndex, TauMngParams};
 
 use crate::metrics::Metrics;
 use crate::snapshot::Snapshot;
+use crate::wal::DurabilityMode;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 const SNAP_MAGIC: u32 = 0x534E_5031; // "SNP1"
-const SNAP_VERSION: u16 = 1;
-/// Fixed header (52) + store-length field (8) + index-length field (8) +
+const SNAP_VERSION: u16 = 2;
+/// Fixed header (60) + store-length field (8) + index-length field (8) +
 /// checksum trailer (8): the smallest parseable envelope.
-const SNAP_MIN_LEN: usize = 76;
+const SNAP_MIN_LEN: usize = 84;
 
 /// The injectable filesystem surface the store runs on.
 ///
@@ -70,6 +79,17 @@ pub trait SnapshotFs: Send + Sync + std::fmt::Debug {
     fn remove_file(&self, path: &Path) -> std::io::Result<()>;
     /// Create a directory and its parents.
     fn create_dir_all(&self, dir: &Path) -> std::io::Result<()>;
+    /// Append `data` to `path` (creating it if needed) **without** fsync.
+    /// Durability of appended bytes is the caller's business — the WAL
+    /// decides per [`crate::wal::DurabilityMode`] whether to follow up with
+    /// [`SnapshotFs::sync_file`].
+    fn append_file(&self, path: &Path, data: &[u8]) -> std::io::Result<()>;
+    /// Fsync a single file (flush appended records to the platter).
+    fn sync_file(&self, path: &Path) -> std::io::Result<()>;
+    /// Read the bytes of `path` from offset `from` to EOF. Used by the
+    /// strict-mode append read-back so verifying one record stays O(record)
+    /// rather than O(segment).
+    fn read_suffix(&self, path: &Path, from: u64) -> std::io::Result<Vec<u8>>;
 }
 
 /// The production [`SnapshotFs`]: plain `std::fs` with real fsyncs.
@@ -121,6 +141,25 @@ impl SnapshotFs for RealFs {
     fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)
     }
+
+    fn append_file(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(data)
+    }
+
+    fn sync_file(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::OpenOptions::new().append(true).open(path)?.sync_all()
+    }
+
+    fn read_suffix(&self, path: &Path, from: u64) -> std::io::Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = std::fs::File::open(path)?;
+        f.seek(SeekFrom::Start(from))?;
+        let mut out = Vec::new();
+        f.read_to_end(&mut out)?;
+        Ok(out)
+    }
 }
 
 /// Tuning for a [`SnapshotStore`].
@@ -137,6 +176,10 @@ pub struct SnapshotStoreConfig {
     /// Run the GraphAuditor deterministic suite and the S1–S2 external-id
     /// checks on every recovered snapshot before serving it.
     pub audit_on_recover: bool,
+    /// How the write-ahead log acknowledges mutations journaled between
+    /// publishes (see [`DurabilityMode`]). Writers attached through this
+    /// store journal under this policy; recovery replays regardless of it.
+    pub durability: DurabilityMode,
 }
 
 impl Default for SnapshotStoreConfig {
@@ -146,6 +189,7 @@ impl Default for SnapshotStoreConfig {
             max_retries: 3,
             backoff: Duration::from_millis(10),
             audit_on_recover: true,
+            durability: DurabilityMode::Strict,
         }
     }
 }
@@ -160,6 +204,9 @@ pub struct RecoveredSnapshot {
     pub external_ids: Vec<u64>,
     /// The generation this snapshot was published as.
     pub generation: u64,
+    /// Newest WAL LSN whose effect is folded into this snapshot. Recovery
+    /// replays only journal records with a strictly greater LSN.
+    pub covered_lsn: u64,
     /// Build parameters governing subsequent inserts/repairs.
     pub params: TauMngParams,
 }
@@ -183,6 +230,11 @@ pub struct SnapshotStore {
     dir: PathBuf,
     fs: Arc<dyn SnapshotFs>,
     config: SnapshotStoreConfig,
+    /// Oldest generation the write-ahead log still replays on top of.
+    /// `u64::MAX` (the default) means "no WAL constraint": pruning is pure
+    /// retain-K. Writers lower this before persisting so retention can
+    /// never remove a generation that journal segments depend on.
+    wal_floor: AtomicU64,
 }
 
 impl SnapshotStore {
@@ -200,7 +252,7 @@ impl SnapshotStore {
     ) -> Result<Arc<SnapshotStore>> {
         let dir = dir.into();
         fs.create_dir_all(&dir)?;
-        Ok(Arc::new(SnapshotStore { dir, fs, config }))
+        Ok(Arc::new(SnapshotStore { dir, fs, config, wal_floor: AtomicU64::new(u64::MAX) }))
     }
 
     /// Directory of shard `shard`'s generations under a shard-set root:
@@ -237,6 +289,24 @@ impl SnapshotStore {
         &self.config
     }
 
+    /// The filesystem this store (and its shard's WAL) runs on.
+    pub(crate) fn fs(&self) -> &Arc<dyn SnapshotFs> {
+        &self.fs
+    }
+
+    /// Declare the oldest generation that WAL segments still replay on top
+    /// of. [`SnapshotStore::prune`] keeps every generation ≥ this floor
+    /// regardless of retain-K, so a crash mid-churn always finds a valid
+    /// replay base on disk.
+    pub fn set_wal_floor(&self, generation: u64) {
+        self.wal_floor.store(generation, Ordering::Relaxed);
+    }
+
+    /// The current WAL floor (`u64::MAX` when unconstrained).
+    pub fn wal_floor(&self) -> u64 {
+        self.wal_floor.load(Ordering::Relaxed)
+    }
+
     /// File name of a generation: zero-padded so lexicographic order is
     /// numeric order.
     fn file_name(generation: u64) -> String {
@@ -248,7 +318,9 @@ impl SnapshotStore {
         name.strip_prefix("gen-")?.strip_suffix(".snap")?.parse().ok()
     }
 
-    /// Persist one snapshot durably (single attempt).
+    /// Persist one snapshot durably (single attempt), recording
+    /// `covered_lsn` — the newest WAL record folded into it — in the
+    /// envelope (pass 0 when no journal is in play).
     ///
     /// Sequence: encode → write temp + fsync → rename over the generation
     /// name → directory fsync → read back and verify the checksum → prune
@@ -259,9 +331,14 @@ impl SnapshotStore {
     /// the read-back does not verify (the bytes on disk are not the bytes
     /// written — the caller should retry, and must not treat the snapshot
     /// as durable).
-    pub fn persist(&self, snapshot: &Snapshot, params: TauMngParams) -> Result<PathBuf> {
+    pub fn persist(
+        &self,
+        snapshot: &Snapshot,
+        params: TauMngParams,
+        covered_lsn: u64,
+    ) -> Result<PathBuf> {
         let generation = snapshot.generation();
-        let bytes = encode_snapshot(snapshot, params);
+        let bytes = encode_snapshot(snapshot, params, covered_lsn);
         let final_path = self.dir.join(Self::file_name(generation));
         let tmp = self.dir.join(format!("{}.tmp", Self::file_name(generation)));
         self.fs.write_file(&tmp, &bytes)?;
@@ -288,12 +365,13 @@ impl SnapshotStore {
         &self,
         snapshot: &Snapshot,
         params: TauMngParams,
+        covered_lsn: u64,
         metrics: &Metrics,
     ) -> Result<PathBuf> {
         let mut delay = self.config.backoff;
         let mut attempt = 0u32;
         loop {
-            match self.persist(snapshot, params) {
+            match self.persist(snapshot, params, covered_lsn) {
                 Ok(path) => {
                     metrics.snapshots_persisted.inc();
                     metrics.persisted_generation.set(snapshot.generation());
@@ -364,10 +442,11 @@ impl SnapshotStore {
 
     /// Scan the directory and recover the newest valid generation.
     ///
-    /// Candidates are validated newest-first; every file that fails is
-    /// renamed to `*.corrupt` (quarantined, never deleted) and reported
-    /// with its typed error. An empty directory recovers to `None` with an
-    /// empty quarantine list.
+    /// Candidates are validated newest-first; every file that fails an
+    /// *integrity* check is renamed to `*.corrupt` (quarantined, never
+    /// deleted) and reported with its typed error, while a file that merely
+    /// could not be read (transient I/O) is reported but left in place. An
+    /// empty directory recovers to `None` with an empty quarantine list.
     ///
     /// # Errors
     /// Only on directory-level I/O failure; per-file corruption is part of
@@ -385,7 +464,13 @@ impl SnapshotStore {
             match self.load_file(&path, generation) {
                 Ok(rec) => return Ok(RecoveryReport { recovered: Some(rec), quarantined }),
                 Err(e) => {
-                    self.quarantine(&path);
+                    // Only proven integrity damage is set aside; a file the
+                    // filesystem merely refused to read may be intact once
+                    // the transient error clears, so it is reported but
+                    // left in place for the next recovery attempt.
+                    if !matches!(e, AnnError::Io(_)) {
+                        self.quarantine(&path);
+                    }
                     quarantined.push((path, e));
                 }
             }
@@ -404,17 +489,23 @@ impl SnapshotStore {
     /// Best-effort retention: keep the newest `retain` generations, drop
     /// older ones and stale temp files. Failures are ignored — leftover
     /// files cost disk, not correctness, and recovery skips or quarantines
-    /// them.
+    /// them. Generations at or above the WAL floor are exempt: journal
+    /// segments still replay on top of them, so removing one would leave
+    /// acknowledged-but-unpublished writes with no base to land on.
     fn prune(&self) {
         let Ok(entries) = self.fs.list_dir(&self.dir) else {
             return;
         };
+        let floor = self.wal_floor();
         let mut gens: Vec<(u64, &PathBuf)> = entries
             .iter()
             .filter_map(|p| Self::parse_generation(p).map(|g| (g, p)))
             .collect();
         gens.sort_unstable_by_key(|g| std::cmp::Reverse(g.0));
-        for (_, path) in gens.iter().skip(self.config.retain.max(1)) {
+        for (generation, path) in gens.iter().skip(self.config.retain.max(1)) {
+            if *generation >= floor {
+                continue;
+            }
             let _ = self.fs.remove_file(path);
         }
         for path in &entries {
@@ -427,7 +518,11 @@ impl SnapshotStore {
 }
 
 /// Serialize a published snapshot into the `SNP1` envelope.
-pub(crate) fn encode_snapshot(snapshot: &Snapshot, params: TauMngParams) -> Vec<u8> {
+pub(crate) fn encode_snapshot(
+    snapshot: &Snapshot,
+    params: TauMngParams,
+    covered_lsn: u64,
+) -> Vec<u8> {
     let index = snapshot.index();
     let store_bytes = vstore_to_bytes(index.store(), index.metric());
     let index_bytes = index.to_bytes();
@@ -439,6 +534,7 @@ pub(crate) fn encode_snapshot(snapshot: &Snapshot, params: TauMngParams) -> Vec<
     buf.put_u16_le(SNAP_VERSION);
     buf.put_u16_le(0); // reserved
     buf.put_u64_le(snapshot.generation());
+    buf.put_u64_le(covered_lsn);
     buf.put_f32_le(params.tau);
     buf.put_u64_le(params.r as u64);
     buf.put_u64_le(params.l as u64);
@@ -492,6 +588,7 @@ pub(crate) fn decode_snapshot(
     }
     let _reserved = b.get_u16_le();
     let generation = b.get_u64_le();
+    let covered_lsn = b.get_u64_le();
     let tau = b.get_f32_le();
     if !tau.is_finite() || tau < 0.0 {
         return Err((IntegrityCheck::Bounds, format!("snapshot params carry invalid tau {tau}")));
@@ -541,14 +638,13 @@ pub(crate) fn decode_snapshot(
             ),
         ));
     }
-    Ok(
-        RecoveredSnapshot {
-            index,
-            external_ids,
-            generation,
-            params: TauMngParams { tau, r, l, c },
-        },
-    )
+    Ok(RecoveredSnapshot {
+        index,
+        external_ids,
+        generation,
+        covered_lsn,
+        params: TauMngParams { tau, r, l, c },
+    })
 }
 
 /// The recovery gate: the GraphAuditor deterministic suite (structural
@@ -557,9 +653,20 @@ pub(crate) fn decode_snapshot(
 /// at recovery — a recovered snapshot has no pending deletes by
 /// construction). Returns the first violations rendered as one message.
 fn audit_recovered(rec: &RecoveredSnapshot) -> std::result::Result<(), String> {
+    audit_serving_state(&rec.index, &rec.external_ids)
+}
+
+/// The same gate over any live (index, external-id) pair — shared by
+/// recovery validation above and the post-WAL-replay re-audit in
+/// [`crate::IndexWriter::from_recovered`], which must re-prove the graph
+/// after folding journal records into the recovered snapshot.
+pub(crate) fn audit_serving_state(
+    index: &TauIndex,
+    external_ids: &[u64],
+) -> std::result::Result<(), String> {
     use ann_audit::{audit_external_ids, audit_tau_index, AuditOptions};
-    let mut violations = audit_tau_index(&rec.index, &AuditOptions::publish_gate(None));
-    violations.extend(audit_external_ids(&rec.external_ids, |_| false));
+    let mut violations = audit_tau_index(index, &AuditOptions::publish_gate(None));
+    violations.extend(audit_external_ids(external_ids, |_| false));
     if violations.is_empty() {
         return Ok(());
     }
@@ -596,9 +703,10 @@ mod tests {
     fn envelope_roundtrip() {
         let (cell, params) = snapshot_cell(120, 1);
         let snap = cell.load();
-        let bytes = encode_snapshot(&snap, params);
+        let bytes = encode_snapshot(&snap, params, 41);
         let rec = decode_snapshot(&bytes).unwrap();
         assert_eq!(rec.generation, 0);
+        assert_eq!(rec.covered_lsn, 41);
         assert_eq!(rec.external_ids, (0..120u64).collect::<Vec<_>>());
         assert_eq!(rec.index.store().len(), 120);
         assert_eq!(rec.params.r, params.r);
@@ -609,7 +717,7 @@ mod tests {
     #[test]
     fn envelope_rejects_every_header_corruption() {
         let (cell, params) = snapshot_cell(60, 2);
-        let bytes = encode_snapshot(&cell.load(), params);
+        let bytes = encode_snapshot(&cell.load(), params, 0);
         for pos in 0..SNAP_MIN_LEN.min(bytes.len()) {
             let mut garbled = bytes.clone();
             garbled[pos] ^= 0xFF;
@@ -625,7 +733,7 @@ mod tests {
     #[test]
     fn envelope_reports_version_skew() {
         let (cell, params) = snapshot_cell(40, 3);
-        let mut bytes = encode_snapshot(&cell.load(), params);
+        let mut bytes = encode_snapshot(&cell.load(), params, 0);
         bytes[4] = 99; // version field
         let body_len = bytes.len() - 8;
         let sum = fnv1a(&bytes[..body_len]);
@@ -647,7 +755,7 @@ mod tests {
         .unwrap();
         let (cell, params) = snapshot_cell(80, 4);
         let snap = cell.load();
-        store.persist(&snap, params).unwrap();
+        store.persist(&snap, params, 0).unwrap();
         assert_eq!(store.generations().unwrap(), vec![0]);
         let report = store.recover().unwrap();
         assert!(report.quarantined.is_empty());
@@ -662,7 +770,7 @@ mod tests {
         let store = SnapshotStore::open(&dir).unwrap();
         let (cell, params) = snapshot_cell(70, 5);
         let snap = cell.load();
-        store.persist(&snap, params).unwrap();
+        store.persist(&snap, params, 0).unwrap();
         // Hand-forge a corrupt "generation 1" file (newest).
         let bogus = dir.join(SnapshotStore::file_name(1));
         std::fs::write(&bogus, b"not a snapshot at all").unwrap();
@@ -678,6 +786,37 @@ mod tests {
             s.into()
         };
         assert!(q.exists(), "quarantined file must be preserved, not deleted");
+    }
+
+    #[test]
+    fn prune_keeps_generations_at_or_above_the_wal_floor() {
+        let dir = unique_dir("walfloor");
+        let store = SnapshotStore::open_with_fs(
+            &dir,
+            Arc::new(RealFs),
+            SnapshotStoreConfig { retain: 1, ..Default::default() },
+        )
+        .unwrap();
+        let base = Arc::new(uniform(6, 60, 9));
+        let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 8).unwrap();
+        let params = TauMngParams { tau: 0.15, r: 16, l: 48, c: 150 };
+        let idx = tau_mg::build_tau_mng(base, Metric::L2, &knn, params).unwrap();
+        let (mut writer, cell) = IndexWriter::attach(idx, params, Arc::new(Metrics::new()));
+        store.persist(&cell.load(), params, 0).unwrap();
+        // Journal segments still replay on top of generation 0: pruning must
+        // spare every generation at or above the floor even with retain = 1.
+        store.set_wal_floor(0);
+        for _ in 0..3 {
+            writer.publish().unwrap();
+            store.persist(&cell.load(), params, 0).unwrap();
+        }
+        assert_eq!(store.generations().unwrap(), vec![0, 1, 2, 3]);
+        // The journal was truncated: only generation 3 and newer remain
+        // replay bases, so the older ones are reclaimed at the next persist.
+        store.set_wal_floor(3);
+        writer.publish().unwrap();
+        store.persist(&cell.load(), params, 0).unwrap();
+        assert_eq!(store.generations().unwrap(), vec![3, 4]);
     }
 
     #[test]

@@ -13,14 +13,14 @@
 //! the set keeps serving (and reports `shards_degraded`).
 
 use ann_service::{
-    split_index, AnnService, Fault, FaultFs, IndexWriter, Metrics, RealFs, ServiceConfig,
-    ShardSetWriter, SnapshotStore, SnapshotStoreConfig,
+    split_index, AnnService, DurabilityMode, Fault, FaultFs, IndexWriter, Metrics, RealFs,
+    ServiceConfig, ShardSetWriter, SnapshotStore, SnapshotStoreConfig,
 };
 use ann_vectors::error::AnnError;
 use ann_vectors::metric::Metric;
 use ann_vectors::synthetic::uniform;
 use ann_vectors::VecStore;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 use tau_mg::{TauIndex, TauMngParams};
@@ -57,6 +57,7 @@ fn harsh() -> SnapshotStoreConfig {
         max_retries: 0,
         backoff: Duration::ZERO,
         audit_on_recover: true,
+        durability: DurabilityMode::Strict,
     }
 }
 
@@ -83,8 +84,11 @@ fn kill_point_matrix_recovery_always_serves_a_valid_snapshot() {
             Arc::new(Metrics::new()),
             store,
         );
-        let before = fs.ops();
+        // Journal the insert outside the window: this matrix sweeps the
+        // publish-persist sequence (the WAL append path has its own matrix
+        // below in `wal_kill_point_matrix_strict_acked_writes_survive`).
         writer.insert(base.get(0)).unwrap();
+        let before = fs.ops();
         writer.publish().unwrap();
         assert!(writer.last_persist_error().is_none(), "clean probe must persist");
         fs.ops() - before
@@ -109,9 +113,10 @@ fn kill_point_matrix_recovery_always_serves_a_valid_snapshot() {
             );
             assert!(writer.last_persist_error().is_none(), "{tag}: gen 0 must persist cleanly");
 
-            // Arm the fault inside the next persist window, then publish.
-            fs.arm(fs.ops() + at, fault);
+            // Journal the insert cleanly, then arm the fault inside the
+            // publish's persist window.
             let ext = writer.insert(base.get(1)).unwrap();
+            fs.arm(fs.ops() + at, fault);
             let gen = writer.publish().expect("in-memory publish never fails on disk faults");
             assert_eq!(gen, 1, "{tag}");
 
@@ -146,10 +151,15 @@ fn kill_point_matrix_recovery_always_serves_a_valid_snapshot() {
                 assert_eq!(rec.generation, 1, "{tag}: reported-durable snapshot lost");
             }
 
-            // And the recovered world keeps working: warm-start a writer,
-            // mutate, publish durably.
+            // And the recovered world keeps working: warm-start a writer
+            // (replaying any journal suffix), mutate, publish durably.
             let (mut w2, c2) =
-                IndexWriter::from_recovered(rec, Arc::new(Metrics::new()), Some(reopened));
+                IndexWriter::from_recovered(rec, Arc::new(Metrics::new()), Some(reopened))
+                    .unwrap_or_else(|e| panic!("{tag}: warm start failed: {e}"));
+            // The insert was acknowledged under Strict durability before the
+            // fault was armed: whether or not generation 1 survived, the
+            // recovered-and-replayed writer must own it.
+            assert!(w2.contains(ext), "{tag}: acknowledged insert lost across restart");
             w2.insert(base.get(2)).unwrap();
             let g2 = w2.publish().unwrap();
             assert!(g2 > 0, "{tag}");
@@ -188,7 +198,7 @@ fn warm_restart_serves_the_last_published_generation() {
     let rec = report.recovered.unwrap();
     assert_eq!(rec.generation, 2);
     let m2 = Arc::new(Metrics::new());
-    let (mut w2, cell) = IndexWriter::from_recovered(rec, Arc::clone(&m2), Some(reopened));
+    let (mut w2, cell) = IndexWriter::from_recovered(rec, Arc::clone(&m2), Some(reopened)).unwrap();
     assert_eq!(m2.persisted_generation.get(), 2);
 
     // The recovered snapshot is immediately searchable with the same
@@ -250,9 +260,10 @@ fn persist_failure_degrades_gracefully_and_heals() {
     assert_eq!(metrics.persist_failed.get(), 0);
     assert_eq!(metrics.persisted_generation.get(), 0);
 
-    // Kill the disk mid-persist: publish still succeeds, health flips.
-    fs.arm(fs.ops(), Fault::Crash);
+    // Journal the insert cleanly, then kill the disk mid-persist: publish
+    // still succeeds, health flips.
     writer.insert(base.get(6)).unwrap();
+    fs.arm(fs.ops(), Fault::Crash);
     assert_eq!(writer.publish().unwrap(), 1);
     assert_eq!(cell.load().generation(), 1, "serving switched despite dead disk");
     assert_eq!(metrics.persist_failed.get(), 1);
@@ -282,6 +293,7 @@ fn transient_errors_are_retried_with_backoff() {
             max_retries: 2,
             backoff: Duration::ZERO,
             audit_on_recover: true,
+            durability: DurabilityMode::Strict,
         },
     )
     .unwrap();
@@ -293,8 +305,8 @@ fn transient_errors_are_retried_with_backoff() {
         store,
     );
     // One ENOSPC-style hiccup on the first write of the next persist.
-    fs.arm(fs.ops(), Fault::ErrorOnce);
     writer.insert(base.get(8)).unwrap();
+    fs.arm(fs.ops(), Fault::ErrorOnce);
     writer.publish().unwrap();
     assert!(writer.last_persist_error().is_none(), "retry must absorb a transient error");
     assert_eq!(metrics.persist_retries.get(), 1);
@@ -331,8 +343,8 @@ fn sharded_kill_points_leave_every_shard_recoverable() {
             harsh(),
         )
         .unwrap();
-        let before = fs.ops();
         writer.insert(base.get(0)).unwrap();
+        let before = fs.ops();
         writer.publish().unwrap();
         assert!(writer.last_persist_error().is_none(), "clean probe must persist");
         fs.ops() - before
@@ -359,9 +371,10 @@ fn sharded_kill_points_leave_every_shard_recoverable() {
             .unwrap();
             assert!(writer.last_persist_error().is_none(), "{tag}: gen 0 must persist cleanly");
 
-            // Arm the fault inside the dirty shard's persist window.
-            fs.arm(fs.ops() + at, fault);
+            // Journal the insert cleanly, then arm the fault inside the
+            // dirty shard's persist window.
             writer.insert(base.get(1)).unwrap();
+            fs.arm(fs.ops() + at, fault);
             let gen = writer.publish().expect("in-memory publish never fails on disk faults");
             assert_eq!(gen, 1, "{tag}");
 
@@ -445,6 +458,494 @@ fn sharded_recovery_quarantines_a_dead_shard_and_serves_the_rest() {
     let gen = writer.publish().unwrap();
     assert!(gen >= 2);
     assert!(writer.last_persist_error().is_none());
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead-log crash safety: mutations acknowledged *between* publishes
+// must survive a kill at any point, under every fault the disk can throw.
+// ---------------------------------------------------------------------------
+
+/// List the journal segment files in `dir`, ascending.
+fn wal_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".wal"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    v.sort();
+    v
+}
+
+/// Copy a flat store directory (snapshots + wal segments) into `dst`.
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap().flatten() {
+        if entry.path().is_file() {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
+    }
+}
+
+/// Deterministic xorshift so the torn-tail property test needs no rand dep
+/// wiring and always replays the same cut points.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// The WAL kill-point matrix: every fault kind at every filesystem
+/// operation of an insert/insert/delete window that is never published.
+/// Under `Strict`, an acknowledged mutation must be present (insert) or
+/// absent (delete) after a warm restart from *any* kill point; an
+/// unacknowledged mutation is indeterminate (it may or may not have hit
+/// the platter) and is not asserted either way.
+#[test]
+fn wal_kill_point_matrix_strict_acked_writes_survive_every_fault() {
+    let (bytes, base) = index_fixture();
+    let extra = uniform(6, 2, 4242);
+    let faults = [
+        Fault::Crash,
+        Fault::TornWrite,
+        Fault::ShortWrite,
+        Fault::BitFlip,
+        Fault::ErrorOnce,
+    ];
+
+    // Probe: count the journal operations of the mutation window on a
+    // clean run.
+    let probe_ops = {
+        let dir = test_dir("wal-probe");
+        let fs = Arc::new(FaultFs::new(RealFs));
+        let store = SnapshotStore::open_with_fs(&dir, Arc::clone(&fs) as _, harsh()).unwrap();
+        let (mut writer, _cell) = IndexWriter::attach_durable(
+            materialize(&bytes, &base),
+            PARAMS,
+            Arc::new(Metrics::new()),
+            store,
+        );
+        let before = fs.ops();
+        writer.insert(extra.get(0)).unwrap();
+        writer.insert(extra.get(1)).unwrap();
+        writer.delete(0).unwrap();
+        fs.ops() - before
+    };
+    assert!(
+        probe_ops >= 9,
+        "strict journaling is append+fsync+verify per mutation, saw {probe_ops} ops"
+    );
+
+    for fault in faults {
+        for at in 0..probe_ops {
+            let tag = format!("wal-{fault:?}@{at}");
+            let dir = test_dir(&format!("wal-matrix-{fault:?}-{at}"));
+            let fs = Arc::new(FaultFs::new(RealFs));
+            let store = SnapshotStore::open_with_fs(&dir, Arc::clone(&fs) as _, harsh()).unwrap();
+            let (mut writer, _cell) = IndexWriter::attach_durable(
+                materialize(&bytes, &base),
+                PARAMS,
+                Arc::new(Metrics::new()),
+                store,
+            );
+            assert!(writer.last_persist_error().is_none(), "{tag}: gen 0 must persist cleanly");
+
+            fs.arm(fs.ops() + at, fault);
+            let ins_a = writer.insert(extra.get(0));
+            let ins_b = writer.insert(extra.get(1));
+            let del = writer.delete(0);
+            drop(writer); // kill before any publish
+
+            // "Restart": a clean process over the same directory must
+            // replay exactly the acknowledged suffix.
+            let reopened = SnapshotStore::open(&dir).unwrap();
+            let report = reopened.recover().unwrap();
+            let rec = report.recovered.unwrap_or_else(|| panic!("{tag}: nothing recoverable"));
+            assert_eq!(rec.generation, 0, "{tag}: only generation 0 was ever published");
+            let (mut w2, _c2) =
+                IndexWriter::from_recovered(rec, Arc::new(Metrics::new()), Some(reopened))
+                    .unwrap_or_else(|e| panic!("{tag}: warm start failed: {e}"));
+            if let Ok(a) = ins_a {
+                assert!(w2.contains(a), "{tag}: acknowledged insert {a} lost");
+            }
+            if let Ok(b) = ins_b {
+                assert!(w2.contains(b), "{tag}: acknowledged insert {b} lost");
+            }
+            if del.is_ok() {
+                assert!(!w2.contains(0), "{tag}: acknowledged delete resurrected");
+            }
+            // The recovered world keeps accepting writes durably.
+            let ext = w2.insert(base.get(5)).unwrap();
+            let gen = w2.publish().unwrap();
+            assert!(gen >= 1, "{tag}");
+            assert!(w2.last_persist_error().is_none(), "{tag}: healed disk must persist");
+            assert!(w2.contains(ext), "{tag}");
+        }
+    }
+}
+
+/// Faults swept across the *recovery* window itself (snapshot load, journal
+/// scan, replay republication): every kill point either fails closed with
+/// an error or recovers a state satisfying the acknowledgment model — and
+/// after healing, recovery converges to every acknowledged write.
+#[test]
+fn wal_replay_kill_points_fail_closed_or_converge() {
+    let (bytes, base) = index_fixture();
+    let extra = uniform(6, 3, 515);
+    let faults = [
+        Fault::Crash,
+        Fault::TornWrite,
+        Fault::ShortWrite,
+        Fault::BitFlip,
+        Fault::ErrorOnce,
+    ];
+
+    // Fixture: a store with generation 0 plus three acknowledged,
+    // unpublished inserts in the journal.
+    let pristine = test_dir("wal-replay-pristine");
+    let mut acked = Vec::new();
+    {
+        let store = SnapshotStore::open_with_fs(&pristine, Arc::new(RealFs), harsh()).unwrap();
+        let (mut writer, _cell) = IndexWriter::attach_durable(
+            materialize(&bytes, &base),
+            PARAMS,
+            Arc::new(Metrics::new()),
+            store,
+        );
+        for i in 0..3 {
+            acked.push(writer.insert(extra.get(i)).unwrap());
+        }
+    }
+
+    // Probe: operation count of one full recovery on a clean run.
+    let probe_ops = {
+        let dir = test_dir("wal-replay-probe");
+        copy_dir(&pristine, &dir);
+        let fs = Arc::new(FaultFs::new(RealFs));
+        let store = SnapshotStore::open_with_fs(&dir, Arc::clone(&fs) as _, harsh()).unwrap();
+        let rec = store.recover().unwrap().recovered.unwrap();
+        let (w, _c) =
+            IndexWriter::from_recovered(rec, Arc::new(Metrics::new()), Some(store)).unwrap();
+        assert!(acked.iter().all(|&e| w.contains(e)), "clean replay must apply everything");
+        fs.ops()
+    };
+    assert!(probe_ops >= 6, "recovery must scan snapshots and journal, saw {probe_ops} ops");
+
+    for fault in faults {
+        for at in 0..probe_ops {
+            let tag = format!("replay-{fault:?}@{at}");
+            let dir = test_dir(&format!("wal-replay-{fault:?}-{at}"));
+            copy_dir(&pristine, &dir);
+            let fs = Arc::new(FaultFs::new(RealFs));
+            let store = SnapshotStore::open_with_fs(&dir, Arc::clone(&fs) as _, harsh()).unwrap();
+            fs.arm(at, fault);
+            let outcome = store.recover().and_then(|report| match report.recovered {
+                Some(rec) => {
+                    IndexWriter::from_recovered(rec, Arc::new(Metrics::new()), Some(store))
+                        .map(|(w, _c)| Some(w))
+                }
+                // The injected fault quarantined every snapshot: the caller
+                // sees "nothing recoverable", which is failing closed.
+                Option::None => Ok(Option::None),
+            });
+            if let Ok(Some(w)) = &outcome {
+                for &e in &acked {
+                    assert!(w.contains(e), "{tag}: recovery reported success but lost {e}");
+                }
+            }
+            drop(outcome);
+
+            // Healed, a fresh recovery must converge to all acknowledged
+            // writes regardless of what the faulted attempt left behind.
+            let store2 = SnapshotStore::open(&dir).unwrap();
+            let rec2 = store2
+                .recover()
+                .unwrap()
+                .recovered
+                .unwrap_or_else(|| panic!("{tag}: healed recovery found nothing"));
+            let (w2, _c2) =
+                IndexWriter::from_recovered(rec2, Arc::new(Metrics::new()), Some(store2))
+                    .unwrap_or_else(|e| panic!("{tag}: healed warm start failed: {e}"));
+            for &e in &acked {
+                assert!(w2.contains(e), "{tag}: healed recovery lost acknowledged {e}");
+            }
+        }
+    }
+}
+
+/// Property: truncating the journal tail at *any* byte offset recovers a
+/// valid prefix of the acknowledged writes — never garbage, never a
+/// non-prefix subset.
+#[test]
+fn wal_torn_tail_recovers_a_valid_prefix_of_acked_writes() {
+    let (bytes, base) = index_fixture();
+    let extra = uniform(6, 6, 99);
+    let pristine = test_dir("wal-tail-pristine");
+    let mut acked = Vec::new();
+    {
+        let store = SnapshotStore::open_with_fs(&pristine, Arc::new(RealFs), harsh()).unwrap();
+        let (mut writer, _cell) = IndexWriter::attach_durable(
+            materialize(&bytes, &base),
+            PARAMS,
+            Arc::new(Metrics::new()),
+            store,
+        );
+        for i in 0..6 {
+            acked.push(writer.insert(extra.get(i)).unwrap());
+        }
+    }
+    let segs = wal_files(&pristine);
+    assert_eq!(segs.len(), 1, "six unpublished inserts share one active segment");
+    let seg_len = std::fs::metadata(&segs[0]).unwrap().len();
+
+    let mut rng = 0x5EED_u64;
+    let mut cuts: Vec<u64> = (0..12).map(|_| xorshift(&mut rng) % seg_len).collect();
+    cuts.extend([0, 1, seg_len - 1]); // degenerate and off-by-one tails
+    for cut in cuts {
+        let dir = test_dir(&format!("wal-tail-{cut}"));
+        copy_dir(&pristine, &dir);
+        let seg = wal_files(&dir).pop().unwrap();
+        let full = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &full[..cut as usize]).unwrap();
+
+        let store = SnapshotStore::open(&dir).unwrap();
+        let rec = store.recover().unwrap().recovered.unwrap();
+        let (w, _c) = IndexWriter::from_recovered(rec, Arc::new(Metrics::new()), Some(store))
+            .unwrap_or_else(|e| panic!("cut@{cut}: recovery failed: {e}"));
+        let present: Vec<bool> = acked.iter().map(|&e| w.contains(e)).collect();
+        let k = present.iter().take_while(|&&p| p).count();
+        assert!(
+            present.iter().skip(k).all(|&p| !p),
+            "cut@{cut}: recovered a non-prefix of the journal: {present:?}"
+        );
+    }
+}
+
+/// Strict-mode convergence without any publish: acknowledged inserts and
+/// deletes come back after a kill, and the replay is visible in the
+/// metrics and as a republished generation.
+#[test]
+fn wal_strict_recovery_converges_without_publish() {
+    let dir = test_dir("wal-converge");
+    let (bytes, base) = index_fixture();
+    let extra = uniform(6, 2, 31337);
+    {
+        let store = SnapshotStore::open_with_fs(&dir, Arc::new(RealFs), harsh()).unwrap();
+        let metrics = Arc::new(Metrics::new());
+        let (mut writer, _cell) = IndexWriter::attach_durable(
+            materialize(&bytes, &base),
+            PARAMS,
+            Arc::clone(&metrics),
+            store,
+        );
+        let a = writer.insert(extra.get(0)).unwrap();
+        assert_eq!(a, 90);
+        writer.insert(extra.get(1)).unwrap();
+        writer.delete(3).unwrap();
+        assert_eq!(metrics.wal_appends.get(), 3);
+        assert_eq!(metrics.wal_fsyncs.get(), 3, "strict syncs every append");
+        drop(writer); // kill without publish
+    }
+
+    let metrics = Arc::new(Metrics::new());
+    let store = SnapshotStore::open(&dir).unwrap();
+    let rec = store.recover().unwrap().recovered.unwrap();
+    assert_eq!(rec.generation, 0);
+    assert_eq!(rec.covered_lsn, 0, "generation 0 predates the journal");
+    let (w, cell) = IndexWriter::from_recovered(rec, Arc::clone(&metrics), Some(store)).unwrap();
+    assert_eq!(metrics.wal_replayed.get(), 3);
+    assert!(w.contains(90) && w.contains(91), "replayed inserts live");
+    assert!(!w.contains(3), "replayed delete holds");
+    // Replay republishes so the journal's work is durable again.
+    let snap = cell.load();
+    assert_eq!(snap.generation(), 1);
+    assert_eq!(snap.len(), 90 + 2 - 1);
+    let mut scratch = ann_graph::Scratch::new(snap.len());
+    let hit = snap.search(extra.get(0), 1, 48, &mut scratch);
+    assert_eq!(hit.ids, vec![90], "replayed vector is searchable");
+}
+
+/// Publishing truncates superseded journal segments: under sustained
+/// insert/delete/publish churn the segment count stays bounded.
+#[test]
+fn wal_publish_truncates_superseded_segments_under_churn() {
+    let dir = test_dir("wal-churn");
+    let (bytes, base) = index_fixture();
+    let extra = uniform(6, 10, 7);
+    let metrics = Arc::new(Metrics::new());
+    let store = SnapshotStore::open_with_fs(&dir, Arc::new(RealFs), harsh()).unwrap();
+    let (mut writer, _cell) = IndexWriter::attach_durable(
+        materialize(&bytes, &base),
+        PARAMS,
+        Arc::clone(&metrics),
+        Arc::clone(&store),
+    );
+    let mut prev = Option::None;
+    for i in 0..10 {
+        let ext = writer.insert(extra.get(i)).unwrap();
+        if let Some(p) = prev.replace(ext) {
+            writer.delete(p).unwrap();
+        }
+        writer.publish().unwrap();
+        assert!(writer.last_persist_error().is_none());
+        let n = wal_files(&dir).len();
+        assert!(n <= 2, "round {i}: {n} journal segments survived publication");
+        assert!(store.generations().unwrap().len() <= 2, "snapshot retention also bounded");
+    }
+    assert!(metrics.wal_truncated.get() >= 9, "publishes must truncate superseded segments");
+    assert_eq!(metrics.wal_failed.get(), 0);
+}
+
+/// A failed snapshot persist must not lose the journal's replay base: the
+/// old generation stays on disk (the WAL floor forbids pruning it) and a
+/// restart replays every acknowledged write on top of it.
+#[test]
+fn wal_failed_persist_keeps_replay_base_and_replays_all_acks() {
+    let dir = test_dir("wal-floor");
+    let (bytes, base) = index_fixture();
+    let extra = uniform(6, 2, 1234);
+    let fs = Arc::new(FaultFs::new(RealFs));
+    let store = SnapshotStore::open_with_fs(&dir, Arc::clone(&fs) as _, harsh()).unwrap();
+    let (mut writer, _cell) = IndexWriter::attach_durable(
+        materialize(&bytes, &base),
+        PARAMS,
+        Arc::new(Metrics::new()),
+        store,
+    );
+    let a = writer.insert(extra.get(0)).unwrap();
+    fs.arm(fs.ops(), Fault::Crash);
+    writer.publish().unwrap();
+    assert!(writer.last_persist_error().is_some(), "persist must have failed");
+    fs.heal();
+    let b = writer.insert(extra.get(1)).unwrap();
+    drop(writer); // kill: generation 1 never landed, the journal holds a and b
+
+    let store2 = SnapshotStore::open(&dir).unwrap();
+    let report = store2.recover().unwrap();
+    let rec = report.recovered.unwrap();
+    assert_eq!(rec.generation, 0, "generation 0 must survive as the replay base");
+    let (w, cell) =
+        IndexWriter::from_recovered(rec, Arc::new(Metrics::new()), Some(store2)).unwrap();
+    assert!(w.contains(a) && w.contains(b), "acknowledged writes replayed onto the base");
+    assert!(cell.load().generation() >= 1, "replay republished durably");
+}
+
+/// Batched and unsynced modes still journal and replay on a clean
+/// filesystem — the fsync policy weakens the crash guarantee, not the
+/// format or the replay path.
+#[test]
+fn wal_batched_and_none_modes_journal_and_replay() {
+    let (bytes, base) = index_fixture();
+    let extra = uniform(6, 3, 888);
+    let modes = [
+        (
+            "batched",
+            DurabilityMode::Batched { max_records: 2, max_delay: Duration::from_secs(3600) },
+        ),
+        ("none", DurabilityMode::None),
+    ];
+    for (name, durability) in modes {
+        let dir = test_dir(&format!("wal-mode-{name}"));
+        let metrics = Arc::new(Metrics::new());
+        {
+            let store = SnapshotStore::open_with_fs(
+                &dir,
+                Arc::new(RealFs),
+                SnapshotStoreConfig { durability, ..harsh() },
+            )
+            .unwrap();
+            let (mut writer, _cell) = IndexWriter::attach_durable(
+                materialize(&bytes, &base),
+                PARAMS,
+                Arc::clone(&metrics),
+                store,
+            );
+            for i in 0..3 {
+                writer.insert(extra.get(i)).unwrap();
+            }
+            drop(writer);
+        }
+        match durability {
+            DurabilityMode::Batched { .. } => {
+                assert_eq!(metrics.wal_fsyncs.get(), 1, "{name}: one sync per two records");
+            }
+            DurabilityMode::None => assert_eq!(metrics.wal_fsyncs.get(), 0, "{name}"),
+            DurabilityMode::Strict => unreachable!(),
+        }
+        let store = SnapshotStore::open_with_fs(
+            &dir,
+            Arc::new(RealFs),
+            SnapshotStoreConfig { durability, ..harsh() },
+        )
+        .unwrap();
+        let rec = store.recover().unwrap().recovered.unwrap();
+        let (w, _c) =
+            IndexWriter::from_recovered(rec, Arc::new(Metrics::new()), Some(store)).unwrap();
+        for e in 90..93 {
+            assert!(w.contains(e), "{name}: journaled insert {e} not replayed");
+        }
+    }
+}
+
+/// Sharded recovery replays each shard's journal independently: every
+/// acknowledged write lands back on its owning shard after a kill between
+/// publishes.
+#[test]
+fn wal_sharded_recovery_replays_unpublished_writes_per_shard() {
+    let dir = test_dir("wal-sharded");
+    let (bytes, base) = index_fixture();
+    let extra = uniform(6, 8, 606);
+    let mut acked = Vec::new();
+    let deleted;
+    {
+        let parts = split_index(materialize(&bytes, &base), PARAMS, SHARDS).unwrap();
+        let (mut writer, _set) = ShardSetWriter::attach_durable(
+            parts,
+            PARAMS,
+            Arc::new(Metrics::with_shards(SHARDS)),
+            &dir,
+        )
+        .unwrap();
+        for i in 0..4 {
+            acked.push(writer.insert(extra.get(i)).unwrap());
+        }
+        writer.publish().unwrap();
+        assert!(writer.last_persist_error().is_none());
+        // Unpublished tail: more inserts plus one delete of a published id.
+        for i in 4..8 {
+            acked.push(writer.insert(extra.get(i)).unwrap());
+        }
+        deleted = acked.remove(0);
+        writer.delete(deleted).unwrap();
+        drop(writer); // kill between publishes
+    }
+
+    let metrics = Arc::new(Metrics::with_shards(SHARDS));
+    let rec = ShardSetWriter::recover(&dir, SHARDS, Arc::clone(&metrics)).unwrap();
+    assert!(
+        rec.degraded.is_empty(),
+        "journal replay must not quarantine: {:?}",
+        rec.degraded
+    );
+    assert!(metrics.wal_replayed.get() >= 5, "unpublished writes replayed across shards");
+    for &e in &acked {
+        let shard = ann_vectors::route::shard_of(e, SHARDS);
+        let w = rec.writer.writer(shard).unwrap();
+        assert!(w.contains(e), "acknowledged id {e} missing from shard {shard}");
+    }
+    let shard = ann_vectors::route::shard_of(deleted, SHARDS);
+    assert!(
+        !rec.writer.writer(shard).unwrap().contains(deleted),
+        "acknowledged delete of {deleted} resurrected on shard {shard}"
+    );
+    assert!(rec.writer.generation() >= 1);
 }
 
 #[test]

@@ -58,6 +58,21 @@ pub struct CorruptFileContext {
     pub detail: String,
 }
 
+/// Context for a corrupt write-ahead-log record or segment: which segment
+/// file, the last LSN that was still readable (if any), and which validation
+/// step rejected the bytes.
+#[derive(Debug)]
+pub struct CorruptWalContext {
+    /// Path of the offending segment file.
+    pub path: std::path::PathBuf,
+    /// Last LSN successfully decoded before the failure, if any.
+    pub lsn: Option<u64>,
+    /// The validation step that failed.
+    pub check: IntegrityCheck,
+    /// Human-readable detail from the failing check.
+    pub detail: String,
+}
+
 /// Errors surfaced by dataset handling, index construction and persistence.
 #[derive(Debug)]
 pub enum AnnError {
@@ -84,6 +99,12 @@ pub enum AnnError {
     /// A persisted *file* failed validation, with path/generation/check
     /// context attached (the file-level sibling of [`AnnError::CorruptIndex`]).
     CorruptFile(Box<CorruptFileContext>),
+    /// A write-ahead-log segment or record failed validation, with
+    /// path/LSN/check context attached. Distinct from
+    /// [`AnnError::CorruptFile`] because journal damage is often *expected*
+    /// (a torn tail after a crash) and handled by truncation rather than
+    /// quarantine.
+    CorruptWal(Box<CorruptWalContext>),
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -99,6 +120,21 @@ impl AnnError {
         AnnError::CorruptFile(Box::new(CorruptFileContext {
             path: path.into(),
             generation,
+            check,
+            detail: detail.into(),
+        }))
+    }
+
+    /// Build a [`AnnError::CorruptWal`] with full context.
+    pub fn corrupt_wal(
+        path: impl Into<std::path::PathBuf>,
+        lsn: Option<u64>,
+        check: IntegrityCheck,
+        detail: impl Into<String>,
+    ) -> AnnError {
+        AnnError::CorruptWal(Box::new(CorruptWalContext {
+            path: path.into(),
+            lsn,
             check,
             detail: detail.into(),
         }))
@@ -121,6 +157,13 @@ impl fmt::Display for AnnError {
                 write!(f, "corrupt file {}", ctx.path.display())?;
                 if let Some(generation) = ctx.generation {
                     write!(f, " (generation {generation})")?;
+                }
+                write!(f, ": {} check failed: {}", ctx.check, ctx.detail)
+            }
+            AnnError::CorruptWal(ctx) => {
+                write!(f, "corrupt wal segment {}", ctx.path.display())?;
+                if let Some(lsn) = ctx.lsn {
+                    write!(f, " (after lsn {lsn})")?;
                 }
                 write!(f, ": {} check failed: {}", ctx.check, ctx.detail)
             }
@@ -177,6 +220,23 @@ mod tests {
         assert!(s.contains("trailer mismatch"), "{s}");
         let e = AnnError::corrupt_file("f.bin", None, IntegrityCheck::Magic, "not GRF1");
         assert!(!e.to_string().contains("generation"), "{e}");
+    }
+
+    #[test]
+    fn corrupt_wal_context_is_rendered() {
+        let e = AnnError::corrupt_wal(
+            "/data/wal-00000000000000000003.wal",
+            Some(9),
+            IntegrityCheck::Checksum,
+            "record trailer mismatch",
+        );
+        let s = e.to_string();
+        assert!(s.contains("wal-00000000000000000003.wal"), "{s}");
+        assert!(s.contains("after lsn 9"), "{s}");
+        assert!(s.contains("checksum check failed"), "{s}");
+        assert!(s.contains("record trailer mismatch"), "{s}");
+        let e = AnnError::corrupt_wal("w.wal", None, IntegrityCheck::Magic, "not WAL1");
+        assert!(!e.to_string().contains("after lsn"), "{e}");
     }
 
     #[test]

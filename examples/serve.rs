@@ -10,35 +10,53 @@
 //!
 //! ```sh
 //! cargo run --release --example serve -- --shards 3
+//! cargo run --release --example serve -- --shards 3 --durability strict
 //! ```
 //!
 //! `--shards 1` runs the degenerate single-shard configuration and proves
 //! its answers are identical to searching the frozen index directly (the
-//! pre-sharding serving path).
+//! pre-sharding serving path). `--durability strict|batched|none` serves
+//! through per-shard durable stores instead of memory: every publish lands
+//! as a checksummed snapshot and every insert/delete is journaled to a
+//! write-ahead log under the chosen fsync policy before it is
+//! acknowledged.
 
 use ann_suite::ann_graph::AnnIndex;
 use ann_suite::ann_knng::{nn_descent, NnDescentParams};
-use ann_suite::ann_service::{AnnService, QueryOptions, ServiceConfig};
+use ann_suite::ann_service::{
+    split_index, AnnService, DurabilityMode, Metrics, QueryOptions, RealFs, ServiceConfig,
+    ShardSetWriter, SnapshotStoreConfig,
+};
 use ann_suite::ann_vectors::synthetic::{mean_nn_distance, Recipe};
 use ann_suite::tau_mg::{build_tau_mng, TauMngParams};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn shards_from_args() -> usize {
+fn args_from_cli() -> (usize, Option<DurabilityMode>) {
     let mut shards = 2usize;
+    let mut durability = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--shards" {
-            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
-                shards = n;
+        match a.as_str() {
+            "--shards" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    shards = n;
+                }
             }
+            "--durability" => {
+                let v = args.next().unwrap_or_default();
+                durability = Some(DurabilityMode::parse(&v).unwrap_or_else(|| {
+                    panic!("--durability must be strict|batched|none, got {v}")
+                }));
+            }
+            _ => {}
         }
     }
-    shards.max(1)
+    (shards.max(1), durability)
 }
 
 fn main() {
-    let shards = shards_from_args();
+    let (shards, durability) = args_from_cli();
 
     // Build the index to serve.
     let ds = Recipe::SiftLike.build(6_000, 256, 33);
@@ -71,10 +89,42 @@ fn main() {
     // Launch: the index is split across `shards` shards (each with its own
     // snapshot cell), served by a worker pool that fans every query across
     // all shards and k-way merges the per-shard top-k; plus the single
-    // writer set that owns the mutable replicas.
-    let (service, mut writer) =
-        AnnService::launch_sharded(index, params, config, shards).expect("launch");
-    println!("serving over {shards} shard(s)\n");
+    // writer set that owns the mutable replicas. With `--durability` the
+    // shards additionally persist every publication and journal every
+    // mutation to per-shard stores on disk.
+    let (service, mut writer) = match durability {
+        Some(mode) => {
+            let root = std::env::temp_dir().join("tau_mg_serve_example_snapshots");
+            let _ = std::fs::remove_dir_all(&root);
+            let store_config =
+                SnapshotStoreConfig { durability: mode, ..SnapshotStoreConfig::default() };
+            let parts = split_index(index, params, shards).expect("split");
+            let metrics = Arc::new(Metrics::with_shards(shards));
+            let (writer, set) = ShardSetWriter::attach_durable_with_fs(
+                parts,
+                params,
+                Arc::clone(&metrics),
+                &root,
+                Arc::new(RealFs),
+                store_config,
+            )
+            .expect("attach durable shard set");
+            let service =
+                AnnService::start_sharded(set, metrics, config).expect("start durable service");
+            println!(
+                "serving over {shards} durable shard(s) under {} (durability={})\n",
+                root.display(),
+                mode.name()
+            );
+            (service, writer)
+        }
+        None => {
+            let launched =
+                AnnService::launch_sharded(index, params, config, shards).expect("launch");
+            println!("serving over {shards} in-memory shard(s)\n");
+            launched
+        }
+    };
 
     // 1. A batched query round-trip, checked against the single-index
     //    reference. One shard is the degenerate case: same code path,
