@@ -1,0 +1,530 @@
+//! Concurrency lint rules: static lock-order checking and sync hygiene.
+//!
+//! Two rules, configured in `audit.toml` and run as part of
+//! `cargo run -p ann-audit -- lint`, complement the dynamic `ann-check`
+//! model checker by enforcing at review time what the checker verifies at
+//! schedule-exploration time:
+//!
+//! * **lock-order** (`[lock_order]`) — a declared total order over named
+//!   lock *classes*. Every `.lock()` / `.read()` / `.write()` receiver in
+//!   the configured paths must map to a class (via `[lock_order.classes]`,
+//!   receiver identifier → class); acquiring a class while holding a
+//!   later-ordered (or the same) class is rejected, as is any cycle in the
+//!   accumulated acquisition graph across files. The scanner tracks
+//!   `let`-bound guards by brace depth (a guard dies when its block closes
+//!   or it is explicitly `drop`ped; an unbound acquisition is a temporary
+//!   released at end of statement).
+//! * **sync-hygiene** (`[sync_hygiene]`) — ported modules must not reach
+//!   around the `sync` facade: `std::sync::` names other than the
+//!   configured allow list (`Arc`, poison types, …) and `std::thread::spawn`
+//!   are rejected outside the facade file; every `Condvar::wait` must sit
+//!   in a predicate loop (`while`, or `wait_while`); and a poisoned-lock
+//!   `unwrap()`/`expect(` on a lock result is forbidden outside tests —
+//!   recover the guard with `PoisonError::into_inner` instead.
+//!
+//! Both rules work on the comment/string-stripped code text from the
+//! shared [`crate::lint`] scanner, so matches never fire inside comments
+//! or literals.
+
+use crate::config::AuditConfigFile;
+use crate::lint::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration for the two concurrency rules.
+#[derive(Debug, Clone, Default)]
+pub struct ConcurrencyConfig {
+    /// Path prefixes where the lock-order rule applies.
+    pub lock_paths: Vec<String>,
+    /// Declared total order of lock classes, outermost first.
+    pub lock_order: Vec<String>,
+    /// Receiver identifier → lock class.
+    pub lock_classes: BTreeMap<String, String>,
+    /// Path prefixes where the sync-hygiene rule applies.
+    pub hygiene_paths: Vec<String>,
+    /// The facade file(s), exempt from the hygiene rule.
+    pub hygiene_facade: Vec<String>,
+    /// `std::sync::` names allowed outside the facade (e.g. `Arc`).
+    pub allow_std_sync: Vec<String>,
+}
+
+impl ConcurrencyConfig {
+    /// Build from a parsed `audit.toml`.
+    pub fn from_file(cfg: &AuditConfigFile) -> Self {
+        let list = |s: &str, k: &str| cfg.list(s, k).to_vec();
+        let mut lock_classes = BTreeMap::new();
+        for key in cfg.keys("lock_order.classes") {
+            if let Some(class) = cfg.list("lock_order.classes", key).first() {
+                lock_classes.insert(key.to_string(), class.clone());
+            }
+        }
+        ConcurrencyConfig {
+            lock_paths: list("lock_order", "paths"),
+            lock_order: list("lock_order", "order"),
+            lock_classes,
+            hygiene_paths: list("sync_hygiene", "paths"),
+            hygiene_facade: list("sync_hygiene", "facade"),
+            allow_std_sync: list("sync_hygiene", "allow_std_sync"),
+        }
+    }
+}
+
+/// One held lock during the scan of a function body.
+#[derive(Debug, Clone)]
+struct Held {
+    class: String,
+    /// Brace depth the binding lives at; the guard dies when the depth
+    /// drops below this.
+    depth: i64,
+    /// Guard variable name (`None` for an unbound temporary, released at
+    /// end of statement).
+    binding: Option<String>,
+}
+
+/// Cross-file state for the lock-order rule: the acquisition graph
+/// (held class → acquired class) accumulated over every scanned file.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    edges: BTreeSet<(String, String)>,
+}
+
+impl LockGraph {
+    /// Reject cycles in the accumulated acquisition graph. With a declared
+    /// total order this is belt-and-braces (per-site order checks already
+    /// fire), but it catches order violations *between* files whose
+    /// per-site context was incomplete.
+    pub fn check_cycles(&self, out: &mut Vec<Finding>) {
+        let nodes: BTreeSet<&String> = self.edges.iter().flat_map(|(a, b)| [a, b]).collect();
+        for start in nodes {
+            // Bounded DFS from each node; the graph is tiny (lock classes,
+            // not lock sites).
+            let mut stack = vec![start];
+            let mut seen = BTreeSet::new();
+            while let Some(n) = stack.pop() {
+                for (a, b) in &self.edges {
+                    if a == n {
+                        if b == start {
+                            out.push(Finding {
+                                file: "<lock graph>".to_string(),
+                                line: 0,
+                                rule: "lock-order",
+                                message: format!(
+                                    "cycle through lock class `{start}` in the \
+                                     acquisition graph: {:?}",
+                                    self.edges
+                                ),
+                            });
+                            return;
+                        }
+                        if seen.insert(b) {
+                            stack.push(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scan one file for both concurrency rules over the shared preprocessed
+/// lines (comment/string-stripped code with `#[cfg(test)]` region flags).
+pub(crate) fn scan_file(
+    rel: &str,
+    lines: &[crate::lint::Line],
+    cfg: &ConcurrencyConfig,
+    graph: &mut LockGraph,
+    out: &mut Vec<Finding>,
+) {
+    let lock_rule =
+        !cfg.lock_order.is_empty() && cfg.lock_paths.iter().any(|p| crate::lint::under(rel, p));
+    let hygiene_rule = cfg.hygiene_paths.iter().any(|p| crate::lint::under(rel, p))
+        && !cfg.hygiene_facade.iter().any(|p| crate::lint::under(rel, p));
+    if !lock_rule && !hygiene_rule {
+        return;
+    }
+
+    let mut depth: i64 = 0;
+    let mut held: Vec<Held> = Vec::new();
+    let mut prev_code = String::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let code = &line.code;
+
+        if lock_rule {
+            scan_locks(rel, line_no, code, depth, cfg, &mut held, graph, out);
+        }
+        if hygiene_rule {
+            scan_hygiene(rel, line_no, code, &prev_code, line.in_test, cfg, out);
+        }
+
+        // Depth bookkeeping after the line's findings: a guard bound on
+        // this line lives at the depth where the binding ends up.
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    held.retain(|h| h.depth <= depth);
+                }
+                _ => {}
+            }
+        }
+        // Explicit drops release the named guard.
+        for h in std::mem::take(&mut held) {
+            let dropped = h.binding.as_ref().is_some_and(|b| code.contains(&format!("drop({b})")));
+            if !dropped {
+                held.push(h);
+            }
+        }
+        prev_code = code.clone();
+    }
+}
+
+/// Lock-order scan of one line.
+#[allow(clippy::too_many_arguments)]
+fn scan_locks(
+    rel: &str,
+    line_no: usize,
+    code: &str,
+    depth: i64,
+    cfg: &ConcurrencyConfig,
+    held: &mut Vec<Held>,
+    graph: &mut LockGraph,
+    out: &mut Vec<Finding>,
+) {
+    // Temporaries from earlier statements never survive to the next line.
+    held.retain(|h| h.binding.is_some());
+
+    for method in [".lock(", ".read(", ".write("] {
+        let mut from = 0usize;
+        while let Some(pos) = code[from..].find(method) {
+            let at = from + pos;
+            from = at + method.len();
+            let Some(recv) = receiver_ident(code, at) else {
+                continue;
+            };
+            let class = cfg.lock_classes.get(&recv).cloned();
+            let class = match class {
+                Some(c) => c,
+                None => {
+                    // `.read(`/`.write(` are everyday IO method names; only
+                    // `.lock(` is unambiguous enough to demand a mapping.
+                    if method == ".lock(" {
+                        out.push(Finding {
+                            file: rel.to_string(),
+                            line: line_no,
+                            rule: "lock-order",
+                            message: format!(
+                                "lock receiver `{recv}` has no class in \
+                                 [lock_order.classes]; declare it so its order \
+                                 can be checked"
+                            ),
+                        });
+                    }
+                    continue;
+                }
+            };
+            let rank = cfg.lock_order.iter().position(|c| *c == class);
+            let Some(rank) = rank else {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: line_no,
+                    rule: "lock-order",
+                    message: format!(
+                        "lock class `{class}` is not in the declared [lock_order] \
+                         order; add it"
+                    ),
+                });
+                continue;
+            };
+            for h in held.iter() {
+                graph.edges.insert((h.class.clone(), class.clone()));
+                let held_rank =
+                    cfg.lock_order.iter().position(|c| *c == h.class).unwrap_or(usize::MAX);
+                if h.class == class {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: "lock-order",
+                        message: format!(
+                            "nested acquisition of lock class `{class}` while \
+                             already held (self-deadlock risk)"
+                        ),
+                    });
+                } else if held_rank > rank {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: "lock-order",
+                        message: format!(
+                            "`{class}` acquired while holding `{}`: violates the \
+                             declared order {:?}",
+                            h.class, cfg.lock_order
+                        ),
+                    });
+                }
+            }
+            held.push(Held { class, depth, binding: let_binding(code) });
+        }
+    }
+}
+
+/// Sync-hygiene scan of one line.
+fn scan_hygiene(
+    rel: &str,
+    line_no: usize,
+    code: &str,
+    prev_code: &str,
+    in_test: bool,
+    cfg: &ConcurrencyConfig,
+    out: &mut Vec<Finding>,
+) {
+    if in_test {
+        return;
+    }
+
+    // (a) std::sync reached around the facade.
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find("std::sync::") {
+        let at = from + pos + "std::sync::".len();
+        from = at;
+        let name: String =
+            code[at..].chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        if !cfg.allow_std_sync.contains(&name) {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: line_no,
+                rule: "sync-hygiene",
+                message: format!(
+                    "`std::sync::{name}` bypasses the crate::sync facade; import \
+                     it from the facade so ann-check can instrument it"
+                ),
+            });
+        }
+    }
+
+    // (b) threads must go through the facade too (std::thread::scope is
+    // allowed: build-time parallelism with no serving-protocol state).
+    if code.contains("std::thread::spawn") {
+        out.push(Finding {
+            file: rel.to_string(),
+            line: line_no,
+            rule: "sync-hygiene",
+            message: "`std::thread::spawn` bypasses the crate::sync facade; use \
+                      crate::sync::thread::spawn"
+                .to_string(),
+        });
+    }
+
+    // (c) Condvar waits must sit in a predicate loop. `.wait()` with no
+    // argument (e.g. BatchHandle::wait) is a different API and exempt;
+    // `wait_while` carries its own loop.
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(".wait(") {
+        let at = from + pos;
+        from = at + ".wait(".len();
+        let arg_start = at + ".wait(".len();
+        let first_arg = code[arg_start..].chars().find(|c| !c.is_whitespace());
+        if first_arg == Some(')') || first_arg.is_none() {
+            continue;
+        }
+        let looped = code.trim_start().starts_with("while ")
+            || code[..at].contains("while ")
+            || prev_code.contains("while ");
+        if !looped {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: line_no,
+                rule: "sync-hygiene",
+                message: "Condvar::wait outside a predicate loop loses wakeups; \
+                          re-check the predicate in a `while`, or use wait_while"
+                    .to_string(),
+            });
+        }
+    }
+
+    // (d) Poisoned-lock unwrap in hot paths: a panicking thread must
+    // degrade, not cascade.
+    for acq in [".lock()", ".read()", ".write()"] {
+        for panicky in [".unwrap()", ".expect("] {
+            let needle = format!("{acq}{panicky}");
+            if code.contains(&needle) {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: line_no,
+                    rule: "sync-hygiene",
+                    message: format!(
+                        "`{needle}` turns a poisoned lock into a panic cascade; \
+                         recover the guard with \
+                         `.unwrap_or_else(std::sync::PoisonError::into_inner)`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The identifier immediately left of the `.` at `dot` (skipping a
+/// trailing `)` chain is not attempted: a method-call receiver like
+/// `foo().lock()` yields `None` and is skipped — every real lock site in
+/// the configured paths is a field or local).
+fn receiver_ident(code: &str, dot: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut end = dot;
+    while end > 0 {
+        let c = bytes[end - 1];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            end -= 1;
+        } else {
+            break;
+        }
+    }
+    if end == dot {
+        return None;
+    }
+    Some(code[end..dot].to_string())
+}
+
+/// The `let` binding name on this line, if the line binds one (`let x =`,
+/// `let mut x =`). Tuple/struct patterns yield `None` (treated as a
+/// binding that never gets dropped early, which is conservative).
+fn let_binding(code: &str) -> Option<String> {
+    let at = code.find("let ")?;
+    let rest = code[at + 4..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if name.is_empty() || name == "_" {
+        return None;
+    }
+    Some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ConcurrencyConfig {
+        let mut classes = BTreeMap::new();
+        classes.insert("rx".to_string(), "queue_rx".to_string());
+        classes.insert("current".to_string(), "snapshot_cell".to_string());
+        classes.insert("state".to_string(), "fault_state".to_string());
+        ConcurrencyConfig {
+            lock_paths: vec!["svc".into()],
+            lock_order: vec!["queue_rx".into(), "snapshot_cell".into(), "fault_state".into()],
+            lock_classes: classes,
+            hygiene_paths: vec!["svc".into()],
+            hygiene_facade: vec!["svc/sync.rs".into()],
+            allow_std_sync: vec!["Arc".into(), "PoisonError".into()],
+        }
+    }
+
+    fn scan(rel: &str, src: &str) -> Vec<Finding> {
+        let lines = crate::lint::preprocess(src);
+        let mut graph = LockGraph::default();
+        let mut out = Vec::new();
+        scan_file(rel, &lines, &cfg(), &mut graph, &mut out);
+        graph.check_cycles(&mut out);
+        out
+    }
+
+    #[test]
+    fn respects_declared_order() {
+        let src = "fn f() {\n    let g = rx.lock();\n    let s = current.read();\n}\n";
+        assert!(scan("svc/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_order_violation() {
+        let src = "fn f() {\n    let s = state.lock();\n    let g = rx.lock();\n}\n";
+        let f = scan("svc/a.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("violates the declared order"), "{f:?}");
+    }
+
+    #[test]
+    fn flags_nested_same_class() {
+        let src = "fn f() {\n    let a = rx.lock();\n    let b = rx.lock();\n}\n";
+        let f = scan("svc/a.rs", src);
+        assert!(f.iter().any(|x| x.message.contains("nested acquisition")), "{f:?}");
+    }
+
+    #[test]
+    fn guard_scope_and_drop_release() {
+        // Block scope releases.
+        let src =
+            "fn f() {\n    {\n        let s = state.lock();\n    }\n    let g = rx.lock();\n}\n";
+        assert!(scan("svc/a.rs", src).is_empty());
+        // Explicit drop releases.
+        let src = "fn f() {\n    let s = state.lock();\n    drop(s);\n    let g = rx.lock();\n}\n";
+        assert!(scan("svc/a.rs", src).is_empty());
+        // Temporary (no binding) releases at end of statement.
+        let src = "fn f() {\n    state.lock().push(1);\n    let g = rx.lock();\n}\n";
+        assert!(scan("svc/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unmapped_lock_receiver_is_flagged() {
+        let f = scan("svc/a.rs", "fn f() {\n    let g = mystery.lock();\n}\n");
+        assert!(f.iter().any(|x| x.message.contains("no class")), "{f:?}");
+        // .read() on unmapped receivers is everyday IO, not a lock.
+        assert!(scan("svc/a.rs", "fn f() {\n    file.read(&mut buf);\n}\n").is_empty());
+        // Out-of-path files are untouched.
+        assert!(scan("other/a.rs", "fn f() {\n    let g = mystery.lock();\n}\n").is_empty());
+    }
+
+    #[test]
+    fn hygiene_std_sync_allowlist() {
+        assert!(scan("svc/a.rs", "use std::sync::Arc;\n").is_empty());
+        assert!(
+            scan("svc/a.rs", "x.unwrap_or_else(std::sync::PoisonError::into_inner);\n").is_empty()
+        );
+        let f = scan("svc/a.rs", "use std::sync::Mutex;\n");
+        assert!(f.iter().any(|x| x.message.contains("bypasses")), "{f:?}");
+        // The facade itself is exempt.
+        assert!(scan("svc/sync.rs", "pub use std::sync::Mutex;\n").is_empty());
+        // std::thread::spawn must use the facade; scope is fine.
+        assert!(!scan("svc/a.rs", "std::thread::spawn(|| {});\n").is_empty());
+        assert!(scan("svc/a.rs", "std::thread::scope(|s| {});\n").is_empty());
+    }
+
+    #[test]
+    fn hygiene_condvar_predicate_loop() {
+        let f = scan("svc/a.rs", "let g = cv.wait(g);\n");
+        assert!(f.iter().any(|x| x.message.contains("predicate loop")), "{f:?}");
+        assert!(scan("svc/a.rs", "while q.is_empty() {\n    g = cv.wait(g);\n}\n").is_empty());
+        assert!(scan("svc/a.rs", "let g = cv.wait_while(g, |q| q.is_empty());\n").is_empty());
+        // BatchHandle::wait() takes no argument and is a different API.
+        assert!(scan("svc/a.rs", "let r = handle.wait();\n").is_empty());
+    }
+
+    #[test]
+    fn hygiene_poisoned_lock_unwrap() {
+        let f = scan("svc/a.rs", "let g = rx.lock().unwrap();\n");
+        assert!(f.iter().any(|x| x.message.contains("poisoned lock")), "{f:?}");
+        let f = scan("svc/a.rs", "let g = current.read().expect(\"poisoned\");\n");
+        assert!(f.iter().any(|x| x.message.contains("poisoned lock")), "{f:?}");
+        assert!(scan(
+            "svc/a.rs",
+            "let g = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n"
+        )
+        .iter()
+        .all(|x| !x.message.contains("poisoned lock")));
+    }
+
+    #[test]
+    fn test_regions_exempt_from_hygiene() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let g = rx.lock().unwrap(); }\n}\n";
+        let out = scan("svc/a.rs", src);
+        assert!(out.iter().all(|f| f.rule != "sync-hygiene"), "{out:?}");
+    }
+
+    #[test]
+    fn cycle_detection_across_files() {
+        let mut graph = LockGraph::default();
+        graph.edges.insert(("a".into(), "b".into()));
+        graph.edges.insert(("b".into(), "a".into()));
+        let mut out = Vec::new();
+        graph.check_cycles(&mut out);
+        assert!(out.iter().any(|f| f.message.contains("cycle")), "{out:?}");
+    }
+}

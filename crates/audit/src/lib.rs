@@ -25,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod concurrency;
 pub mod config;
 pub mod graph_audit;
 pub mod lint;

@@ -22,6 +22,7 @@
 //! char literals vs. lifetimes) so rules only ever match real code, and
 //! comments are kept per line so justifications can be found.
 
+use crate::concurrency::{ConcurrencyConfig, LockGraph};
 use crate::config::AuditConfigFile;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -60,6 +61,8 @@ pub struct LintConfig {
     pub cast_allow: Vec<String>,
     /// Directory names skipped entirely.
     pub skip_dirs: Vec<String>,
+    /// Lock-order and sync-hygiene rules (see [`crate::concurrency`]).
+    pub concurrency: ConcurrencyConfig,
 }
 
 impl LintConfig {
@@ -81,12 +84,13 @@ impl LintConfig {
             cast_paths: list("lossy_casts", "paths"),
             cast_allow: list("lossy_casts", "allow"),
             skip_dirs,
+            concurrency: ConcurrencyConfig::from_file(cfg),
         }
     }
 }
 
 /// Whether `rel` is `prefix` itself or lies under it.
-fn under(rel: &str, prefix: &str) -> bool {
+pub(crate) fn under(rel: &str, prefix: &str) -> bool {
     rel == prefix || rel.strip_prefix(prefix).is_some_and(|r| r.starts_with('/'))
 }
 
@@ -103,11 +107,14 @@ pub fn run_lint(root: &Path, cfg: &LintConfig) -> Result<Vec<Finding>, String> {
     walk(root, root, &cfg.skip_dirs, &mut files)?;
     files.sort();
     let mut findings = Vec::new();
+    let mut graph = LockGraph::default();
     for file in &files {
         let text = std::fs::read_to_string(root.join(file))
             .map_err(|e| format!("cannot read {file}: {e}"))?;
-        lint_file(file, &text, cfg, &mut findings);
+        let lines = lint_file(file, &text, cfg, &mut findings);
+        crate::concurrency::scan_file(file, &lines, &cfg.concurrency, &mut graph, &mut findings);
     }
+    graph.check_cycles(&mut findings);
     Ok(findings)
 }
 
@@ -274,20 +281,25 @@ const PANIC_NEEDLES: [&str; 6] =
 
 const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
-fn lint_file(rel: &str, text: &str, cfg: &LintConfig, out: &mut Vec<Finding>) {
-    let check_panics = under_any(rel, &cfg.no_panic_paths);
-    let check_casts = under_any(rel, &cfg.cast_paths) && !under_any(rel, &cfg.cast_allow);
-    let check_unsafe = !under_any(rel, &cfg.unsafe_allow);
-    let atomics_allow: &[String] = cfg.atomics_allow.get(rel).map_or(&[], Vec::as_slice);
+/// One preprocessed source line: comment/string-stripped code text, the
+/// comment text, and whether the line sits in a `#[cfg(test)]` region.
+#[derive(Debug, Clone)]
+pub(crate) struct Line {
+    pub(crate) code: String,
+    pub(crate) comment: String,
+    pub(crate) in_test: bool,
+}
 
+/// Strip comments/strings and mark `#[cfg(test)]` regions for every line —
+/// the shared front-end for this module's rules and the concurrency rules.
+pub(crate) fn preprocess(text: &str) -> Vec<Line> {
     let mut mode = Mode::Code;
     let mut depth: i64 = 0; // brace depth over code text
     let mut cfg_test_pending = false;
     let mut test_region_floor: Option<i64> = None;
-    let mut prev_comment = String::new();
+    let mut lines = Vec::new();
 
-    for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
+    for raw in text.lines() {
         let (code, comment) = split_line(raw, &mut mode);
         let in_test_at_start = test_region_floor.is_some();
 
@@ -323,7 +335,23 @@ fn lint_file(rel: &str, text: &str, cfg: &LintConfig, out: &mut Vec<Finding>) {
                 _ => {}
             }
         }
-        let in_test = in_test_at_start || entered_test;
+        lines.push(Line { code, comment, in_test: in_test_at_start || entered_test });
+    }
+    lines
+}
+
+fn lint_file(rel: &str, text: &str, cfg: &LintConfig, out: &mut Vec<Finding>) -> Vec<Line> {
+    let check_panics = under_any(rel, &cfg.no_panic_paths);
+    let check_casts = under_any(rel, &cfg.cast_paths) && !under_any(rel, &cfg.cast_allow);
+    let check_unsafe = !under_any(rel, &cfg.unsafe_allow);
+    let atomics_allow: &[String] = cfg.atomics_allow.get(rel).map_or(&[], Vec::as_slice);
+
+    let lines = preprocess(text);
+    let mut prev_comment = String::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let (code, comment, in_test) = (&line.code, &line.comment, line.in_test);
 
         if check_panics && !in_test {
             for needle in PANIC_NEEDLES {
@@ -341,7 +369,7 @@ fn lint_file(rel: &str, text: &str, cfg: &LintConfig, out: &mut Vec<Finding>) {
             }
         }
 
-        if check_unsafe && contains_word(&code, "unsafe") {
+        if check_unsafe && contains_word(code, "unsafe") {
             out.push(Finding {
                 file: rel.to_string(),
                 line: line_no,
@@ -375,7 +403,7 @@ fn lint_file(rel: &str, text: &str, cfg: &LintConfig, out: &mut Vec<Finding>) {
 
         if check_casts && !in_test {
             for ty in ["u32", "u16", "u8"] {
-                if has_cast_to(&code, ty)
+                if has_cast_to(code, ty)
                     && !comment.contains("cast:")
                     && !prev_comment.contains("cast:")
                 {
@@ -392,8 +420,9 @@ fn lint_file(rel: &str, text: &str, cfg: &LintConfig, out: &mut Vec<Finding>) {
             }
         }
 
-        prev_comment = comment;
+        prev_comment = comment.clone();
     }
+    lines
 }
 
 /// Does `code` contain `word` delimited by non-identifier characters?
@@ -445,6 +474,7 @@ mod tests {
             cast_paths: vec![rel_hot.to_string()],
             cast_allow: Vec::new(),
             skip_dirs: vec!["target".into()],
+            concurrency: ConcurrencyConfig::default(),
         }
     }
 

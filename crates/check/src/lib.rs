@@ -1,0 +1,54 @@
+//! `ann-check` — a hand-rolled, dependency-free deterministic concurrency
+//! checker in the loom/shuttle family, sized for this repo's serving stack.
+//!
+//! # How it works
+//!
+//! [`check`] runs a closure many times. Each run spawns the closure's
+//! threads as real OS threads, but gates them on a condvar handshake so
+//! **exactly one** runs between *schedule points* (every instrumented lock,
+//! channel, atomic, or thread operation in [`sync`] / [`thread`]). A
+//! controller picks which runnable thread advances at each point — either
+//! seeded-random ([`Strategy::Random`]) or bounded-preemption DFS
+//! ([`Strategy::Dfs`], CHESS-style) — so the interleaving is a pure
+//! function of the seed: same seed, same schedule, on any machine.
+//!
+//! Detected failures:
+//! - **panics** in any model thread (assertion failures in scenarios),
+//! - **deadlocks** — every unfinished thread blocked; this also catches
+//!   lost wakeups, which surface as a waiter nobody will ever notify,
+//! - **livelocks** — a schedule exceeding the step budget.
+//!
+//! The first failing schedule is reported with its full trace (the exact
+//! sequence of thread choices), its index, and the seed to replay it.
+//!
+//! # Usage
+//!
+//! ```
+//! use ann_check::{check, Config};
+//! use ann_check::sync::Mutex;
+//! use std::sync::Arc;
+//!
+//! let report = check(&Config::random(64, 7), || {
+//!     let n = Arc::new(Mutex::new(0u32));
+//!     let n2 = Arc::clone(&n);
+//!     let t = ann_check::thread::spawn(move || {
+//!         *n2.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+//!     });
+//!     *n.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+//!     t.join().unwrap();
+//!     assert_eq!(*n.lock().unwrap_or_else(std::sync::PoisonError::into_inner), 2);
+//! });
+//! report.assert_ok();
+//! ```
+//!
+//! Production code never imports this crate directly: `ann-service` routes
+//! through its `sync` facade, which re-exports `std::sync` normally and
+//! these instrumented primitives under `--cfg ann_check`.
+
+pub mod rng;
+pub mod runtime;
+pub mod scenarios;
+pub mod sync;
+pub mod thread;
+
+pub use runtime::{check, Config, Failure, FailureKind, Report, Strategy};

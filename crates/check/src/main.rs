@@ -1,0 +1,72 @@
+//! `ann-check` CLI: run the built-in protocol models under a bounded,
+//! deterministic schedule budget. Exit code 0 when every scenario passes,
+//! 1 on the first failing schedule (printed with its trace and seed).
+//!
+//! ```text
+//! cargo run -p ann-check -- --schedules 2000 [--seed N] [--preemptions P]
+//! ```
+
+use ann_check::scenarios::{self, QueueBug};
+use ann_check::{Config, Report, Strategy};
+
+fn usage() -> ! {
+    eprintln!("usage: ann-check [--schedules N] [--seed N] [--preemptions P] [--dfs]");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config::default().with_env_overrides();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut num = |what: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("ann-check: {what} expects a number");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--schedules" => cfg.schedules = num("--schedules") as usize,
+            "--seed" => cfg.seed = num("--seed"),
+            "--preemptions" => cfg.max_preemptions = num("--preemptions") as usize,
+            "--dfs" => cfg.strategy = Strategy::Dfs,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("ann-check: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    cfg
+}
+
+fn run(name: &str, report: &Report) -> bool {
+    match &report.failure {
+        None => {
+            println!(
+                "ok   {name}: {} schedules ({} distinct), digest {:#018x}",
+                report.schedules_run, report.distinct_schedules, report.digest
+            );
+            true
+        }
+        Some(f) => {
+            println!("FAIL {name}: {f}");
+            false
+        }
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    println!(
+        "ann-check: {} schedules/scenario, seed {:#x}, strategy {:?}",
+        cfg.schedules, cfg.seed, cfg.strategy
+    );
+    let mut ok = true;
+    ok &= run("publish-vs-load", &scenarios::publish_load(&cfg, false));
+    ok &= run("queue-submit-drain-shutdown", &scenarios::queue_worker(&cfg, QueueBug::None));
+    ok &= run("wal-append-before-ack", &scenarios::wal_ack(&cfg, false));
+    ok &= run("shard-quarantine-fanout", &scenarios::shard_fanout(&cfg));
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,597 @@
+//! The deterministic scheduler: one model thread runs at a time, and every
+//! instrumented operation (lock, channel, atomic, spawn/join) is a *schedule
+//! point* where control returns to a controller that picks the next thread.
+//!
+//! Model threads are real OS threads gated by a condvar handshake: a thread
+//! only executes between two schedule points while the controller has marked
+//! it *active*, so the interleaving of instrumented operations is exactly
+//! the controller's choice sequence — reproducible from the seed alone.
+//!
+//! Two exploration strategies:
+//!
+//! * [`Strategy::Random`] — at each schedule point pick uniformly among
+//!   runnable threads, with a per-schedule RNG derived from
+//!   `seed + schedule_index`. Cheap, embarrassingly parallel over seeds,
+//!   and in practice the fastest way to hit ordering bugs.
+//! * [`Strategy::Dfs`] — systematic depth-first enumeration of schedules
+//!   with a *bounded number of preemptions* (a thread is only switched away
+//!   from while runnable at most `max_preemptions` times per schedule) —
+//!   the CHESS result that most concurrency bugs need very few preemptions.
+//!
+//! Detected failures:
+//!
+//! * **panic** — any model thread panicking (assertion failures in
+//!   scenarios, poisoned invariants) fails the schedule with its message;
+//! * **deadlock** — every unfinished thread blocked (covers lock cycles
+//!   *and* lost wakeups: a `Condvar` waiter whose notify was consumed or
+//!   never sent is just a permanently blocked thread);
+//! * **livelock** — a schedule exceeding `max_steps` schedule points.
+//!
+//! On failure the report carries the exact choice trace so the interleaving
+//! can be replayed by re-running the same seed.
+
+use crate::rng::{hash_trace, SplitMix64};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Panic payload used to unwind model threads when a schedule is aborted
+/// (failure elsewhere); never reported as a failure itself.
+pub(crate) const ABORT_PAYLOAD: &str = "ann-check: schedule aborted";
+
+/// How the controller explores the schedule space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Seeded uniform-random choice at every schedule point.
+    Random,
+    /// Bounded-preemption depth-first enumeration.
+    Dfs,
+}
+
+/// Checker configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Schedules to run (an upper bound under [`Strategy::Dfs`], which may
+    /// exhaust the bounded-preemption space earlier).
+    pub schedules: usize,
+    /// Base seed; schedule `i` runs with `seed + i`.
+    pub seed: u64,
+    /// Preemption bound for [`Strategy::Dfs`].
+    pub max_preemptions: usize,
+    /// Schedule points allowed per schedule before declaring a livelock.
+    pub max_steps: usize,
+    /// Exploration strategy.
+    pub strategy: Strategy,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            schedules: 1024,
+            seed: 0x5eed_ab1e,
+            max_preemptions: 2,
+            max_steps: 50_000,
+            strategy: Strategy::Random,
+        }
+    }
+}
+
+impl Config {
+    /// Random exploration of `schedules` schedules from `seed`.
+    pub fn random(schedules: usize, seed: u64) -> Self {
+        Config { schedules, seed, strategy: Strategy::Random, ..Config::default() }
+    }
+
+    /// Bounded-preemption DFS with at most `schedules` schedules.
+    pub fn dfs(schedules: usize, max_preemptions: usize) -> Self {
+        Config { schedules, max_preemptions, strategy: Strategy::Dfs, ..Config::default() }
+    }
+
+    /// Apply `ANN_CHECK_SCHEDULES` / `ANN_CHECK_SEED` environment overrides
+    /// (the CI budget knobs), leaving other fields untouched.
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(n) = env_u64("ANN_CHECK_SCHEDULES") {
+            self.schedules = n as usize;
+        }
+        if let Some(s) = env_u64("ANN_CHECK_SEED") {
+            self.seed = s;
+        }
+        self
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// What ended a failing schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (scenario assertion, poisoned invariant).
+    Panic,
+    /// Every unfinished thread was blocked — lock cycle or lost wakeup.
+    Deadlock,
+    /// The schedule exceeded [`Config::max_steps`] schedule points.
+    Livelock,
+}
+
+/// A failing schedule, with enough context to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Human-readable description (panic message, blocked-thread table).
+    pub message: String,
+    /// The choice trace: thread id chosen at each schedule point.
+    pub trace: Vec<u32>,
+    /// Index of the failing schedule (its seed is `report seed + index`).
+    pub schedule: usize,
+    /// The exact seed the failing schedule ran under.
+    pub seed: u64,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} in schedule {} (seed {:#x}, {} steps): {}",
+            self.kind,
+            self.schedule,
+            self.seed,
+            self.trace.len(),
+            self.message
+        )
+    }
+}
+
+/// Outcome of a [`check`] run.
+#[derive(Debug)]
+pub struct Report {
+    /// Schedules executed (≤ configured budget if a failure stopped the run
+    /// or DFS exhausted the space).
+    pub schedules_run: usize,
+    /// Number of *distinct* interleavings among them (by choice-trace hash).
+    pub distinct_schedules: usize,
+    /// Fold of every schedule's trace hash, in order — two runs of the same
+    /// configuration are equal iff they explored identical interleavings.
+    pub digest: u64,
+    /// First failing schedule, if any (exploration stops at the first).
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Whether every explored schedule passed.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Panic with the failure rendered, if any. For use in tests.
+    ///
+    /// # Panics
+    /// When a schedule failed.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!("ann-check failure after {} schedules: {f}", self.schedules_run);
+        }
+    }
+}
+
+/// Run state of one model thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    /// Parked until another thread unblocks it; the string names what it
+    /// waits on, for deadlock reports.
+    Blocked(String),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    run: Run,
+    /// Threads blocked in `join` on this one.
+    joiners: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct ExecState {
+    threads: Vec<ThreadState>,
+    /// The one thread allowed to execute; `None` returns control to the
+    /// controller.
+    active: Option<usize>,
+    /// Set on failure: every parked thread unwinds instead of resuming.
+    abort: bool,
+    failure: Option<(FailureKind, String)>,
+}
+
+/// One schedule's shared machinery: the controller and every model thread
+/// hold an `Arc` to this.
+pub(crate) struct Execution {
+    st: Mutex<ExecState>,
+    cv: Condvar,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling OS thread's model context, if it is a model thread of a
+/// live execution.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+fn lock_state(ex: &Execution) -> std::sync::MutexGuard<'_, ExecState> {
+    // A model thread can only panic while *active*, i.e. outside this lock,
+    // so poisoning here is unreachable; recover defensively anyway.
+    ex.st.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Execution {
+    fn new() -> Arc<Execution> {
+        Arc::new(Execution {
+            st: Mutex::new(ExecState::default()),
+            cv: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Register a new model thread (runnable, not yet scheduled).
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = lock_state(self);
+        st.threads.push(ThreadState { run: Run::Runnable, joiners: Vec::new() });
+        st.threads.len() - 1
+    }
+
+    /// Launch the OS thread backing model thread `tid`. The closure runs
+    /// only between schedule grants.
+    pub(crate) fn launch(self: &Arc<Self>, tid: usize, body: impl FnOnce() + Send + 'static) {
+        let exec = Arc::clone(self);
+        let handle = std::thread::spawn(move || {
+            CONTEXT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+            // The first turn-wait sits inside catch_unwind too: an abort
+            // arriving before this thread ever ran unwinds it cleanly.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                exec.wait_for_turn(tid);
+                body();
+            }));
+            let mut st = lock_state(&exec);
+            if let Err(payload) = result {
+                let msg = payload_message(payload.as_ref());
+                if msg != ABORT_PAYLOAD && st.failure.is_none() {
+                    st.failure =
+                        Some((FailureKind::Panic, format!("thread {tid} panicked: {msg}")));
+                }
+            }
+            st.threads[tid].run = Run::Finished;
+            let joiners = std::mem::take(&mut st.threads[tid].joiners);
+            for j in joiners {
+                if let Run::Blocked(_) = st.threads[j].run {
+                    st.threads[j].run = Run::Runnable;
+                }
+            }
+            st.active = None;
+            drop(st);
+            exec.cv.notify_all();
+        });
+        self.os_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(handle);
+    }
+
+    /// Park until the controller grants this thread the turn (or aborts).
+    fn wait_for_turn(&self, tid: usize) {
+        let mut st = lock_state(self);
+        while st.active != Some(tid) && !st.abort {
+            st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(ABORT_PAYLOAD);
+        }
+    }
+
+    /// A schedule point: hand control back and park until rescheduled.
+    pub(crate) fn schedule_point(&self, tid: usize) {
+        {
+            let mut st = lock_state(self);
+            st.active = None;
+        }
+        self.cv.notify_all();
+        self.wait_for_turn(tid);
+    }
+
+    /// Block the calling model thread on `why` and hand control back; the
+    /// call returns once some other thread unblocked it *and* the
+    /// controller scheduled it again.
+    pub(crate) fn block(&self, tid: usize, why: &str) {
+        {
+            let mut st = lock_state(self);
+            st.threads[tid].run = Run::Blocked(why.to_string());
+            st.active = None;
+        }
+        self.cv.notify_all();
+        self.wait_for_turn(tid);
+    }
+
+    /// Make a blocked thread runnable again (no effect on finished or
+    /// already-runnable threads). Called by the thread holding the turn.
+    pub(crate) fn unblock(&self, tid: usize) {
+        let mut st = lock_state(self);
+        if let Run::Blocked(_) = st.threads[tid].run {
+            st.threads[tid].run = Run::Runnable;
+        }
+    }
+
+    /// Record `tid` as waiting for `target` to finish; returns `true` if
+    /// the caller must block (target unfinished).
+    pub(crate) fn join_requires_block(&self, tid: usize, target: usize) -> bool {
+        let mut st = lock_state(self);
+        if st.threads[target].run == Run::Finished {
+            return false;
+        }
+        st.threads[target].joiners.push(tid);
+        true
+    }
+
+    /// Whether `target` has finished.
+    pub(crate) fn is_finished(&self, target: usize) -> bool {
+        lock_state(self).threads[target].run == Run::Finished
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One step's scheduling decision input: runnable thread ids (sorted) and
+/// the previously active thread, if still runnable.
+trait Decider {
+    fn choose(&mut self, runnable: &[usize], prev: Option<usize>) -> usize;
+    /// Called after a schedule completes; returns `false` when the search
+    /// space is exhausted.
+    fn advance(&mut self) -> bool;
+}
+
+struct RandomDecider {
+    rng: SplitMix64,
+}
+
+impl Decider for RandomDecider {
+    fn choose(&mut self, runnable: &[usize], _prev: Option<usize>) -> usize {
+        runnable[self.rng.next_below(runnable.len())]
+    }
+
+    fn advance(&mut self) -> bool {
+        true // re-seeded per schedule by the driver
+    }
+}
+
+/// One decision point in the DFS tree.
+struct DfsNode {
+    /// Runnable set at this point, in exploration order (non-preempting
+    /// choice first so the 0-preemption schedule is explored first).
+    choices: Vec<usize>,
+    /// Index into `choices` currently being explored.
+    cursor: usize,
+}
+
+struct DfsDecider {
+    path: Vec<DfsNode>,
+    /// Current replay/extend position within `path`.
+    depth: usize,
+    preemptions: usize,
+    max_preemptions: usize,
+    exhausted: bool,
+}
+
+impl DfsDecider {
+    fn new(max_preemptions: usize) -> Self {
+        DfsDecider { path: Vec::new(), depth: 0, preemptions: 0, max_preemptions, exhausted: false }
+    }
+}
+
+impl Decider for DfsDecider {
+    fn choose(&mut self, runnable: &[usize], prev: Option<usize>) -> usize {
+        if self.depth == self.path.len() {
+            // Extend: order choices non-preempting-first, and if the
+            // preemption budget is spent, keep only the running thread.
+            let mut choices: Vec<usize> = Vec::with_capacity(runnable.len());
+            if let Some(p) = prev {
+                if runnable.contains(&p) {
+                    choices.push(p);
+                }
+            }
+            for &t in runnable {
+                if Some(t) != prev {
+                    choices.push(t);
+                }
+            }
+            let continuing = prev.is_some() && runnable.contains(&prev.unwrap_or(usize::MAX));
+            if continuing && self.preemptions >= self.max_preemptions {
+                choices.truncate(1);
+            }
+            self.path.push(DfsNode { choices, cursor: 0 });
+        }
+        let node = &self.path[self.depth];
+        let chosen = node.choices[node.cursor.min(node.choices.len() - 1)];
+        self.depth += 1;
+        if let Some(p) = prev {
+            if chosen != p && runnable.contains(&p) {
+                self.preemptions += 1;
+            }
+        }
+        chosen
+    }
+
+    fn advance(&mut self) -> bool {
+        // Backtrack to the deepest node with an untried sibling.
+        while let Some(node) = self.path.last_mut() {
+            if node.cursor + 1 < node.choices.len() {
+                node.cursor += 1;
+                self.depth = 0;
+                self.preemptions = 0;
+                return true;
+            }
+            self.path.pop();
+        }
+        self.exhausted = true;
+        false
+    }
+}
+
+/// Model-check `body`: run it under up to [`Config::schedules`] distinct
+/// schedules, one fresh execution per schedule, stopping at the first
+/// failure.
+///
+/// `body` is the scenario: it runs as model thread 0 and spawns further
+/// model threads with [`crate::thread::spawn`]; all instrumented sync
+/// operations inside become schedule points. State must be created inside
+/// `body` so every schedule starts fresh.
+pub fn check<F>(config: &Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let body = Arc::new(body);
+    let mut distinct = BTreeSet::new();
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut random = RandomDecider { rng: SplitMix64::new(config.seed) };
+    let mut dfs = DfsDecider::new(config.max_preemptions);
+    let mut schedules_run = 0usize;
+    let mut failure = None;
+
+    for i in 0..config.schedules {
+        let seed = config.seed.wrapping_add(i as u64);
+        let decider: &mut dyn Decider = match config.strategy {
+            Strategy::Random => {
+                random.rng = SplitMix64::new(seed);
+                &mut random
+            }
+            Strategy::Dfs => {
+                if dfs.exhausted {
+                    break;
+                }
+                &mut dfs
+            }
+        };
+        let b = Arc::clone(&body);
+        let (trace, outcome) = run_schedule(decider, config.max_steps, move || b());
+        schedules_run += 1;
+        let h = hash_trace(&trace);
+        distinct.insert(h);
+        digest = crate::rng::mix(digest ^ h);
+        if let Some((kind, message)) = outcome {
+            failure = Some(Failure { kind, message, trace, schedule: i, seed });
+            break;
+        }
+        if config.strategy == Strategy::Dfs && !dfs.advance() {
+            break;
+        }
+    }
+
+    Report { schedules_run, distinct_schedules: distinct.len(), digest, failure }
+}
+
+/// Silence the default panic hook on model threads: their panics (scenario
+/// assertions, schedule aborts) are captured by `catch_unwind` and reported
+/// through [`Report::failure`], so stderr spam would only obscure the real
+/// diagnosis. Panics on non-model threads keep the previous hook behavior.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if current().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run one schedule to completion; returns the choice trace and the
+/// failure, if any.
+fn run_schedule(
+    decider: &mut dyn Decider,
+    max_steps: usize,
+    body: impl FnOnce() + Send + 'static,
+) -> (Vec<u32>, Option<(FailureKind, String)>) {
+    let exec = Execution::new();
+    let root = exec.register_thread();
+    exec.launch(root, body);
+
+    let mut trace: Vec<u32> = Vec::new();
+    let mut prev: Option<usize> = None;
+    let outcome = loop {
+        let mut st = lock_state(&exec);
+        while st.active.is_some() {
+            st = exec.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if let Some(f) = st.failure.take() {
+            break Some(f);
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| t.run == Run::Finished) {
+                break None;
+            }
+            let table: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match &t.run {
+                    Run::Blocked(why) => Some(format!("thread {i} blocked on {why}")),
+                    _ => None,
+                })
+                .collect();
+            break Some((
+                FailureKind::Deadlock,
+                format!("no runnable thread; {}", table.join("; ")),
+            ));
+        }
+        if trace.len() >= max_steps {
+            break Some((
+                FailureKind::Livelock,
+                format!("schedule exceeded {max_steps} steps without finishing"),
+            ));
+        }
+        let prev_runnable = prev.filter(|p| runnable.contains(p));
+        let chosen = decider.choose(&runnable, prev_runnable);
+        debug_assert!(runnable.contains(&chosen));
+        trace.push(chosen as u32);
+        prev = Some(chosen);
+        st.active = Some(chosen);
+        drop(st);
+        exec.cv.notify_all();
+    };
+
+    // Abort stragglers (on failure) and reap every OS thread.
+    {
+        let mut st = lock_state(&exec);
+        st.abort = true;
+        st.active = None;
+    }
+    exec.cv.notify_all();
+    let handles = std::mem::take(
+        &mut *exec.os_handles.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    for h in handles {
+        let _ = h.join();
+    }
+    (trace, outcome)
+}

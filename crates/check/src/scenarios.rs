@@ -1,0 +1,246 @@
+//! Built-in protocol models mirroring the serving stack's four core
+//! concurrency protocols, each with seeded-buggy variants.
+//!
+//! These are *models*: small programs over the instrumented [`crate::sync`]
+//! primitives that distill a protocol to its ordering contract. The service
+//! crate additionally model-checks the real types end to end (see
+//! `crates/service/tests/concurrency_check.rs`); the models here are what
+//! the `ann-check` binary runs, and the buggy variants are the regression
+//! proof that the checker actually catches the bug classes it claims to
+//! (torn publish, dropped predicate loop, missed notify, ack-before-journal).
+
+use crate::runtime::{check, Config, Report};
+use crate::sync::{Condvar, Mutex, RwLock};
+use crate::thread;
+use std::collections::VecDeque;
+use std::sync::{Arc, PoisonError};
+
+fn un<T>(r: std::sync::LockResult<T>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// RCU snapshot publish vs. concurrent load.
+///
+/// A publisher installs generations 1..=3 of a `(generation, stamp)`
+/// snapshot; two readers assert every observed snapshot is internally
+/// consistent (`stamp == gen * 3 + 1`) and generations are monotone.
+/// With `torn_publish` the publisher installs the two fields under
+/// *separate* write guards, opening the torn-read window the checker must
+/// find.
+pub fn publish_load(config: &Config, torn_publish: bool) -> Report {
+    check(config, move || {
+        let cell = Arc::new(RwLock::new((0u64, 1u64)));
+        let publisher = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                for gen in 1..=3u64 {
+                    if torn_publish {
+                        // BUG: two-step publish — readers can observe the
+                        // new generation with the old stamp.
+                        un(cell.write()).0 = gen;
+                        un(cell.write()).1 = gen * 3 + 1;
+                    } else {
+                        *un(cell.write()) = (gen, gen * 3 + 1);
+                    }
+                }
+            })
+        };
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    let mut last_gen = 0u64;
+                    for _ in 0..3 {
+                        let (gen, stamp) = *un(cell.read());
+                        assert_eq!(stamp, gen * 3 + 1, "torn snapshot: gen/stamp mismatch");
+                        assert!(gen >= last_gen, "generation went backwards");
+                        last_gen = gen;
+                    }
+                })
+            })
+            .collect();
+        publisher.join().expect("publisher");
+        for r in readers {
+            r.join().expect("reader");
+        }
+    })
+}
+
+/// Seeded bug selector for [`queue_worker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueBug {
+    /// Correct protocol.
+    None,
+    /// `Condvar::wait` guarded by `if` instead of a predicate loop.
+    NoPredicateLoop,
+    /// Producer sets the shutdown flag without notifying waiters.
+    MissedNotify,
+}
+
+/// Bounded-queue submit vs. worker drain vs. shutdown (the batched-queue
+/// deadline path distilled to its condvar protocol).
+///
+/// One producer pushes two jobs and signals shutdown; two workers drain
+/// under a `Condvar`. `QueueBug::NoPredicateLoop` lets a worker pop an
+/// empty queue after a consumed wakeup (caught as a panic);
+/// `QueueBug::MissedNotify` strands a waiter forever (caught as a
+/// deadlock — the lost-wakeup shape).
+pub fn queue_worker(config: &Config, bug: QueueBug) -> Report {
+    struct Q {
+        jobs: Mutex<(VecDeque<u64>, bool)>,
+        cv: Condvar,
+    }
+    check(config, move || {
+        let q = Arc::new(Q { jobs: Mutex::new((VecDeque::new(), false)), cv: Condvar::new() });
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut drained = 0u64;
+                    loop {
+                        let mut st = un(q.jobs.lock());
+                        if bug == QueueBug::NoPredicateLoop {
+                            // BUG: single check — a wakeup consumed by the
+                            // other worker leaves the queue empty here.
+                            if st.0.is_empty() && !st.1 {
+                                st = un(q.cv.wait(st));
+                            }
+                        } else {
+                            while st.0.is_empty() && !st.1 {
+                                st = un(q.cv.wait(st));
+                            }
+                        }
+                        if let Some(job) = st.0.pop_front() {
+                            drained += job;
+                        } else if st.1 {
+                            return drained;
+                        } else if bug == QueueBug::NoPredicateLoop {
+                            panic!("worker woke to an empty queue without shutdown");
+                        }
+                    }
+                })
+            })
+            .collect();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for job in 1..=2u64 {
+                    un(q.jobs.lock()).0.push_back(job);
+                    q.cv.notify_one();
+                }
+                un(q.jobs.lock()).1 = true;
+                if bug != QueueBug::MissedNotify {
+                    q.cv.notify_all();
+                }
+            })
+        };
+        producer.join().expect("producer");
+        let total: u64 = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+        assert_eq!(total, 3, "jobs lost or duplicated");
+    })
+}
+
+/// WAL append/ack ordering contract: an LSN may be acknowledged to the
+/// client only after it is journaled (append-before-ack), so an observer
+/// that reads the acked set *then* the journal must find every acked LSN
+/// journaled — the exact happens-before edge crash replay relies on.
+/// `ack_before_journal` reverts the order, reintroducing the bug class the
+/// WAL exists to prevent.
+pub fn wal_ack(config: &Config, ack_before_journal: bool) -> Report {
+    check(config, move || {
+        let journal: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let acked: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let writer = {
+            let journal = Arc::clone(&journal);
+            let acked = Arc::clone(&acked);
+            thread::spawn(move || {
+                for lsn in 1..=3u64 {
+                    if ack_before_journal {
+                        // BUG: client sees the ack while a crash here would
+                        // lose the record.
+                        un(acked.lock()).push(lsn);
+                        un(journal.lock()).push(lsn);
+                    } else {
+                        un(journal.lock()).push(lsn);
+                        un(acked.lock()).push(lsn);
+                    }
+                }
+            })
+        };
+        let observer = {
+            let journal = Arc::clone(&journal);
+            let acked = Arc::clone(&acked);
+            thread::spawn(move || {
+                for _ in 0..3 {
+                    // Read acked FIRST: the contract is directional.
+                    let a: Vec<u64> = un(acked.lock()).clone();
+                    let j: Vec<u64> = un(journal.lock()).clone();
+                    for lsn in a {
+                        assert!(
+                            j.contains(&lsn),
+                            "LSN {lsn} acked but not journaled (ack-before-journal reorder)"
+                        );
+                    }
+                }
+            })
+        };
+        writer.join().expect("writer");
+        observer.join().expect("observer");
+    })
+}
+
+/// Shard quarantine vs. fan-out: a publisher bumps per-shard generations,
+/// a health monitor quarantines shard 1, and a fan-out reader asserts the
+/// healthy set never goes empty (shard 0 is never quarantined) and each
+/// consulted shard's generation is monotone.
+pub fn shard_fanout(config: &Config) -> Report {
+    struct Shard {
+        gen: Mutex<u64>,
+        healthy: Mutex<bool>,
+    }
+    check(config, || {
+        let shards: Arc<Vec<Shard>> = Arc::new(
+            (0..2)
+                .map(|_| Shard { gen: Mutex::new(0), healthy: Mutex::new(true) })
+                .collect(),
+        );
+        let publisher = {
+            let shards = Arc::clone(&shards);
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    for s in shards.iter() {
+                        *un(s.gen.lock()) += 1;
+                    }
+                }
+            })
+        };
+        let monitor = {
+            let shards = Arc::clone(&shards);
+            thread::spawn(move || {
+                *un(shards[1].healthy.lock()) = false;
+            })
+        };
+        let reader = {
+            let shards = Arc::clone(&shards);
+            thread::spawn(move || {
+                let mut last = vec![0u64; shards.len()];
+                for _ in 0..2 {
+                    let mut consulted = 0usize;
+                    for (i, s) in shards.iter().enumerate() {
+                        if !*un(s.healthy.lock()) {
+                            continue;
+                        }
+                        consulted += 1;
+                        let g = *un(s.gen.lock());
+                        assert!(g >= last[i], "shard generation went backwards");
+                        last[i] = g;
+                    }
+                    assert!(consulted >= 1, "quarantine emptied the fan-out set");
+                }
+            })
+        };
+        publisher.join().expect("publisher");
+        monitor.join().expect("monitor");
+        reader.join().expect("reader");
+    })
+}

@@ -1,0 +1,101 @@
+//! Instrumented thread spawn/join.
+//!
+//! Inside a checker execution, [`spawn`] registers a *model* thread with
+//! the scheduler: a real OS thread is created (so borrows, panics, and TLS
+//! behave exactly as in production) but it only runs when the controller
+//! hands it the active turn. Outside an execution this delegates to
+//! `std::thread`.
+
+use crate::runtime::{self, Execution};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Inner<T>);
+
+enum Inner<T> {
+    /// Plain `std` thread (no checker execution active at spawn time).
+    Os(std::thread::JoinHandle<T>),
+    /// Model thread owned by a checker execution.
+    Model {
+        exec: Arc<Execution>,
+        tid: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Inner::Os(_) => f.write_str("JoinHandle(os)"),
+            Inner::Model { tid, .. } => write!(f, "JoinHandle(model tid {tid})"),
+        }
+    }
+}
+
+/// Spawn `f`; under the checker the new thread becomes schedulable at the
+/// spawner's next schedule point.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((exec, me)) = runtime::current() {
+        let tid = exec.register_thread();
+        let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let out = Arc::clone(&slot);
+        exec.launch(tid, move || {
+            let v = f();
+            *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+        });
+        // Spawning is itself a visible event: yield so the scheduler may
+        // run the child before the spawner's next instruction.
+        exec.schedule_point(me);
+        JoinHandle(Inner::Model { exec, tid, slot })
+    } else {
+        JoinHandle(Inner::Os(std::thread::spawn(f)))
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.
+    ///
+    /// # Errors
+    /// Like `std`: the panic payload if the thread panicked. (For model
+    /// threads the checker has already recorded the panic as a schedule
+    /// failure; the payload returned here is a placeholder.)
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Os(h) => h.join(),
+            Inner::Model { exec, tid, slot } => {
+                if let Some((_, me)) = runtime::current() {
+                    exec.schedule_point(me);
+                    while exec.join_requires_block(me, tid) {
+                        exec.block(me, "JoinHandle::join");
+                    }
+                }
+                match slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("ann-check: joined thread did not produce a value")),
+                }
+            }
+        }
+    }
+
+    /// Whether the thread has finished (model threads only report what the
+    /// scheduler has observed).
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            Inner::Os(h) => h.is_finished(),
+            Inner::Model { exec, tid, .. } => exec.is_finished(*tid),
+        }
+    }
+}
+
+/// Yield: a pure schedule point under the checker, `std` yield otherwise.
+pub fn yield_now() {
+    if let Some((exec, me)) = runtime::current() {
+        exec.schedule_point(me);
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -78,6 +78,7 @@ pub mod service;
 pub mod shard;
 pub mod snapshot;
 pub mod store;
+pub mod sync;
 pub mod wal;
 
 pub use faults::{Fault, FaultFs};

@@ -17,17 +17,20 @@ impl Counter {
     /// Add one.
     #[inline]
     pub fn inc(&self) {
+        // ordering: statistics counter; the RMW is exact and publishes no other memory.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Add `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: statistics counter, same as `inc`.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: monitoring read; staleness is fine, no other state is inferred from it.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -40,6 +43,7 @@ impl Gauge {
     /// Increment, returning the value *after* the increment.
     #[inline]
     pub fn inc(&self) -> u64 {
+        // ordering: queue-depth RMW is exact; callers only compare it to a capacity bound.
         self.0.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -48,17 +52,20 @@ impl Gauge {
     pub fn dec(&self) {
         let _ = self
             .0
+            // ordering: queue-depth accounting; saturation absorbs shutdown races.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
     }
 
     /// Overwrite the gauge (health flags, last-persisted generation).
     #[inline]
     pub fn set(&self, v: u64) {
+        // ordering: the gauge itself is the only data published; gating state (WAL floor) is Release/Acquire in store.rs.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: monitoring read of a self-contained value.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -96,14 +103,19 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let idx = (64 - v.leading_zeros() as usize).min(BUCKETS - 1);
+        // ordering: the four fields tolerate mutual skew by design (doc comment on the type).
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // ordering: as above — cross-field skew is the contract.
         self.count.fetch_add(1, Ordering::Relaxed);
+        // ordering: as above — cross-field skew is the contract.
         self.sum.fetch_add(v, Ordering::Relaxed);
+        // ordering: as above — cross-field skew is the contract.
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
+        // ordering: monitoring read; a count one sample behind the buckets is fine.
         self.count.load(Ordering::Relaxed)
     }
 
@@ -113,12 +125,14 @@ impl Histogram {
         if n == 0 {
             0.0
         } else {
+            // ordering: monitoring read; sum/count skew only perturbs the reported mean.
             self.sum.load(Ordering::Relaxed) as f64 / n as f64
         }
     }
 
     /// Largest recorded sample.
     pub fn max(&self) -> u64 {
+        // ordering: monitoring read of a monotone watermark.
         self.max.load(Ordering::Relaxed)
     }
 
@@ -132,6 +146,7 @@ impl Histogram {
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
+            // ordering: monitoring read; racing `record` shifts the quantile by one sample.
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
                 return if i == 0 { 1 } else { 1u64 << i };
@@ -291,6 +306,7 @@ impl Metrics {
     /// Fold a per-query service-time sample into the EWMA.
     #[inline]
     pub fn observe_service_ns(&self, sample: u64) {
+        // ordering: single-cell EWMA fold; the CAS loop publishes no other memory.
         let _ = self.service_ns_ewma.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
             Some(if old == 0 { sample } else { old - old / 8 + sample / 8 })
         });
@@ -298,6 +314,7 @@ impl Metrics {
 
     /// Current per-query service-time estimate, ns.
     pub fn service_ns(&self) -> u64 {
+        // ordering: advisory read; a stale EWMA is within its error bar by definition.
         self.service_ns_ewma.load(Ordering::Relaxed)
     }
 

@@ -42,9 +42,10 @@ use tau_mg::{TauIndex, TauMngParams};
 use crate::metrics::Metrics;
 use crate::shard::{split_index, Fanout, ShardSet, ShardSetWriter};
 use crate::snapshot::{Hit, IndexWriter, Snapshot, SnapshotCell};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use crate::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use crate::sync::thread::JoinHandle;
+use crate::sync::Mutex;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning for [`AnnService`].
@@ -235,7 +236,7 @@ impl AnnService {
                 let rx = Arc::clone(&rx);
                 let set = Arc::clone(&set);
                 let metrics = Arc::clone(&metrics);
-                std::thread::spawn(move || worker_loop(&rx, &set, &metrics, config))
+                crate::sync::thread::spawn(move || worker_loop(&rx, &set, &metrics, config))
             })
             .collect();
         AnnService {

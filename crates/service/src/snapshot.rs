@@ -23,9 +23,10 @@ use tau_mg::{DynamicTauMng, TauIndex, TauMngParams, TauSearchOptions};
 
 use crate::metrics::Metrics;
 use crate::store::{RecoveredSnapshot, SnapshotStore};
+use crate::sync::RwLock;
 use crate::wal::{ShardWal, WalOp};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One query's answer in external-id space.

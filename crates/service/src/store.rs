@@ -299,12 +299,18 @@ impl SnapshotStore {
     /// regardless of retain-K, so a crash mid-churn always finds a valid
     /// replay base on disk.
     pub fn set_wal_floor(&self, generation: u64) {
-        self.wal_floor.store(generation, Ordering::Relaxed);
+        // `status()` readers on other threads combine the floor with
+        // persisted-state checks (segment listings, replay bases written
+        // before the floor moved), so a raised floor must never become
+        // visible ahead of the persistence that justified it —
+        // ordering: Release, pairing with the Acquire load in `wal_floor()`.
+        self.wal_floor.store(generation, Ordering::Release);
     }
 
     /// The current WAL floor (`u64::MAX` when unconstrained).
     pub fn wal_floor(&self) -> u64 {
-        self.wal_floor.load(Ordering::Relaxed)
+        // ordering: Acquire pairs with the Release store in `set_wal_floor`.
+        self.wal_floor.load(Ordering::Acquire)
     }
 
     /// File name of a generation: zero-padded so lexicographic order is

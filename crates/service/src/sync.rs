@@ -1,0 +1,64 @@
+//! Synchronization facade for the serving stack.
+//!
+//! Every concurrent module in this crate (`service`, `snapshot`, `shard`,
+//! `wal`) imports its primitives from here instead of `std::sync`. In
+//! normal builds the re-exports *are* `std::sync` — zero cost, zero
+//! indirection. Under `RUSTFLAGS="--cfg ann_check"` the same names resolve
+//! to [`ann_check::sync`]'s instrumented primitives, whose every operation
+//! is a schedule point for the deterministic concurrency checker, so the
+//! model-checked scenarios in `tests/concurrency_check.rs` explore
+//! thousands of interleavings of the *real* serving code.
+//!
+//! The sync-hygiene lint (`cargo run -p ann-audit -- lint`, configured in
+//! `audit.toml [sync_hygiene]`) enforces that ported modules never reach
+//! around the facade: `std::sync` names other than `Arc`/`Weak` and the
+//! poison types are rejected outside this file.
+//!
+//! `Arc` intentionally stays `std::sync::Arc` everywhere: reference
+//! counting has no schedule-relevant blocking behavior, and the checker's
+//! primitives share data through it.
+
+/// Lock and condvar primitives: `std` in normal builds, instrumented under
+/// `cfg(ann_check)`.
+#[cfg(not(ann_check))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(ann_check)]
+pub use ann_check::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Multi-producer single-consumer channels. The error types are always the
+/// `std` ones (the instrumented channels re-use them), so call sites match
+/// identically in both builds.
+pub mod mpsc {
+    #[cfg(not(ann_check))]
+    pub use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+
+    #[cfg(ann_check)]
+    pub use ann_check::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
+}
+
+/// Atomics. `Ordering` is always the `std` enum; the instrumented types
+/// delegate each access (after a schedule point) with the caller's
+/// ordering.
+pub mod atomic {
+    #[cfg(not(ann_check))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+    #[cfg(ann_check)]
+    pub use ann_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+    pub use std::sync::atomic::Ordering;
+}
+
+/// Thread spawn/join. Under the checker, spawned threads become *model*
+/// threads the scheduler owns; `JoinHandle::join` is a blocking model
+/// operation.
+pub mod thread {
+    #[cfg(not(ann_check))]
+    pub use std::thread::{spawn, JoinHandle};
+
+    #[cfg(ann_check)]
+    pub use ann_check::thread::{spawn, JoinHandle};
+}

@@ -1,0 +1,301 @@
+//! Model-checked scenarios for the serving stack's four core concurrency
+//! protocols, run against the *real* types through the `crate::sync`
+//! facade.
+//!
+//! Only compiled under `RUSTFLAGS="--cfg ann_check"`, which swaps the
+//! facade onto `ann-check`'s instrumented primitives; every lock, channel,
+//! and spawn below is then a schedule point for the deterministic checker.
+//! CI runs this file at a bounded budget:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg ann_check" ANN_CHECK_SCHEDULES=2000 \
+//!     cargo test -p ann-service --test concurrency_check
+//! ```
+//!
+//! Seeds are fixed: the same invocation explores the same interleavings on
+//! any machine, so a failure here is replayable, not a flake.
+#![cfg(ann_check)]
+
+use ann_check::{check, Config, Report};
+use ann_service::{
+    read_wal_dir, AnnService, DurabilityMode, IndexWriter, Metrics, QueryOptions, RealFs,
+    ServiceConfig, ShardSetWriter, Snapshot, SnapshotCell, SnapshotFs,
+};
+use ann_vectors::{synthetic, Metric};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+use std::time::Duration;
+use tau_mg::{build_tau_mng, TauMngParams};
+
+const PARAMS: TauMngParams = TauMngParams { tau: 0.15, r: 16, l: 48, c: 150 };
+
+fn fixed(seed: u64) -> Config {
+    // 1200 default keeps the ≥1000-distinct-schedules acceptance floor with
+    // headroom; CI widens via ANN_CHECK_SCHEDULES.
+    Config::random(1200, seed).with_env_overrides()
+}
+
+fn assert_explored(report: &Report) {
+    report.assert_ok();
+    let floor = report.schedules_run.min(1000);
+    assert!(
+        report.distinct_schedules >= floor,
+        "expected >= {floor} distinct schedules, got {} of {}",
+        report.distinct_schedules,
+        report.schedules_run
+    );
+}
+
+fn build_index(points: usize, seed: u64) -> tau_mg::TauIndex {
+    let base = Arc::new(synthetic::uniform(6, points, seed));
+    let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 8).expect("knn");
+    build_tau_mng(base, Metric::L2, &knn, PARAMS).expect("index")
+}
+
+/// Generations 0..=2 of one index, published through a real
+/// [`IndexWriter`], captured once; schedules replay the publish sequence
+/// against a fresh cell.
+fn published_generations() -> &'static Vec<Arc<Snapshot>> {
+    static SNAPS: OnceLock<Vec<Arc<Snapshot>>> = OnceLock::new();
+    SNAPS.get_or_init(|| {
+        let (mut writer, cell) =
+            IndexWriter::attach(build_index(60, 42), PARAMS, Arc::new(Metrics::new()));
+        let mut snaps = vec![cell.load()];
+        for i in 0..2u64 {
+            let v: Vec<f32> = (0..6).map(|d| (i * 7 + d) as f32 * 0.05).collect();
+            writer.insert(&v).expect("insert");
+            writer.publish().expect("publish");
+            snaps.push(cell.load());
+        }
+        snaps
+    })
+}
+
+/// Protocol 1 — publish vs. concurrent load, real `SnapshotCell`.
+///
+/// Linearizability contract: a reader racing a publisher observes only
+/// whole published snapshots (the exact `(generation, len)` pairs that
+/// were published, never a mix) and generations never move backwards.
+#[test]
+fn publish_vs_load_linearizable() {
+    let snaps = published_generations();
+    let pairs: Vec<(u64, usize)> = snaps.iter().map(|s| (s.generation(), s.len())).collect();
+    let report = check(&fixed(0xC0FFEE), move || {
+        let cell = Arc::new(SnapshotCell::new(Arc::clone(&snaps[0])));
+        let publisher = {
+            let cell = Arc::clone(&cell);
+            ann_check::thread::spawn(move || {
+                for s in &snaps[1..] {
+                    cell.publish(Arc::clone(s));
+                }
+            })
+        };
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let pairs = pairs.clone();
+                ann_check::thread::spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..3 {
+                        let snap = cell.load();
+                        let seen = (snap.generation(), snap.len());
+                        assert!(pairs.contains(&seen), "torn snapshot observed: {seen:?}");
+                        assert!(seen.0 >= last, "generation went backwards");
+                        last = seen.0;
+                    }
+                })
+            })
+            .collect();
+        publisher.join().expect("publisher");
+        for r in readers {
+            r.join().expect("reader");
+        }
+    });
+    assert_explored(&report);
+}
+
+/// Protocol 2 — bounded-queue submit vs. worker drain vs. shutdown, real
+/// `AnnService` with the batched-queue deadline path exercised.
+///
+/// This is the lost-wakeup regression: if the drain/shutdown protocol
+/// could strand a submitter waiting on a reply (or a worker waiting on the
+/// queue), some schedule deadlocks and the checker reports it with the
+/// blocked-thread table. A generous deadline keeps the deadline
+/// bookkeeping on the hot path without wall-clock nondeterminism.
+#[test]
+fn submit_drain_shutdown_no_lost_wakeup() {
+    static CELL: OnceLock<Arc<SnapshotCell>> = OnceLock::new();
+    let cell = CELL.get_or_init(|| {
+        let (_writer, cell) =
+            IndexWriter::attach(build_index(60, 43), PARAMS, Arc::new(Metrics::new()));
+        cell
+    });
+    let report = check(&fixed(0xDEAD), move || {
+        let service = AnnService::start(
+            Arc::clone(cell),
+            Arc::new(Metrics::new()),
+            ServiceConfig { workers: 2, queue_capacity: 2, ..ServiceConfig::default() },
+        );
+        let service = Arc::new(service);
+        let submitter = {
+            let service = Arc::clone(&service);
+            ann_check::thread::spawn(move || {
+                let opts = QueryOptions { l: Some(24), deadline: Some(Duration::from_secs(600)) };
+                let handle = service.submit_with(vec![vec![0.1; 6]], 2, opts);
+                handle.wait().expect("batch answered before shutdown")
+            })
+        };
+        let direct = service
+            .submit(vec![vec![0.4; 6], vec![0.7; 6]], 2)
+            .wait()
+            .expect("batch answered before shutdown");
+        assert_eq!(direct.replies.len(), 2);
+        for reply in &direct.replies {
+            assert!(!reply.ids.is_empty(), "non-empty index must answer");
+        }
+        let submitted = submitter.join().expect("submitter");
+        assert_eq!(submitted.replies.len(), 1);
+        let service = Arc::into_inner(service).expect("sole owner after joins");
+        service.shutdown();
+    });
+    assert_explored(&report);
+}
+
+/// Protocol 3 — WAL append/ack vs. the crash-replay LSN contract, real
+/// `ShardWal` on disk.
+///
+/// The append-before-ack edge: an observer that reads the acked set FIRST
+/// and the journal second must find every acked LSN journaled and covered
+/// by the replay's `last_lsn` — exactly what crash replay relies on to
+/// converge to the last acknowledged write.
+#[test]
+fn wal_append_before_ack_contract() {
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::temp_dir()
+        .join("ann_service_concurrency_check")
+        .join(format!("wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let report = check(&fixed(0xACED), move || {
+        // ordering: schedule-unique directory counter; only RMW uniqueness matters.
+        let dir = root.join(format!("s{}", DIR_SEQ.fetch_add(1, Ordering::Relaxed)));
+        let fs: Arc<dyn SnapshotFs> = Arc::new(RealFs);
+        let acked: Arc<ann_check::sync::Mutex<Vec<u64>>> =
+            Arc::new(ann_check::sync::Mutex::new(Vec::new()));
+        let writer = {
+            let acked = Arc::clone(&acked);
+            let fs = Arc::clone(&fs);
+            let dir = dir.clone();
+            ann_check::thread::spawn(move || {
+                std::fs::create_dir_all(&dir).expect("wal dir");
+                let mut wal = ShardWal::fresh(
+                    dir,
+                    0,
+                    fs,
+                    DurabilityMode::Batched { max_records: 1, max_delay: Duration::ZERO },
+                    Arc::new(Metrics::new()),
+                );
+                for i in 0..4u64 {
+                    let lsn = wal.append_insert(100 + i, &[i as f32; 6]).expect("append");
+                    wal.sync().expect("sync");
+                    // Ack strictly after the journaled+synced append: the
+                    // edge the observer (and crash replay) depends on.
+                    acked.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(lsn);
+                }
+            })
+        };
+        let observer = {
+            let acked = Arc::clone(&acked);
+            let fs = Arc::clone(&fs);
+            let dir = dir.clone();
+            ann_check::thread::spawn(move || {
+                for _ in 0..3 {
+                    let a: Vec<u64> =
+                        acked.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+                    let replay = match read_wal_dir(&fs, &dir, 0) {
+                        Ok(r) => r,
+                        // The writer may not have created the dir yet; an
+                        // empty acked set is the only state consistent
+                        // with that.
+                        Err(_) => {
+                            assert!(a.is_empty(), "acked {a:?} but journal dir missing");
+                            continue;
+                        }
+                    };
+                    let journaled: Vec<u64> = replay.records.iter().map(|r| r.lsn).collect();
+                    for lsn in a {
+                        assert!(journaled.contains(&lsn), "LSN {lsn} acked but not journaled");
+                        assert!(lsn <= replay.last_lsn, "acked LSN above replay horizon");
+                    }
+                }
+            })
+        };
+        writer.join().expect("wal writer");
+        observer.join().expect("wal observer");
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    assert_explored(&report);
+}
+
+use ann_service::ShardWal;
+
+/// Protocol 4 — shard publish vs. fan-out coherence, real `ShardSet`.
+///
+/// While the set writer inserts and publishes, concurrent fan-out readers
+/// must see (a) `min_generation` nondecreasing, (b) per-shard snapshot
+/// generations nondecreasing, and (c) the healthy count stable — a racing
+/// publish must never make a shard transiently unservable.
+#[test]
+fn shard_publish_vs_fanout_coherent() {
+    static SET: OnceLock<(StdMutex<ShardSetWriter>, Arc<ann_service::ShardSet>)> = OnceLock::new();
+    let (writer, set) = SET.get_or_init(|| {
+        let parts = ann_service::split_index(build_index(120, 44), PARAMS, 2).expect("split");
+        let (writer, set) =
+            ShardSetWriter::attach(parts, PARAMS, Arc::new(Metrics::new())).expect("attach");
+        (StdMutex::new(writer), set)
+    });
+    static INSERT_SEQ: AtomicU64 = AtomicU64::new(0);
+    let report = check(&fixed(0xFA2), move || {
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                ann_check::thread::spawn(move || {
+                    let mut last_min = 0u64;
+                    let mut last = vec![0u64; set.shards()];
+                    let mut buf = Vec::new();
+                    for _ in 0..3 {
+                        let min = set.min_generation();
+                        assert!(min >= last_min, "set generation went backwards");
+                        last_min = min;
+                        set.load_into(&mut buf);
+                        let mut healthy = 0usize;
+                        for (i, snap) in buf.iter().enumerate() {
+                            let snap = snap.as_ref().expect("no quarantine in this set");
+                            healthy += 1;
+                            assert!(
+                                snap.generation() >= last[i],
+                                "shard generation went backwards"
+                            );
+                            last[i] = snap.generation();
+                        }
+                        assert_eq!(healthy, set.healthy(), "fan-out lost a healthy shard");
+                    }
+                })
+            })
+            .collect();
+        // The single writer runs on the main model thread; its publishes
+        // interleave with the readers at every cell lock.
+        {
+            let mut w = writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for _ in 0..2 {
+                // ordering: distinct-vector counter; only RMW uniqueness matters.
+                let i = INSERT_SEQ.fetch_add(1, Ordering::Relaxed);
+                let v: Vec<f32> = (0..6).map(|d| ((i * 11 + d) % 97) as f32 * 0.03).collect();
+                w.insert(&v).expect("insert");
+                w.publish().expect("publish");
+            }
+        }
+        for r in readers {
+            r.join().expect("reader");
+        }
+    });
+    assert_explored(&report);
+}
