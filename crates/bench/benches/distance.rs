@@ -38,5 +38,38 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+/// Scalar vs SIMD dispatch arms side by side, plus the SQ8 asymmetric
+/// kernel — the ratios the kernel-smoke CI gate asserts on.
+fn bench_kernel_paths(c: &mut Criterion) {
+    use ann_vectors::kernel::{scalar, simd};
+    use ann_vectors::{Metric, Sq8Query, Sq8Store, VecStore};
+
+    let mut group = c.benchmark_group("kernel_paths");
+    for dim in [64usize, 128, 256, 960] {
+        let (a, b) = make_pair(dim);
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::new("l2_sq/scalar", dim), &dim, |bench, _| {
+            bench.iter(|| scalar::l2_sq(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("l2_sq/simd", dim), &dim, |bench, _| {
+            bench.iter(|| simd::l2_sq(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("dot/scalar", dim), &dim, |bench, _| {
+            bench.iter(|| scalar::dot(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("dot/simd", dim), &dim, |bench, _| {
+            bench.iter(|| simd::dot(black_box(&a), black_box(&b)));
+        });
+
+        let store = VecStore::from_rows(std::slice::from_ref(&b)).unwrap();
+        let sq8 = Sq8Store::quantize(&store);
+        let sq = Sq8Query::new(Metric::L2, &a);
+        group.bench_with_input(BenchmarkId::new("l2_sq/sq8", dim), &dim, |bench, _| {
+            bench.iter(|| sq8.dist_to(Metric::L2, black_box(&sq), 0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_kernel_paths);
 criterion_main!(benches);

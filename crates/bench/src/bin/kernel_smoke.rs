@@ -1,0 +1,90 @@
+//! Kernel smoke gate: times the scalar and SIMD distance paths head-to-head
+//! and fails (exit 1) if the SIMD path is below its floor at dim 128.
+//!
+//! Run with `cargo run --release -p ann-bench --bin kernel_smoke`. The
+//! `ANN_KERNEL_SMOKE_MIN` floor (default 1.0 — "SIMD must not be slower")
+//! applies to `l2_sq`, the workhorse kernel of the experiment grid; `dot`
+//! is held to the fixed never-slower floor, since a pure multiply-add sweep
+//! is load-bound and its vector headroom is smaller. The CI `kernels` job
+//! runs the default; locally, `ANN_KERNEL_SMOKE_MIN=2.0` with
+//! `RUSTFLAGS="-C target-cpu=native"` asserts the full l2_sq speedup
+//! target on quiet hardware.
+
+use ann_vectors::kernel::{scalar, simd};
+use std::hint::black_box;
+use std::time::Instant;
+
+const ROWS: usize = 1024;
+const PASSES: usize = 400;
+
+fn corpus(dim: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..ROWS * dim)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 2000) as f32 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+/// Seconds for `PASSES` sweeps of `query` against every row, under `f`.
+fn time_kernel(dim: usize, data: &[f32], query: &[f32], f: impl Fn(&[f32], &[f32]) -> f32) -> f64 {
+    // Warm-up pass so both arms see hot caches.
+    let mut acc = 0.0f32;
+    for row in data.chunks_exact(dim) {
+        acc += f(black_box(query), black_box(row));
+    }
+    let t0 = Instant::now();
+    for _ in 0..PASSES {
+        for row in data.chunks_exact(dim) {
+            acc += f(black_box(query), black_box(row));
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    black_box(acc);
+    secs
+}
+
+fn main() {
+    let floor: f64 = std::env::var("ANN_KERNEL_SMOKE_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+
+    println!("kernel smoke: {ROWS} rows x {PASSES} passes per arm; floor at dim 128: {floor}x");
+    println!("| dim | kernel | scalar (s) | simd (s) | speedup |");
+    println!("|----:|:-------|-----------:|---------:|--------:|");
+
+    let mut gate_ok = true;
+    for dim in [64usize, 128, 256] {
+        let data = corpus(dim, dim as u64);
+        let query: Vec<f32> = corpus(dim, 777).into_iter().take(dim).collect();
+        for (name, s, v) in [
+            (
+                "l2_sq",
+                time_kernel(dim, &data, &query, scalar::l2_sq),
+                time_kernel(dim, &data, &query, simd::l2_sq),
+            ),
+            (
+                "dot",
+                time_kernel(dim, &data, &query, scalar::dot),
+                time_kernel(dim, &data, &query, simd::dot),
+            ),
+        ] {
+            let speedup = s / v;
+            println!("| {dim} | {name} | {s:.4} | {v:.4} | {speedup:.2}x |");
+            let kernel_floor = if name == "l2_sq" { floor } else { floor.min(1.0) };
+            if dim == 128 && speedup < kernel_floor {
+                gate_ok = false;
+            }
+        }
+    }
+
+    if !gate_ok {
+        eprintln!("FAIL: SIMD path below the {floor}x floor at dim 128");
+        std::process::exit(1);
+    }
+    println!("ok: SIMD path clears the {floor}x floor at dim 128");
+}

@@ -29,6 +29,9 @@ pub struct TauIndex {
     pub(crate) entry: u32,
     pub(crate) tau: f32,
     pub(crate) algo: &'static str,
+    /// Optional SQ8 side-car enabling the quantized beam fast path (see
+    /// [`TauIndex::enable_sq8`]). Not serialized — rebuilt on demand.
+    pub(crate) sq8: Option<ann_vectors::Sq8Store>,
 }
 
 /// Compute Euclidean edge lengths for a frozen graph (parallel).
@@ -60,7 +63,65 @@ impl TauIndex {
         algo: &'static str,
     ) -> Self {
         let edge_len_eu = compute_edge_lengths(&store, &graph);
-        TauIndex { store, metric, view, graph, edge_len_eu, entry, tau, algo }
+        TauIndex { store, metric, view, graph, edge_len_eu, entry, tau, algo, sq8: None }
+    }
+
+    /// Build (or rebuild) the SQ8 scalar-quantized side-car. While present,
+    /// [`crate::search::tau_search`] runs beam expansion over u8 codes with
+    /// an exact f32 re-rank of the final pool (QEO is bypassed on that path:
+    /// mixing exact edge-length bounds with approximate candidate distances
+    /// would be unsound).
+    pub fn enable_sq8(&mut self) {
+        self.sq8 = Some(ann_vectors::Sq8Store::quantize(&self.store));
+    }
+
+    /// Drop the SQ8 side-car, returning to full-precision search.
+    pub fn disable_sq8(&mut self) {
+        self.sq8 = None;
+    }
+
+    /// The SQ8 side-car, if enabled.
+    pub fn sq8(&self) -> Option<&ann_vectors::Sq8Store> {
+        self.sq8.as_ref()
+    }
+
+    /// Cache-aware relayout: renumber nodes in BFS order from the entry
+    /// point, permuting adjacency, vectors, QEO edge lengths and the SQ8
+    /// side-car (if any) in lockstep.
+    ///
+    /// Edge lengths are *moved*, not recomputed, so the relayouted index is
+    /// bit-identical in behavior to the original (`order[new] = old` is
+    /// returned for callers owning id-aligned side tables such as the
+    /// serving layer's external-id map). The traversal is isomorphic under
+    /// the relabeling: NDC and hops are unchanged; only cache locality (and
+    /// therefore QPS) improves.
+    pub fn relayout_bfs(&self) -> (TauIndex, Vec<u32>) {
+        let order = ann_graph::relayout::bfs_order(&self.graph, self.entry);
+        let old_to_new = ann_graph::relayout::invert_order(&order);
+        let graph = self.graph.permute(&order, &old_to_new);
+        let store = Arc::new(self.store.permuted(&order));
+        let cap = self.graph.capacity();
+        let mut edge_len_eu = vec![0.0f32; self.edge_len_eu.len()];
+        for (new_u, &old_u) in order.iter().enumerate() {
+            let live = self.graph.neighbors(old_u).len();
+            let src = old_u as usize * cap;
+            edge_len_eu[new_u * cap..new_u * cap + live]
+                .copy_from_slice(&self.edge_len_eu[src..src + live]);
+        }
+        let entry = old_to_new[self.entry as usize];
+        let sq8 = self.sq8.as_ref().map(|s| s.permuted(&order));
+        let index = TauIndex {
+            store,
+            metric: self.metric,
+            view: self.view,
+            graph,
+            edge_len_eu,
+            entry,
+            tau: self.tau,
+            algo: self.algo,
+            sq8,
+        };
+        (index, order)
     }
 
     /// The τ the graph was built for (Euclidean units).
@@ -200,7 +261,7 @@ impl TauIndex {
         }
         let view = EuclideanView::for_metric(metric)
             .map_err(|_| AnnError::CorruptIndex("tau index metric is not a metric space".into()))?;
-        Ok(TauIndex { store, metric, view, graph, edge_len_eu, entry, tau, algo })
+        Ok(TauIndex { store, metric, view, graph, edge_len_eu, entry, tau, algo, sq8: None })
     }
 }
 

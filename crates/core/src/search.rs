@@ -85,6 +85,27 @@ pub fn tau_search(
         index.entry
     };
 
+    // SQ8 fast path: beam expansion over u8 codes with exact f32 re-rank of
+    // the final pool. QEO is bypassed here — its stored edge lengths bound
+    // *exact* distances, and mixing those bounds with quantized candidate
+    // distances could prune a candidate the quantizer displaced inward.
+    if let Some(sq8) = index.sq8() {
+        let mut out = ann_graph::beam_search_sq8_rerank(
+            metric,
+            store,
+            sq8,
+            graph,
+            &[entry],
+            query,
+            k,
+            l,
+            scratch,
+        );
+        out.stats.ndc += stats.ndc;
+        out.stats.hops += stats.hops;
+        return out;
+    }
+
     // Phase 2: beam of width l with optional QEO.
     scratch.pool.reset(l);
     scratch.visited.resize(graph.num_nodes());
@@ -103,7 +124,15 @@ pub fn tau_search(
         let mut best_insert = usize::MAX;
         let neighbors = graph.neighbors(cand.id);
         let lens = index.edge_lengths(cand.id);
+        // Software prefetch: touch the next neighbor's vector row while the
+        // current one is in the distance kernel, hiding the cache miss.
+        if let Some(&first) = neighbors.first() {
+            store.prefetch(first);
+        }
         for (slot, &v) in neighbors.iter().enumerate() {
+            if let Some(&next) = neighbors.get(slot + 1) {
+                store.prefetch(next);
+            }
             if scratch.visited.contains(v) {
                 continue;
             }

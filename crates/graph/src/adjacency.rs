@@ -139,6 +139,29 @@ impl FlatGraph {
         self.data.len() * 4 + self.lens.len() * 4
     }
 
+    /// Apply a node-id permutation: new node `i` gets old node `order[i]`'s
+    /// neighbor list (slot order preserved), with every neighbor id rewritten
+    /// through `old_to_new`. `old_to_new` must be the inverse of `order` (see
+    /// `crate::relayout::invert_order`); capacity is unchanged, so auxiliary
+    /// slot-aligned arrays (e.g. QEO edge lengths) can be permuted in
+    /// lockstep.
+    pub fn permute(&self, order: &[u32], old_to_new: &[u32]) -> FlatGraph {
+        let n = self.num_nodes();
+        debug_assert_eq!(order.len(), n, "permutation length mismatch");
+        debug_assert_eq!(old_to_new.len(), n, "inverse permutation length mismatch");
+        let cap = self.cap as usize;
+        let mut lens = Vec::with_capacity(n);
+        let mut data = vec![0u32; n * cap];
+        for (new_u, &old_u) in order.iter().enumerate() {
+            let nbrs = self.neighbors(old_u);
+            lens.push(nbrs.len() as u32);
+            for (slot, &v) in nbrs.iter().enumerate() {
+                data[new_u * cap + slot] = old_to_new[v as usize];
+            }
+        }
+        FlatGraph { cap: self.cap, lens, data }
+    }
+
     /// Internal accessors for serialization.
     pub(crate) fn raw_parts(&self) -> (u32, &[u32], &[u32]) {
         (self.cap, &self.lens, &self.data)

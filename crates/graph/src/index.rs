@@ -115,6 +115,22 @@ impl FrozenGraphIndex {
     pub fn store(&self) -> &std::sync::Arc<ann_vectors::VecStore> {
         &self.store
     }
+
+    /// Cache-aware relayout: renumber nodes in BFS order from the entry
+    /// point, permuting adjacency and the vector store in lockstep.
+    ///
+    /// Returns the relayouted index plus the applied order (`order[new] =
+    /// old`) so callers owning id-aligned side tables (external-id maps,
+    /// ground-truth caches) can permute them identically. Search results are
+    /// bit-identical to the original index; only memory locality changes.
+    pub fn relayout_bfs(&self) -> (FrozenGraphIndex, Vec<u32>) {
+        let order = crate::relayout::bfs_order(&self.graph, self.entry);
+        let old_to_new = crate::relayout::invert_order(&order);
+        let graph = self.graph.permute(&order, &old_to_new);
+        let store = std::sync::Arc::new(self.store.permuted(&order));
+        let entry = old_to_new[self.entry as usize];
+        (FrozenGraphIndex::new(store, self.metric, graph, entry, self.algo), order)
+    }
 }
 
 impl std::fmt::Debug for FrozenGraphIndex {

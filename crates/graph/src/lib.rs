@@ -14,6 +14,7 @@ pub mod adjacency;
 pub mod connectivity;
 pub mod index;
 pub mod pool;
+pub mod relayout;
 pub mod scratch_pool;
 pub mod search;
 pub mod serialize;
@@ -22,10 +23,11 @@ pub mod visited;
 pub use adjacency::{FlatGraph, GraphView, VarGraph};
 pub use index::{AnnIndex, BruteForceIndex, FrozenGraphIndex, GraphStats, QueryResult};
 pub use pool::{Candidate, Pool};
+pub use relayout::{bfs_order, invert_order};
 pub use scratch_pool::ScratchPool;
 pub use search::{
-    beam_search, beam_search_collect, beam_search_collect_dyn, beam_search_dyn, greedy_descent,
-    greedy_descent_dyn, Scratch, SearchStats,
+    beam_search, beam_search_collect, beam_search_collect_dyn, beam_search_dyn,
+    beam_search_sq8_rerank, greedy_descent, greedy_descent_dyn, Scratch, SearchStats,
 };
 pub use visited::VisitedSet;
 

@@ -9,10 +9,11 @@
 //! require.
 
 use crate::adjacency::GraphView;
+use crate::index::QueryResult;
 use crate::pool::Pool;
 use crate::visited::VisitedSet;
 use ann_vectors::metric::MetricKernel;
-use ann_vectors::VecStore;
+use ann_vectors::{Sq8Query, Sq8Store, VecStore};
 
 /// Per-query cost counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -88,7 +89,16 @@ pub fn beam_search<K: MetricKernel, G: GraphView>(
         let cand = scratch.pool.expand(pos);
         stats.hops += 1;
         let mut best_insert = usize::MAX;
-        for &v in graph.neighbors(cand.id) {
+        let neighbors = graph.neighbors(cand.id);
+        // Software prefetch: touch the next neighbor's vector row while the
+        // current one is in the distance kernel, hiding the cache miss.
+        if let Some(&first) = neighbors.first() {
+            store.prefetch(first);
+        }
+        for (j, &v) in neighbors.iter().enumerate() {
+            if let Some(&next) = neighbors.get(j + 1) {
+                store.prefetch(next);
+            }
             if !scratch.visited.insert(v) {
                 continue;
             }
@@ -144,7 +154,14 @@ pub fn beam_search_collect<K: MetricKernel, G: GraphView>(
         let cand = scratch.pool.expand(pos);
         stats.hops += 1;
         let mut best_insert = usize::MAX;
-        for &v in graph.neighbors(cand.id) {
+        let neighbors = graph.neighbors(cand.id);
+        if let Some(&first) = neighbors.first() {
+            store.prefetch(first);
+        }
+        for (j, &v) in neighbors.iter().enumerate() {
+            if let Some(&next) = neighbors.get(j + 1) {
+                store.prefetch(next);
+            }
             if !scratch.visited.insert(v) {
                 continue;
             }
@@ -223,6 +240,97 @@ pub fn beam_search_dyn<G: GraphView>(
         Metric::L2 => beam_search::<L2Kernel, G>(store, graph, entries, query, l, scratch),
         Metric::Ip => beam_search::<IpKernel, G>(store, graph, entries, query, l, scratch),
         Metric::Cosine => beam_search::<CosineKernel, G>(store, graph, entries, query, l, scratch),
+    }
+}
+
+/// Beam search over **SQ8 codes** with an exact f32 re-rank of the final
+/// pool — the quantized fast path.
+///
+/// The traversal is identical to [`beam_search`] except every candidate
+/// distance is the fused asymmetric u8×f32 kernel over `sq8` (4x less memory
+/// traffic per expansion). Quantized distances are accurate enough to steer
+/// the frontier but not to report, so after the traversal the whole pool
+/// (up to `l` candidates) is re-evaluated with exact f32 distances from
+/// `store`, re-sorted by `(distance, id)`, and truncated to `k`. Both the
+/// quantized traversal evaluations and the exact re-rank evaluations count
+/// toward `ndc`.
+///
+/// Quantized and exact distances rank ties and near-ties differently, so the
+/// *candidate set* may differ slightly from the full-precision path — the
+/// recall-regression test in `tests/pipeline_comparison.rs` bounds that gap
+/// at 0.01 recall@10 per metric.
+#[allow(clippy::too_many_arguments)]
+pub fn beam_search_sq8_rerank<G: GraphView>(
+    metric: ann_vectors::Metric,
+    store: &VecStore,
+    sq8: &Sq8Store,
+    graph: &G,
+    entries: &[u32],
+    query: &[f32],
+    k: usize,
+    l: usize,
+    scratch: &mut Scratch,
+) -> QueryResult {
+    debug_assert!(l > 0, "beam width must be positive");
+    let l = l.max(k).max(1);
+    let mut stats = SearchStats::default();
+    let sq = Sq8Query::new(metric, query);
+    scratch.pool.reset(l);
+    scratch.visited.resize(graph.num_nodes());
+    scratch.visited.clear();
+
+    for &e in entries {
+        if scratch.visited.insert(e) {
+            let d = sq8.dist_to(metric, &sq, e);
+            stats.ndc += 1;
+            scratch.pool.insert(d, e);
+        }
+    }
+
+    let mut cursor = 0usize;
+    while let Some(pos) = scratch.pool.next_unexpanded(cursor) {
+        let cand = scratch.pool.expand(pos);
+        stats.hops += 1;
+        let mut best_insert = usize::MAX;
+        let neighbors = graph.neighbors(cand.id);
+        if let Some(&first) = neighbors.first() {
+            sq8.prefetch(first);
+        }
+        for (j, &v) in neighbors.iter().enumerate() {
+            if let Some(&next) = neighbors.get(j + 1) {
+                sq8.prefetch(next);
+            }
+            if !scratch.visited.insert(v) {
+                continue;
+            }
+            let d = sq8.dist_to(metric, &sq, v);
+            stats.ndc += 1;
+            if d >= scratch.pool.admission_bound() {
+                continue;
+            }
+            if let Some(p) = scratch.pool.insert(d, v) {
+                best_insert = best_insert.min(p);
+            }
+        }
+        cursor = if best_insert <= pos { best_insert } else { pos + 1 };
+    }
+
+    // Exact re-rank: full-precision distances over the final pool, resorted
+    // by (distance, id) so tie order matches the full-precision path.
+    let (pool_ids, _) = scratch.pool.top_k(l);
+    let mut reranked: Vec<(f32, u32)> = pool_ids
+        .into_iter()
+        .map(|id| {
+            stats.ndc += 1;
+            (store.dist_to(metric, query, id), id)
+        })
+        .collect();
+    reranked.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    reranked.truncate(k);
+    QueryResult {
+        ids: reranked.iter().map(|e| e.1).collect(),
+        dists: reranked.iter().map(|e| e.0).collect(),
+        stats,
     }
 }
 

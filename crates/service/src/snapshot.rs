@@ -193,6 +193,10 @@ pub struct IndexWriter {
     /// Newest LSN acknowledged through the journal (0 before any append);
     /// recorded as the covered LSN of the next persisted snapshot.
     last_lsn: u64,
+    /// Apply the cache-aware BFS relayout to every publication (default on).
+    /// Pure internal relabeling: external ids are stable, results are
+    /// bit-identical; only memory locality of the served graph changes.
+    relayout: bool,
     /// Generations believed durable on disk, oldest first, paired with the
     /// covered LSN each was persisted with; trimmed to the store's retain-K.
     /// Drives the WAL floor (prune protection) and journal truncation.
@@ -310,6 +314,7 @@ impl IndexWriter {
             wal,
             last_lsn: 0,
             durable: VecDeque::new(),
+            relayout: true,
         };
         if let Some(sm) = writer.metrics.shard(writer.shard) {
             sm.points.set(writer.dynamic.len() as u64);
@@ -403,6 +408,7 @@ impl IndexWriter {
             wal: None,
             last_lsn: covered_lsn,
             durable: VecDeque::from([(generation, covered_lsn)]),
+            relayout: true,
         };
         if let Some(sm) = writer.metrics.shard(writer.shard) {
             sm.points.set(writer.dynamic.len() as u64);
@@ -532,6 +538,19 @@ impl IndexWriter {
     /// Whether the replica holds mutations not yet published.
     pub fn is_dirty(&self) -> bool {
         self.dirty
+    }
+
+    /// Toggle the cache-aware BFS relayout applied to every publication
+    /// (on by default). Purely an internal-layout decision: results and
+    /// external ids are identical either way, so this exists for A/B
+    /// measurement (bench E11) rather than correctness.
+    pub fn set_relayout(&mut self, on: bool) {
+        self.relayout = on;
+    }
+
+    /// Whether publications get the BFS relayout.
+    pub fn relayout_enabled(&self) -> bool {
+        self.relayout
     }
 
     /// Number of live points in the writer's replica (may differ from the
@@ -665,6 +684,17 @@ impl IndexWriter {
                 external_ids[*new_id as usize] = self.ext_of_internal[old];
             }
         }
+        // Cache-aware relayout: renumber the compacted index in BFS order
+        // from its entry and permute the external-id table in lockstep.
+        // Internal ids never escape the snapshot, so readers only observe
+        // the improved locality.
+        let (index, external_ids) = if self.relayout {
+            let (index, order) = index.relayout_bfs();
+            let permuted: Vec<u64> = order.iter().map(|&old| external_ids[old as usize]).collect();
+            (index, permuted)
+        } else {
+            (index, external_ids)
+        };
         // Debug builds audit every publication before readers can see it:
         // a violation here means a writer bug was about to become
         // reader-visible corruption. `self.int_of_external` still holds the

@@ -14,10 +14,14 @@
 //! (and therefore recall) are unchanged while each distance call saves a
 //! square root — the same trick used by faiss, hnswlib and NSG.
 //!
-//! The kernels process eight lanes per iteration over `chunks_exact(8)`,
-//! which the compiler reliably auto-vectorizes on x86-64 and aarch64. A naive
-//! scalar reference implementation is kept alongside each kernel and the unit
-//! tests assert the two agree to tight tolerance on random inputs.
+//! The actual arithmetic lives in [`crate::kernel`], which holds two
+//! implementations — a portable sequential scalar path and an eight-lane
+//! SIMD-shaped path that LLVM auto-vectorizes — selected once per process via
+//! `ANN_KERNEL` (see [`crate::kernel::kernel_path`]). The free functions here
+//! (`l2_sq`, `dot`, `cosine_dissim`) forward to the dispatched kernels, so
+//! every builder and searcher in the workspace picks up a path switch without
+//! call-site changes. `crates/vectors/tests/kernel_parity.rs` proves the two
+//! paths agree.
 
 /// Dissimilarity measure attached to a dataset.
 ///
@@ -142,44 +146,16 @@ impl MetricKernel for CosineKernel {
     }
 }
 
-/// Squared Euclidean distance, 8-wide unrolled.
+/// Squared Euclidean distance under the dispatched kernel path.
 #[inline]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 8];
-    let ca = a.chunks_exact(8);
-    let cb = b.chunks_exact(8);
-    let (ra, rb) = (ca.remainder(), cb.remainder());
-    for (xa, xb) in ca.zip(cb) {
-        for i in 0..8 {
-            let d = xa[i] - xb[i];
-            acc[i] += d * d;
-        }
-    }
-    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
-    for (xa, xb) in ra.iter().zip(rb.iter()) {
-        let d = xa - xb;
-        sum += d * d;
-    }
-    sum
+    crate::kernel::l2_sq(a, b)
 }
 
-/// Inner product, 8-wide unrolled.
+/// Inner product under the dispatched kernel path.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 8];
-    let ca = a.chunks_exact(8);
-    let cb = b.chunks_exact(8);
-    let (ra, rb) = (ca.remainder(), cb.remainder());
-    for (xa, xb) in ca.zip(cb) {
-        for i in 0..8 {
-            acc[i] += xa[i] * xb[i];
-        }
-    }
-    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
-    for (xa, xb) in ra.iter().zip(rb.iter()) {
-        sum += xa * xb;
-    }
-    sum
+    crate::kernel::dot(a, b)
 }
 
 /// Euclidean norm.
@@ -190,29 +166,22 @@ pub fn norm(a: &[f32]) -> f32 {
 
 /// Cosine dissimilarity `1 - <a,b> / (|a||b|)`.
 ///
-/// Degenerate zero-norm inputs yield the maximal dissimilarity `1.0` rather
-/// than NaN so that search orderings stay total.
+/// Computed with the fused [`crate::kernel::dot3`] — one pass over both
+/// vectors instead of three. Degenerate zero-norm inputs yield the maximal
+/// dissimilarity `1.0` rather than NaN so that search orderings stay total.
 #[inline]
 pub fn cosine_dissim(a: &[f32], b: &[f32]) -> f32 {
-    let ip = dot(a, b);
-    let na = norm(a);
-    let nb = norm(b);
-    if na == 0.0 || nb == 0.0 {
+    let (ip, aa, bb) = crate::kernel::dot3(a, b);
+    if aa == 0.0 || bb == 0.0 {
         return 1.0;
     }
-    1.0 - ip / (na * nb)
+    1.0 - ip / (aa.sqrt() * bb.sqrt())
 }
 
-/// Naive scalar references used to validate the unrolled kernels.
+/// Naive scalar references used to validate the lane-structured kernels.
+/// These are the sequential kernels from [`crate::kernel::scalar`].
 pub mod reference {
-    /// Reference squared L2.
-    pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-    }
-    /// Reference inner product.
-    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| x * y).sum()
-    }
+    pub use crate::kernel::scalar::{dot, l2_sq};
 }
 
 #[cfg(test)]

@@ -122,13 +122,43 @@ impl VecStore {
     /// Dissimilarity between stored vectors `i` and `j` under `metric`.
     #[inline]
     pub fn dist(&self, metric: Metric, i: u32, j: u32) -> f32 {
-        metric.distance(self.get(i), self.get(j))
+        let (vi, vj) = (self.get(i), self.get(j));
+        metric.distance(vi, vj)
     }
 
     /// Dissimilarity between a query slice and stored vector `i`.
+    ///
+    /// Row resolution is hoisted out of the kernel call so the kernel always
+    /// receives two pre-resolved equal-length slices; a query of the wrong
+    /// dimensionality is a programming error caught here (debug builds)
+    /// rather than silently truncating inside the kernel.
     #[inline]
     pub fn dist_to(&self, metric: Metric, q: &[f32], i: u32) -> f32 {
-        metric.distance(q, self.get(i))
+        debug_assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        let row = self.get(i);
+        metric.distance(q, row)
+    }
+
+    /// Touch the first cache line of row `i` so the hardware starts loading
+    /// the vector before a distance kernel reads it (safe-Rust software
+    /// prefetch; out-of-range ids are a silent no-op).
+    #[inline]
+    pub fn prefetch(&self, i: u32) {
+        if let Some(&x) = self.data.get(i as usize * self.dim) {
+            std::hint::black_box(x);
+        }
+    }
+
+    /// Copy with rows reordered so that new id `i` holds old row `order[i]`
+    /// (the graph-relayout contract; `order` must be a permutation of
+    /// `0..len`).
+    pub fn permuted(&self, order: &[u32]) -> VecStore {
+        debug_assert_eq!(order.len(), self.len(), "permutation length mismatch");
+        let mut data = Vec::with_capacity(self.data.len());
+        for &old in order {
+            data.extend_from_slice(self.get(old));
+        }
+        VecStore { dim: self.dim, data }
     }
 
     /// Normalize every vector to unit L2 norm in place.

@@ -1,0 +1,204 @@
+//! Kernel parity harness: proves the SIMD path computes the same function as
+//! the scalar reference.
+//!
+//! Three layers of evidence, each pinning a different failure mode:
+//!
+//! 1. **Structural parity at ≤ 4 ULP, dims 1..=257.** On exactly-representable
+//!    inputs (small integers: every product and partial sum below 2^24 is
+//!    exact in f32), *any* correct summation order returns the identical
+//!    float, so the scalar and SIMD paths must agree within 4 ULP — and in
+//!    fact to 0 ULP. Run across every dimension from 1 to 257 this exercises
+//!    every remainder-lane shape of the 32/8/1 block structure; an off-by-one
+//!    in the tail handling, a skipped lane, or a double-counted element shows
+//!    up as a large ULP gap on some dimension.
+//! 2. **Accuracy on arbitrary finite inputs.** Random floats are *not*
+//!    exactly summable, so there both paths are held within the analytic
+//!    `O(n·eps)` band of an f64 oracle, and outputs must stay NaN/inf-free
+//!    for NaN/inf-free inputs.
+//! 3. **Exact-tie determinism.** Duplicate vectors must produce bit-equal
+//!    distances under each kernel path, so a `(distance, id)` sort yields the
+//!    identical id ordering under both paths — the property relayout
+//!    invariance and deterministic serving rest on.
+
+use ann_vectors::kernel::{self, scalar, simd};
+use ann_vectors::metric::Metric;
+use ann_vectors::{set_kernel_path, KernelPath, TopK};
+use proptest::prelude::*;
+
+/// Map an f32 onto a monotone integer line so ULP distance is a subtraction.
+fn ord(x: f32) -> i64 {
+    let b = x.to_bits() as i64;
+    if b & 0x8000_0000 != 0 {
+        0x8000_0000 - b
+    } else {
+        b
+    }
+}
+
+fn ulp_dist(a: f32, b: f32) -> u64 {
+    (ord(a) - ord(b)).unsigned_abs()
+}
+
+/// Deterministic small-integer vectors in [-8, 8]: products ≤ 64, squared
+/// diffs ≤ 256; at dim ≤ 257 every partial sum stays below 2^24, so all
+/// kernel arithmetic is exact and order-independent.
+fn int_vecs(dim: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        ((s >> 33) % 17) as f32 - 8.0
+    };
+    let a: Vec<f32> = (0..dim).map(|_| next()).collect();
+    let b: Vec<f32> = (0..dim).map(|_| next()).collect();
+    (a, b)
+}
+
+/// Deterministic float vectors in [-1, 1] (finite, NaN/inf-free).
+fn float_vecs(dim: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64) as f32 * 2.0 - 1.0
+    };
+    let a: Vec<f32> = (0..dim).map(|_| next()).collect();
+    let b: Vec<f32> = (0..dim).map(|_| next()).collect();
+    (a, b)
+}
+
+#[test]
+fn simd_matches_scalar_within_4_ulp_across_all_remainder_shapes() {
+    for dim in 1..=257usize {
+        for seed in 0..4u64 {
+            let (a, b) = int_vecs(dim, dim as u64 * 31 + seed);
+            let (s_l2, v_l2) = (scalar::l2_sq(&a, &b), simd::l2_sq(&a, &b));
+            assert!(
+                ulp_dist(s_l2, v_l2) <= 4,
+                "l2 dim {dim} seed {seed}: scalar {s_l2} vs simd {v_l2}"
+            );
+            let (s_dot, v_dot) = (scalar::dot(&a, &b), simd::dot(&a, &b));
+            assert!(
+                ulp_dist(s_dot, v_dot) <= 4,
+                "dot dim {dim} seed {seed}: scalar {s_dot} vs simd {v_dot}"
+            );
+            let (s3, v3) = (scalar::dot3(&a, &b), simd::dot3(&a, &b));
+            for (s, v) in [(s3.0, v3.0), (s3.1, v3.1), (s3.2, v3.2)] {
+                assert!(ulp_dist(s, v) <= 4, "dot3 dim {dim} seed {seed}: {s} vs {v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn both_paths_track_f64_oracle_on_floats_across_all_remainder_shapes() {
+    for dim in 1..=257usize {
+        let (a, b) = float_vecs(dim, dim as u64 + 999);
+        let l2_64: f64 = a.iter().zip(&b).map(|(x, y)| ((x - y) as f64) * ((x - y) as f64)).sum();
+        let dot_64: f64 = a.iter().zip(&b).map(|(x, y)| (*x as f64) * (*y as f64)).sum();
+        let dot_mag: f64 = a.iter().zip(&b).map(|(x, y)| ((x * y) as f64).abs()).sum();
+        // O(n·eps) conditioning band: each f32 term carries ~2 rounding steps
+        // and the summation at most n more, against the magnitude of what is
+        // being summed (the value itself for l2, the absolute sum for dot).
+        let band = |mag: f64| (dim as f64 + 8.0) * 4.0 * f32::EPSILON as f64 * mag + 1e-30;
+        for (name, got, want, mag) in [
+            ("l2/scalar", scalar::l2_sq(&a, &b), l2_64, l2_64),
+            ("l2/simd", simd::l2_sq(&a, &b), l2_64, l2_64),
+            ("dot/scalar", scalar::dot(&a, &b), dot_64, dot_mag),
+            ("dot/simd", simd::dot(&a, &b), dot_64, dot_mag),
+        ] {
+            assert!(got.is_finite(), "{name} dim {dim}: non-finite {got}");
+            assert!(
+                (got as f64 - want).abs() <= band(mag),
+                "{name} dim {dim}: {got} vs oracle {want} (band {})",
+                band(mag)
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_ties_order_identically_under_both_kernel_paths() {
+    // 12 distinct integer-valued vectors, each duplicated 4 times with
+    // interleaved ids: equal vectors must get bit-equal distances under each
+    // path, so the (distance, id) sort must produce the same id sequence
+    // under scalar and SIMD dispatch.
+    let dim = 96;
+    let distinct: Vec<Vec<f32>> = (0..12).map(|i| int_vecs(dim, 1000 + i as u64).0).collect();
+    let rows: Vec<&[f32]> = (0..48).map(|i| distinct[i % 12].as_slice()).collect();
+    let (query, _) = int_vecs(dim, 424_242);
+
+    let prev = kernel::kernel_path();
+    let mut orderings = Vec::new();
+    for path in [KernelPath::Scalar, KernelPath::Simd] {
+        set_kernel_path(path);
+        for metric in [Metric::L2, Metric::Ip, Metric::Cosine] {
+            // Full (distance, id) sort with the workspace tie-break.
+            let mut pairs: Vec<(f32, u32)> = rows
+                .iter()
+                .enumerate()
+                .map(|(id, r)| (metric.distance(&query, r), id as u32))
+                .collect();
+            // Duplicates must tie exactly, not approximately.
+            for chunk in 0..12 {
+                let d0 = pairs[chunk].0;
+                for copy in 1..4 {
+                    assert_eq!(
+                        pairs[chunk + copy * 12].0.to_bits(),
+                        d0.to_bits(),
+                        "{metric:?}/{}: duplicate rows must tie exactly",
+                        path.name()
+                    );
+                }
+            }
+            pairs.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+            // And the selection structure must agree with the sort oracle.
+            let mut top = TopK::new(48);
+            for (id, r) in rows.iter().enumerate() {
+                top.push(metric.distance(&query, r), id as u32);
+            }
+            let top_ids: Vec<u32> = top.into_sorted().iter().map(|e| e.1).collect();
+            let sort_ids: Vec<u32> = pairs.iter().map(|e| e.1).collect();
+            assert_eq!(top_ids, sort_ids, "{metric:?}/{}", path.name());
+            orderings.push((metric, sort_ids));
+        }
+    }
+    set_kernel_path(prev);
+    // Same metric under scalar vs simd: identical id ordering.
+    for m in 0..3 {
+        assert_eq!(
+            orderings[m].1,
+            orderings[m + 3].1,
+            "{:?}: tie ordering differs between kernel paths",
+            orderings[m].0
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parity_on_exact_inputs_random_dims(dim in 1usize..258, seed in 0u64..10_000) {
+        let (a, b) = int_vecs(dim, seed);
+        prop_assert!(ulp_dist(scalar::l2_sq(&a, &b), simd::l2_sq(&a, &b)) <= 4);
+        prop_assert!(ulp_dist(scalar::dot(&a, &b), simd::dot(&a, &b)) <= 4);
+    }
+
+    #[test]
+    fn kernels_never_poison_finite_inputs(dim in 1usize..258, seed in 0u64..10_000) {
+        let (a, b) = float_vecs(dim, seed);
+        for v in [
+            scalar::l2_sq(&a, &b),
+            simd::l2_sq(&a, &b),
+            scalar::dot(&a, &b),
+            simd::dot(&a, &b),
+        ] {
+            prop_assert!(v.is_finite());
+        }
+        prop_assert!(scalar::l2_sq(&a, &b) >= 0.0);
+        prop_assert!(simd::l2_sq(&a, &b) >= 0.0);
+    }
+}

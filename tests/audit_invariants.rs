@@ -8,7 +8,7 @@
 
 use ann_suite::ann_audit::{audit_external_ids, audit_graph, AuditOptions, Violation};
 use ann_suite::ann_eval::{audit_bare_graph, audit_entry_graph, audit_frozen, audit_tau};
-use ann_suite::ann_graph::VarGraph;
+use ann_suite::ann_graph::{AnnIndex, VarGraph};
 use ann_suite::ann_hcnng::build_hcnng;
 use ann_suite::ann_hnsw::Hnsw;
 use ann_suite::ann_knng::brute_force_knn_graph;
@@ -117,6 +117,75 @@ fn tombstone_and_duplicate_external_ids_are_reported() {
     assert!(v.contains(&Violation::TombstoneInSnapshot { external: 41 }), "{v:?}");
     // A healthy table is clean.
     assert_eq!(audit_external_ids(&[1, 2, 3], |_| false), Vec::new());
+}
+
+/// A relayouted publication must survive the SNP1 store round-trip and
+/// clear the full graph audit on both sides: BFS relayout is an isomorphic
+/// relabeling, so every invariant the auditor checks (bounds, degrees,
+/// reachability, navigability, serialized round-trip, external-id hygiene)
+/// must hold identically before persist and after recovery.
+#[test]
+fn relayouted_publication_roundtrips_snp1_and_passes_full_audit() {
+    use ann_suite::ann_audit::audit_tau_index;
+    use ann_suite::ann_service::{IndexWriter, Metrics, SnapshotStore};
+
+    let dir = std::env::temp_dir()
+        .join("ann_suite_relayout_audit")
+        .join(format!("{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ds = Recipe::SiftLike.build(400, 8, 7);
+    let base = Arc::new(ds.base);
+    let knn = brute_force_knn_graph(ds.metric, &base, 16).unwrap();
+    let tau = mean_nn_distance(&base, 50, 0) * 0.05;
+    let params = TauMngParams { tau, ..Default::default() };
+    let idx = build_tau_mng(base, ds.metric, &knn, params).unwrap();
+
+    let store = SnapshotStore::open(&dir).unwrap();
+    let (mut writer, cell) =
+        IndexWriter::attach_durable(idx, params, Arc::new(Metrics::new()), Arc::clone(&store));
+    assert!(writer.relayout_enabled(), "relayout must be on by default");
+
+    // Mutate past the attach-time publication so the next publish exercises
+    // compaction + relayout together, then persist it.
+    for q in 0..ds.queries.len() as u32 {
+        writer.insert(ds.queries.get(q)).unwrap();
+    }
+    writer.delete(3).unwrap();
+    writer.delete(5).unwrap();
+    let generation = writer.publish().unwrap();
+
+    let full = AuditOptions::default();
+    let served = cell.load();
+    let v = audit_tau_index(served.index(), &full);
+    assert!(v.is_empty(), "served relayouted snapshot not clean: {v:?}");
+    let v = audit_external_ids(served.external_ids(), |e| e == 3 || e == 5);
+    assert!(v.is_empty(), "served external ids not clean: {v:?}");
+
+    // Round-trip: recover from disk and re-audit the recovered image.
+    drop(writer);
+    let store2 = SnapshotStore::open(&dir).unwrap();
+    let report = store2.recover().unwrap();
+    assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
+    let rec = report.recovered.expect("persisted generation must recover");
+    assert_eq!(rec.generation, generation);
+    assert_eq!(rec.external_ids, served.external_ids(), "id table changed in round-trip");
+    let v = audit_tau_index(&rec.index, &full);
+    assert!(v.is_empty(), "recovered relayouted snapshot not clean: {v:?}");
+
+    // And the recovered index serves bit-identical results.
+    let mut scratch = ann_suite::ann_graph::Scratch::new(rec.index.store().len());
+    for q in 0..ds.queries.len() as u32 {
+        let a = served.index().search_with(ds.queries.get(q), 5, 32, &mut scratch);
+        let b = rec.index.search_with(ds.queries.get(q), 5, 32, &mut scratch);
+        assert_eq!(a.ids, b.ids, "q{q}: recovered ids differ");
+        let (da, db): (Vec<u32>, Vec<u32>) = (
+            a.dists.iter().map(|d| d.to_bits()).collect(),
+            b.dists.iter().map(|d| d.to_bits()).collect(),
+        );
+        assert_eq!(da, db, "q{q}: recovered distances differ");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Every builder in the workspace, built over one real corpus, must clear

@@ -1,10 +1,17 @@
 //! Determinism guarantees: everything seeded must reproduce bit-for-bit,
 //! independent of thread count where the construction is order-independent.
 
-use ann_suite::ann_graph::{AnnIndex, GraphView};
-use ann_suite::ann_vectors::synthetic::{tau_tube_queries, Recipe};
+use ann_suite::ann_graph::{
+    bfs_order, invert_order, AnnIndex, FrozenGraphIndex, GraphView, QueryResult, Scratch,
+};
+use ann_suite::ann_hcnng::{build_hcnng, HcnngParams};
+use ann_suite::ann_hnsw::{Hnsw, HnswParams};
+use ann_suite::ann_knng::brute_force_knn_graph;
+use ann_suite::ann_nsg::{build_nsg, build_ssg, NsgParams, SsgParams};
+use ann_suite::ann_vamana::{build_vamana, VamanaParams};
+use ann_suite::ann_vectors::synthetic::{mean_nn_distance, tau_tube_queries, Recipe};
 use ann_suite::ann_vectors::Metric;
-use ann_suite::tau_mg::{build_tau_mg, TauMgParams};
+use ann_suite::tau_mg::{build_tau_mg, build_tau_mng, TauMgParams, TauMngParams};
 use std::sync::Arc;
 
 #[test]
@@ -40,6 +47,99 @@ fn exact_tau_mg_is_thread_count_independent() {
         assert_eq!(a.graph().neighbors(u), b.graph().neighbors(u));
     }
     assert_eq!(a.to_bytes(), b.to_bytes(), "serialized form must be identical");
+}
+
+/// Assert two searches are the same traversal modulo the id relabeling:
+/// ids map back through `order[new] = old`, distances are bit-equal, and the
+/// work counters (ndc/hops/skipped) are untouched — relayout may only change
+/// memory locality, never the computation.
+fn assert_isomorphic(name: &str, q: usize, a: &QueryResult, b: &QueryResult, order: &[u32]) {
+    let mapped: Vec<u32> = b.ids.iter().map(|&id| order[id as usize]).collect();
+    assert_eq!(a.ids, mapped, "{name} q{q}: ids changed under relayout");
+    let (da, db): (Vec<u32>, Vec<u32>) = (
+        a.dists.iter().map(|d| d.to_bits()).collect(),
+        b.dists.iter().map(|d| d.to_bits()).collect(),
+    );
+    assert_eq!(da, db, "{name} q{q}: distances not bit-identical under relayout");
+    assert_eq!(a.stats, b.stats, "{name} q{q}: relayout changed the work done");
+}
+
+#[test]
+fn bfs_relayout_is_search_invariant_across_all_builders() {
+    let ds = Recipe::SiftLike.build(600, 12, 77);
+    let base = Arc::new(ds.base);
+    let knn = brute_force_knn_graph(ds.metric, &base, 20).unwrap();
+    let tau = mean_nn_distance(&base, 100, 0) * 0.05;
+
+    // NSG / SSG / Vamana / HCNNG share FrozenGraphIndex::relayout_bfs.
+    let frozen: Vec<FrozenGraphIndex> = vec![
+        build_nsg(base.clone(), ds.metric, &knn, NsgParams::default()).unwrap(),
+        build_ssg(base.clone(), ds.metric, &knn, SsgParams::default()).unwrap(),
+        build_vamana(base.clone(), ds.metric, VamanaParams::default()).unwrap(),
+        build_hcnng(base.clone(), ds.metric, HcnngParams::default()).unwrap(),
+    ];
+    for idx in &frozen {
+        let (relay, order) = idx.relayout_bfs();
+        for q in 0..ds.queries.len() as u32 {
+            let a = idx.search(ds.queries.get(q), 10, 64);
+            let b = relay.search(ds.queries.get(q), 10, 64);
+            assert_isomorphic(idx.name(), q as usize, &a, &b, &order);
+        }
+    }
+
+    // τ-MG and τ-MNG go through TauIndex::relayout_bfs (which also carries
+    // the stored edge lengths and any SQ8 side-car through the permutation).
+    let tmg =
+        build_tau_mg(base.clone(), ds.metric, TauMgParams { tau, degree_cap: Some(16) }).unwrap();
+    let tmng =
+        build_tau_mng(base.clone(), ds.metric, &knn, TauMngParams { tau, ..Default::default() })
+            .unwrap();
+    for idx in [&tmg, &tmng] {
+        let (relay, order) = idx.relayout_bfs();
+        for q in 0..ds.queries.len() as u32 {
+            let a = idx.search(ds.queries.get(q), 10, 64);
+            let b = relay.search(ds.queries.get(q), 10, 64);
+            assert_isomorphic(idx.name(), q as usize, &a, &b, &order);
+        }
+    }
+
+    // HNSW: relayout its bottom layer by hand with the same primitives and
+    // run the raw beam over both layouts.
+    let hnsw = Hnsw::build(base.clone(), ds.metric, HnswParams::default()).unwrap();
+    let graph = hnsw.bottom_layer();
+    let (entry, _) = hnsw.entry_point();
+    let order = bfs_order(graph, entry);
+    let old_to_new = invert_order(&order);
+    let pgraph = graph.permute(&order, &old_to_new);
+    let pstore = base.permuted(&order);
+    let pentry = old_to_new[entry as usize];
+    let mut scratch = Scratch::new(base.len());
+    for q in 0..ds.queries.len() as u32 {
+        let query = ds.queries.get(q);
+        let sa = ann_suite::ann_graph::beam_search_dyn(
+            ds.metric,
+            &base,
+            graph,
+            &[entry],
+            query,
+            64,
+            &mut scratch,
+        );
+        let (ia, da) = scratch.pool.top_k(10);
+        let sb = ann_suite::ann_graph::beam_search_dyn(
+            ds.metric,
+            &pstore,
+            &pgraph,
+            &[pentry],
+            query,
+            64,
+            &mut scratch,
+        );
+        let (ib, db) = scratch.pool.top_k(10);
+        let a = QueryResult { ids: ia, dists: da, stats: sa };
+        let b = QueryResult { ids: ib, dists: db, stats: sb };
+        assert_isomorphic("HNSW-bottom", q as usize, &a, &b, &order);
+    }
 }
 
 #[test]

@@ -77,6 +77,94 @@ fn all_indexes_honor_contract_and_recall_floor() {
     contract_and_recall(&tmng, &f, 0.90);
 }
 
+/// SQ8 fast path: at equal beam width, quantized expansion with exact
+/// re-rank must stay within 0.01 recall@10 of full precision, per metric.
+/// L2 and Cosine run through the full τ-MNG pipeline (`enable_sq8` flips the
+/// serving path); Ip has no synthetic recipe, so it runs through the
+/// graph-level kernel on the same graph against Ip ground truth — the
+/// comparison is still sq8-vs-full at identical beam width.
+#[test]
+fn sq8_rerank_recall_within_001_of_full_precision_per_metric() {
+    use ann_suite::ann_graph::{beam_search_dyn, beam_search_sq8_rerank};
+    use ann_suite::ann_vectors::Sq8Store;
+
+    let mut covered = Vec::new();
+    for recipe in [Recipe::SiftLike, Recipe::GloveLike] {
+        let ds = recipe.build(N, NQ, 1234);
+        let base = Arc::new(ds.base);
+        let gt = brute_force_ground_truth(ds.metric, &base, &ds.queries, K).unwrap();
+        let knn = brute_force_knn_graph(ds.metric, &base, 20).unwrap();
+        let tau = mean_nn_distance(&base, 100, 0) * 0.05;
+        let mut tmng = build_tau_mng(
+            base.clone(),
+            ds.metric,
+            &knn,
+            TauMngParams { tau, ..Default::default() },
+        )
+        .unwrap();
+
+        let mut scratch = Scratch::new(tmng.num_points());
+        let run = |idx: &dyn AnnIndex, scratch: &mut Scratch| -> Vec<Vec<u32>> {
+            (0..NQ as u32)
+                .map(|q| idx.search_with(ds.queries.get(q), K, L, scratch).ids)
+                .collect()
+        };
+        let full = run(&tmng, &mut scratch);
+        tmng.enable_sq8();
+        assert!(tmng.sq8().is_some(), "enable_sq8 must install the code store");
+        let quant = run(&tmng, &mut scratch);
+
+        let r_full = mean_recall_at_k(&gt, &full, K);
+        let r_sq8 = mean_recall_at_k(&gt, &quant, K);
+        assert!(
+            r_sq8 >= r_full - 0.01,
+            "{:?}: sq8 recall {r_sq8} more than 0.01 below full-precision {r_full}",
+            ds.metric
+        );
+        covered.push(ds.metric);
+    }
+    assert!(covered.contains(&Metric::L2) && covered.contains(&Metric::Cosine));
+
+    // Ip arm: same graph, graph-level kernels, Ip ground truth.
+    let ds = Recipe::SiftLike.build(N, NQ, 1234);
+    let base = Arc::new(ds.base);
+    let gt_ip = brute_force_ground_truth(Metric::Ip, &base, &ds.queries, K).unwrap();
+    let knn = brute_force_knn_graph(ds.metric, &base, 20).unwrap();
+    let tau = mean_nn_distance(&base, 100, 0) * 0.05;
+    let tmng =
+        build_tau_mng(base.clone(), ds.metric, &knn, TauMngParams { tau, ..Default::default() })
+            .unwrap();
+    let sq8 = Sq8Store::quantize(&base);
+    let (graph, entry) = (tmng.graph(), tmng.entry_point());
+
+    let mut scratch = Scratch::new(tmng.num_points());
+    let mut full = Vec::with_capacity(NQ);
+    let mut quant = Vec::with_capacity(NQ);
+    for q in 0..NQ as u32 {
+        let query = ds.queries.get(q);
+        beam_search_dyn(Metric::Ip, &base, graph, &[entry], query, L, &mut scratch);
+        full.push(scratch.pool.top_k(K).0);
+        let r = beam_search_sq8_rerank(
+            Metric::Ip,
+            &base,
+            &sq8,
+            graph,
+            &[entry],
+            query,
+            K,
+            L,
+            &mut scratch,
+        );
+        quant.push(r.ids);
+    }
+    let r_full = mean_recall_at_k(&gt_ip, &full, K);
+    let r_sq8 = mean_recall_at_k(&gt_ip, &quant, K);
+    assert!(
+        r_sq8 >= r_full - 0.01,
+        "Ip: sq8 recall {r_sq8} more than 0.01 below full-precision {r_full}"
+    );
+}
+
 #[test]
 fn k_larger_than_l_is_clamped() {
     let f = fixture();
