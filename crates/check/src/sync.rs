@@ -52,6 +52,17 @@ impl<T> Mutex<T> {
     pub fn new(t: T) -> Self {
         Mutex { model: StdMutex::new(MutexModel::default()), inner: StdMutex::new(t) }
     }
+
+    /// Consume the mutex, returning the protected data (`std` shape).
+    /// Ownership proves no thread can hold or wait on the lock, so there
+    /// is no model state to update.
+    ///
+    /// # Errors
+    /// Propagates `std` poisoning of the protected data, recoverable via
+    /// [`PoisonError::into_inner`] exactly like `std`.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
 }
 
 fn model_lock<M>(m: &StdMutex<M>) -> std::sync::MutexGuard<'_, M> {

@@ -127,6 +127,18 @@ impl DynamicTauMng {
         self.deleted.len() - self.live
     }
 
+    /// Tombstoned fraction of all occupied slots (live + deleted), in
+    /// `[0, 1]`; 0.0 for an empty index. This is the debt signal a
+    /// maintenance policy compares against its compaction threshold.
+    pub fn deleted_ratio(&self) -> f64 {
+        if self.deleted.is_empty() {
+            0.0
+        } else {
+            // cast: slot counts are far below 2^52, exact in f64.
+            self.num_deleted() as f64 / self.deleted.len() as f64
+        }
+    }
+
     /// The underlying (possibly tombstone-carrying) store.
     pub fn store(&self) -> &VecStore {
         &self.store

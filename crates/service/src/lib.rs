@@ -73,6 +73,7 @@
 #![forbid(unsafe_code)]
 
 pub mod faults;
+pub mod maintenance;
 pub mod metrics;
 pub mod service;
 pub mod shard;
@@ -82,6 +83,9 @@ pub mod sync;
 pub mod wal;
 
 pub use faults::{Fault, FaultFs};
+pub use maintenance::{
+    MaintenanceConfig, MaintenanceReport, MaintenanceScheduler, ShardDebt, ShardHealth,
+};
 pub use metrics::{Counter, Gauge, Histogram, Metrics, ShardMetrics};
 pub use service::{AnnService, BatchHandle, BatchResult, QueryOptions, QueryReply, ServiceConfig};
 pub use shard::{
@@ -112,9 +116,10 @@ mod send_sync_assertions {
         assert_send_sync::<ShardSet>();
         assert_send_sync::<tau_mg::TauIndex>();
         // The writers are single-owner by design: movable to a maintenance
-        // thread, not shareable.
+        // thread, not shareable (the scheduler shares one via a mutex).
         assert_send::<IndexWriter>();
         assert_send::<ShardSetWriter>();
         assert_send::<tau_mg::DynamicTauMng>();
+        assert_send_sync::<MaintenanceScheduler>();
     }
 }

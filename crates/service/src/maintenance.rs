@@ -1,0 +1,730 @@
+//! Self-healing background maintenance for the sharded serving stack.
+//!
+//! Under sustained churn three kinds of *debt* accumulate that nothing on
+//! the foreground path repays:
+//!
+//! * **tombstone debt** — deletes published incrementally (see
+//!   [`IndexWriter::publish_tombstones`]) leave the deleted points in the
+//!   frozen graph, widening every beam and skewing traversal;
+//! * **generation debt** — retained snapshot files beyond the configured
+//!   retain-K that only a prune pass reclaims;
+//! * **journal debt** — WAL segments beyond the replay floor that only a
+//!   post-publish truncation reclaims.
+//!
+//! The [`MaintenanceScheduler`] runs a worker thread (on the
+//! [`crate::sync`] facade, so the shutdown protocol is model-checked in
+//! `tests/concurrency_check.rs`) that periodically scans every shard,
+//! publishes pending tombstones, compacts shards whose debt crosses the
+//! configured thresholds, and garbage-collects snapshot generations — all
+//! under bounded exponential backoff when the filesystem faults, with a
+//! per-shard health ladder (`Healthy → Degraded → Quarantined`, probation
+//! to climb back) surfaced in [`crate::AnnService::status`] and the
+//! metrics.
+//!
+//! ## Pacing
+//!
+//! Foreground *queries* never contend with maintenance: readers search
+//! `Arc<Snapshot>`s and the scheduler only swaps new ones in atomically.
+//! Foreground *mutations* share the writer mutex, so the scheduler bounds
+//! its hold time: the lock is released between per-shard jobs, at most
+//! [`MaintenanceConfig::compactions_per_tick`] expensive compactions run
+//! per pass, and consecutive passes are separated by
+//! [`MaintenanceConfig::tick`].
+
+use crate::metrics::Metrics;
+use crate::shard::ShardSetWriter;
+use crate::snapshot::IndexWriter;
+use crate::sync::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Debt thresholds, retry policy, and pacing for the background scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct MaintenanceConfig {
+    /// Delay between maintenance passes (the worker also wakes immediately
+    /// on [`MaintenanceScheduler::kick`] or shutdown).
+    pub tick: Duration,
+    /// Compact a shard when its tombstoned fraction of graph slots exceeds
+    /// this (`0.0..1.0`).
+    pub max_tombstone_ratio: f64,
+    /// Compact a shard when its absolute tombstone count exceeds this.
+    pub max_tombstones: usize,
+    /// Compact a shard when its live journal bytes exceed this (publish
+    /// advances the covered LSN, letting truncation reclaim segments).
+    pub max_wal_bytes: u64,
+    /// Expensive (compaction) jobs allowed per pass, so one pass can never
+    /// monopolize the writer mutex across every shard at once.
+    pub compactions_per_tick: usize,
+    /// Base of the per-shard exponential backoff applied after a failed
+    /// job; doubles per consecutive failure.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Consecutive job failures on one shard before `Degraded` escalates
+    /// to `Quarantined`.
+    pub quarantine_after: u32,
+    /// Consecutive clean jobs required to climb one rung of the health
+    /// ladder (`Quarantined → Degraded → Healthy`).
+    pub probation: u32,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            tick: Duration::from_millis(100),
+            max_tombstone_ratio: 0.2,
+            max_tombstones: 4096,
+            max_wal_bytes: 4 << 20,
+            compactions_per_tick: 1,
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+            quarantine_after: 3,
+            probation: 2,
+        }
+    }
+}
+
+/// One shard's position on the maintenance health ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Jobs are succeeding.
+    Healthy,
+    /// At least one recent job failed; retries run under backoff.
+    Degraded,
+    /// [`MaintenanceConfig::quarantine_after`] consecutive failures —
+    /// maintenance on this shard is almost certainly hitting a persistent
+    /// fault. Jobs keep probing under maximum backoff; recovery passes
+    /// through `Degraded` on probation.
+    Quarantined,
+}
+
+impl ShardHealth {
+    /// Gauge encoding: 0 healthy, 1 degraded, 2 quarantined.
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            ShardHealth::Healthy => 0,
+            ShardHealth::Degraded => 1,
+            ShardHealth::Quarantined => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for ShardHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShardHealth::Healthy => "healthy",
+            ShardHealth::Degraded => "degraded",
+            ShardHealth::Quarantined => "quarantined",
+        })
+    }
+}
+
+/// Per-shard health ledger: the state machine plus the streak counters
+/// that drive its transitions.
+#[derive(Debug, Clone, Copy)]
+struct HealthCell {
+    state: ShardHealth,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    /// Current backoff step (reset to the configured base on success).
+    backoff: Duration,
+    /// Next moment a job may be attempted (`None` = immediately).
+    retry_at: Option<Instant>,
+}
+
+impl HealthCell {
+    fn new(base_backoff: Duration) -> Self {
+        HealthCell {
+            state: ShardHealth::Healthy,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+            backoff: base_backoff,
+            retry_at: None,
+        }
+    }
+
+    fn on_success(&mut self, cfg: &MaintenanceConfig) {
+        self.consecutive_failures = 0;
+        self.backoff = cfg.backoff;
+        self.retry_at = None;
+        self.consecutive_successes += 1;
+        match self.state {
+            ShardHealth::Healthy => {}
+            ShardHealth::Degraded if self.consecutive_successes >= cfg.probation.max(1) => {
+                self.state = ShardHealth::Healthy;
+                self.consecutive_successes = 0;
+            }
+            ShardHealth::Quarantined if self.consecutive_successes >= cfg.probation.max(1) => {
+                // One rung at a time: a quarantined shard must re-earn
+                // `Degraded`, then survive a fresh probation to go green.
+                self.state = ShardHealth::Degraded;
+                self.consecutive_successes = 0;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_failure(&mut self, cfg: &MaintenanceConfig, now: Instant) {
+        self.consecutive_successes = 0;
+        self.consecutive_failures += 1;
+        self.state = if self.consecutive_failures >= cfg.quarantine_after.max(1) {
+            ShardHealth::Quarantined
+        } else {
+            ShardHealth::Degraded
+        };
+        self.retry_at = Some(now + self.backoff);
+        self.backoff = (self.backoff * 2).min(cfg.max_backoff.max(cfg.backoff));
+    }
+}
+
+/// What one maintenance pass did (returned by
+/// [`MaintenanceScheduler::run_once`] so tests and the soak example can
+/// assert on it without scraping metrics).
+#[derive(Debug, Default, Clone)]
+pub struct MaintenanceReport {
+    /// Shards whose pending tombstones were republished incrementally.
+    pub tombstones_published: usize,
+    /// Shards fully compacted this pass (debt threshold crossed).
+    pub compacted: Vec<usize>,
+    /// Snapshot files removed by GC across shards.
+    pub gc_removed: usize,
+    /// Per-shard job failures, rendered.
+    pub failures: Vec<(usize, String)>,
+    /// Shards skipped because their backoff window had not elapsed.
+    pub backed_off: Vec<usize>,
+}
+
+/// Shared scheduler state behind the `maint_sched` lock class.
+#[derive(Debug)]
+struct SchedInner {
+    shutdown: bool,
+    /// Wake the worker for an immediate pass (tests, post-delete nudges).
+    kick: bool,
+    health: Vec<HealthCell>,
+}
+
+/// The condvar-paired scheduler state plus everything a pass needs.
+#[derive(Debug)]
+struct SchedShared {
+    sched: Mutex<SchedInner>,
+    cv: Condvar,
+    config: MaintenanceConfig,
+    metrics: Arc<Metrics>,
+}
+
+/// Background maintenance driver: owns the worker thread and shares the
+/// [`ShardSetWriter`] with the foreground through a mutex.
+///
+/// Clean shutdown: [`MaintenanceScheduler::shutdown`] (or drop) flags the
+/// worker, wakes it, and joins — no detached thread ever outlives the
+/// scheduler. The flag/wake/join protocol runs on the [`crate::sync`]
+/// facade and is model-checked.
+#[derive(Debug)]
+pub struct MaintenanceScheduler {
+    writer: Arc<Mutex<ShardSetWriter>>,
+    shared: Arc<SchedShared>,
+    worker: Option<crate::sync::thread::JoinHandle<()>>,
+}
+
+impl MaintenanceScheduler {
+    /// Wrap `writer` for shared foreground/background use and start the
+    /// worker thread. The foreground keeps mutating through
+    /// [`MaintenanceScheduler::writer`].
+    pub fn start(
+        writer: ShardSetWriter,
+        config: MaintenanceConfig,
+        metrics: Arc<Metrics>,
+    ) -> MaintenanceScheduler {
+        let mut sched = Self::new_paused(writer, config, metrics);
+        let writer_arc = Arc::clone(&sched.writer);
+        let shared = Arc::clone(&sched.shared);
+        sched.worker = Some(crate::sync::thread::spawn(move || {
+            Self::worker_loop(&writer_arc, &shared);
+        }));
+        sched
+    }
+
+    /// Build the scheduler without spawning the worker: every pass runs
+    /// only through [`MaintenanceScheduler::run_once`]. This is the
+    /// deterministic harness for unit tests and the model checker (which
+    /// drives passes from model threads it owns).
+    pub fn new_paused(
+        writer: ShardSetWriter,
+        config: MaintenanceConfig,
+        metrics: Arc<Metrics>,
+    ) -> MaintenanceScheduler {
+        let shards = writer.shards();
+        MaintenanceScheduler {
+            writer: Arc::new(Mutex::new(writer)),
+            shared: Arc::new(SchedShared {
+                sched: Mutex::new(SchedInner {
+                    shutdown: false,
+                    kick: false,
+                    health: vec![HealthCell::new(config.backoff); shards],
+                }),
+                cv: Condvar::new(),
+                config,
+                metrics,
+            }),
+            worker: None,
+        }
+    }
+
+    /// The shared writer: lock it for foreground inserts/deletes/publishes.
+    /// Hold the guard only for the operation — the scheduler competes for
+    /// the same mutex between jobs.
+    pub fn writer(&self) -> &Arc<Mutex<ShardSetWriter>> {
+        &self.writer
+    }
+
+    /// Shard `shard`'s current maintenance health.
+    pub fn health(&self, shard: usize) -> Option<ShardHealth> {
+        let g = self.shared.sched.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        g.health.get(shard).map(|h| h.state)
+    }
+
+    /// Worst health across shards — what `status()` summarizes.
+    pub fn worst_health(&self) -> ShardHealth {
+        let g = self.shared.sched.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        g.health
+            .iter()
+            .map(|h| h.state)
+            .max_by_key(|s| s.as_gauge())
+            .unwrap_or(ShardHealth::Healthy)
+    }
+
+    /// Wake the worker for an immediate pass (e.g. right after a burst of
+    /// deletes) instead of waiting out the tick.
+    pub fn kick(&self) {
+        let mut g = self.shared.sched.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        g.kick = true;
+        drop(g);
+        self.shared.cv.notify_all();
+    }
+
+    /// Run one maintenance pass on the calling thread (also what the worker
+    /// runs per tick). Deterministic given the writer state — the test and
+    /// model-check entry point.
+    pub fn run_once(&self) -> MaintenanceReport {
+        Self::pass(&self.writer, &self.shared)
+    }
+
+    /// Flag the worker down, wake it, and join it. Idempotent; called by
+    /// drop as well. Returns once the worker has exited (immediately for a
+    /// paused scheduler).
+    pub fn shutdown(&mut self) {
+        {
+            let mut g = self.shared.sched.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            g.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+
+    fn worker_loop(writer: &Arc<Mutex<ShardSetWriter>>, shared: &Arc<SchedShared>) {
+        loop {
+            {
+                let mut g = shared.sched.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                if !g.kick && !g.shutdown {
+                    // Real builds sleep out the tick (waking early on kick
+                    // or shutdown). Model builds have no time, so the
+                    // worker blocks until explicitly woken — passes are
+                    // driven by kick/shutdown alone, keeping every
+                    // schedule finite.
+                    #[cfg(not(ann_check))]
+                    {
+                        let (g2, _t) = shared
+                            .cv
+                            .wait_timeout(g, shared.config.tick)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        g = g2;
+                    }
+                    #[cfg(ann_check)]
+                    while !g.kick && !g.shutdown {
+                        g = shared.cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                }
+                if g.shutdown {
+                    return;
+                }
+                g.kick = false;
+            }
+            Self::pass(writer, shared);
+        }
+    }
+
+    /// One full maintenance pass. Lock discipline: the `sched` lock and
+    /// the `writer` lock are never held together — health state is
+    /// snapshotted first, each job takes the writer lock for its own
+    /// duration only, and outcomes are folded back into the ledger at the
+    /// end (`maint_sched` before `maint_writer` in the declared order, and
+    /// never nested in practice).
+    fn pass(writer: &Arc<Mutex<ShardSetWriter>>, shared: &Arc<SchedShared>) -> MaintenanceReport {
+        let cfg = &shared.config;
+        let metrics = &shared.metrics;
+        let now = Instant::now();
+        let mut report = MaintenanceReport::default();
+        let (shards, eligible) = {
+            let g = shared.sched.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let eligible: Vec<bool> =
+                g.health.iter().map(|h| h.retry_at.is_none_or(|t| t <= now)).collect();
+            (g.health.len(), eligible)
+        };
+        // outcome[s]: None = no job ran, Some(Ok) = all jobs clean,
+        // Some(Err) = first failure rendered.
+        let mut outcome: Vec<Option<std::result::Result<(), String>>> = vec![None; shards];
+        for (s, ok) in eligible.iter().enumerate() {
+            if !ok {
+                report.backed_off.push(s);
+            }
+        }
+
+        // Job 1 — incremental tombstone publish (cheap, all shards at
+        // once): make every pending delete reader-visible without paying a
+        // compaction.
+        {
+            let mut w = writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let pending: Vec<usize> = (0..shards)
+                .filter(|&s| {
+                    eligible[s] && w.writer(s).is_some_and(|sw| sw.tombstones_unpublished() > 0)
+                })
+                .collect();
+            if !pending.is_empty() {
+                match w.publish_tombstones() {
+                    Ok(_) => {
+                        report.tombstones_published = pending.len();
+                        for &s in &pending {
+                            merge_outcome(&mut outcome[s], Ok(()));
+                        }
+                    }
+                    Err(e) => {
+                        for &s in &pending {
+                            merge_outcome(&mut outcome[s], Err(e.to_string()));
+                        }
+                    }
+                }
+                // Attribute partial failures to their shards.
+                for (s, e) in w.last_publish_errors() {
+                    if *s < shards {
+                        merge_outcome(&mut outcome[*s], Err(e.clone()));
+                    }
+                }
+            }
+        }
+
+        // Job 2 — debt-threshold compaction (expensive, paced): full
+        // publish repays tombstone debt, folds pending inserts in, and
+        // advances the covered LSN so WAL truncation can reclaim segments.
+        let mut compactions_left = cfg.compactions_per_tick.max(1);
+        for s in 0..shards {
+            if !eligible[s] || compactions_left == 0 {
+                continue;
+            }
+            let mut w = writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let Some(sw) = w.writer(s) else {
+                continue;
+            };
+            let over_debt = sw.tombstone_debt() > cfg.max_tombstones
+                || sw.tombstone_ratio() > cfg.max_tombstone_ratio
+                || sw.wal_live_bytes() > cfg.max_wal_bytes;
+            if !over_debt {
+                continue;
+            }
+            compactions_left -= 1;
+            let res = w.compact_shard(s);
+            // `publish_at` swallows persistence failures by design (the
+            // in-memory swap already served readers); maintenance must
+            // still see them, or a dead disk would never degrade health.
+            let persist_err = w.writer(s).and_then(|sw| sw.last_persist_error().map(String::from));
+            drop(w);
+            match (res, persist_err) {
+                (Ok(_), None) => {
+                    report.compacted.push(s);
+                    merge_outcome(&mut outcome[s], Ok(()));
+                }
+                (Ok(_), Some(pe)) => {
+                    report.compacted.push(s);
+                    merge_outcome(&mut outcome[s], Err(format!("compaction persist: {pe}")));
+                }
+                (Err(e), _) => merge_outcome(&mut outcome[s], Err(format!("compaction: {e}"))),
+            }
+        }
+
+        // Job 3 — verified snapshot GC + debt gauge refresh (cheap): prune
+        // generations beyond retain-K (respecting the WAL floor) and
+        // publish this pass's view of every shard's debt into the metrics.
+        for s in 0..shards {
+            let (store, debt) = {
+                let w = writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let Some(sw) = w.writer(s) else {
+                    continue;
+                };
+                (sw.snapshot_store().cloned(), (sw.tombstone_debt() as u64, sw.wal_live_bytes()))
+            };
+            if let Some(sm) = metrics.shard(s) {
+                sm.tombstone_debt.set(debt.0);
+                sm.wal_bytes.set(debt.1);
+            }
+            let Some(store) = store else {
+                continue;
+            };
+            if eligible[s] {
+                match store.gc() {
+                    Ok(removed) => {
+                        report.gc_removed += removed;
+                        merge_outcome(&mut outcome[s], Ok(()));
+                    }
+                    Err(e) => merge_outcome(&mut outcome[s], Err(format!("snapshot gc: {e}"))),
+                }
+            }
+            if let (Ok(gens), Some(sm)) = (store.generations(), metrics.shard(s)) {
+                sm.generations_retained.set(gens.len() as u64);
+            }
+        }
+
+        // Fold outcomes into the health ledger and the metrics.
+        let mut g = shared.sched.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (s, out) in outcome.into_iter().enumerate() {
+            let Some(out) = out else {
+                continue;
+            };
+            metrics.maintenance_runs.inc();
+            if let Some(sm) = metrics.shard(s) {
+                sm.maintenance_runs.inc();
+            }
+            let cell = &mut g.health[s];
+            match out {
+                Ok(()) => cell.on_success(cfg),
+                Err(e) => {
+                    let repeat = cell.consecutive_failures > 0;
+                    cell.on_failure(cfg, now);
+                    metrics.maintenance_failures.inc();
+                    if repeat {
+                        metrics.maintenance_retries.inc();
+                    }
+                    let backoff_ms = cell
+                        .retry_at
+                        .map_or(0, |t| t.saturating_duration_since(now).as_millis() as u64);
+                    metrics.maintenance_backoff_ms.add(backoff_ms);
+                    if let Some(sm) = metrics.shard(s) {
+                        sm.maintenance_failures.inc();
+                        if repeat {
+                            sm.maintenance_retries.inc();
+                        }
+                        sm.maintenance_backoff_ms.add(backoff_ms);
+                    }
+                    report.failures.push((s, e));
+                }
+            }
+            if let Some(sm) = metrics.shard(s) {
+                sm.maint_health.set(cell.state.as_gauge());
+            }
+        }
+        let worst = g.health.iter().map(|h| h.state.as_gauge()).max().unwrap_or(0);
+        metrics.maintenance_health.set(worst);
+        report
+    }
+
+    /// Tear the shared writer back out for exclusive use. Shuts the worker
+    /// down first. Available only while no other `Arc` holder exists (the
+    /// usual case: the service handed the writer to the scheduler and kept
+    /// only this handle).
+    ///
+    /// # Errors
+    /// Returns `self` unchanged (worker already stopped) if the writer is
+    /// still shared elsewhere.
+    pub fn into_writer(mut self) -> std::result::Result<ShardSetWriter, MaintenanceScheduler> {
+        self.shutdown();
+        let shared = Arc::clone(&self.shared);
+        // Swap a dummy Arc in so drop (already-shutdown, a no-op join) can
+        // still run on `self`.
+        let writer = std::mem::replace(
+            &mut self.writer,
+            Arc::new(Mutex::new(ShardSetWriter::placeholder())),
+        );
+        drop(self);
+        match Arc::try_unwrap(writer) {
+            Ok(m) => Ok(m.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)),
+            Err(writer) => Err(MaintenanceScheduler { writer, shared, worker: None }),
+        }
+    }
+}
+
+impl Drop for MaintenanceScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Fold one job outcome into a shard's pass outcome: any failure taints
+/// the pass (first failure's rendering wins), successes only upgrade
+/// `None`.
+fn merge_outcome(
+    slot: &mut Option<std::result::Result<(), String>>,
+    out: std::result::Result<(), String>,
+) {
+    match (&slot, &out) {
+        (Some(Err(_)), _) => {}
+        (_, Err(_)) | (None, _) => *slot = Some(out),
+        _ => {}
+    }
+}
+
+/// Convenience for sizing a debt-driven churn loop in examples/tests: the
+/// per-shard debt snapshot the scheduler reads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardDebt {
+    /// Tombstoned slots awaiting compaction.
+    pub tombstones: u64,
+    /// Tombstoned fraction of graph slots.
+    pub ratio: f64,
+    /// Journal bytes still on disk.
+    pub wal_bytes: u64,
+    /// Snapshot generations on disk.
+    pub generations: u64,
+}
+
+impl ShardDebt {
+    /// Read shard `shard`'s debt off a writer (generations require a
+    /// configured store; 0 otherwise).
+    pub fn read(writer: &ShardSetWriter, shard: usize) -> Option<ShardDebt> {
+        let sw: &IndexWriter = writer.writer(shard)?;
+        let generations = sw
+            .snapshot_store()
+            .and_then(|st| st.generations().ok())
+            .map_or(0, |g| g.len() as u64);
+        Some(ShardDebt {
+            tombstones: sw.tombstone_debt() as u64,
+            ratio: sw.tombstone_ratio(),
+            wal_bytes: sw.wal_live_bytes(),
+            generations,
+        })
+    }
+}
+
+#[cfg(all(test, not(ann_check)))]
+mod tests {
+    use super::*;
+    use ann_vectors::metric::Metric;
+    use ann_vectors::synthetic::uniform;
+    use std::sync::Arc;
+    use tau_mg::TauMngParams;
+
+    fn one_shard_writer(
+        n: usize,
+        seed: u64,
+    ) -> (ShardSetWriter, Arc<crate::ShardSet>, Arc<Metrics>) {
+        let base = Arc::new(uniform(6, n, seed));
+        let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 8).unwrap();
+        let params = TauMngParams { tau: 0.15, r: 16, l: 48, c: 150 };
+        let idx = tau_mg::build_tau_mng(base, Metric::L2, &knn, params).unwrap();
+        let parts = crate::shard::split_index(idx, params, 1).unwrap();
+        let metrics = Arc::new(Metrics::new());
+        let (w, set) = ShardSetWriter::attach(parts, params, Arc::clone(&metrics)).unwrap();
+        (w, set, metrics)
+    }
+
+    #[test]
+    fn health_ladder_degrades_quarantines_and_recovers() {
+        let cfg = MaintenanceConfig::default();
+        let mut h = HealthCell::new(cfg.backoff);
+        let now = Instant::now();
+        assert_eq!(h.state, ShardHealth::Healthy);
+        h.on_failure(&cfg, now);
+        assert_eq!(h.state, ShardHealth::Degraded);
+        h.on_failure(&cfg, now);
+        h.on_failure(&cfg, now);
+        assert_eq!(h.state, ShardHealth::Quarantined, "3 consecutive failures");
+        // Probation: two clean runs per rung, two rungs to go green.
+        h.on_success(&cfg);
+        assert_eq!(h.state, ShardHealth::Quarantined);
+        h.on_success(&cfg);
+        assert_eq!(h.state, ShardHealth::Degraded);
+        h.on_success(&cfg);
+        h.on_success(&cfg);
+        assert_eq!(h.state, ShardHealth::Healthy);
+        assert!(h.retry_at.is_none(), "success clears the backoff window");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = MaintenanceConfig {
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+            ..Default::default()
+        };
+        let mut h = HealthCell::new(cfg.backoff);
+        let now = Instant::now();
+        h.on_failure(&cfg, now);
+        assert_eq!(h.retry_at, Some(now + Duration::from_millis(10)));
+        h.on_failure(&cfg, now);
+        assert_eq!(h.retry_at, Some(now + Duration::from_millis(20)));
+        h.on_failure(&cfg, now);
+        h.on_failure(&cfg, now);
+        assert_eq!(h.retry_at, Some(now + Duration::from_millis(35)), "capped");
+    }
+
+    #[test]
+    fn pass_publishes_tombstones_then_compacts_over_threshold() {
+        let (mut w, set, metrics) = one_shard_writer(120, 7);
+        for e in 0..30u64 {
+            w.delete(e).unwrap();
+        }
+        let cfg = MaintenanceConfig {
+            max_tombstone_ratio: 0.1,
+            max_tombstones: 10_000,
+            ..Default::default()
+        };
+        let sched = MaintenanceScheduler::new_paused(w, cfg, Arc::clone(&metrics));
+        let report = sched.run_once();
+        // 30/120 = 25% tombstones: the pass must both make the deletes
+        // visible and (ratio > 10%) compact them away.
+        assert_eq!(report.tombstones_published, 1);
+        assert_eq!(report.compacted, vec![0]);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        let snap = set.cell(0).unwrap().load();
+        assert_eq!(snap.len(), 90, "compaction dropped the tombstoned points");
+        assert_eq!(snap.tombstone_count(), 0);
+        assert_eq!(sched.worst_health(), ShardHealth::Healthy);
+        assert_eq!(metrics.maintenance_health.get(), 0);
+        assert!(metrics.maintenance_runs.get() >= 1);
+    }
+
+    #[test]
+    fn pass_below_threshold_leaves_debt_standing() {
+        let (mut w, set, metrics) = one_shard_writer(120, 8);
+        for e in 0..5u64 {
+            w.delete(e).unwrap();
+        }
+        let cfg = MaintenanceConfig {
+            max_tombstone_ratio: 0.5,
+            max_tombstones: 10_000,
+            max_wal_bytes: u64::MAX,
+            ..Default::default()
+        };
+        let sched = MaintenanceScheduler::new_paused(w, cfg, metrics);
+        let report = sched.run_once();
+        assert_eq!(report.tombstones_published, 1, "deletes still become visible");
+        assert!(report.compacted.is_empty(), "debt below threshold: no compaction");
+        let snap = set.cell(0).unwrap().load();
+        assert_eq!(snap.tombstone_count(), 5, "filter carries the tombstones");
+        assert_eq!(snap.live_len(), 115);
+        // The tombstoned points never surface in a search.
+        let q: Vec<f32> = vec![0.5; 6];
+        let mut scratch = ann_graph::Scratch::new(snap.len());
+        let hit = snap.search(&q, 10, 64, &mut scratch);
+        assert!(hit.ids.iter().all(|&e| e >= 5), "tombstone leaked: {:?}", hit.ids);
+    }
+
+    #[test]
+    fn start_shutdown_joins_cleanly_and_into_writer_returns() {
+        let (w, _set, metrics) = one_shard_writer(80, 9);
+        let cfg = MaintenanceConfig { tick: Duration::from_millis(5), ..Default::default() };
+        let sched = MaintenanceScheduler::start(w, cfg, metrics);
+        sched.kick();
+        let w = sched.into_writer().expect("sole holder gets the writer back");
+        assert_eq!(w.shards(), 1);
+    }
+}

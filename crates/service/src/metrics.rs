@@ -177,6 +177,27 @@ pub struct ShardMetrics {
     /// Health flag: 1 while the shard is quarantined (recovery found no
     /// servable generation), 0 while it serves.
     pub degraded: Gauge,
+    /// Tombstones currently carried by this shard's replica (deletes not
+    /// yet folded into a compaction) — the count side of the debt gauge.
+    pub tombstone_debt: Gauge,
+    /// Snapshot generations currently retained in this shard's store
+    /// directory (refreshed by the maintenance scheduler).
+    pub generations_retained: Gauge,
+    /// Live write-ahead-log bytes on disk for this shard (journal bytes
+    /// not yet reclaimed by truncation).
+    pub wal_bytes: Gauge,
+    /// Maintenance health of this shard: 0 = healthy, 1 = degraded
+    /// (jobs failing, under backoff), 2 = quarantined (on probation).
+    pub maint_health: Gauge,
+    /// Maintenance jobs completed on this shard.
+    pub maintenance_runs: Counter,
+    /// Maintenance job attempts retried after a fault.
+    pub maintenance_retries: Counter,
+    /// Maintenance jobs that exhausted their retries on this shard.
+    pub maintenance_failures: Counter,
+    /// Cumulative maintenance backoff charged to this shard, milliseconds
+    /// (rendered as `backoff_secs`).
+    pub maintenance_backoff_ms: Counter,
 }
 
 /// The service-wide metrics registry.
@@ -241,6 +262,18 @@ pub struct Metrics {
     pub service_ns_ewma: AtomicU64,
     /// Shards currently serving degraded (quarantined at recovery).
     pub shards_degraded: Gauge,
+    /// Maintenance jobs completed across all shards.
+    pub maintenance_runs: Counter,
+    /// Maintenance job attempts retried after a fault, across all shards.
+    pub maintenance_retries: Counter,
+    /// Maintenance jobs that exhausted their retries, across all shards.
+    pub maintenance_failures: Counter,
+    /// Cumulative maintenance backoff across all shards, milliseconds
+    /// (rendered as `maintenance_backoff_secs`).
+    pub maintenance_backoff_ms: Counter,
+    /// Maintenance health across shards: 0 = every shard healthy,
+    /// 1 = some shard degraded, 2 = some shard quarantined.
+    pub maintenance_health: Gauge,
     /// Per-shard counters, one entry per shard (a single entry when the
     /// service is unsharded).
     shards: Vec<ShardMetrics>,
@@ -273,6 +306,11 @@ impl Default for Metrics {
             ndc: Histogram::default(),
             service_ns_ewma: AtomicU64::new(0),
             shards_degraded: Gauge::default(),
+            maintenance_runs: Counter::default(),
+            maintenance_retries: Counter::default(),
+            maintenance_failures: Counter::default(),
+            maintenance_backoff_ms: Counter::default(),
+            maintenance_health: Gauge::default(),
             shards: vec![ShardMetrics::default()],
             started: Instant::now(),
         }
@@ -370,16 +408,35 @@ impl Metrics {
         ));
         s.push_str(&format!("service_ns_ewma    {}\n", self.service_ns()));
         s.push_str(&format!("shards_degraded    {}\n", self.shards_degraded.get()));
+        s.push_str(&format!("maintenance_runs   {}\n", self.maintenance_runs.get()));
+        s.push_str(&format!("maintenance_retries {}\n", self.maintenance_retries.get()));
+        s.push_str(&format!("maintenance_failures {}\n", self.maintenance_failures.get()));
+        s.push_str(&format!(
+            "maintenance_backoff_secs {:.3}\n",
+            self.maintenance_backoff_ms.get() as f64 / 1_000.0
+        ));
+        s.push_str(&format!("maintenance_health {}\n", self.maintenance_health.get()));
         for (i, sh) in self.shards.iter().enumerate() {
             s.push_str(&format!(
                 "shard[{i}]           publishes={} persisted_gen={} points={} \
-                 searches={} ndc={} degraded={}\n",
+                 searches={} ndc={} degraded={} tombstone_debt={} \
+                 generations_retained={} wal_bytes={} maint_health={} \
+                 maint_runs={} maint_retries={} maint_failures={} \
+                 maint_backoff_secs={:.3}\n",
                 sh.publishes.get(),
                 sh.persisted_generation.get(),
                 sh.points.get(),
                 sh.searches.get(),
                 sh.ndc.get(),
                 sh.degraded.get(),
+                sh.tombstone_debt.get(),
+                sh.generations_retained.get(),
+                sh.wal_bytes.get(),
+                sh.maint_health.get(),
+                sh.maintenance_runs.get(),
+                sh.maintenance_retries.get(),
+                sh.maintenance_failures.get(),
+                sh.maintenance_backoff_ms.get() as f64 / 1_000.0,
             ));
         }
         s
@@ -455,6 +512,11 @@ mod tests {
             "wal_truncated",
             "wal_bytes",
             "wal_failed",
+            "maintenance_runs",
+            "maintenance_retries",
+            "maintenance_failures",
+            "maintenance_backoff_secs",
+            "maintenance_health",
         ] {
             assert!(text.contains(key), "render missing {key}:\n{text}");
         }

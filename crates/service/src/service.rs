@@ -313,7 +313,10 @@ impl AnnService {
     /// last durable write did not land and the service is running on an
     /// in-memory snapshot), and write-ahead-log health (`wal=FAILED` means
     /// the last journal append was not acknowledged — mutations are being
-    /// rejected rather than silently un-journaled), followed by the full
+    /// rejected rather than silently un-journaled), and background
+    /// maintenance health (`maint=degraded` — at least one shard's
+    /// maintenance jobs are failing and retrying under backoff;
+    /// `maint=FAILED` — a shard is quarantined), followed by the full
     /// metrics render (including the per-shard counters).
     pub fn status(&self) -> String {
         let mut snaps = Vec::new();
@@ -321,13 +324,20 @@ impl AnnService {
         let shards = snaps.len();
         let healthy = snaps.iter().flatten().count();
         let generation = snaps.iter().flatten().map(|s| s.generation()).min().unwrap_or(0);
-        let points: usize = snaps.iter().flatten().map(|s| s.len()).sum();
+        // Live points: the deletion filter hides tombstoned graph slots.
+        let points: usize = snaps.iter().flatten().map(|s| s.live_len()).sum();
         let age = snaps.iter().flatten().map(|s| s.age_secs()).fold(0.0_f64, f64::max);
         let persist = if self.metrics.persist_failed.get() != 0 { "FAILED" } else { "ok" };
         let wal = if self.metrics.wal_failed.get() != 0 { "FAILED" } else { "ok" };
+        let maint = match self.metrics.maintenance_health.get() {
+            0 => "ok",
+            1 => "degraded",
+            _ => "FAILED",
+        };
         format!(
             "serving shards={shards} healthy={healthy} shards_degraded={} gen={generation} \
-             points={points} snapshot_age_secs={age:.2} persist={persist} wal={wal}\n{}",
+             points={points} snapshot_age_secs={age:.2} persist={persist} wal={wal} \
+             maint={maint}\n{}",
             shards - healthy,
             self.metrics.render()
         )

@@ -591,6 +591,20 @@ impl ShardSetWriter {
         self.writers.len()
     }
 
+    /// Zero-shard placeholder: what a [`crate::MaintenanceScheduler`] swaps
+    /// in when it relinquishes its real writer. Accepts nothing, serves
+    /// nothing.
+    pub(crate) fn placeholder() -> ShardSetWriter {
+        ShardSetWriter {
+            writers: Vec::new(),
+            router: ShardRouter::new(1),
+            next_external: 0,
+            generation: 0,
+            metrics: Arc::new(Metrics::new()),
+            last_publish_errors: Vec::new(),
+        }
+    }
+
     /// The placement router for this set.
     pub fn router(&self) -> ShardRouter {
         self.router
@@ -705,6 +719,80 @@ impl ShardSetWriter {
             Some(e) if published == 0 && dirty > 0 => Err(e),
             _ => Ok(self.generation),
         }
+    }
+
+    /// Make every shard's pending deletes reader-visible **without**
+    /// compacting: each shard with unpublished tombstones republishes its
+    /// frozen snapshot under an updated deletion filter (see
+    /// [`IndexWriter::publish_tombstones`]) at the next set generation.
+    /// O(deletes) per shard; pending inserts stay invisible until a full
+    /// [`ShardSetWriter::publish`] or a scheduler-driven
+    /// [`ShardSetWriter::compact_shard`]. Returns the set generation after
+    /// the call.
+    ///
+    /// # Errors
+    /// Only if at least one shard had unpublished tombstones and *none*
+    /// republished (mirroring [`ShardSetWriter::publish`]).
+    pub fn publish_tombstones(&mut self) -> Result<u64> {
+        self.last_publish_errors.clear();
+        let target = self.generation + 1;
+        let mut pending = 0usize;
+        let mut published = 0usize;
+        let mut first_err = None;
+        for (s, writer) in self.writers.iter_mut().enumerate() {
+            let Some(writer) = writer.as_mut() else {
+                continue;
+            };
+            if writer.tombstones_unpublished() == 0 {
+                continue;
+            }
+            pending += 1;
+            match writer.publish_tombstones_at(target) {
+                Ok(_) => published += 1,
+                Err(e) => {
+                    self.last_publish_errors.push((s, e.to_string()));
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if published > 0 {
+            self.generation = target;
+        }
+        match first_err {
+            Some(e) if published == 0 && pending > 0 => Err(e),
+            _ => Ok(self.generation),
+        }
+    }
+
+    /// Fully compact-and-publish one shard (repaying its tombstone debt and
+    /// making pending inserts visible) at the next set generation — the
+    /// maintenance scheduler's debt-threshold compaction. Other shards are
+    /// untouched. Returns the set generation after the call; a no-op (shard
+    /// clean, no debt) returns the current generation without publishing.
+    ///
+    /// # Errors
+    /// `InvalidParameter` if `shard` is out of range or degraded;
+    /// propagates the shard's publish errors (e.g. `EmptyDataset`).
+    pub fn compact_shard(&mut self, shard: usize) -> Result<u64> {
+        let writer = self.writers.get_mut(shard).and_then(Option::as_mut).ok_or_else(|| {
+            AnnError::InvalidParameter(format!("shard {shard} is degraded or out of range"))
+        })?;
+        if !writer.is_dirty() && writer.tombstone_debt() == 0 {
+            return Ok(self.generation);
+        }
+        let target = self.generation + 1;
+        writer.publish_at(target)?;
+        self.generation = target;
+        Ok(target)
+    }
+
+    /// Mutable access to shard `shard`'s writer, if healthy — the
+    /// maintenance scheduler's hook for per-shard jobs (WAL truncation
+    /// rides on publish; debt accessors live on [`IndexWriter`]).
+    pub fn writer_mut(&mut self, shard: usize) -> Option<&mut IndexWriter> {
+        self.writers.get_mut(shard).and_then(Option::as_mut)
     }
 
     /// Per-shard failures from the most recent publish (empty while every

@@ -9,9 +9,16 @@
 //!   and tombstone deletes there, and on [`IndexWriter::publish`] compacts
 //!   it into a fresh frozen index that is atomically swapped into the cell.
 //!
-//! Readers therefore never see a half-updated graph and never observe a
-//! tombstone: every snapshot they can hold is a compacted index in which
-//! deleted points simply do not exist.
+//! Readers therefore never see a half-updated graph: every snapshot they
+//! can hold is either a compacted index in which deleted points simply do
+//! not exist, or that same frozen index republished with a **deletion
+//! filter** ([`IndexWriter::publish_tombstones`]) — an O(deletes)
+//! incremental publish that makes deletes reader-visible without paying a
+//! full compaction. The read path skips filtered externals and widens its
+//! beam by the filter size (bounded by the requested beam) so recall does
+//! not silently erode; the accumulated *tombstone debt* is repaid by the
+//! next full [`IndexWriter::publish`], normally driven by the background
+//! [`crate::maintenance::MaintenanceScheduler`].
 //!
 //! Compaction remaps internal `u32` ids, so snapshots carry a table of
 //! stable **external ids** (`u64`, assigned at insert and never reused).
@@ -25,7 +32,7 @@ use crate::metrics::Metrics;
 use crate::store::{RecoveredSnapshot, SnapshotStore};
 use crate::sync::RwLock;
 use crate::wal::{ShardWal, WalOp};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -41,11 +48,20 @@ pub struct Hit {
 }
 
 /// An immutable, searchable publication of the index.
+///
+/// The frozen index and the id table live behind `Arc`s so an incremental
+/// tombstone publish ([`IndexWriter::publish_tombstones`]) can re-wrap them
+/// without copying a single vector or edge — only the deletion filter and
+/// the generation stamp change.
 #[derive(Debug)]
 pub struct Snapshot {
-    index: TauIndex,
+    index: Arc<TauIndex>,
     /// `external_ids[internal]` — stable across compactions.
-    external_ids: Vec<u64>,
+    external_ids: Arc<Vec<u64>>,
+    /// Externals deleted since the last full compaction but still present
+    /// in the frozen graph. The read path filters them; empty for freshly
+    /// compacted snapshots.
+    tombstones: Arc<HashSet<u64>>,
     generation: u64,
     published_at: Instant,
 }
@@ -56,15 +72,34 @@ impl Snapshot {
         &self.index
     }
 
-    /// Number of points in this snapshot.
+    /// Number of points physically present in this snapshot's graph —
+    /// including tombstoned ones, so it is the right size for
+    /// [`Scratch::new`]. See [`Snapshot::live_len`] for the logical count.
     pub fn len(&self) -> usize {
         self.external_ids.len()
+    }
+
+    /// Number of points a reader can actually receive: graph points minus
+    /// the deletion filter.
+    pub fn live_len(&self) -> usize {
+        self.external_ids.len() - self.tombstones.len()
     }
 
     /// Whether the snapshot is empty (never true for published snapshots —
     /// compaction of an empty index is an error upstream).
     pub fn is_empty(&self) -> bool {
         self.external_ids.is_empty()
+    }
+
+    /// Number of externals hidden by the deletion filter (0 for freshly
+    /// compacted snapshots).
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Whether `external` is present in the graph but hidden from readers.
+    pub fn is_tombstoned(&self, external: u64) -> bool {
+        self.tombstones.contains(&external)
     }
 
     /// Monotone publish counter (0 for the initial snapshot).
@@ -113,16 +148,28 @@ impl Snapshot {
     ) -> SearchStats {
         ids.clear();
         dists.clear();
-        let r = self.index.search_opts(query, k, l, TauSearchOptions::default(), scratch);
-        ids.reserve(r.ids.len());
-        dists.reserve(r.dists.len());
+        // Beam compensation: tombstoned points still occupy result slots in
+        // the frozen graph, so ask for up to one extra slot per tombstone —
+        // capped at the requested beam so a huge filter cannot blow up the
+        // search. With an empty filter this is bit-identical to the
+        // uncompensated path.
+        let slack = self.tombstones.len().min(l.max(k));
+        let (kq, lq) = if slack == 0 { (k, l) } else { (k + slack, l.max(k) + slack) };
+        let r = self.index.search_opts(query, kq, lq, TauSearchOptions::default(), scratch);
+        ids.reserve(r.ids.len().min(k));
+        dists.reserve(r.dists.len().min(k));
         for (&internal, &d) in r.ids.iter().zip(&r.dists) {
+            if ids.len() == k {
+                break;
+            }
             // An in-range id is an index invariant; if it ever breaks, drop
             // the hit rather than panic under a reader.
             debug_assert!((internal as usize) < self.external_ids.len());
             if let Some(e) = self.external_id(internal) {
-                ids.push(e);
-                dists.push(d);
+                if !self.tombstones.contains(&e) {
+                    ids.push(e);
+                    dists.push(d);
+                }
             }
         }
         r.stats
@@ -201,6 +248,21 @@ pub struct IndexWriter {
     /// covered LSN each was persisted with; trimmed to the store's retain-K.
     /// Drives the WAL floor (prune protection) and journal truncation.
     durable: VecDeque<(u64, u64)>,
+    /// Points in the frozen base index the cell currently serves: internals
+    /// `0..base_len` are base points, internals `>= base_len` are inserts
+    /// applied to the replica since the last full publish (invisible to
+    /// readers until the next compaction).
+    base_len: usize,
+    /// Externals deleted from the base set since the last full publish.
+    /// These are the candidates for an incremental tombstone publish; a
+    /// full publish drops them from the graph and clears this set.
+    base_tombstones: HashSet<u64>,
+    /// How many of `base_tombstones` are already reader-visible (published
+    /// in the serving snapshot's deletion filter).
+    published_tombstones: usize,
+    /// Live inserts applied since the last full publish (deleting such a
+    /// point cancels the pair — neither was ever reader-visible).
+    inserts_pending: usize,
 }
 
 impl IndexWriter {
@@ -279,9 +341,11 @@ impl IndexWriter {
         let dynamic = DynamicTauMng::from_index_with_params(&index, params);
         let params = dynamic.params();
         let audit_cap = index.graph().max_degree().max(params.r);
+        let base_len = external_ids.len();
         let cell = Arc::new(SnapshotCell::new(Arc::new(Snapshot {
-            index,
-            external_ids: external_ids.clone(),
+            index: Arc::new(index),
+            external_ids: Arc::new(external_ids.clone()),
+            tombstones: Arc::new(HashSet::new()),
             generation: 0,
             published_at: Instant::now(),
         })));
@@ -315,6 +379,10 @@ impl IndexWriter {
             last_lsn: 0,
             durable: VecDeque::new(),
             relayout: true,
+            base_len,
+            base_tombstones: HashSet::new(),
+            published_tombstones: 0,
+            inserts_pending: 0,
         };
         if let Some(sm) = writer.metrics.shard(writer.shard) {
             sm.points.set(writer.dynamic.len() as u64);
@@ -383,9 +451,11 @@ impl IndexWriter {
             // cast: slot index < n <= u32::MAX, guaranteed by the envelope decoder.
             external_ids.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
         let next_external = external_ids.iter().max().map_or(0, |&m| m + 1);
+        let base_len = external_ids.len();
         let cell = Arc::new(SnapshotCell::new(Arc::new(Snapshot {
-            index,
-            external_ids: external_ids.clone(),
+            index: Arc::new(index),
+            external_ids: Arc::new(external_ids.clone()),
+            tombstones: Arc::new(HashSet::new()),
             generation,
             published_at: Instant::now(),
         })));
@@ -409,6 +479,10 @@ impl IndexWriter {
             last_lsn: covered_lsn,
             durable: VecDeque::from([(generation, covered_lsn)]),
             relayout: true,
+            base_len,
+            base_tombstones: HashSet::new(),
+            published_tombstones: 0,
+            inserts_pending: 0,
         };
         if let Some(sm) = writer.metrics.shard(writer.shard) {
             sm.points.set(writer.dynamic.len() as u64);
@@ -452,6 +526,7 @@ impl IndexWriter {
                             ));
                             continue;
                         }
+                        self.note_delete(*external, internal);
                         self.dirty = true;
                     }
                     match self.dynamic.insert(vector) {
@@ -460,6 +535,7 @@ impl IndexWriter {
                             self.ext_of_internal.push(*external);
                             self.int_of_external.insert(*external, internal);
                             self.next_external = self.next_external.max(external + 1);
+                            self.inserts_pending += 1;
                             self.dirty = true;
                             applied += 1;
                         }
@@ -477,6 +553,7 @@ impl IndexWriter {
                     };
                     match self.dynamic.delete(internal) {
                         Ok(()) => {
+                            self.note_delete(*external, internal);
                             self.dirty = true;
                             applied += 1;
                         }
@@ -504,7 +581,12 @@ impl IndexWriter {
             store.config().durability,
             Arc::clone(&self.metrics),
             next_lsn,
-            replay.segments,
+            replay
+                .segments
+                .into_iter()
+                .zip(replay.segment_bytes)
+                .map(|((first, path), bytes)| (first, path, bytes))
+                .collect(),
         ));
         if self.dirty {
             // Fold the replayed mutations into a durable publication so the
@@ -611,6 +693,7 @@ impl IndexWriter {
         debug_assert_eq!(internal as usize, self.ext_of_internal.len());
         self.ext_of_internal.push(external);
         self.int_of_external.insert(external, internal);
+        self.inserts_pending += 1;
         self.dirty = true;
         Ok(external)
     }
@@ -639,6 +722,7 @@ impl IndexWriter {
         }
         match self.dynamic.delete(internal) {
             Ok(()) => {
+                self.note_delete(external, internal);
                 self.dirty = true;
                 Ok(())
             }
@@ -646,6 +730,17 @@ impl IndexWriter {
                 self.int_of_external.insert(external, internal);
                 Err(e)
             }
+        }
+    }
+
+    /// Debt bookkeeping for a successful delete: a base point becomes a
+    /// candidate for the next tombstone publish; deleting a not-yet-visible
+    /// insert cancels the pair instead.
+    fn note_delete(&mut self, external: u64, internal: u32) {
+        if (internal as usize) < self.base_len {
+            self.base_tombstones.insert(external);
+        } else {
+            self.inserts_pending = self.inserts_pending.saturating_sub(1);
         }
     }
 
@@ -709,9 +804,15 @@ impl IndexWriter {
             external_ids.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect(); // cast: slot < n
         self.generation = generation;
         self.dirty = false;
+        // Compaction repaid every debt the filter was carrying.
+        self.base_len = external_ids.len();
+        self.base_tombstones.clear();
+        self.published_tombstones = 0;
+        self.inserts_pending = 0;
         self.cell.publish(Arc::new(Snapshot {
-            index,
-            external_ids,
+            index: Arc::new(index),
+            external_ids: Arc::new(external_ids),
+            tombstones: Arc::new(HashSet::new()),
             generation: self.generation,
             published_at: Instant::now(),
         }));
@@ -725,6 +826,97 @@ impl IndexWriter {
         // already on the new snapshot.
         self.persist_current();
         Ok(self.generation)
+    }
+
+    /// Make pending deletes reader-visible **without** compacting: republish
+    /// the serving snapshot's frozen index with an updated deletion filter.
+    /// O(deletes) instead of O(n log n); pending inserts (never visible in
+    /// the frozen graph anyway) stay pending until the next full
+    /// [`IndexWriter::publish`]. Returns the new generation.
+    ///
+    /// Nothing is persisted: the deletes are already journaled in the WAL,
+    /// so crash recovery replays them onto the last durable snapshot. The
+    /// debt this leaves behind — tombstoned points still occupying graph
+    /// slots and widening every beam — is tracked by
+    /// [`IndexWriter::tombstone_debt`] and repaid when the
+    /// [`crate::maintenance::MaintenanceScheduler`] (or any caller) next
+    /// runs a full publish.
+    ///
+    /// # Errors
+    /// `EmptyDataset` if the filter would hide every point in the snapshot
+    /// (compact instead — an all-tombstone graph serves nothing).
+    pub fn publish_tombstones(&mut self) -> Result<u64> {
+        self.publish_tombstones_at(self.generation + 1)
+    }
+
+    /// [`IndexWriter::publish_tombstones`] at a caller-chosen generation —
+    /// the sharded path, mirroring [`IndexWriter::publish_at`].
+    pub(crate) fn publish_tombstones_at(&mut self, generation: u64) -> Result<u64> {
+        if generation <= self.generation {
+            return Err(AnnError::InvalidParameter(format!(
+                "publish generation {generation} must exceed current {}",
+                self.generation
+            )));
+        }
+        let cur = self.cell.load();
+        if self.base_tombstones.len() >= cur.len() {
+            return Err(AnnError::EmptyDataset);
+        }
+        self.generation = generation;
+        self.published_tombstones = self.base_tombstones.len();
+        // Visible state now matches the replica's live set unless inserts
+        // are still waiting for a compaction.
+        self.dirty = self.inserts_pending > 0;
+        self.cell.publish(Arc::new(Snapshot {
+            index: Arc::clone(&cur.index),
+            external_ids: Arc::clone(&cur.external_ids),
+            tombstones: Arc::new(self.base_tombstones.clone()),
+            generation,
+            published_at: Instant::now(),
+        }));
+        self.metrics.snapshots_published.inc();
+        if let Some(sm) = self.metrics.shard(self.shard) {
+            sm.publishes.inc();
+            sm.points.set(self.dynamic.len() as u64);
+        }
+        Ok(generation)
+    }
+
+    /// Deletes applied but not yet reader-visible — the gap an incremental
+    /// [`IndexWriter::publish_tombstones`] would close.
+    pub fn tombstones_unpublished(&self) -> usize {
+        self.base_tombstones.len() - self.published_tombstones
+    }
+
+    /// Tombstone debt: points still occupying slots in the replica's graph
+    /// (and, via the filter, in the served snapshot) that only a full
+    /// publish can reclaim.
+    pub fn tombstone_debt(&self) -> usize {
+        self.dynamic.num_deleted()
+    }
+
+    /// Tombstone debt as a fraction of the replica's graph slots (live +
+    /// deleted); 0.0 for a freshly compacted writer.
+    pub fn tombstone_ratio(&self) -> f64 {
+        self.dynamic.deleted_ratio()
+    }
+
+    /// Inserts applied since the last full publish that are still invisible
+    /// to readers (a reason to schedule a compaction even at low tombstone
+    /// debt).
+    pub fn inserts_pending(&self) -> usize {
+        self.inserts_pending
+    }
+
+    /// Journal bytes still on disk for this shard (0 without a WAL) — the
+    /// "WAL bytes beyond floor" component of maintenance debt.
+    pub fn wal_live_bytes(&self) -> u64 {
+        self.wal.as_ref().map_or(0, crate::wal::ShardWal::live_bytes)
+    }
+
+    /// Snapshot generations this writer believes are durable on disk.
+    pub fn durable_generations(&self) -> usize {
+        self.durable.len()
     }
 
     /// Write the currently served snapshot to the durable store, if one is

@@ -45,9 +45,10 @@ use tau_mg::{TauIndex, TauMngParams};
 
 use crate::metrics::Metrics;
 use crate::snapshot::Snapshot;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use crate::wal::DurabilityMode;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -235,6 +236,12 @@ pub struct SnapshotStore {
     /// retain-K. Writers lower this before persisting so retention can
     /// never remove a generation that journal segments depend on.
     wal_floor: AtomicU64,
+    /// Maintenance lock (class `store_maint` in `audit.toml`): serializes
+    /// pruning, recovery scans, and WAL-floor movement so a background
+    /// [`crate::maintenance::MaintenanceScheduler`] GC pass can never
+    /// remove a generation a concurrent recovery is about to load, or race
+    /// a floor being raised by a publish on another thread.
+    maint: Mutex<()>,
 }
 
 impl SnapshotStore {
@@ -252,7 +259,13 @@ impl SnapshotStore {
     ) -> Result<Arc<SnapshotStore>> {
         let dir = dir.into();
         fs.create_dir_all(&dir)?;
-        Ok(Arc::new(SnapshotStore { dir, fs, config, wal_floor: AtomicU64::new(u64::MAX) }))
+        Ok(Arc::new(SnapshotStore {
+            dir,
+            fs,
+            config,
+            wal_floor: AtomicU64::new(u64::MAX),
+            maint: Mutex::new(()),
+        }))
     }
 
     /// Directory of shard `shard`'s generations under a shard-set root:
@@ -299,6 +312,11 @@ impl SnapshotStore {
     /// regardless of retain-K, so a crash mid-churn always finds a valid
     /// replay base on disk.
     pub fn set_wal_floor(&self, generation: u64) {
+        // Taken under the maintenance lock so the floor cannot move while a
+        // GC pass is mid-scan deciding what is safe to remove — the classic
+        // recover/prune race this store used to tolerate only because
+        // nothing pruned concurrently.
+        let _maint = self.maint.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         // `status()` readers on other threads combine the floor with
         // persisted-state checks (segment listings, replay bases written
         // before the floor moved), so a raised floor must never become
@@ -458,6 +476,10 @@ impl SnapshotStore {
     /// Only on directory-level I/O failure; per-file corruption is part of
     /// the [`RecoveryReport`], not an error.
     pub fn recover(&self) -> Result<RecoveryReport> {
+        // The whole scan runs under the maintenance lock: a concurrent GC
+        // pass (scheduler) or floor movement (publish) must not remove a
+        // candidate between the listing and the load.
+        let _maint = self.maint.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut candidates: Vec<(u64, PathBuf)> = self
             .fs
             .list_dir(&self.dir)?
@@ -499,10 +521,40 @@ impl SnapshotStore {
     /// segments still replay on top of them, so removing one would leave
     /// acknowledged-but-unpublished writes with no base to land on.
     fn prune(&self) {
-        let Ok(entries) = self.fs.list_dir(&self.dir) else {
-            return;
+        let _maint = self.maint.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = self.prune_locked(false);
+    }
+
+    /// Verified snapshot GC for the maintenance scheduler: prune under the
+    /// maintenance lock, but *fallibly* — a filesystem refusal surfaces as
+    /// an error (so the scheduler can back off, retry, and account the
+    /// failure against the shard's health) instead of being swallowed.
+    /// Returns the number of files removed.
+    ///
+    /// # Errors
+    /// `Io` if the directory cannot be listed or any removal is refused.
+    pub fn gc(&self) -> Result<usize> {
+        let _maint = self.maint.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.prune_locked(true)
+    }
+
+    /// Retention body; caller holds the maintenance lock. Keep the newest
+    /// `retain` generations, drop older ones and stale temp files, and
+    /// never touch a generation at or above the WAL floor: journal segments
+    /// still replay on top of it, so removing one would leave
+    /// acknowledged-but-unpublished writes with no base to land on.
+    ///
+    /// With `strict` unset (the publish path) failures are ignored —
+    /// leftover files cost disk, not correctness, and recovery skips or
+    /// quarantines them.
+    fn prune_locked(&self, strict: bool) -> Result<usize> {
+        let entries = match self.fs.list_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if strict => return Err(e.into()),
+            Err(_) => return Ok(0),
         };
         let floor = self.wal_floor();
+        let mut removed = 0usize;
         let mut gens: Vec<(u64, &PathBuf)> = entries
             .iter()
             .filter_map(|p| Self::parse_generation(p).map(|g| (g, p)))
@@ -512,14 +564,23 @@ impl SnapshotStore {
             if *generation >= floor {
                 continue;
             }
-            let _ = self.fs.remove_file(path);
+            match self.fs.remove_file(path) {
+                Ok(()) => removed += 1,
+                Err(e) if strict => return Err(e.into()),
+                Err(_) => {}
+            }
         }
         for path in &entries {
             let is_tmp = path.extension().is_some_and(|e| e == "tmp");
             if is_tmp {
-                let _ = self.fs.remove_file(path);
+                match self.fs.remove_file(path) {
+                    Ok(()) => removed += 1,
+                    Err(e) if strict => return Err(e.into()),
+                    Err(_) => {}
+                }
             }
         }
+        Ok(removed)
     }
 }
 

@@ -160,6 +160,9 @@ pub struct WalReplay {
     pub records: Vec<WalRecord>,
     /// Segment files seen, as `(first_lsn, path)`, ascending by LSN.
     pub segments: Vec<(u64, PathBuf)>,
+    /// On-disk size of each segment in [`WalReplay::segments`], aligned by
+    /// index (0 for a segment the filesystem refused to read).
+    pub segment_bytes: Vec<u64>,
     /// Damage tolerated during the scan (torn tails, corrupt headers,
     /// unreadable files) — reading stopped at the damage point inside each
     /// affected segment and continued with the next one.
@@ -195,9 +198,11 @@ pub fn read_wal_dir(fs: &Arc<dyn SnapshotFs>, dir: &Path, after_lsn: u64) -> Res
             Ok(b) => b,
             Err(e) => {
                 out.damaged.push((path.clone(), e.into()));
+                out.segment_bytes.push(0);
                 continue;
             }
         };
+        out.segment_bytes.push(bytes.len() as u64);
         out.bytes += bytes.len() as u64;
         let (records, damage) = scan_segment(path, &bytes, *first_lsn, &mut last_lsn);
         out.records.extend(records.into_iter().filter(|r| r.lsn > after_lsn));
@@ -454,7 +459,8 @@ pub struct ShardWal {
     /// including failed ones — a failed append may still be on the platter,
     /// and no two records may ever share an LSN.
     next_lsn: u64,
-    sealed: Vec<(u64, PathBuf)>,
+    /// Sealed segments still on disk: `(first_lsn, path, bytes)`.
+    sealed: Vec<(u64, PathBuf, u64)>,
     active: Option<ActiveSegment>,
     unsynced: usize,
     last_sync: Instant,
@@ -497,8 +503,9 @@ impl ShardWal {
 
     /// Resume journaling after a replay: `next_lsn` must exceed every LSN
     /// present on disk (readable or not), and `segments` are the files the
-    /// replay saw (they stay until truncation). New appends always open a
-    /// fresh segment — recovered tails are never appended to.
+    /// replay saw as `(first_lsn, path, on-disk bytes)` (they stay until
+    /// truncation). New appends always open a fresh segment — recovered
+    /// tails are never appended to.
     pub(crate) fn resume(
         dir: impl Into<PathBuf>,
         shard: u32,
@@ -506,7 +513,7 @@ impl ShardWal {
         mode: DurabilityMode,
         metrics: Arc<Metrics>,
         next_lsn: u64,
-        segments: Vec<(u64, PathBuf)>,
+        sealed: Vec<(u64, PathBuf, u64)>,
     ) -> ShardWal {
         ShardWal {
             dir: dir.into(),
@@ -514,7 +521,7 @@ impl ShardWal {
             mode,
             shard,
             next_lsn: next_lsn.max(1),
-            sealed: segments,
+            sealed,
             active: None,
             unsynced: 0,
             last_sync: Instant::now(),
@@ -535,6 +542,14 @@ impl ShardWal {
     /// Segment files currently on disk (sealed + active).
     pub fn segment_count(&self) -> usize {
         self.sealed.len() + usize::from(self.active.is_some())
+    }
+
+    /// Bytes of journal still on disk (sealed segment sizes plus the live
+    /// tail of the active segment) — the "WAL bytes beyond floor" debt that
+    /// [`ShardWal::truncate_through`] pays down.
+    pub fn live_bytes(&self) -> u64 {
+        let sealed: u64 = self.sealed.iter().map(|s| s.2).sum();
+        sealed + self.active.as_ref().map_or(0, |a| a.len)
     }
 
     /// Re-stamp the shard id (used once, right after a writer is adopted
@@ -573,7 +588,7 @@ impl ShardWal {
         let mut data = BytesMut::new();
         if !matches!(&self.active, Some(a) if !a.damaged) {
             if let Some(a) = self.active.take() {
-                self.sealed.push((a.first_lsn, self.segment_path(a.first_lsn)));
+                self.sealed.push((a.first_lsn, self.segment_path(a.first_lsn), a.len));
             }
             encode_header(&mut data, self.shard, lsn);
             self.active = Some(ActiveSegment { first_lsn: lsn, len: 0, damaged: false });
@@ -666,13 +681,14 @@ impl ShardWal {
         let mut uppers: Vec<u64> = self.sealed.iter().skip(1).map(|s| s.0).collect();
         uppers.push(self.active.as_ref().map_or(self.next_lsn, |a| a.first_lsn));
         let mut kept = Vec::new();
-        for ((first, path), upper_excl) in std::mem::take(&mut self.sealed).into_iter().zip(uppers)
+        for ((first, path, bytes), upper_excl) in
+            std::mem::take(&mut self.sealed).into_iter().zip(uppers)
         {
             if upper_excl.saturating_sub(1) <= lsn {
                 let _ = self.fs.remove_file(&path);
                 self.metrics.wal_truncated.inc();
             } else {
-                kept.push((first, path));
+                kept.push((first, path, bytes));
             }
         }
         self.sealed = kept;

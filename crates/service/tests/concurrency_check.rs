@@ -18,8 +18,9 @@
 
 use ann_check::{check, Config, Report};
 use ann_service::{
-    read_wal_dir, AnnService, DurabilityMode, IndexWriter, Metrics, QueryOptions, RealFs,
-    ServiceConfig, ShardSetWriter, Snapshot, SnapshotCell, SnapshotFs,
+    read_wal_dir, AnnService, DurabilityMode, IndexWriter, MaintenanceConfig, MaintenanceScheduler,
+    Metrics, QueryOptions, RealFs, ServiceConfig, ShardSetWriter, Snapshot, SnapshotCell,
+    SnapshotFs, SnapshotStore, SnapshotStoreConfig,
 };
 use ann_vectors::{synthetic, Metric};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -237,6 +238,154 @@ fn wal_append_before_ack_contract() {
 }
 
 use ann_service::ShardWal;
+
+/// Protocol 5 — snapshot prune vs. publish vs. WAL truncation, real
+/// `SnapshotStore` on disk (the `store_maint` lock class).
+///
+/// A publisher persists generations (each persist prunes best-effort and
+/// truncates superseded journal segments), a GC thread runs the strict
+/// prune, and a recovery observer loads the newest generation — all racing
+/// on one store. The contract: GC never propagates an error on a healthy
+/// filesystem, and recovery *always* finds a servable, audit-clean
+/// generation — no schedule exists where prune removes the snapshot
+/// recovery is about to load, because both serialize on the maintenance
+/// lock.
+#[test]
+fn prune_vs_publish_vs_truncate_keeps_a_servable_generation() {
+    static FIXTURE: OnceLock<(Vec<u8>, Arc<ann_vectors::VecStore>)> = OnceLock::new();
+    let (bytes, base) = FIXTURE.get_or_init(|| {
+        let base = Arc::new(synthetic::uniform(6, 40, 45));
+        let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 8).expect("knn");
+        let idx = build_tau_mng(Arc::clone(&base), Metric::L2, &knn, PARAMS).expect("index");
+        (idx.to_bytes(), base)
+    });
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::temp_dir()
+        .join("ann_service_concurrency_check")
+        .join(format!("store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let report = check(&fixed(0x6C01), move || {
+        // ordering: schedule-unique directory counter; only RMW uniqueness matters.
+        let dir = root.join(format!("s{}", DIR_SEQ.fetch_add(1, Ordering::Relaxed)));
+        let store = SnapshotStore::open_with_fs(
+            &dir,
+            Arc::new(RealFs),
+            SnapshotStoreConfig {
+                retain: 1,
+                max_retries: 0,
+                backoff: Duration::ZERO,
+                audit_on_recover: true,
+                durability: DurabilityMode::Strict,
+            },
+        )
+        .expect("open store");
+        let index =
+            tau_mg::TauIndex::from_bytes(bytes, Arc::clone(base), Metric::L2).expect("materialize");
+        let (mut writer, _cell) = IndexWriter::attach_durable(
+            index,
+            PARAMS,
+            Arc::new(Metrics::new()),
+            Arc::clone(&store),
+        );
+        let publisher = ann_check::thread::spawn(move || {
+            for i in 0..2u64 {
+                let v: Vec<f32> = (0..6).map(|d| (i * 13 + d) as f32 * 0.04).collect();
+                writer.insert(&v).expect("insert");
+                writer.publish().expect("publish");
+                assert!(writer.last_persist_error().is_none(), "healthy fs must persist");
+            }
+        });
+        let gc = {
+            let store = Arc::clone(&store);
+            ann_check::thread::spawn(move || {
+                for _ in 0..2 {
+                    let _removed = store.gc().expect("gc must not fail on a healthy fs");
+                }
+            })
+        };
+        let recoverer = {
+            let store = Arc::clone(&store);
+            ann_check::thread::spawn(move || {
+                for _ in 0..2 {
+                    let report = store.recover().expect("recover");
+                    assert!(
+                        report.recovered.is_some(),
+                        "prune raced recovery out of every generation; quarantined: {:?}",
+                        report
+                            .quarantined
+                            .iter()
+                            .map(|(p, e)| (p.clone(), e.to_string()))
+                            .collect::<Vec<_>>()
+                    );
+                }
+            })
+        };
+        publisher.join().expect("publisher");
+        gc.join().expect("gc");
+        recoverer.join().expect("recoverer");
+        // Quiesced: retention holds and the newest generation serves.
+        let gens = store.generations().expect("list generations");
+        assert!(!gens.is_empty() && gens.len() <= 3, "retention unbounded: {gens:?}");
+        assert!(store.recover().expect("final recover").recovered.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    assert_explored(&report);
+}
+
+/// Protocol 6 — maintenance scheduler start/kick/shutdown vs. foreground
+/// mutations on the shared writer mutex (the `maint_sched` +
+/// `maint_writer` lock classes).
+///
+/// The worker blocks on the scheduler condvar (predicate loop — the model
+/// checker has no `wait_timeout`), a foreground thread mutates through the
+/// shared writer, a kicker forces a pass, and shutdown must flag + wake +
+/// join without a lost wakeup on *any* schedule. `into_writer` then proves
+/// the teardown handshake returns the writer intact.
+#[test]
+fn scheduler_kick_shutdown_no_lost_wakeup() {
+    static FIXTURE: OnceLock<(Vec<u8>, Arc<ann_vectors::VecStore>)> = OnceLock::new();
+    let (bytes, base) = FIXTURE.get_or_init(|| {
+        let base = Arc::new(synthetic::uniform(6, 40, 46));
+        let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 8).expect("knn");
+        let idx = build_tau_mng(Arc::clone(&base), Metric::L2, &knn, PARAMS).expect("index");
+        (idx.to_bytes(), base)
+    });
+    let report = check(&fixed(0x6C02), move || {
+        let index =
+            tau_mg::TauIndex::from_bytes(bytes, Arc::clone(base), Metric::L2).expect("materialize");
+        let parts = ann_service::split_index(index, PARAMS, 2).expect("split");
+        let (writer, _set) =
+            ShardSetWriter::attach(parts, PARAMS, Arc::new(Metrics::with_shards(2)))
+                .expect("attach");
+        let sched = Arc::new(MaintenanceScheduler::start(
+            writer,
+            MaintenanceConfig::default(),
+            Arc::new(Metrics::with_shards(2)),
+        ));
+        let foreground = {
+            let writer = Arc::clone(sched.writer());
+            ann_check::thread::spawn(move || {
+                let mut w = writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let ext = w.insert(&[0.2; 6]).expect("insert");
+                w.delete(ext).expect("delete");
+            })
+        };
+        let kicker = {
+            let sched = Arc::clone(&sched);
+            ann_check::thread::spawn(move || sched.kick())
+        };
+        foreground.join().expect("foreground");
+        kicker.join().expect("kicker");
+        let sched = Arc::into_inner(sched).expect("sole owner after joins");
+        // Shutdown-and-extract: joins the worker; a lost wakeup would
+        // deadlock this join and the checker would report the schedule.
+        let Ok(writer) = sched.into_writer() else {
+            panic!("into_writer must succeed once the worker joined")
+        };
+        assert_eq!(writer.shards(), 2);
+    });
+    assert_explored(&report);
+}
 
 /// Protocol 4 — shard publish vs. fan-out coherence, real `ShardSet`.
 ///

@@ -93,6 +93,86 @@ proptest! {
     }
 }
 
+/// Tombstone-filter property over the *production* search path: build a
+/// real sharded set, delete a pseudo-random third of the corpus, publish
+/// the deletes **incrementally** (tombstones ride the live snapshots'
+/// deletion filters — no compaction), and the fan-out/k-way-merge must
+/// never surface a tombstoned external id, return duplicates, or come up
+/// short while live points remain (the beam-budget compensation at work).
+/// Quantized coordinates make exact duplicates — and therefore distance
+/// ties against the tombstoned points themselves — common; `shards` spans
+/// the degenerate N=1 case.
+fn check_tombstone_filter(n: usize, levels: u32, seed: u64, shards: usize, k: usize) {
+    use ann_suite::ann_graph::Scratch;
+    use ann_suite::ann_service::{split_index, Fanout, Metrics, ShardSetWriter};
+    use ann_suite::ann_vectors::VecStore;
+    use ann_suite::tau_mg::{build_tau_mng, TauMngParams};
+    use std::sync::Arc;
+
+    const PARAMS: TauMngParams = TauMngParams { tau: 0.15, r: 16, l: 48, c: 150 };
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..6).map(|_| (next() % u64::from(levels)) as f32).collect())
+        .collect();
+    let store = Arc::new(VecStore::from_rows(&rows).unwrap());
+    let knn = ann_suite::ann_knng::brute_force_knn_graph(Metric::L2, &store, 8).unwrap();
+    let index = build_tau_mng(store, Metric::L2, &knn, PARAMS).unwrap();
+    let parts = split_index(index, PARAMS, shards).unwrap();
+    let (mut writer, set) =
+        ShardSetWriter::attach(parts, PARAMS, Arc::new(Metrics::new())).unwrap();
+
+    let mut deleted = std::collections::BTreeSet::new();
+    while deleted.len() < n / 3 {
+        deleted.insert(next() % n as u64);
+    }
+    for &d in &deleted {
+        writer.delete(d).unwrap();
+    }
+    writer.publish_tombstones().unwrap();
+    let live = n - deleted.len();
+
+    let mut snaps = Vec::new();
+    set.load_into(&mut snaps);
+    let mut fanout = Fanout::new(shards);
+    let mut scratch = Scratch::new(n);
+    // Probe with tombstoned points' own vectors (distance-zero ties against
+    // the filtered ids) plus one off-grid query.
+    let mut queries: Vec<Vec<f32>> =
+        deleted.iter().take(4).map(|&d| rows[d as usize].clone()).collect();
+    queries.push((0..6).map(|_| (next() % u64::from(levels)) as f32 + 0.25).collect());
+    for q in &queries {
+        let hit = fanout.search(&snaps, q, k, 96, &mut scratch, None);
+        assert_eq!(hit.ids.len(), k.min(live), "short merged answer despite {live} live points");
+        let mut seen = std::collections::HashSet::new();
+        for id in &hit.ids {
+            assert!(!deleted.contains(id), "tombstoned id {id} in merged answer");
+            assert!(seen.insert(*id), "duplicate id {id} in merged answer");
+        }
+        assert!(hit.dists.windows(2).all(|w| w[0] <= w[1]), "merged distances out of order");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fanout_merge_never_returns_tombstoned_ids(
+        n in 24usize..90,
+        levels in 2u32..4,
+        seed in 0u64..10_000,
+        shards in 1usize..5,
+        k in 1usize..12,
+    ) {
+        check_tombstone_filter(n, levels, seed, shards, k);
+    }
+}
+
 #[test]
 fn merge_handles_every_shard_count_on_one_corpus() {
     // One deterministic corpus through all supported splits, k beyond the
