@@ -1,4 +1,4 @@
-//! Run the entire experiment grid (E1–E11) in sequence.
+//! Run the entire experiment grid (E1–E14) in sequence.
 //!
 //! Scale via `ANN_SCALE=fast|default|full`. Reports print to stdout; curve
 //! data lands under `results/` (or `ANN_RESULTS_DIR`).
@@ -19,6 +19,8 @@ fn main() {
         ("E10", ex::e10_exactness),
         ("E11", ex::e11_hops),
         ("E12", ex::e12_maintenance),
+        ("E13", ex::e13_serving),
+        ("E14", ex::e14_filtered),
     ] {
         let t = std::time::Instant::now();
         println!("{}", f(scale));

@@ -1,0 +1,6 @@
+//! Repro binary for experiment E14 (filtered search extension) — see
+//! DESIGN.md §7i.
+fn main() {
+    let scale = ann_bench::Scale::from_env();
+    println!("{}", ann_bench::experiments::e14_filtered(scale));
+}

@@ -915,3 +915,91 @@ pub fn e13_serving(scale: Scale) -> String {
     );
     out
 }
+
+/// E14 — filtered search (extension): filter-during-search vs the
+/// post-filter baseline, per selectivity band.
+///
+/// One τ-MNG index, one query set, three selectivity bands (1%, 10%, 50%
+/// of the corpus matching a deterministic stride predicate). Both
+/// strategies sweep the same L ladder and are measured against the
+/// *filtered* exhaustive ground truth; the headline comparison is
+/// recall@10 at an equal NDC budget (the post-filter baseline's cost at
+/// its largest beam).
+///
+/// The point being demonstrated: at low selectivity (≤ 10%) the
+/// post-filter baseline wastes most of its beam on points the answer can
+/// never contain, while the selectivity-widened result pool keeps paying
+/// only for what it can return — higher recall at the same distance
+/// budget.
+pub fn e14_filtered(scale: Scale) -> String {
+    use ann_eval::{
+        band_matches, filtered_ground_truth, recall_at_ndc, run_filtered_sweep,
+        run_postfilter_sweep,
+    };
+    let mut out = banner(
+        "E14: filtered search (extension)",
+        "filter-during-search vs post-filter, per selectivity band (sift-like, k = 10)",
+    );
+    let (n, nq) = scale.sizes();
+    let n = n / 2; // one index serves every band; halve the grid scale
+    let data = prepare_sized(Recipe::SiftLike, n, nq);
+    let tau = data.tau0 * crate::TAU_MULT;
+    let index =
+        build_tau_mng(data.base.clone(), data.metric, &data.knn, crate::params::tau_mng(tau))
+            .expect("tau-MNG build for filtered search");
+    let k = 10;
+    let ls: Vec<usize> = vec![10, 20, 40, 60, 100, 150, 200];
+
+    let mut table = MarkdownTable::new(vec![
+        "band",
+        "strategy",
+        "recall@10 (L=100)",
+        "NDC (L=100)",
+        "recall @ equal NDC",
+    ]);
+    let mut csv = CsvTable::new(&["band", "strategy", "L", "recall", "ndc", "qps"]);
+    for fraction in [0.01f64, 0.10, 0.50] {
+        let matches = band_matches(data.base.len(), fraction);
+        let gt = filtered_ground_truth(data.metric, &data.base, &data.queries, &matches, k);
+        let during = run_filtered_sweep(&index, &data.queries, &matches, &gt, k, &ls);
+        let post = run_postfilter_sweep(&index, &data.queries, &matches, &gt, k, &ls);
+        let at_l100 = |pts: &[ann_eval::FilteredPoint]| {
+            pts.iter().find(|p| p.l == 100).copied().unwrap_or(pts[pts.len() - 1])
+        };
+        // Equal-cost comparison: the budget is the baseline's cost at the
+        // canonical L=100 operating point. (Its largest-beam cost sits in
+        // the saturated regime where both curves converge to ~1.0 and the
+        // read-out measures interpolation noise, not strategy.)
+        let budget = at_l100(&post).ndc;
+        let band = format!("{:.0}%", fraction * 100.0);
+        for (name, pts) in [("filter-during-search", &during), ("post-filter", &post)] {
+            let p100 = at_l100(pts);
+            table.push_row(vec![
+                band.clone(),
+                name.to_string(),
+                fmt_f(p100.recall, 4),
+                fmt_f(p100.ndc, 0),
+                fmt_f(recall_at_ndc(pts, budget).unwrap_or(0.0), 4),
+            ]);
+            for p in pts {
+                csv.push_row(&[
+                    band.clone(),
+                    name.to_string(),
+                    p.l.to_string(),
+                    fmt_f(p.recall, 5),
+                    fmt_f(p.ndc, 1),
+                    fmt_f(p.qps, 1),
+                ]);
+            }
+        }
+    }
+    let path = write_report("e14_filtered.csv", &csv.render()).expect("write csv");
+    out.push_str(&table.render());
+    out.push_str(&format!("csv: {}\n", path.display()));
+    out.push_str(
+        "note: 'recall @ equal NDC' reads both curves at the post-filter\n\
+         baseline's L=100 cost; in the 1% and 10% bands the during-search\n\
+         filter should dominate there.\n",
+    );
+    out
+}

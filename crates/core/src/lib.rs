@@ -68,7 +68,9 @@ pub use geometry::EuclideanView;
 pub use index::TauIndex;
 pub use mng::{build_tau_mng, TauMngParams};
 pub use prune::tau_prune;
-pub use search::{tau_greedy_nn, tau_search, TauSearchOptions};
+pub use search::{
+    tau_greedy_nn, tau_search, tau_search_filtered, tau_search_filtered_with_beam, TauSearchOptions,
+};
 
 #[cfg(test)]
 mod send_sync_assertions {

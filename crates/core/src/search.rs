@@ -163,6 +163,144 @@ pub fn tau_search(
     QueryResult { ids, dists, stats }
 }
 
+/// Filtered τ-monotonic search: the same two-phase traversal as
+/// [`tau_search`] (greedy descent, then beam with QEO distance skipping),
+/// except results accumulate in a *separate* pool that only admits nodes
+/// passing `filter` — non-matching nodes still steer the beam.
+///
+/// `l` is the *requested* beam width; the traversal beam is widened by the
+/// filter's estimated selectivity (see [`ann_graph::filter::widened_beam`])
+/// so the expected number of admitted candidates matches an unfiltered
+/// beam of width `l`. The result pool also has capacity `l` so ties at the
+/// k-th distance resolve exactly as the unfiltered path does (by id).
+///
+/// Differences from the unfiltered path, by design:
+/// * The SQ8 fast path is bypassed — quantized candidate distances would
+///   make the admitted/rejected boundary depend on the quantizer.
+/// * Greedy descent (phase 1) is *unfiltered*: it only picks the beam's
+///   entry point, and a non-matching entry is handled like a tombstoned
+///   one — traversed, never returned.
+pub fn tau_search_filtered<F: ann_graph::SearchFilter + ?Sized>(
+    index: &TauIndex,
+    query: &[f32],
+    k: usize,
+    l: usize,
+    opts: TauSearchOptions,
+    filter: &F,
+    scratch: &mut Scratch,
+) -> QueryResult {
+    let l = l.max(k).max(1);
+    let l_beam = ann_graph::widened_beam(l, filter.selectivity(), index.graph.num_nodes());
+    tau_search_filtered_with_beam(index, query, k, l, l_beam, opts, filter, scratch)
+}
+
+/// [`tau_search_filtered`] with an explicit traversal beam width.
+///
+/// The serving layer uses this as a completeness backstop: when the
+/// selectivity-widened beam still yields fewer than `k` admitted results
+/// (a region dense in filtered-out nodes), re-running with
+/// `l_beam = num_nodes` makes the traversal exhaustive over the entry's
+/// connected component — a beam that never fills never prunes.
+#[allow(clippy::too_many_arguments)]
+pub fn tau_search_filtered_with_beam<F: ann_graph::SearchFilter + ?Sized>(
+    index: &TauIndex,
+    query: &[f32],
+    k: usize,
+    l: usize,
+    l_beam: usize,
+    opts: TauSearchOptions,
+    filter: &F,
+    scratch: &mut Scratch,
+) -> QueryResult {
+    let store = &index.store;
+    let metric = index.metric;
+    let graph = &index.graph;
+    let l = l.max(k).max(1);
+    let l_beam = l_beam.max(l);
+    let mut stats = SearchStats::default();
+
+    let qeo = opts.qeo
+        && match index.view {
+            EuclideanView::SquaredL2 => true,
+            EuclideanView::UnitSphere => (dot(query, query) - 1.0).abs() < 1e-3,
+        };
+
+    // Phase 1: greedy descent to the query's vicinity (unfiltered — it
+    // only selects where the beam starts).
+    let entry = if opts.two_phase {
+        let (node, _) = greedy_descent_dyn(metric, store, graph, index.entry, query, &mut stats);
+        node
+    } else {
+        index.entry
+    };
+
+    // Phase 2: beam of width l_beam with optional QEO; admitted nodes
+    // accumulate in scratch.results (capacity l).
+    scratch.pool.reset(l_beam);
+    scratch.results.reset(l);
+    scratch.visited.resize(graph.num_nodes());
+    scratch.visited.clear();
+    {
+        let d = metric.distance(query, store.get(entry));
+        stats.ndc += 1;
+        scratch.visited.insert(entry);
+        if filter.admits(entry) {
+            scratch.results.insert(d, entry);
+        }
+        scratch.pool.insert(d, entry);
+    }
+    let mut cursor = 0usize;
+    while let Some(pos) = scratch.pool.next_unexpanded(cursor) {
+        let cand = scratch.pool.expand(pos);
+        stats.hops += 1;
+        let d_qu_eu = index.view.to_euclidean(cand.dist);
+        let mut best_insert = usize::MAX;
+        let neighbors = graph.neighbors(cand.id);
+        let lens = index.edge_lengths(cand.id);
+        if let Some(&first) = neighbors.first() {
+            store.prefetch(first);
+        }
+        for (slot, &v) in neighbors.iter().enumerate() {
+            if let Some(&next) = neighbors.get(slot + 1) {
+                store.prefetch(next);
+            }
+            if scratch.visited.contains(v) {
+                continue;
+            }
+            let bound = scratch.pool.admission_bound();
+            if qeo && bound.is_finite() {
+                // QEO stays sound under filtering because it bounds the
+                // *traversal* pool only: a skipped neighbor provably cannot
+                // enter a full traversal pool, and any admitted node at
+                // that distance would rank past the l-th traversal
+                // candidate — outside the result capacity l ≤ l_beam too.
+                let bound_eu = index.view.to_euclidean(bound);
+                if (d_qu_eu - lens[slot]).abs() >= bound_eu {
+                    stats.skipped += 1;
+                    continue;
+                }
+            }
+            scratch.visited.insert(v);
+            let d = metric.distance(query, store.get(v));
+            stats.ndc += 1;
+            if filter.admits(v) {
+                // Distance already paid for: always a result candidate.
+                scratch.results.insert(d, v);
+            }
+            if d >= bound {
+                continue;
+            }
+            if let Some(p) = scratch.pool.insert(d, v) {
+                best_insert = best_insert.min(p);
+            }
+        }
+        cursor = if best_insert <= pos { best_insert } else { pos + 1 };
+    }
+
+    let (ids, dists) = scratch.results.top_k(k);
+    QueryResult { ids, dists, stats }
+}
+
 /// Pure greedy descent on a τ-index from its entry point — the primitive the
 /// exactness theorem (E10) is stated about. Returns `(node, dissimilarity)`.
 pub fn tau_greedy_nn(index: &TauIndex, query: &[f32]) -> (u32, f32, SearchStats) {

@@ -10,12 +10,17 @@
 
 pub mod audit;
 pub mod build;
+pub mod filtered;
 pub mod report;
 pub mod sweep;
 pub mod tune;
 
 pub use audit::{audit_bare_graph, audit_entry_graph, audit_frozen, audit_tau, AuditReport};
 pub use build::{timed_build, BuildReport};
+pub use filtered::{
+    band_matches, filtered_ground_truth, recall_at_ndc, run_filtered_sweep, run_postfilter_sweep,
+    FilteredPoint,
+};
 pub use report::{banner, fmt_f, results_dir, write_report, CsvTable, MarkdownTable};
 pub use sweep::{ndc_at_recall, qps_at_recall, run_sweep, SweepConfig, SweepPoint};
 pub use tune::{calibrate_l, Calibration};

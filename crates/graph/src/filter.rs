@@ -1,0 +1,165 @@
+//! Composable search filters: predicates over node ids applied *during*
+//! beam traversal.
+//!
+//! Filtered ANN has two classic strategies. **Post-filter** searches the
+//! unfiltered graph and discards non-matching results afterwards — cheap,
+//! but at selectivity `s` a beam of width `L` yields only `~s·L` admissible
+//! candidates, so recall collapses exactly when filters are selective.
+//! **Filter-during-search** (this module) keeps the traversal unfiltered —
+//! non-matching nodes still steer the beam, preserving graph connectivity —
+//! but accumulates *results* in a separate pool that only admits matching
+//! nodes. Every evaluated node is a result candidate, so no beam slot is
+//! wasted on a node the filter would reject.
+//!
+//! The same mechanism serves deletion tombstones (a filter over dead ids)
+//! and attribute predicates (a filter over metadata); the serving layer
+//! composes both into one [`SearchFilter`] per query.
+
+/// A predicate over node ids consulted by the filtered beam search.
+///
+/// `admits` is called once per *evaluated* node (a node whose distance was
+/// actually computed), so implementations should be O(1) — a bitset, hash
+/// lookup, or small attribute comparison.
+pub trait SearchFilter {
+    /// Whether node `id` may appear in search results. Non-admitted nodes
+    /// are still traversed (they steer the beam) but never returned.
+    fn admits(&self, id: u32) -> bool;
+
+    /// Estimated fraction of nodes this filter admits, in `(0, 1]`.
+    ///
+    /// Drives adaptive beam widening: the caller scales the traversal beam
+    /// by `1/selectivity` (capped) so the *expected* number of admitted
+    /// candidates matches the unfiltered beam. The default claims no
+    /// selectivity (no widening).
+    fn selectivity(&self) -> f64 {
+        1.0
+    }
+}
+
+/// The identity filter: admits every node. Filtered search with `AcceptAll`
+/// visits the same nodes as the unfiltered search at the same beam width.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AcceptAll;
+
+impl SearchFilter for AcceptAll {
+    #[inline]
+    fn admits(&self, _id: u32) -> bool {
+        true
+    }
+}
+
+/// A filter from a closure plus an explicit selectivity estimate.
+///
+/// The workhorse adapter for upper layers: the serving layer captures its
+/// tombstone set and attribute predicate in the closure and supplies a
+/// measured selectivity.
+pub struct FnFilter<F: Fn(u32) -> bool> {
+    f: F,
+    selectivity: f64,
+}
+
+impl<F: Fn(u32) -> bool> FnFilter<F> {
+    /// Wrap `f` with a selectivity estimate (clamped to `(0, 1]`; NaN and
+    /// out-of-range values degrade to 1.0 — never panic on a bad estimate).
+    pub fn new(f: F, selectivity: f64) -> Self {
+        let selectivity = if selectivity.is_finite() && selectivity > 0.0 && selectivity <= 1.0 {
+            selectivity
+        } else {
+            1.0
+        };
+        FnFilter { f, selectivity }
+    }
+}
+
+impl<F: Fn(u32) -> bool> SearchFilter for FnFilter<F> {
+    #[inline]
+    fn admits(&self, id: u32) -> bool {
+        (self.f)(id)
+    }
+
+    fn selectivity(&self) -> f64 {
+        self.selectivity
+    }
+}
+
+/// Every `&F` is itself a filter — lets callers pass `&dyn SearchFilter`
+/// through generic entry points without re-monomorphizing.
+impl<F: SearchFilter + ?Sized> SearchFilter for &F {
+    #[inline]
+    fn admits(&self, id: u32) -> bool {
+        (**self).admits(id)
+    }
+
+    fn selectivity(&self) -> f64 {
+        (**self).selectivity()
+    }
+}
+
+/// Cap on adaptive widening: a 1% selectivity filter must not inflate a
+/// beam 100×; beyond this factor the filtered search accepts recall loss
+/// rather than unbounded cost (E14 measures the trade).
+pub const MAX_WIDEN_FACTOR: usize = 8;
+
+/// Widen beam width `l` by the filter's estimated selectivity:
+/// `ceil(l / selectivity)`, capped at [`MAX_WIDEN_FACTOR`]`·l` and at `n`
+/// (no point in a beam wider than the graph).
+pub fn widened_beam(l: usize, selectivity: f64, n: usize) -> usize {
+    let l = l.max(1);
+    let s = if selectivity.is_finite() && selectivity > 0.0 && selectivity <= 1.0 {
+        selectivity
+    } else {
+        1.0
+    };
+    let widened = ((l as f64) / s).ceil() as usize;
+    widened.min(l.saturating_mul(MAX_WIDEN_FACTOR)).max(l).min(n.max(l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_all_admits_everything_with_unit_selectivity() {
+        assert!(AcceptAll.admits(0));
+        assert!(AcceptAll.admits(u32::MAX));
+        assert_eq!(AcceptAll.selectivity(), 1.0);
+    }
+
+    #[test]
+    fn fn_filter_clamps_bad_selectivity() {
+        let f = FnFilter::new(|id| id % 2 == 0, 0.5);
+        assert!(f.admits(4));
+        assert!(!f.admits(3));
+        assert_eq!(f.selectivity(), 0.5);
+        assert_eq!(FnFilter::new(|_| true, 0.0).selectivity(), 1.0);
+        assert_eq!(FnFilter::new(|_| true, f64::NAN).selectivity(), 1.0);
+        assert_eq!(FnFilter::new(|_| true, 7.0).selectivity(), 1.0);
+    }
+
+    #[test]
+    fn widened_beam_scales_and_caps() {
+        // No selectivity: unchanged.
+        assert_eq!(widened_beam(32, 1.0, 10_000), 32);
+        // 50% admitted: double the beam.
+        assert_eq!(widened_beam(32, 0.5, 10_000), 64);
+        // 1% admitted: capped at MAX_WIDEN_FACTOR x, not 100x.
+        assert_eq!(widened_beam(32, 0.01, 10_000), 32 * MAX_WIDEN_FACTOR);
+        // Never wider than the graph…
+        assert_eq!(widened_beam(32, 0.01, 100), 100);
+        // …but never narrower than the requested beam either.
+        assert_eq!(widened_beam(32, 0.5, 8), 32);
+        // Bad estimates degrade to no widening.
+        assert_eq!(widened_beam(32, f64::NAN, 10_000), 32);
+    }
+
+    #[test]
+    fn reference_to_filter_is_a_filter() {
+        fn takes_filter<F: SearchFilter>(f: F) -> bool {
+            f.admits(2)
+        }
+        let inner = FnFilter::new(|id| id == 2, 0.25);
+        let dynref: &dyn SearchFilter = &inner;
+        assert!(takes_filter(dynref));
+        assert_eq!(dynref.selectivity(), 0.25);
+    }
+}

@@ -12,6 +12,7 @@
 
 pub mod adjacency;
 pub mod connectivity;
+pub mod filter;
 pub mod index;
 pub mod pool;
 pub mod relayout;
@@ -21,13 +22,15 @@ pub mod serialize;
 pub mod visited;
 
 pub use adjacency::{FlatGraph, GraphView, VarGraph};
+pub use filter::{widened_beam, AcceptAll, FnFilter, SearchFilter, MAX_WIDEN_FACTOR};
 pub use index::{AnnIndex, BruteForceIndex, FrozenGraphIndex, GraphStats, QueryResult};
 pub use pool::{Candidate, Pool};
 pub use relayout::{bfs_order, invert_order};
 pub use scratch_pool::ScratchPool;
 pub use search::{
     beam_search, beam_search_collect, beam_search_collect_dyn, beam_search_dyn,
-    beam_search_sq8_rerank, greedy_descent, greedy_descent_dyn, Scratch, SearchStats,
+    beam_search_filtered, beam_search_filtered_dyn, beam_search_sq8_rerank, greedy_descent,
+    greedy_descent_dyn, Scratch, SearchStats,
 };
 pub use visited::VisitedSet;
 

@@ -46,12 +46,16 @@ pub struct Scratch {
     pub pool: Pool,
     /// Visited set over node ids.
     pub visited: VisitedSet,
+    /// Result accumulator for *filtered* searches: only filter-admitted
+    /// nodes enter it, while `pool` steers the (unfiltered) traversal.
+    /// Unused — and untouched — by the unfiltered entry points.
+    pub results: Pool,
 }
 
 impl Scratch {
     /// Scratch for a graph of `n` nodes.
     pub fn new(n: usize) -> Self {
-        Scratch { pool: Pool::new(16), visited: VisitedSet::new(n) }
+        Scratch { pool: Pool::new(16), visited: VisitedSet::new(n), results: Pool::new(16) }
     }
 }
 
@@ -117,6 +121,115 @@ pub fn beam_search<K: MetricKernel, G: GraphView>(
         cursor = if best_insert <= pos { best_insert } else { pos + 1 };
     }
     stats
+}
+
+/// Filter-during-search beam traversal: identical frontier mechanics to
+/// [`beam_search`], except every evaluated node is *also* offered to
+/// `scratch.results` — a second bounded pool of capacity `l_result` that
+/// only admits nodes passing `filter`. Non-matching nodes still steer the
+/// beam (they stay eligible for the traversal pool), so the walk crosses
+/// filtered-out regions of the graph instead of stalling at their edge;
+/// they just never occupy a result slot.
+///
+/// `l_beam` is the traversal beam width — callers widen it by the filter's
+/// estimated selectivity (see [`crate::filter::widened_beam`]) so the
+/// expected number of admitted candidates matches an unfiltered beam of
+/// the requested width. On return `scratch.results` holds the admitted
+/// candidates ascending by `(distance, id)`; take the top-k from there.
+///
+/// With [`crate::filter::AcceptAll`] and `l_beam == l_result == l`, the
+/// traversal — pool admissions, expansions, NDC, hops — is *identical* to
+/// [`beam_search`] with beam `l`, and `scratch.results` ends up with the
+/// same contents as `scratch.pool`.
+#[allow(clippy::too_many_arguments)]
+pub fn beam_search_filtered<K: MetricKernel, G: GraphView, F: crate::filter::SearchFilter>(
+    store: &VecStore,
+    graph: &G,
+    entries: &[u32],
+    query: &[f32],
+    l_beam: usize,
+    l_result: usize,
+    filter: &F,
+    scratch: &mut Scratch,
+) -> SearchStats {
+    debug_assert!(l_beam > 0 && l_result > 0, "beam widths must be positive");
+    let mut stats = SearchStats::default();
+    scratch.pool.reset(l_beam);
+    scratch.results.reset(l_result);
+    scratch.visited.resize(graph.num_nodes());
+    scratch.visited.clear();
+
+    for &e in entries {
+        if scratch.visited.insert(e) {
+            let d = K::eval(query, store.get(e));
+            stats.ndc += 1;
+            if filter.admits(e) {
+                scratch.results.insert(d, e);
+            }
+            scratch.pool.insert(d, e);
+        }
+    }
+
+    let mut cursor = 0usize;
+    while let Some(pos) = scratch.pool.next_unexpanded(cursor) {
+        let cand = scratch.pool.expand(pos);
+        stats.hops += 1;
+        let mut best_insert = usize::MAX;
+        let neighbors = graph.neighbors(cand.id);
+        if let Some(&first) = neighbors.first() {
+            store.prefetch(first);
+        }
+        for (j, &v) in neighbors.iter().enumerate() {
+            if let Some(&next) = neighbors.get(j + 1) {
+                store.prefetch(next);
+            }
+            if !scratch.visited.insert(v) {
+                continue;
+            }
+            let d = K::eval(query, store.get(v));
+            stats.ndc += 1;
+            if filter.admits(v) {
+                // The distance is already paid for: offer it as a result
+                // even if the traversal pool won't admit it.
+                scratch.results.insert(d, v);
+            }
+            if d >= scratch.pool.admission_bound() {
+                continue;
+            }
+            if let Some(p) = scratch.pool.insert(d, v) {
+                best_insert = best_insert.min(p);
+            }
+        }
+        cursor = if best_insert <= pos { best_insert } else { pos + 1 };
+    }
+    stats
+}
+
+/// Runtime-metric wrapper over [`beam_search_filtered`].
+#[allow(clippy::too_many_arguments)]
+pub fn beam_search_filtered_dyn<G: GraphView, F: crate::filter::SearchFilter>(
+    metric: ann_vectors::Metric,
+    store: &VecStore,
+    graph: &G,
+    entries: &[u32],
+    query: &[f32],
+    l_beam: usize,
+    l_result: usize,
+    filter: &F,
+    scratch: &mut Scratch,
+) -> SearchStats {
+    use ann_vectors::{CosineKernel, IpKernel, L2Kernel, Metric};
+    match metric {
+        Metric::L2 => beam_search_filtered::<L2Kernel, G, F>(
+            store, graph, entries, query, l_beam, l_result, filter, scratch,
+        ),
+        Metric::Ip => beam_search_filtered::<IpKernel, G, F>(
+            store, graph, entries, query, l_beam, l_result, filter, scratch,
+        ),
+        Metric::Cosine => beam_search_filtered::<CosineKernel, G, F>(
+            store, graph, entries, query, l_beam, l_result, filter, scratch,
+        ),
+    }
 }
 
 /// Like [`beam_search`], but additionally records every `(dist, id)` pair
@@ -485,6 +598,86 @@ mod tests {
         let mut a = SearchStats { ndc: 3, hops: 1, skipped: 1 };
         a.accumulate(SearchStats { ndc: 5, hops: 2, skipped: 0 });
         assert_eq!(a, SearchStats { ndc: 8, hops: 3, skipped: 1 });
+    }
+
+    #[test]
+    fn filtered_beam_matches_unfiltered_under_accept_all() {
+        use crate::filter::AcceptAll;
+        let (store, g) = line(60);
+        let mut plain = Scratch::new(60);
+        let mut filtered = Scratch::new(60);
+        for (query, l) in [(42.2f32, 4usize), (3.0, 8), (59.0, 2)] {
+            let s1 = beam_search::<L2Kernel, _>(&store, &g, &[0], &[query], l, &mut plain);
+            let s2 = beam_search_filtered::<L2Kernel, _, _>(
+                &store,
+                &g,
+                &[0],
+                &[query],
+                l,
+                l,
+                &AcceptAll,
+                &mut filtered,
+            );
+            assert_eq!(s1, s2, "AcceptAll traversal must cost exactly the same");
+            let (ids1, d1) = plain.pool.top_k(l);
+            let (ids2, d2) = filtered.results.top_k(l);
+            assert_eq!(ids1, ids2, "AcceptAll results must match the plain pool");
+            assert_eq!(
+                d1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                d2.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_beam_never_returns_non_matching_but_still_traverses_them() {
+        use crate::filter::FnFilter;
+        let (store, g) = line(50);
+        let mut scratch = Scratch::new(50);
+        // Only multiples of 5 are admissible; the line graph forces the
+        // traversal *through* the rejected nodes to reach the target region.
+        let filter = FnFilter::new(|id| id % 5 == 0, 0.2);
+        beam_search_filtered::<L2Kernel, _, _>(
+            &store,
+            &g,
+            &[0],
+            &[42.0],
+            20,
+            8,
+            &filter,
+            &mut scratch,
+        );
+        let (ids, dists) = scratch.results.top_k(3);
+        assert_eq!(ids, vec![40, 45, 35], "nearest admissible nodes to 42.0");
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+        for id in ids {
+            assert_eq!(id % 5, 0, "non-matching id {id} surfaced");
+        }
+    }
+
+    #[test]
+    fn filtered_beam_widening_recovers_recall_under_selective_filter() {
+        use crate::filter::{widened_beam, FnFilter, SearchFilter};
+        let (store, g) = line(200);
+        let mut scratch = Scratch::new(200);
+        // 10% selectivity; unwidened beam 4 from node 0 toward 190 finds
+        // few admissible nodes, the widened beam finds the true nearest.
+        let filter = FnFilter::new(|id| id % 10 == 0, 0.1);
+        let l = 4;
+        let lb = widened_beam(l, filter.selectivity(), 200);
+        assert_eq!(lb, 32, "10% selectivity widens 4 -> 32 (within cap)");
+        beam_search_filtered::<L2Kernel, _, _>(
+            &store,
+            &g,
+            &[0],
+            &[190.2],
+            lb,
+            l,
+            &filter,
+            &mut scratch,
+        );
+        let (ids, _) = scratch.results.top_k(1);
+        assert_eq!(ids, vec![190]);
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! Named multi-tenant collections: a registry of independently served
+//! shard groups with per-tenant quotas.
+//!
+//! A [`Collection`] is one tenant's corpus: its own [`ShardSet`] (cells,
+//! writers, durable subdirectories), its own per-shard [`Metrics`]
+//! registry, and a [`TenantQuotas`] budget. The [`CollectionRegistry`]
+//! names them; [`crate::AnnService::submit_to`] routes a batch to its
+//! collection after **admission control**:
+//!
+//! * **In-flight cap** — a collection with `max_inflight` set admits at
+//!   most that many queries concurrently. The (N+1)-th submission gets a
+//!   typed [`AnnError::QuotaExceeded`] — backpressure the caller chose,
+//!   never a panic — and the rejection is visible in both the global
+//!   `quota_rejected` counter and the collection's own
+//!   [`CollectionMetrics`]. Because admission happens *before* the batch
+//!   enters the shared worker queue, a tenant flooding its collection is
+//!   clipped at its cap and cannot occupy the queue slots (or the overflow
+//!   inline path) that other tenants' queries need: the hot tenant is
+//!   throttled, the rest keep their latency.
+//! * **Vector cap** — a collection with `max_vectors` set rejects inserts
+//!   past the cap at the writer, with the same typed error.
+//!
+//! Queries for every collection execute on the *shared* worker pool: a
+//! `Job` carries its collection's shard set, so workers are stateless with
+//! respect to tenancy and idle collections cost nothing.
+
+use ann_vectors::error::{AnnError, Result};
+use tau_mg::{TauIndex, TauMngParams};
+
+use crate::filter::AttrRecord;
+use crate::metrics::{CollectionMetrics, Metrics};
+use crate::shard::{split_index, ShardSet, ShardSetWriter};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-tenant resource budget. `None` means unlimited.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantQuotas {
+    /// Most live vectors the collection's writers will accept.
+    pub max_vectors: Option<u64>,
+    /// Most queries admitted concurrently (counted per batch member, from
+    /// submission to answer).
+    pub max_inflight: Option<u64>,
+}
+
+/// Configuration of one collection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CollectionConfig {
+    /// Shards this collection's corpus is split across (0 and 1 both mean
+    /// one shard).
+    pub shards: usize,
+    /// The tenant's resource budget.
+    pub quotas: TenantQuotas,
+}
+
+/// One named tenant: a shard set, its writer, its metrics, and its quotas.
+pub struct Collection {
+    name: String,
+    set: Arc<ShardSet>,
+    /// Single-writer discipline behind a mutex (lock class `writer` in
+    /// `audit.toml`), same as the maintenance scheduler's shared writer.
+    writer: Mutex<ShardSetWriter>,
+    quotas: TenantQuotas,
+    metrics: Arc<CollectionMetrics>,
+    /// The collection's own per-shard registry (the set's writers report
+    /// here, not into the service-wide registry).
+    shard_metrics: Arc<Metrics>,
+    /// Queries admitted and not yet answered — the inflight quota's
+    /// authoritative counter ([`CollectionMetrics::inflight`] mirrors it
+    /// for rendering).
+    inflight: AtomicU64,
+}
+
+impl Collection {
+    /// Build a collection by splitting `index` across the configured shard
+    /// count (see [`split_index`]; `shards <= 1` adopts it unchanged).
+    ///
+    /// # Errors
+    /// Propagates [`split_index`] / [`ShardSetWriter::attach`] validation
+    /// errors.
+    pub fn build(
+        name: impl Into<String>,
+        index: TauIndex,
+        params: TauMngParams,
+        config: CollectionConfig,
+    ) -> Result<Arc<Collection>> {
+        let shards = config.shards.max(1);
+        let shard_metrics = Arc::new(Metrics::with_shards(shards));
+        let parts = split_index(index, params, shards)?;
+        let (writer, set) = ShardSetWriter::attach(parts, params, Arc::clone(&shard_metrics))?;
+        Ok(Self::from_parts(name, set, writer, shard_metrics, config.quotas))
+    }
+
+    /// Wrap an already-attached shard set (e.g. a durable or recovered one)
+    /// as a collection.
+    pub fn from_parts(
+        name: impl Into<String>,
+        set: Arc<ShardSet>,
+        writer: ShardSetWriter,
+        shard_metrics: Arc<Metrics>,
+        quotas: TenantQuotas,
+    ) -> Arc<Collection> {
+        let metrics = Arc::new(CollectionMetrics::default());
+        metrics.vectors.set(writer.len() as u64);
+        Arc::new(Collection {
+            name: name.into(),
+            set,
+            writer: Mutex::new(writer),
+            quotas,
+            metrics,
+            shard_metrics,
+            inflight: AtomicU64::new(0),
+        })
+    }
+
+    /// The collection's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shard set workers fan queries over.
+    pub fn shard_set(&self) -> &Arc<ShardSet> {
+        &self.set
+    }
+
+    /// The tenant-facing counters (admission, quotas, footprint).
+    pub fn metrics(&self) -> &Arc<CollectionMetrics> {
+        &self.metrics
+    }
+
+    /// The collection's own per-shard registry.
+    pub fn shard_metrics(&self) -> &Arc<Metrics> {
+        &self.shard_metrics
+    }
+
+    /// The tenant's budget.
+    pub fn quotas(&self) -> TenantQuotas {
+        self.quotas
+    }
+
+    /// Queries currently admitted and unanswered.
+    pub fn inflight(&self) -> u64 {
+        // ordering: monitoring read; admission uses the CAS loop below.
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Admission control: reserve `n` in-flight query slots, or reject with
+    /// [`AnnError::QuotaExceeded`]. The returned guard releases the slots
+    /// on drop (i.e. when the batch's `Job` is dropped after its reply).
+    pub(crate) fn begin_queries(self: &Arc<Self>, n: u64) -> Result<InflightGuard> {
+        if let Some(cap) = self.quotas.max_inflight {
+            // The counter is the only shared state admission reads or
+            // publishes; the quota is exact because the RMW is, not
+            // because of any fence.
+            // ordering: Relaxed load seeding the Relaxed CAS loop below.
+            let mut cur = self.inflight.load(Ordering::Relaxed);
+            loop {
+                if cur.saturating_add(n) > cap {
+                    self.metrics.quota_rejected.inc();
+                    return Err(AnnError::QuotaExceeded {
+                        collection: self.name.clone(),
+                        resource: "inflight",
+                        limit: cap,
+                        in_use: cur,
+                    });
+                }
+                match self.inflight.compare_exchange_weak(
+                    cur,
+                    cur + n,
+                    // ordering: Relaxed on both edges, as above.
+                    Ordering::Relaxed,
+                    Ordering::Relaxed, // ordering: failure edge, same note.
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        } else {
+            // ordering: statistics-grade accounting; no cap to enforce.
+            self.inflight.fetch_add(n, Ordering::Relaxed);
+        }
+        self.metrics.inflight.set(self.inflight());
+        Ok(InflightGuard { collection: Arc::clone(self), n })
+    }
+
+    /// Run `f` under the collection's writer lock — mutations, publishes,
+    /// and maintenance hooks all funnel through here.
+    pub fn with_writer<R>(&self, f: impl FnOnce(&mut ShardSetWriter) -> R) -> R {
+        let mut guard = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let r = f(&mut guard);
+        self.metrics.vectors.set(guard.len() as u64);
+        r
+    }
+
+    /// Insert a vector, enforcing the tenant's `max_vectors` quota.
+    ///
+    /// # Errors
+    /// [`AnnError::QuotaExceeded`] at the cap; otherwise as
+    /// [`ShardSetWriter::insert`].
+    pub fn insert(&self, v: &[f32]) -> Result<u64> {
+        self.insert_with_attrs(v, Vec::new())
+    }
+
+    /// [`Collection::insert`] plus an attribute record.
+    pub fn insert_with_attrs(&self, v: &[f32], attrs: AttrRecord) -> Result<u64> {
+        let mut guard = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(cap) = self.quotas.max_vectors {
+            let live = guard.len() as u64;
+            if live >= cap {
+                self.metrics.quota_rejected.inc();
+                return Err(AnnError::QuotaExceeded {
+                    collection: self.name.clone(),
+                    resource: "vectors",
+                    limit: cap,
+                    in_use: live,
+                });
+            }
+        }
+        let id = if attrs.is_empty() {
+            guard.insert(v)?
+        } else {
+            guard.insert_with_attrs(v, attrs)?
+        };
+        self.metrics.vectors.set(guard.len() as u64);
+        Ok(id)
+    }
+
+    /// Tombstone an external id (see [`ShardSetWriter::delete`]).
+    pub fn delete(&self, external: u64) -> Result<()> {
+        self.with_writer(|w| w.delete(external))
+    }
+
+    /// Replace an external id's attribute record (see
+    /// [`crate::IndexWriter::set_attrs`]).
+    pub fn set_attrs(&self, external: u64, attrs: AttrRecord) -> Result<()> {
+        self.with_writer(|w| w.set_attrs(external, attrs))
+    }
+
+    /// Publish every dirty shard (see [`ShardSetWriter::publish`]).
+    pub fn publish(&self) -> Result<u64> {
+        self.with_writer(ShardSetWriter::publish)
+    }
+}
+
+impl std::fmt::Debug for Collection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collection")
+            .field("name", &self.name)
+            .field("shards", &self.set.shards())
+            .field("inflight", &self.inflight())
+            .finish()
+    }
+}
+
+/// RAII release of admitted in-flight query slots.
+#[derive(Debug)]
+pub(crate) struct InflightGuard {
+    collection: Arc<Collection>,
+    n: u64,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        // The subtraction is exact and gates nothing but future admissions.
+        // ordering: Relaxed — pairs with the admission RMWs.
+        self.collection.inflight.fetch_sub(self.n, Ordering::Relaxed);
+        self.collection.metrics.inflight.set(self.collection.inflight());
+    }
+}
+
+/// Name → collection map shared between the service front door and whoever
+/// provisions tenants.
+#[derive(Debug, Default)]
+pub struct CollectionRegistry {
+    /// Lock class `collections` in `audit.toml`: taken for a map lookup or
+    /// mutation only, never while holding (or taking) a collection's writer
+    /// lock or any queue lock.
+    collections: RwLock<HashMap<String, Arc<Collection>>>,
+}
+
+impl CollectionRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Arc<CollectionRegistry> {
+        Arc::new(CollectionRegistry::default())
+    }
+
+    /// Build a collection from a frozen index (see [`Collection::build`])
+    /// and register it.
+    ///
+    /// # Errors
+    /// `InvalidParameter` if the name is empty or already registered;
+    /// propagates [`Collection::build`] errors.
+    pub fn create(
+        &self,
+        name: &str,
+        index: TauIndex,
+        params: TauMngParams,
+        config: CollectionConfig,
+    ) -> Result<Arc<Collection>> {
+        let collection = Collection::build(name, index, params, config)?;
+        self.register(Arc::clone(&collection))?;
+        Ok(collection)
+    }
+
+    /// Register an existing collection under its name.
+    ///
+    /// # Errors
+    /// `InvalidParameter` if the name is empty or already registered.
+    pub fn register(&self, collection: Arc<Collection>) -> Result<()> {
+        if collection.name().is_empty() {
+            return Err(AnnError::InvalidParameter("collection name must be non-empty".into()));
+        }
+        let mut map = self.collections.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match map.entry(collection.name().to_string()) {
+            std::collections::hash_map::Entry::Occupied(_) => Err(AnnError::InvalidParameter(
+                format!("collection {:?} already exists", collection.name()),
+            )),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(collection);
+                Ok(())
+            }
+        }
+    }
+
+    /// Look up a collection by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Collection>> {
+        self.collections
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// Drop a collection from the registry (in-flight queries finish on
+    /// their own `Arc`s). Returns it if it existed.
+    pub fn remove(&self, name: &str) -> Option<Arc<Collection>> {
+        self.collections
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .collections
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered collections.
+    pub fn len(&self) -> usize {
+        self.collections.read().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// Whether no collection is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every collection, sorted by name (for status rendering).
+    pub fn all(&self) -> Vec<Arc<Collection>> {
+        let mut all: Vec<Arc<Collection>> = self
+            .collections
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+            .cloned()
+            .collect();
+        all.sort_unstable_by(|a, b| a.name().cmp(b.name()));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_vectors::metric::Metric;
+    use ann_vectors::synthetic::uniform;
+
+    fn frozen(n: usize, seed: u64) -> TauIndex {
+        let base = Arc::new(uniform(8, n, seed));
+        let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 10).unwrap();
+        tau_mg::build_tau_mng(
+            base,
+            Metric::L2,
+            &knn,
+            TauMngParams { tau: 0.2, r: 24, l: 64, c: 200 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn registry_names_and_duplicates() {
+        let reg = CollectionRegistry::new();
+        assert!(reg.is_empty());
+        reg.create(
+            "tenant-b",
+            frozen(120, 1),
+            TauMngParams::default(),
+            CollectionConfig::default(),
+        )
+        .unwrap();
+        reg.create(
+            "tenant-a",
+            frozen(120, 2),
+            TauMngParams::default(),
+            CollectionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(reg.names(), vec!["tenant-a", "tenant-b"]);
+        let dup = reg.create(
+            "tenant-a",
+            frozen(120, 3),
+            TauMngParams::default(),
+            CollectionConfig::default(),
+        );
+        assert!(matches!(dup, Err(AnnError::InvalidParameter(_))));
+        assert!(reg.remove("tenant-b").is_some());
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("tenant-b").is_none());
+    }
+
+    #[test]
+    fn vector_quota_rejects_with_typed_error() {
+        let reg = CollectionRegistry::new();
+        let coll = reg
+            .create(
+                "small",
+                frozen(100, 4),
+                TauMngParams::default(),
+                CollectionConfig {
+                    shards: 1,
+                    quotas: TenantQuotas { max_vectors: Some(101), max_inflight: None },
+                },
+            )
+            .unwrap();
+        let v = vec![0.5f32; 8];
+        coll.insert(&v).unwrap(); // 100 -> 101: at the cap now
+        let err = coll.insert(&v).unwrap_err();
+        match err {
+            AnnError::QuotaExceeded { collection, resource, limit, in_use } => {
+                assert_eq!(collection, "small");
+                assert_eq!(resource, "vectors");
+                assert_eq!(limit, 101);
+                assert_eq!(in_use, 101);
+            }
+            other => panic!("expected QuotaExceeded, got {other}"),
+        }
+        assert_eq!(coll.metrics().quota_rejected.get(), 1);
+        // Deleting frees budget.
+        coll.delete(0).unwrap();
+        coll.insert(&v).unwrap();
+        assert_eq!(coll.metrics().vectors.get(), 101);
+    }
+
+    #[test]
+    fn inflight_quota_caps_and_releases() {
+        let reg = CollectionRegistry::new();
+        let coll = reg
+            .create(
+                "t",
+                frozen(100, 5),
+                TauMngParams::default(),
+                CollectionConfig {
+                    shards: 1,
+                    quotas: TenantQuotas { max_vectors: None, max_inflight: Some(3) },
+                },
+            )
+            .unwrap();
+        let g1 = coll.begin_queries(2).unwrap();
+        let g2 = coll.begin_queries(1).unwrap();
+        assert_eq!(coll.inflight(), 3);
+        let err = coll.begin_queries(1).unwrap_err();
+        assert!(matches!(err, AnnError::QuotaExceeded { resource: "inflight", .. }), "{err}");
+        assert_eq!(coll.metrics().quota_rejected.get(), 1);
+        drop(g1);
+        assert_eq!(coll.inflight(), 1);
+        let g3 = coll.begin_queries(2).unwrap();
+        drop(g2);
+        drop(g3);
+        assert_eq!(coll.inflight(), 0);
+        assert_eq!(coll.metrics().inflight.get(), 0);
+    }
+}

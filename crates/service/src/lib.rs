@@ -72,7 +72,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod collection;
 pub mod faults;
+pub mod filter;
 pub mod maintenance;
 pub mod metrics;
 pub mod service;
@@ -82,7 +84,9 @@ pub mod store;
 pub mod sync;
 pub mod wal;
 
+pub use collection::{Collection, CollectionConfig, CollectionRegistry, TenantQuotas};
 pub use faults::{Fault, FaultFs};
+pub use filter::{normalize_attrs, AttrRecord, AttrValue, FilterExpr};
 pub use maintenance::{
     MaintenanceConfig, MaintenanceReport, MaintenanceScheduler, ShardDebt, ShardHealth,
 };

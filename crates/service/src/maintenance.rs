@@ -692,6 +692,54 @@ mod tests {
         assert!(metrics.maintenance_runs.get() >= 1);
     }
 
+    /// Attribute records ride through a scheduler-driven compaction: the
+    /// attrs map is keyed by *external* id, and compaction only rewrites
+    /// graph internals, so surviving points keep their records (and keep
+    /// matching filters) while tombstoned points' records are dropped with
+    /// the point.
+    #[test]
+    fn compaction_preserves_attribute_records_of_survivors() {
+        use crate::filter::{AttrValue, FilterExpr};
+
+        let (mut w, set, metrics) = one_shard_writer(120, 11);
+        let rec = vec![("band".to_owned(), AttrValue::U64(1))];
+        for e in (0..120u64).step_by(4) {
+            w.set_attrs(e, rec.clone()).unwrap();
+        }
+        for e in 0..30u64 {
+            w.delete(e).unwrap();
+        }
+        let cfg = MaintenanceConfig {
+            max_tombstone_ratio: 0.1,
+            max_tombstones: 10_000,
+            ..Default::default()
+        };
+        let sched = MaintenanceScheduler::new_paused(w, cfg, Arc::clone(&metrics));
+        let report = sched.run_once();
+        assert_eq!(report.compacted, vec![0], "{:?}", report.failures);
+
+        let w = sched.into_writer().expect("sole holder gets the writer back");
+        for e in (0..120u64).step_by(4) {
+            if e < 30 {
+                assert_eq!(w.attrs_of(e), None, "deleted id {e} must shed its record");
+            } else {
+                assert_eq!(w.attrs_of(e), Some(&rec), "survivor {e} lost its record");
+            }
+        }
+        // And the compacted snapshot still serves the records to filters.
+        let snap = set.cell(0).unwrap().load();
+        let expr = FilterExpr::eq("band", AttrValue::U64(1));
+        let q: Vec<f32> = vec![0.5; 6];
+        let mut scratch = ann_graph::Scratch::new(snap.len());
+        let hit = snap.search_filtered(&q, 10, 64, Some(&expr), &mut scratch);
+        assert!(!hit.ids.is_empty(), "filtered search over the compacted shard");
+        assert!(
+            hit.ids.iter().all(|&e| e >= 30 && e % 4 == 0),
+            "filter must see exactly the surviving attributed ids: {:?}",
+            hit.ids
+        );
+    }
+
     #[test]
     fn pass_below_threshold_leaves_debt_standing() {
         let (mut w, set, metrics) = one_shard_writer(120, 8);

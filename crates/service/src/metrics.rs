@@ -200,6 +200,43 @@ pub struct ShardMetrics {
     pub maintenance_backoff_ms: Counter,
 }
 
+/// Per-collection (tenant) slice of the registry.
+///
+/// One per named [`crate::Collection`]; the shard-level counters of a
+/// collection live in its own [`Metrics`] registry, while this struct holds
+/// the tenant-facing accounting (admission, quotas, footprint). Same
+/// relaxed-atomic discipline as everything else here.
+#[derive(Debug, Default)]
+pub struct CollectionMetrics {
+    /// Queries admitted into this collection (each batch member counts
+    /// once).
+    pub queries: Counter,
+    /// Batches admitted into this collection.
+    pub batches: Counter,
+    /// Submissions rejected by a tenant quota (inflight cap at submit,
+    /// vector cap at insert). Rejection is backpressure, never a panic.
+    pub quota_rejected: Counter,
+    /// Queries currently in flight for this collection (admitted, not yet
+    /// answered) — the value the inflight quota gates on.
+    pub inflight: Gauge,
+    /// Live vectors in this collection's writers (refreshed on mutation).
+    pub vectors: Gauge,
+}
+
+impl CollectionMetrics {
+    /// One-line render, for status output.
+    pub fn render_line(&self, name: &str) -> String {
+        format!(
+            "collection[{name}]  queries={} batches={} inflight={} vectors={} quota_rejected={}",
+            self.queries.get(),
+            self.batches.get(),
+            self.inflight.get(),
+            self.vectors.get(),
+            self.quota_rejected.get(),
+        )
+    }
+}
+
 /// The service-wide metrics registry.
 ///
 /// Shared as an `Arc` between the workers, the writer, and whoever scrapes
@@ -221,6 +258,10 @@ pub struct Metrics {
     /// Queries whose deadline had already expired when a worker picked them
     /// up (answered anyway, at the degradation floor).
     pub deadline_missed: Counter,
+    /// Submissions rejected by a per-collection quota, across all
+    /// collections (the per-tenant split lives in each collection's
+    /// [`CollectionMetrics`]).
+    pub quota_rejected: Counter,
     /// Snapshots published.
     pub snapshots_published: Counter,
     /// Snapshots durably persisted to the snapshot store (read-back
@@ -289,6 +330,7 @@ impl Default for Metrics {
             shed_degraded: Counter::default(),
             shed_overflow: Counter::default(),
             deadline_missed: Counter::default(),
+            quota_rejected: Counter::default(),
             snapshots_published: Counter::default(),
             snapshots_persisted: Counter::default(),
             persist_retries: Counter::default(),
@@ -378,6 +420,7 @@ impl Metrics {
         s.push_str(&format!("shed_degraded      {}\n", self.shed_degraded.get()));
         s.push_str(&format!("shed_overflow      {}\n", self.shed_overflow.get()));
         s.push_str(&format!("deadline_missed    {}\n", self.deadline_missed.get()));
+        s.push_str(&format!("quota_rejected     {}\n", self.quota_rejected.get()));
         s.push_str(&format!("snapshots_published {}\n", self.snapshots_published.get()));
         s.push_str(&format!("snapshots_persisted {}\n", self.snapshots_persisted.get()));
         s.push_str(&format!("persist_retries    {}\n", self.persist_retries.get()));
@@ -506,6 +549,7 @@ mod tests {
             "shed_degraded",
             "latency_us",
             "ndc",
+            "quota_rejected",
             "wal_appends",
             "wal_fsyncs",
             "wal_replayed",

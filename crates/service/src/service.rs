@@ -39,6 +39,8 @@ use ann_graph::{Scratch, ScratchPool};
 use ann_vectors::error::{AnnError, Result};
 use tau_mg::{TauIndex, TauMngParams};
 
+use crate::collection::{Collection, CollectionConfig, CollectionRegistry, InflightGuard};
+use crate::filter::FilterExpr;
 use crate::metrics::Metrics;
 use crate::shard::{split_index, Fanout, ShardSet, ShardSetWriter};
 use crate::snapshot::{Hit, IndexWriter, Snapshot, SnapshotCell};
@@ -145,6 +147,19 @@ struct Job {
     deadline: Option<Instant>,
     enqueued: Instant,
     reply: mpsc::Sender<BatchResult>,
+    /// The shard set this batch searches: the service's default set, or a
+    /// named collection's (workers are tenancy-stateless).
+    set: Arc<ShardSet>,
+    /// Registry the per-shard search counters of this batch land in (the
+    /// collection's own, or the service registry for the default set).
+    shard_metrics: Arc<Metrics>,
+    /// Attribute filter applied during search; `None` is the pure deletion
+    /// filter (the bit-identical default path).
+    expr: Option<FilterExpr>,
+    /// Held while the batch is in flight; dropping the job (after its reply
+    /// is delivered) releases the collection's admission slots.
+    #[allow(dead_code)] // held for its Drop
+    guard: Option<InflightGuard>,
 }
 
 /// The concurrent query engine: readers fanning out over a [`ShardSet`].
@@ -158,6 +173,7 @@ pub struct AnnService {
     metrics: Arc<Metrics>,
     overflow_scratch: Arc<ScratchPool>,
     config: ServiceConfig,
+    collections: Arc<CollectionRegistry>,
 }
 
 impl AnnService {
@@ -247,6 +263,7 @@ impl AnnService {
             metrics,
             overflow_scratch: Arc::new(ScratchPool::new(nodes_hint)),
             config,
+            collections: CollectionRegistry::new(),
         }
     }
 
@@ -277,28 +294,124 @@ impl AnnService {
     /// Never fails and never blocks on a full queue: overflow batches run
     /// inline on the calling thread at the degradation floor.
     pub fn submit_with(&self, queries: Vec<Vec<f32>>, k: usize, opts: QueryOptions) -> BatchHandle {
+        self.submit_filtered(queries, k, None, opts)
+    }
+
+    /// [`AnnService::submit_with`] through an attribute filter: every reply
+    /// contains only ids whose attribute records match `expr` (see
+    /// [`Snapshot::search_filtered`]). `expr = None` is exactly
+    /// [`AnnService::submit_with`].
+    pub fn submit_filtered(
+        &self,
+        queries: Vec<Vec<f32>>,
+        k: usize,
+        expr: Option<FilterExpr>,
+        opts: QueryOptions,
+    ) -> BatchHandle {
+        self.metrics.batches.inc();
+        self.metrics.queries.add(queries.len() as u64);
+        self.submit_inner(
+            Arc::clone(&self.set),
+            Arc::clone(&self.metrics),
+            queries,
+            k,
+            expr,
+            opts,
+            None,
+        )
+    }
+
+    /// Submit a batch to a named collection, under its tenant quotas.
+    ///
+    /// Admission happens here, *before* the batch can occupy shared queue
+    /// slots: a collection at its `max_inflight` cap gets a typed
+    /// [`AnnError::QuotaExceeded`] (counted in the global and the
+    /// collection's `quota_rejected`), so one tenant's flood cannot starve
+    /// the others' queue capacity. Admitted batches take the same
+    /// shed-not-fail path as [`AnnService::submit_with`].
+    ///
+    /// # Errors
+    /// `InvalidParameter` for an unknown collection;
+    /// [`AnnError::QuotaExceeded`] when the collection's in-flight quota is
+    /// exhausted. Never panics.
+    pub fn submit_to(
+        &self,
+        collection: &str,
+        queries: Vec<Vec<f32>>,
+        k: usize,
+        expr: Option<FilterExpr>,
+        opts: QueryOptions,
+    ) -> Result<BatchHandle> {
+        let coll = self.collections.get(collection).ok_or_else(|| {
+            AnnError::InvalidParameter(format!("unknown collection {collection:?}"))
+        })?;
+        let guard = match coll.begin_queries(queries.len() as u64) {
+            Ok(guard) => guard,
+            Err(e) => {
+                // The collection's own rejection counter is bumped inside
+                // begin_queries; mirror it service-wide.
+                self.metrics.quota_rejected.inc();
+                return Err(e);
+            }
+        };
+        coll.metrics().batches.inc();
+        coll.metrics().queries.add(queries.len() as u64);
+        self.metrics.batches.inc();
+        self.metrics.queries.add(queries.len() as u64);
+        Ok(self.submit_inner(
+            Arc::clone(coll.shard_set()),
+            Arc::clone(coll.shard_metrics()),
+            queries,
+            k,
+            expr,
+            opts,
+            Some(guard),
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_inner(
+        &self,
+        set: Arc<ShardSet>,
+        shard_metrics: Arc<Metrics>,
+        queries: Vec<Vec<f32>>,
+        k: usize,
+        expr: Option<FilterExpr>,
+        opts: QueryOptions,
+        guard: Option<InflightGuard>,
+    ) -> BatchHandle {
         let now = Instant::now();
         let l = opts.l.unwrap_or(self.config.default_l).max(k);
         let (reply, rx) = mpsc::channel();
-        self.metrics.batches.inc();
-        self.metrics.queries.add(queries.len() as u64);
         if queries.is_empty() {
             let _ = reply.send(BatchResult { replies: Vec::new() });
             return BatchHandle { rx };
         }
-        let job =
-            Job { queries, k, l, deadline: opts.deadline.map(|d| now + d), enqueued: now, reply };
+        let job = Job {
+            queries,
+            k,
+            l,
+            deadline: opts.deadline.map(|d| now + d),
+            enqueued: now,
+            reply,
+            set,
+            shard_metrics,
+            expr,
+            guard,
+        };
         self.metrics.queue_depth.inc();
         match self.tx.try_send(job) {
             Ok(()) => BatchHandle { rx },
             Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
                 // Shed: answer inline, maximally degraded, on the thread
-                // that produced the pressure.
+                // that produced the pressure (for a collection batch that is
+                // the flooding tenant's own thread — its overflow work never
+                // lands on the shared workers).
                 self.metrics.queue_depth.dec();
                 self.metrics.shed_overflow.inc();
                 let mut snaps = Vec::new();
-                self.set.load_into(&mut snaps);
-                let mut fanout = Fanout::new(self.set.shards());
+                job.set.load_into(&mut snaps);
+                let mut fanout = Fanout::new(job.set.shards());
                 let floor = floor_l(&self.config, job.k);
                 self.overflow_scratch.with(|scratch| {
                     run_batch(&job, &snaps, &self.metrics, floor, scratch, &mut fanout);
@@ -306,6 +419,27 @@ impl AnnService {
                 BatchHandle { rx }
             }
         }
+    }
+
+    /// The named-collection registry served by this pool (empty unless
+    /// collections are created or registered).
+    pub fn collections(&self) -> &Arc<CollectionRegistry> {
+        &self.collections
+    }
+
+    /// Build a collection from a frozen index and register it for
+    /// [`AnnService::submit_to`] (see [`CollectionRegistry::create`]).
+    ///
+    /// # Errors
+    /// As [`CollectionRegistry::create`].
+    pub fn create_collection(
+        &self,
+        name: &str,
+        index: TauIndex,
+        params: TauMngParams,
+        config: CollectionConfig,
+    ) -> Result<Arc<Collection>> {
+        self.collections.create(name, index, params, config)
     }
 
     /// One-line serving status: shard health, set generation, snapshot
@@ -334,13 +468,18 @@ impl AnnService {
             1 => "degraded",
             _ => "FAILED",
         };
-        format!(
+        let mut out = format!(
             "serving shards={shards} healthy={healthy} shards_degraded={} gen={generation} \
              points={points} snapshot_age_secs={age:.2} persist={persist} wal={wal} \
              maint={maint}\n{}",
             shards - healthy,
             self.metrics.render()
-        )
+        );
+        for coll in self.collections.all() {
+            out.push('\n');
+            out.push_str(&coll.metrics().render_line(coll.name()));
+        }
+        out
     }
 
     /// Stop accepting work, finish queued batches, and join the workers.
@@ -427,7 +566,15 @@ fn run_batch(
     let mut replies = Vec::with_capacity(job.queries.len());
     for q in &job.queries {
         let t0 = Instant::now();
-        let hit = fanout.search(snaps, q, job.k, effective_l, scratch, Some(metrics));
+        let hit = fanout.search_filtered(
+            snaps,
+            q,
+            job.k,
+            effective_l,
+            job.expr.as_ref(),
+            scratch,
+            Some(&job.shard_metrics),
+        );
         replies.push(finish_reply(job, generation, metrics, effective_l, t0, hit));
     }
     let _ = job.reply.send(BatchResult { replies });
@@ -479,8 +626,10 @@ fn worker_loop(
         let Ok(job) = job else { return };
         metrics.queue_depth.dec();
         // One coherent set of snapshots per batch: every query in the
-        // batch merges over the same shard generations.
-        set.load_into(&mut snaps);
+        // batch merges over the same shard generations. The set is the
+        // job's own (a collection batch fans over its collection's shards;
+        // the scratch resizes to whatever graph it meets).
+        job.set.load_into(&mut snaps);
         let generation = snaps.iter().flatten().map(|s| s.generation()).min().unwrap_or(0);
         let floor = floor_l(&config, job.k);
         let mut replies = Vec::with_capacity(job.queries.len());
@@ -497,10 +646,20 @@ fn worker_loop(
                 metrics.service_ns(),
                 &metrics.deadline_missed,
             );
-            let hit = fanout.search(&snaps, q, job.k, effective_l, &mut scratch, Some(metrics));
+            let hit = fanout.search_filtered(
+                &snaps,
+                q,
+                job.k,
+                effective_l,
+                job.expr.as_ref(),
+                &mut scratch,
+                Some(&job.shard_metrics),
+            );
             replies.push(finish_reply(&job, generation, metrics, effective_l, now, hit));
         }
         let _ = job.reply.send(BatchResult { replies });
+        // `job` (and with it any collection admission guard) drops here:
+        // the tenant's in-flight slots are released after the reply.
     }
 }
 
@@ -698,6 +857,111 @@ mod tests {
         assert_eq!(r.replies[0].ids, vec![added], "inserted duplicate must be the NN");
         let status = service.status();
         assert!(status.contains("shards=3 healthy=3 shards_degraded=0"), "{status}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn filtered_submit_returns_only_matching_ids() {
+        let (service, mut writer, queries) = served(300, 11, ServiceConfig::default());
+        // Tag every third id with band = id % 5; the rest stay bare.
+        for e in (0..300u64).step_by(3) {
+            writer
+                .set_attrs(e, vec![("band".into(), crate::filter::AttrValue::U64(e % 5))])
+                .unwrap();
+        }
+        writer.publish().unwrap();
+        let expr = FilterExpr::eq("band", crate::filter::AttrValue::U64(0));
+        let batch: Vec<Vec<f32>> = (0..8u32).map(|q| queries.get(q).to_vec()).collect();
+        let r = service
+            .submit_filtered(batch.clone(), 5, Some(expr), QueryOptions::default())
+            .wait()
+            .unwrap();
+        assert_eq!(r.replies.len(), 8);
+        for reply in &r.replies {
+            assert!(!reply.ids.is_empty(), "matching points exist");
+            for &id in &reply.ids {
+                assert_eq!(id % 3, 0, "id {id} has no attributes");
+                assert_eq!(id % 5, 0, "id {id} is in the wrong band");
+            }
+        }
+        // No filter: plain path, full answers.
+        let r = service.submit(batch, 5).wait().unwrap();
+        for reply in &r.replies {
+            assert_eq!(reply.ids.len(), 5);
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn collections_route_and_enforce_inflight_quota() {
+        let (service, _writer, queries) = served(200, 12, ServiceConfig::default());
+        let (idx_a, _) = built(150, 13);
+        let (idx_b, _) = built(150, 14);
+        service
+            .create_collection(
+                "tenant-a",
+                idx_a,
+                TauMngParams::default(),
+                crate::collection::CollectionConfig {
+                    shards: 2,
+                    quotas: crate::collection::TenantQuotas {
+                        max_vectors: None,
+                        max_inflight: Some(2),
+                    },
+                },
+            )
+            .unwrap();
+        service
+            .create_collection(
+                "tenant-b",
+                idx_b,
+                TauMngParams::default(),
+                crate::collection::CollectionConfig::default(),
+            )
+            .unwrap();
+        // Unknown collection: typed error, no panic.
+        let err = service
+            .submit_to("nope", vec![queries.get(0).to_vec()], 3, None, QueryOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, AnnError::InvalidParameter(_)), "{err}");
+        // A batch larger than tenant-a's in-flight cap is rejected before
+        // touching the queue...
+        let flood: Vec<Vec<f32>> = (0..3u32).map(|q| queries.get(q).to_vec()).collect();
+        let err = service
+            .submit_to("tenant-a", flood, 3, None, QueryOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, AnnError::QuotaExceeded { resource: "inflight", .. }), "{err}");
+        assert_eq!(service.metrics().quota_rejected.get(), 1);
+        let coll_a = service.collections().get("tenant-a").unwrap();
+        assert_eq!(coll_a.metrics().quota_rejected.get(), 1);
+        // ...while tenant-b (and tenant-a within budget) serve normally.
+        let ok = service
+            .submit_to("tenant-b", vec![queries.get(0).to_vec()], 3, None, QueryOptions::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(ok.replies[0].ids.len(), 3);
+        let ok = service
+            .submit_to("tenant-a", vec![queries.get(1).to_vec()], 3, None, QueryOptions::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(ok.replies[0].ids.len(), 3);
+        // The reply was delivered, so the admission slot drains (the worker
+        // drops the job just after sending; spin briefly for the Drop).
+        for _ in 0..1000 {
+            if coll_a.inflight() == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(coll_a.inflight(), 0);
+        let coll_b = service.collections().get("tenant-b").unwrap();
+        assert_eq!(coll_b.metrics().quota_rejected.get(), 0);
+        assert_eq!(coll_b.metrics().queries.get(), 1);
+        let status = service.status();
+        assert!(status.contains("collection[tenant-a]"), "{status}");
+        assert!(status.contains("collection[tenant-b]"), "{status}");
         service.shutdown();
     }
 

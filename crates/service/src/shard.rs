@@ -31,6 +31,7 @@ use ann_vectors::error::{AnnError, Result};
 use ann_vectors::route::shard_of;
 use tau_mg::{DynamicTauMng, TauIndex, TauMngParams};
 
+use crate::filter::{AttrRecord, FilterExpr};
 use crate::metrics::Metrics;
 use crate::snapshot::{Hit, IndexWriter, Snapshot, SnapshotCell};
 use crate::store::{SnapshotFs, SnapshotStore, SnapshotStoreConfig};
@@ -322,6 +323,66 @@ impl Fanout {
             let Some(snap) = snap else { continue };
             let st =
                 snap.search_into(query, k, per_l, scratch, &mut self.ids[s], &mut self.dists[s]);
+            if let Some(m) = metrics {
+                if let Some(sm) = m.shard(s) {
+                    sm.searches.inc();
+                    sm.ndc.add(st.ndc);
+                }
+            }
+            stats.accumulate(st);
+        }
+        let mut out_ids = Vec::with_capacity(k);
+        let mut out_dists = Vec::with_capacity(k);
+        for c in &mut self.cursors {
+            *c = 0;
+        }
+        merge_into(
+            &self.ids[..snaps.len()],
+            &self.dists[..snaps.len()],
+            &mut self.cursors[..snaps.len()],
+            k,
+            &mut out_ids,
+            &mut out_dists,
+        );
+        Hit { ids: out_ids, dists: out_dists, stats }
+    }
+
+    /// [`Fanout::search`] through each shard's attribute filter: every
+    /// healthy shard runs filter-during-search against `expr` (see
+    /// [`Snapshot::search_filtered`]) and the per-shard matching top-k are
+    /// merged. `expr = None` is the pure deletion filter and takes exactly
+    /// the [`Fanout::search`] path per shard.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_filtered(
+        &mut self,
+        snaps: &[Option<Arc<Snapshot>>],
+        query: &[f32],
+        k: usize,
+        l_total: usize,
+        expr: Option<&FilterExpr>,
+        scratch: &mut Scratch,
+        metrics: Option<&Metrics>,
+    ) -> Hit {
+        let healthy = snaps.iter().filter(|s| s.is_some()).count();
+        if healthy == 0 {
+            return Hit { ids: Vec::new(), dists: Vec::new(), stats: SearchStats::default() };
+        }
+        self.ensure(snaps.len());
+        let per_l = shard_beam(l_total, healthy, k);
+        let mut stats = SearchStats::default();
+        for (s, snap) in snaps.iter().enumerate() {
+            self.ids[s].clear();
+            self.dists[s].clear();
+            let Some(snap) = snap else { continue };
+            let st = snap.search_filtered_into(
+                query,
+                k,
+                per_l,
+                expr,
+                scratch,
+                &mut self.ids[s],
+                &mut self.dists[s],
+            );
             if let Some(m) = metrics {
                 if let Some(sm) = m.shard(s) {
                     sm.searches.inc();
@@ -639,6 +700,19 @@ impl ShardSetWriter {
     /// `InvalidParameter` if every shard is degraded; propagates the owning
     /// shard's insert errors.
     pub fn insert(&mut self, v: &[f32]) -> Result<u64> {
+        self.insert_routed(v, None)
+    }
+
+    /// [`ShardSetWriter::insert`] plus an attribute record, journaled and
+    /// applied on the owning shard (see [`IndexWriter::insert_with_attrs`]).
+    ///
+    /// # Errors
+    /// As [`ShardSetWriter::insert`], plus attribute validation errors.
+    pub fn insert_with_attrs(&mut self, v: &[f32], attrs: AttrRecord) -> Result<u64> {
+        self.insert_routed(v, Some(attrs))
+    }
+
+    fn insert_routed(&mut self, v: &[f32], attrs: Option<AttrRecord>) -> Result<u64> {
         if self.writers.iter().all(Option::is_none) {
             return Err(AnnError::InvalidParameter(
                 "every shard is degraded; nothing can accept inserts".into(),
@@ -649,7 +723,14 @@ impl ShardSetWriter {
         while ext < self.next_external + limit {
             let s = self.router.route(ext);
             if let Some(writer) = self.writers.get_mut(s).and_then(Option::as_mut) {
-                writer.insert_with_id(ext, v)?;
+                match attrs {
+                    Some(attrs) => {
+                        writer.insert_with_id_attrs(ext, v, attrs)?;
+                    }
+                    None => {
+                        writer.insert_with_id(ext, v)?;
+                    }
+                }
                 self.next_external = ext + 1;
                 return Ok(ext);
             }
@@ -660,6 +741,29 @@ impl ShardSetWriter {
         Err(AnnError::InvalidParameter(
             "could not allocate an external id routing to a healthy shard".into(),
         ))
+    }
+
+    /// Replace a global external id's attribute record on its owning shard
+    /// (see [`IndexWriter::set_attrs`]; an empty record clears).
+    ///
+    /// # Errors
+    /// `InvalidParameter` if the owning shard is degraded; the owning
+    /// shard's attribute errors otherwise.
+    pub fn set_attrs(&mut self, external: u64, attrs: AttrRecord) -> Result<()> {
+        let s = self.router.route(external);
+        match self.writers.get_mut(s).and_then(Option::as_mut) {
+            Some(writer) => writer.set_attrs(external, attrs),
+            None => Err(AnnError::InvalidParameter(format!(
+                "external id {external} is owned by degraded shard {s}"
+            ))),
+        }
+    }
+
+    /// The writer-side attribute record of a global external id, if its
+    /// owning shard is healthy and the id is live with attributes.
+    pub fn attrs_of(&self, external: u64) -> Option<&AttrRecord> {
+        let s = self.router.route(external);
+        self.writers.get(s).and_then(Option::as_ref).and_then(|w| w.attrs_of(external))
     }
 
     /// Tombstone a global external id on its owning shard.

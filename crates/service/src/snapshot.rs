@@ -24,10 +24,11 @@
 //! stable **external ids** (`u64`, assigned at insert and never reused).
 //! All results leaving this crate are external ids.
 
-use ann_graph::{GraphView, Scratch, SearchStats};
+use ann_graph::{FnFilter, GraphView, Scratch, SearchStats};
 use ann_vectors::error::{AnnError, Result};
 use tau_mg::{DynamicTauMng, TauIndex, TauMngParams, TauSearchOptions};
 
+use crate::filter::{normalize_attrs, AttrRecord, FilterExpr};
 use crate::metrics::Metrics;
 use crate::store::{RecoveredSnapshot, SnapshotStore};
 use crate::sync::RwLock;
@@ -62,6 +63,10 @@ pub struct Snapshot {
     /// in the frozen graph. The read path filters them; empty for freshly
     /// compacted snapshots.
     tombstones: Arc<HashSet<u64>>,
+    /// Per-vector attribute records, keyed by external id (absent = no
+    /// attributes). Shared with the writer copy-on-write, so incremental
+    /// publishes stay O(deletes).
+    attrs: Arc<HashMap<u64, AttrRecord>>,
     generation: u64,
     published_at: Instant,
 }
@@ -148,31 +153,202 @@ impl Snapshot {
     ) -> SearchStats {
         ids.clear();
         dists.clear();
-        // Beam compensation: tombstoned points still occupy result slots in
-        // the frozen graph, so ask for up to one extra slot per tombstone —
-        // capped at the requested beam so a huge filter cannot blow up the
-        // search. With an empty filter this is bit-identical to the
-        // uncompensated path.
-        let slack = self.tombstones.len().min(l.max(k));
-        let (kq, lq) = if slack == 0 { (k, l) } else { (k + slack, l.max(k) + slack) };
-        let r = self.index.search_opts(query, kq, lq, TauSearchOptions::default(), scratch);
+        if self.tombstones.is_empty() {
+            // Fast path for freshly compacted snapshots: the unfiltered
+            // search, bit-identical to the pre-filter read path.
+            let r = self.index.search_opts(query, k, l, TauSearchOptions::default(), scratch);
+            ids.reserve(r.ids.len().min(k));
+            dists.reserve(r.dists.len().min(k));
+            for (&internal, &d) in r.ids.iter().zip(&r.dists) {
+                if ids.len() == k {
+                    break;
+                }
+                // An in-range id is an index invariant; if it ever breaks,
+                // drop the hit rather than panic under a reader.
+                debug_assert!((internal as usize) < self.external_ids.len());
+                if let Some(e) = self.external_id(internal) {
+                    ids.push(e);
+                    dists.push(d);
+                }
+            }
+            return r.stats;
+        }
+        // Tombstones present: route through the composable filter machinery.
+        // The deletion filter's selectivity is known exactly (live/total), so
+        // the beam widens by the *local* filtered fraction rather than the
+        // old additive global-tombstone-count slack — a shard with few
+        // deletes no longer pays for a sibling's debt.
+        self.filtered_into(query, k, l, None, scratch, ids, dists)
+    }
+
+    /// Filtered τ-monotonic search: only points whose attribute record
+    /// matches `expr` (and that are not tombstoned) can appear in the
+    /// result. `expr = None` degrades to [`Snapshot::search`].
+    ///
+    /// Filter-during-search: the traversal still walks non-matching regions
+    /// of the graph (they steer the beam), but non-matching points never
+    /// consume a result slot, and the beam is widened by the filter's
+    /// estimated selectivity so low-selectivity filters do not silently
+    /// collapse recall the way post-filtering a fixed candidate list does.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        l: usize,
+        expr: Option<&FilterExpr>,
+        scratch: &mut Scratch,
+    ) -> Hit {
+        let mut ids = Vec::new();
+        let mut dists = Vec::new();
+        let stats = self.search_filtered_into(query, k, l, expr, scratch, &mut ids, &mut dists);
+        Hit { ids, dists, stats }
+    }
+
+    /// Allocation-free variant of [`Snapshot::search_filtered`], mirroring
+    /// [`Snapshot::search_into`] for the sharded fan-out path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_filtered_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        l: usize,
+        expr: Option<&FilterExpr>,
+        scratch: &mut Scratch,
+        ids: &mut Vec<u64>,
+        dists: &mut Vec<f32>,
+    ) -> SearchStats {
+        match expr {
+            None => self.search_into(query, k, l, scratch, ids, dists),
+            Some(e) => {
+                ids.clear();
+                dists.clear();
+                self.filtered_into(query, k, l, Some(e), scratch, ids, dists)
+            }
+        }
+    }
+
+    /// Shared core of the filtered read path. `expr = None` means "deletion
+    /// filter only" — that path carries a completeness backstop (re-run with
+    /// an exhaustive beam if the pool came back short while live points
+    /// remain), preserving the contract that tombstones alone never shorten
+    /// an answer. Attribute filters are approximate like any beam search and
+    /// get no backstop.
+    #[allow(clippy::too_many_arguments)]
+    fn filtered_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        l: usize,
+        expr: Option<&FilterExpr>,
+        scratch: &mut Scratch,
+        ids: &mut Vec<u64>,
+        dists: &mut Vec<f32>,
+    ) -> SearchStats {
+        let n = self.external_ids.len();
+        if n == 0 || k == 0 {
+            return SearchStats::default();
+        }
+        let selectivity = match expr {
+            None => self.live_len() as f64 / n as f64,
+            Some(e) => self.estimate_selectivity(e),
+        };
+        let filter = FnFilter::new(|internal: u32| self.admits(internal, expr), selectivity);
+        let l_req = l.max(k).max(1);
+        let opts = TauSearchOptions::default();
+        let mut r =
+            tau_mg::tau_search_filtered(&self.index, query, k, l_req, opts, &filter, scratch);
+        let want = match expr {
+            None => k.min(self.live_len()),
+            Some(_) => 0, // no completeness guarantee under attribute filters
+        };
+        if r.ids.len() < want {
+            // Exhaustive backstop: a beam as wide as the graph has an
+            // infinite admission bound, so nothing is pruned or QEO-skipped
+            // and every reachable live point is evaluated. The publish-path
+            // audit guarantees reachability, so this cannot come back short.
+            let r2 = tau_mg::tau_search_filtered_with_beam(
+                &self.index,
+                query,
+                k,
+                l_req,
+                n,
+                opts,
+                &filter,
+                scratch,
+            );
+            let first_pass = r.stats;
+            r = r2;
+            r.stats.accumulate(first_pass);
+        }
         ids.reserve(r.ids.len().min(k));
         dists.reserve(r.dists.len().min(k));
         for (&internal, &d) in r.ids.iter().zip(&r.dists) {
             if ids.len() == k {
                 break;
             }
-            // An in-range id is an index invariant; if it ever breaks, drop
-            // the hit rather than panic under a reader.
             debug_assert!((internal as usize) < self.external_ids.len());
             if let Some(e) = self.external_id(internal) {
-                if !self.tombstones.contains(&e) {
-                    ids.push(e);
-                    dists.push(d);
-                }
+                ids.push(e);
+                dists.push(d);
             }
         }
         r.stats
+    }
+
+    /// Whether internal slot `internal` may appear in a filtered result:
+    /// in range, not tombstoned, and matching `expr` (if any).
+    fn admits(&self, internal: u32, expr: Option<&FilterExpr>) -> bool {
+        let Some(&ext) = self.external_ids.get(internal as usize) else {
+            return false;
+        };
+        if self.tombstones.contains(&ext) {
+            return false;
+        }
+        match expr {
+            None => true,
+            Some(e) => e.matches(self.attrs.get(&ext)),
+        }
+    }
+
+    /// Deterministic sampled selectivity of `expr` over this snapshot: up
+    /// to 256 evenly spaced points are tested. Never returns 0 (the beam
+    /// widening it feeds is clamped anyway) and never touches an RNG, so
+    /// the same snapshot + filter always searches identically.
+    fn estimate_selectivity(&self, expr: &FilterExpr) -> f64 {
+        let n = self.external_ids.len();
+        if n == 0 {
+            return 1.0;
+        }
+        const SAMPLES: usize = 256;
+        let step = (n / SAMPLES).max(1);
+        let mut seen = 0usize;
+        let mut hits = 0usize;
+        let mut i = 0;
+        while i < n {
+            let ext = self.external_ids[i];
+            seen += 1;
+            if !self.tombstones.contains(&ext) && expr.matches(self.attrs.get(&ext)) {
+                hits += 1;
+            }
+            i += step;
+        }
+        ((hits as f64) / (seen as f64)).max(1.0 / seen as f64)
+    }
+
+    /// Attribute record of `external`, or `None` if it has none (deleted
+    /// points drop their attributes with the vector).
+    pub fn attrs_of(&self, external: u64) -> Option<&AttrRecord> {
+        self.attrs.get(&external)
+    }
+
+    /// Number of externals carrying a non-empty attribute record.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The full attribute map, for the persistence layer.
+    pub(crate) fn attrs_map(&self) -> &Arc<HashMap<u64, AttrRecord>> {
+        &self.attrs
     }
 }
 
@@ -263,6 +439,10 @@ pub struct IndexWriter {
     /// Live inserts applied since the last full publish (deleting such a
     /// point cancels the pair — neither was ever reader-visible).
     inserts_pending: usize,
+    /// Attribute records of live externals, shared copy-on-write with every
+    /// published snapshot (`Arc::make_mut` clones only when a snapshot still
+    /// holds the map, and publication itself is an O(1) `Arc` clone).
+    attrs: Arc<HashMap<u64, AttrRecord>>,
 }
 
 impl IndexWriter {
@@ -342,10 +522,12 @@ impl IndexWriter {
         let params = dynamic.params();
         let audit_cap = index.graph().max_degree().max(params.r);
         let base_len = external_ids.len();
+        let attrs: Arc<HashMap<u64, AttrRecord>> = Arc::new(HashMap::new());
         let cell = Arc::new(SnapshotCell::new(Arc::new(Snapshot {
             index: Arc::new(index),
             external_ids: Arc::new(external_ids.clone()),
             tombstones: Arc::new(HashSet::new()),
+            attrs: Arc::clone(&attrs),
             generation: 0,
             published_at: Instant::now(),
         })));
@@ -383,6 +565,7 @@ impl IndexWriter {
             base_tombstones: HashSet::new(),
             published_tombstones: 0,
             inserts_pending: 0,
+            attrs,
         };
         if let Some(sm) = writer.metrics.shard(writer.shard) {
             sm.points.set(writer.dynamic.len() as u64);
@@ -443,7 +626,9 @@ impl IndexWriter {
         metrics: Arc<Metrics>,
         store: Option<Arc<SnapshotStore>>,
     ) -> Result<(IndexWriter, Arc<SnapshotCell>)> {
-        let RecoveredSnapshot { index, external_ids, generation, params, covered_lsn } = recovered;
+        let RecoveredSnapshot { index, external_ids, generation, params, covered_lsn, attrs } =
+            recovered;
+        let attrs = Arc::new(attrs);
         let dynamic = DynamicTauMng::from_index_with_params(&index, params);
         let params = dynamic.params();
         let audit_cap = index.graph().max_degree().max(params.r);
@@ -456,6 +641,7 @@ impl IndexWriter {
             index: Arc::new(index),
             external_ids: Arc::new(external_ids.clone()),
             tombstones: Arc::new(HashSet::new()),
+            attrs: Arc::clone(&attrs),
             generation,
             published_at: Instant::now(),
         })));
@@ -483,6 +669,7 @@ impl IndexWriter {
             base_tombstones: HashSet::new(),
             published_tombstones: 0,
             inserts_pending: 0,
+            attrs,
         };
         if let Some(sm) = writer.metrics.shard(writer.shard) {
             sm.points.set(writer.dynamic.len() as u64);
@@ -562,6 +749,22 @@ impl IndexWriter {
                             self.last_persist_error =
                                 Some(format!("wal replay: delete {external} skipped: {e}"));
                         }
+                    }
+                }
+                WalOp::SetAttrs { external, attrs } => {
+                    // Last-write-wins by LSN. Records for ids that did not
+                    // survive replay (deleted later, or whose insert was
+                    // skipped as inapplicable) are skipped too: attributes
+                    // never outlive their vector.
+                    if self.int_of_external.contains_key(external) {
+                        let map = Arc::make_mut(&mut self.attrs);
+                        if attrs.is_empty() {
+                            map.remove(external);
+                        } else {
+                            map.insert(*external, attrs.clone());
+                        }
+                        self.dirty = true;
+                        applied += 1;
                     }
                 }
             }
@@ -742,11 +945,89 @@ impl IndexWriter {
         } else {
             self.inserts_pending = self.inserts_pending.saturating_sub(1);
         }
+        // Attributes never outlive their vector. Guarded so the common
+        // attribute-free delete does not force a copy-on-write clone of a
+        // map a published snapshot still shares.
+        if self.attrs.contains_key(&external) {
+            Arc::make_mut(&mut self.attrs).remove(&external);
+        }
     }
 
     /// Whether this writer currently owns `external` (live, not deleted).
     pub fn contains(&self, external: u64) -> bool {
         self.int_of_external.contains_key(&external)
+    }
+
+    /// Attach (or replace) the attribute record of a live external id. An
+    /// empty record clears the attributes. Journaled before apply like every
+    /// other mutation; reader-visible at the next publish (full or
+    /// incremental).
+    ///
+    /// # Errors
+    /// `InvalidParameter` if the record violates the attribute ceilings
+    /// (see [`crate::filter::normalize_attrs`]); `IdOutOfRange` for unknown
+    /// or deleted external ids; `Io`/`CorruptWal` if the write-ahead log
+    /// refused to acknowledge the mutation (nothing is applied then).
+    pub fn set_attrs(&mut self, external: u64, attrs: AttrRecord) -> Result<()> {
+        let attrs = normalize_attrs(attrs)?;
+        self.set_attrs_normalized(external, attrs)
+    }
+
+    fn set_attrs_normalized(&mut self, external: u64, attrs: AttrRecord) -> Result<()> {
+        if !self.int_of_external.contains_key(&external) {
+            return Err(AnnError::IdOutOfRange { id: external, len: self.next_external });
+        }
+        if let Some(wal) = &mut self.wal {
+            self.last_lsn = wal.append_set_attrs(external, &attrs)?;
+        }
+        let map = Arc::make_mut(&mut self.attrs);
+        if attrs.is_empty() {
+            map.remove(&external);
+        } else {
+            map.insert(external, attrs);
+        }
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// [`IndexWriter::insert`] plus an attribute record in one call. The
+    /// record is validated *before* the vector is inserted, so a bad record
+    /// leaves the writer untouched; a WAL failure on the attribute append
+    /// after a successful insert leaves the vector live without attributes
+    /// (and returns the error).
+    ///
+    /// # Errors
+    /// As [`IndexWriter::insert`] and [`IndexWriter::set_attrs`].
+    pub fn insert_with_attrs(&mut self, v: &[f32], attrs: AttrRecord) -> Result<u64> {
+        let attrs = normalize_attrs(attrs)?;
+        let ext = self.next_external;
+        self.insert_with_id(ext, v)?;
+        if !attrs.is_empty() {
+            self.set_attrs_normalized(ext, attrs)?;
+        }
+        Ok(ext)
+    }
+
+    /// [`IndexWriter::insert_with_id`] plus an attribute record — the
+    /// sharded path, mirroring [`IndexWriter::insert_with_attrs`].
+    pub fn insert_with_id_attrs(
+        &mut self,
+        external: u64,
+        v: &[f32],
+        attrs: AttrRecord,
+    ) -> Result<u64> {
+        let attrs = normalize_attrs(attrs)?;
+        self.insert_with_id(external, v)?;
+        if !attrs.is_empty() {
+            self.set_attrs_normalized(external, attrs)?;
+        }
+        Ok(external)
+    }
+
+    /// Attribute record the writer currently holds for `external` (pending
+    /// publication), if any.
+    pub fn attrs_of(&self, external: u64) -> Option<&AttrRecord> {
+        self.attrs.get(&external)
     }
 
     /// Compact the replica (dropping tombstones, repairing the graph) and
@@ -813,6 +1094,7 @@ impl IndexWriter {
             index: Arc::new(index),
             external_ids: Arc::new(external_ids),
             tombstones: Arc::new(HashSet::new()),
+            attrs: Arc::clone(&self.attrs),
             generation: self.generation,
             published_at: Instant::now(),
         }));
@@ -871,6 +1153,10 @@ impl IndexWriter {
             index: Arc::clone(&cur.index),
             external_ids: Arc::clone(&cur.external_ids),
             tombstones: Arc::new(self.base_tombstones.clone()),
+            // Incremental publishes carry the writer's current attribute
+            // map (an O(1) Arc clone), so attribute updates become
+            // reader-visible without waiting for a compaction.
+            attrs: Arc::clone(&self.attrs),
             generation,
             published_at: Instant::now(),
         }));
@@ -1119,6 +1405,99 @@ mod tests {
         // New loads see the shrunken world.
         assert_eq!(cell.load().len(), 100);
         assert!(old.generation() < cell.load().generation());
+    }
+
+    #[test]
+    fn attribute_lifecycle_set_publish_clear_delete() {
+        use crate::filter::AttrValue;
+        let (idx, _) = frozen(200, 6);
+        let (mut writer, cell) =
+            IndexWriter::attach(idx, TauMngParams::default(), Arc::new(Metrics::new()));
+        writer
+            .set_attrs(7, vec![("color".into(), AttrValue::Str("red".into()))])
+            .unwrap();
+        // Writer sees it immediately; the published snapshot does not until
+        // the next publish (copy-on-write, not shared mutation).
+        assert!(writer.attrs_of(7).is_some());
+        assert!(cell.load().attrs_of(7).is_none(), "published snapshot must stay frozen");
+        writer.publish().unwrap();
+        assert_eq!(
+            cell.load().attrs_of(7),
+            Some(&vec![("color".to_string(), AttrValue::Str("red".into()))])
+        );
+        // Empty record clears.
+        writer.set_attrs(7, vec![]).unwrap();
+        assert!(writer.attrs_of(7).is_none());
+        // Deleting a point drops its attributes with it.
+        writer.set_attrs(9, vec![("hot".into(), AttrValue::Bool(true))]).unwrap();
+        writer.delete(9).unwrap();
+        assert!(writer.attrs_of(9).is_none());
+        assert!(writer.set_attrs(9, vec![("x".into(), AttrValue::U64(1))]).is_err());
+        // Unknown ids are rejected, never panicked on.
+        assert!(writer.set_attrs(9999, vec![]).is_err());
+    }
+
+    #[test]
+    fn filtered_search_returns_only_matching_points() {
+        use crate::filter::AttrValue;
+        let (idx, base) = frozen(300, 7);
+        let (mut writer, cell) =
+            IndexWriter::attach(idx, TauMngParams::default(), Arc::new(Metrics::new()));
+        for ext in 0..300u64 {
+            if ext % 3 == 0 {
+                writer.set_attrs(ext, vec![("band".into(), AttrValue::U64(ext % 9))]).unwrap();
+            }
+        }
+        writer.publish().unwrap();
+        let snap = cell.load();
+        let mut scratch = Scratch::new(snap.len());
+        let expr = FilterExpr::eq("band", AttrValue::U64(0));
+        for q in 0..20u32 {
+            let hit = snap.search_filtered(base.get(q), 5, 32, Some(&expr), &mut scratch);
+            assert!(!hit.ids.is_empty(), "query {q} found nothing");
+            for &e in &hit.ids {
+                assert_eq!(e % 9, 0, "non-matching external {e} leaked into a filtered result");
+            }
+        }
+        // None degrades to the plain search.
+        let plain = snap.search(base.get(3), 5, 32, &mut scratch);
+        let degraded = snap.search_filtered(base.get(3), 5, 32, None, &mut scratch);
+        assert_eq!(plain.ids, degraded.ids);
+        assert_eq!(plain.dists, degraded.dists);
+    }
+
+    #[test]
+    fn tombstone_publish_carries_attribute_updates() {
+        use crate::filter::AttrValue;
+        let (idx, _) = frozen(120, 8);
+        let (mut writer, cell) =
+            IndexWriter::attach(idx, TauMngParams::default(), Arc::new(Metrics::new()));
+        writer.delete(5).unwrap();
+        writer.set_attrs(11, vec![("tier".into(), AttrValue::U64(2))]).unwrap();
+        writer.publish_tombstones().unwrap();
+        let snap = cell.load();
+        assert!(snap.is_tombstoned(5));
+        assert_eq!(snap.attrs_of(11), Some(&vec![("tier".to_string(), AttrValue::U64(2))]));
+    }
+
+    #[test]
+    fn tombstoned_snapshot_never_comes_back_short_while_live_points_remain() {
+        let (idx, base) = frozen(200, 9);
+        let (mut writer, cell) =
+            IndexWriter::attach(idx, TauMngParams::default(), Arc::new(Metrics::new()));
+        // Skewed deletes: wipe out 90% so a naive selectivity-widened beam
+        // could still come back short; the exhaustive backstop must not.
+        for ext in 0..180u64 {
+            writer.delete(ext).unwrap();
+        }
+        writer.publish_tombstones().unwrap();
+        let snap = cell.load();
+        let mut scratch = Scratch::new(snap.len());
+        for q in 0..20u32 {
+            let hit = snap.search(base.get(q), 10, 16, &mut scratch);
+            assert_eq!(hit.ids.len(), 10, "query {q} returned {:?}", hit.ids);
+            assert!(hit.ids.iter().all(|&e| e >= 180), "tombstone leaked: {:?}", hit.ids);
+        }
     }
 
     #[test]

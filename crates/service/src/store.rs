@@ -43,19 +43,29 @@ use ann_vectors::io::{fnv1a, vstore_from_bytes, vstore_to_bytes};
 use bytes::{Buf, BufMut, BytesMut};
 use tau_mg::{TauIndex, TauMngParams};
 
+use crate::filter::AttrRecord;
 use crate::metrics::Metrics;
 use crate::snapshot::Snapshot;
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::Mutex;
 use crate::wal::DurabilityMode;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
 const SNAP_MAGIC: u32 = 0x534E_5031; // "SNP1"
-const SNAP_VERSION: u16 = 2;
+/// Current envelope version. v3 appends a per-vector attribute section
+/// (count-prefixed `external → attribute record` entries with their own
+/// FNV-1a checksum) after the index bytes; v2 envelopes — everything
+/// persisted before attributes existed — still decode, as "no attributes".
+const SNAP_VERSION: u16 = 3;
+/// Newest *previous* version this build still reads.
+const SNAP_VERSION_COMPAT: u16 = 2;
 /// Fixed header (60) + store-length field (8) + index-length field (8) +
-/// checksum trailer (8): the smallest parseable envelope.
+/// checksum trailer (8): the smallest parseable envelope (v2 layout; the
+/// v3 attribute section is bounds-checked separately once the version is
+/// known).
 const SNAP_MIN_LEN: usize = 84;
 
 /// The injectable filesystem surface the store runs on.
@@ -210,6 +220,9 @@ pub struct RecoveredSnapshot {
     pub covered_lsn: u64,
     /// Build parameters governing subsequent inserts/repairs.
     pub params: TauMngParams,
+    /// Per-vector attribute records, keyed by external id (empty for v2
+    /// envelopes, which predate attributes).
+    pub attrs: HashMap<u64, AttrRecord>,
 }
 
 /// What a recovery scan found.
@@ -614,6 +627,23 @@ pub(crate) fn encode_snapshot(
     buf.extend_from_slice(&store_bytes);
     buf.put_u64_le(index_bytes.len() as u64);
     buf.extend_from_slice(&index_bytes);
+    // v3 attribute section: `payload_len | payload | fnv1a(payload)`, where
+    // the payload is `count | (external, attr codec bytes)*` sorted by
+    // external id so identical snapshots encode identical bytes. The
+    // section checksum lets a damaged attribute table be diagnosed apart
+    // from whole-envelope rot.
+    let attrs = snapshot.attrs_map();
+    let mut entries: Vec<(&u64, &AttrRecord)> = attrs.iter().collect();
+    entries.sort_unstable_by_key(|(e, _)| **e);
+    let mut payload = Vec::with_capacity(8 + entries.len() * 16);
+    payload.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (external, rec) in entries {
+        payload.extend_from_slice(&external.to_le_bytes());
+        crate::filter::encode_attrs(&mut payload, rec);
+    }
+    buf.put_u64_le(payload.len() as u64);
+    buf.extend_from_slice(&payload);
+    buf.put_u64_le(fnv1a(&payload));
     let checksum = fnv1a(&buf);
     buf.put_u64_le(checksum);
     buf.to_vec()
@@ -647,10 +677,13 @@ pub(crate) fn decode_snapshot(
         return Err((IntegrityCheck::Magic, "snapshot bad magic".into()));
     }
     let version = b.get_u16_le();
-    if version != SNAP_VERSION {
+    if version != SNAP_VERSION && version != SNAP_VERSION_COMPAT {
         return Err((
             IntegrityCheck::Version,
-            format!("snapshot version {version} unsupported (this build reads {SNAP_VERSION})"),
+            format!(
+                "snapshot version {version} unsupported (this build reads \
+                 {SNAP_VERSION_COMPAT}-{SNAP_VERSION})"
+            ),
         ));
     }
     let _reserved = b.get_u16_le();
@@ -684,7 +717,19 @@ pub(crate) fn decode_snapshot(
         .map_err(|e| (IntegrityCheck::Payload, format!("embedded vector store rejected: {e}")))?;
     b.advance(store_len);
     let index_len = b.get_u64_le() as usize;
-    if index_len != b.remaining() {
+    // v2 envelopes end with the index bytes; v3 carries the attribute
+    // section (length field + payload + section checksum) after them.
+    let index_trailer = if version >= SNAP_VERSION { 16 } else { 0 };
+    if index_len + index_trailer > b.remaining() {
+        return Err((
+            IntegrityCheck::Bounds,
+            format!(
+                "index section promises {index_len} bytes, {} remain in the envelope",
+                b.remaining()
+            ),
+        ));
+    }
+    if version < SNAP_VERSION && index_len != b.remaining() {
         return Err((
             IntegrityCheck::Bounds,
             format!(
@@ -695,6 +740,64 @@ pub(crate) fn decode_snapshot(
     }
     let index = TauIndex::from_bytes(&b[..index_len], Arc::new(store), metric)
         .map_err(|e| (IntegrityCheck::Payload, format!("embedded index rejected: {e}")))?;
+    b.advance(index_len);
+    let mut attrs = HashMap::new();
+    if version >= SNAP_VERSION {
+        let attrs_len = b.get_u64_le() as usize;
+        if attrs_len + 8 != b.remaining() {
+            return Err((
+                IntegrityCheck::Bounds,
+                format!(
+                    "attribute section promises {attrs_len} bytes, {} remain in the envelope",
+                    b.remaining().saturating_sub(8)
+                ),
+            ));
+        }
+        if attrs_len < 8 {
+            return Err((
+                IntegrityCheck::Bounds,
+                "attribute section too short for its count field".into(),
+            ));
+        }
+        let payload = &b[..attrs_len];
+        let mut sum8 = [0u8; 8];
+        sum8.copy_from_slice(&b[attrs_len..attrs_len + 8]);
+        if fnv1a(payload) != u64::from_le_bytes(sum8) {
+            return Err((IntegrityCheck::Checksum, "attribute section checksum mismatch".into()));
+        }
+        let mut p = payload;
+        let count = p.get_u64_le();
+        for _ in 0..count {
+            if p.remaining() < 8 {
+                return Err((
+                    IntegrityCheck::Bounds,
+                    format!("attribute section promises {count} entries but ran out of bytes"),
+                ));
+            }
+            let external = p.get_u64_le();
+            let rec = crate::filter::decode_attrs(&mut p).map_err(|e| {
+                (IntegrityCheck::Payload, format!("attribute record for id {external}: {e}"))
+            })?;
+            if rec.is_empty() {
+                return Err((
+                    IntegrityCheck::Payload,
+                    format!("empty attribute record persisted for id {external}"),
+                ));
+            }
+            if attrs.insert(external, rec).is_some() {
+                return Err((
+                    IntegrityCheck::Payload,
+                    format!("duplicate attribute record for id {external}"),
+                ));
+            }
+        }
+        if !p.is_empty() {
+            return Err((
+                IntegrityCheck::Bounds,
+                format!("attribute section carries {} trailing bytes", p.len()),
+            ));
+        }
+    }
     if external_ids.len() != index.store().len() {
         return Err((
             IntegrityCheck::Bounds,
@@ -711,6 +814,7 @@ pub(crate) fn decode_snapshot(
         generation,
         covered_lsn,
         params: TauMngParams { tau, r, l, c },
+        attrs,
     })
 }
 
@@ -884,6 +988,120 @@ mod tests {
         writer.publish().unwrap();
         store.persist(&cell.load(), params, 0).unwrap();
         assert_eq!(store.generations().unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn envelope_roundtrips_attribute_records() {
+        use crate::filter::AttrValue;
+        let base = Arc::new(uniform(6, 90, 11));
+        let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 8).unwrap();
+        let params = TauMngParams { tau: 0.15, r: 16, l: 48, c: 150 };
+        let idx = tau_mg::build_tau_mng(base, Metric::L2, &knn, params).unwrap();
+        let (mut writer, cell) = IndexWriter::attach(idx, params, Arc::new(Metrics::new()));
+        for ext in (0..90u64).step_by(7) {
+            writer
+                .set_attrs(
+                    ext,
+                    vec![
+                        ("band".into(), AttrValue::U64(ext % 3)),
+                        ("hot".into(), AttrValue::Bool(ext % 2 == 0)),
+                        ("name".into(), AttrValue::Str(format!("v{ext}"))),
+                    ],
+                )
+                .unwrap();
+        }
+        writer.publish().unwrap();
+        let snap = cell.load();
+        let bytes = encode_snapshot(&snap, params, 5);
+        let rec = decode_snapshot(&bytes).unwrap();
+        assert_eq!(rec.attrs.len(), snap.attr_count());
+        for ext in (0..90u64).step_by(7) {
+            assert_eq!(rec.attrs.get(&ext), snap.attrs_of(ext), "id {ext}");
+        }
+        // Determinism: encoding the same snapshot twice is byte-identical
+        // (the attribute section is sorted, not hash-ordered).
+        assert_eq!(bytes, encode_snapshot(&snap, params, 5));
+    }
+
+    #[test]
+    fn envelope_rejects_attribute_section_corruption_at_every_byte() {
+        use crate::filter::AttrValue;
+        let base = Arc::new(uniform(6, 40, 12));
+        let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 8).unwrap();
+        let params = TauMngParams { tau: 0.15, r: 16, l: 48, c: 150 };
+        let idx = tau_mg::build_tau_mng(Arc::clone(&base), Metric::L2, &knn, params).unwrap();
+        let (mut writer, cell) = IndexWriter::attach(idx, params, Arc::new(Metrics::new()));
+        writer.set_attrs(3, vec![("k".into(), AttrValue::Str("vvv".into()))]).unwrap();
+        writer.publish().unwrap();
+        let baseline = {
+            // A twin writer over the identical (deterministically rebuilt)
+            // index, with the attribute set and then *cleared* before the
+            // publish: same dirtiness, same compaction, same index bytes —
+            // but an empty attribute payload. Its envelope length marks
+            // where the attribute section (plus trailer) begins.
+            let idx2 = tau_mg::build_tau_mng(base, Metric::L2, &knn, params).unwrap();
+            let (mut w2, cell2) = IndexWriter::attach(idx2, params, Arc::new(Metrics::new()));
+            w2.set_attrs(3, vec![("k".into(), AttrValue::Str("vvv".into()))]).unwrap();
+            w2.set_attrs(3, Vec::new()).unwrap();
+            w2.publish().unwrap();
+            encode_snapshot(&cell2.load(), params, 0).len()
+        };
+        let bytes = encode_snapshot(&cell.load(), params, 0);
+        assert!(bytes.len() > baseline, "attribute entries must grow the envelope");
+        // The sections before the attribute table are identical in both
+        // encodings, so the attribute section starts where the empty
+        // envelope's 32-byte tail (len + empty payload + section checksum +
+        // trailer) began. Flip every byte of it, *re-seal the outer
+        // trailer*, and require the section-level validation (not the
+        // whole-envelope checksum) to reject each flip.
+        let attrs_start = baseline - 32;
+        for pos in attrs_start..bytes.len() - 8 {
+            let mut garbled = bytes.clone();
+            garbled[pos] ^= 0xFF;
+            let body_len = garbled.len() - 8;
+            let sum = fnv1a(&garbled[..body_len]);
+            garbled[body_len..].copy_from_slice(&sum.to_le_bytes());
+            assert!(decode_snapshot(&garbled).is_err(), "flipped byte {pos} accepted");
+        }
+    }
+
+    #[test]
+    fn v2_envelope_without_attribute_section_still_decodes() {
+        // Hand-build a v2 envelope: current encoding minus the attribute
+        // section, with the version field and trailer rewritten.
+        let (cell, params) = snapshot_cell(50, 13);
+        let snap = cell.load();
+        let v3 = encode_snapshot(&snap, params, 7);
+        // v3 tail = attrs_len (8) + payload (8, empty count) + section
+        // checksum (8) + trailer (8); a v2 file ends right after the index.
+        let mut v2 = v3[..v3.len() - 32].to_vec();
+        v2[4] = 2; // version
+        v2[5] = 0;
+        let sum = fnv1a(&v2);
+        v2.extend_from_slice(&sum.to_le_bytes());
+        let rec = decode_snapshot(&v2).unwrap();
+        assert_eq!(rec.generation, 0);
+        assert_eq!(rec.covered_lsn, 7);
+        assert_eq!(rec.external_ids.len(), 50);
+        assert!(rec.attrs.is_empty(), "v2 predates attributes");
+        audit_recovered(&rec).unwrap();
+    }
+
+    #[test]
+    fn attributes_survive_persist_and_recover() {
+        use crate::filter::AttrValue;
+        let dir = unique_dir("attrs");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let base = Arc::new(uniform(6, 70, 14));
+        let knn = ann_knng::brute_force_knn_graph(Metric::L2, &base, 8).unwrap();
+        let params = TauMngParams { tau: 0.15, r: 16, l: 48, c: 150 };
+        let idx = tau_mg::build_tau_mng(base, Metric::L2, &knn, params).unwrap();
+        let (mut writer, cell) = IndexWriter::attach(idx, params, Arc::new(Metrics::new()));
+        writer.set_attrs(21, vec![("tier".into(), AttrValue::U64(9))]).unwrap();
+        writer.publish().unwrap();
+        store.persist(&cell.load(), params, 0).unwrap();
+        let rec = store.recover().unwrap().recovered.unwrap();
+        assert_eq!(rec.attrs.get(&21), Some(&vec![("tier".to_string(), AttrValue::U64(9))]));
     }
 
     #[test]

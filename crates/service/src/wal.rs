@@ -78,6 +78,7 @@ const RECORD_FIXED_LEN: usize = 21;
 
 const OP_INSERT: u8 = 1;
 const OP_DELETE: u8 = 2;
+const OP_SET_ATTRS: u8 = 3;
 
 /// When an appended mutation is acknowledged back to the caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,6 +140,15 @@ pub enum WalOp {
     Delete {
         /// External id of the doomed point.
         external: u64,
+    },
+    /// Replace the attribute record of the point addressed as `external`
+    /// (an empty record clears it). Replayed idempotently by LSN:
+    /// last-write-wins, exactly the original apply order.
+    SetAttrs {
+        /// External id whose attributes change.
+        external: u64,
+        /// The full replacement record (canonical form).
+        attrs: crate::filter::AttrRecord,
     },
 }
 
@@ -236,10 +246,22 @@ fn encode_header(buf: &mut BytesMut, shard: u32, first_lsn: u64) {
 }
 
 fn encode_record(buf: &mut BytesMut, rec: &WalRecord) {
+    // Attribute payloads are encoded up front so the length prefix is known;
+    // records are small (ceilinged by the attr codec), so the temporary is
+    // a handful of bytes.
+    let attr_bytes = match &rec.op {
+        WalOp::SetAttrs { attrs, .. } => {
+            let mut ab = Vec::new();
+            crate::filter::encode_attrs(&mut ab, attrs);
+            ab
+        }
+        _ => Vec::new(),
+    };
     let body_len = RECORD_FIXED_LEN
         + match &rec.op {
             WalOp::Insert { vector, .. } => 4 + vector.len() * 4,
             WalOp::Delete { .. } => 0,
+            WalOp::SetAttrs { .. } => attr_bytes.len(),
         };
     let start = buf.len();
     buf.put_u32_le(body_len as u32); // cast: record bodies are KiB-scale, far below u32::MAX
@@ -257,6 +279,11 @@ fn encode_record(buf: &mut BytesMut, rec: &WalRecord) {
         WalOp::Delete { external } => {
             buf.put_u8(OP_DELETE);
             buf.put_u64_le(*external);
+        }
+        WalOp::SetAttrs { external, .. } => {
+            buf.put_u8(OP_SET_ATTRS);
+            buf.put_u64_le(*external);
+            buf.extend_from_slice(&attr_bytes);
         }
     }
     let sum = fnv1a(&buf[start..]);
@@ -431,6 +458,18 @@ fn decode_body(
             }
             Ok(WalRecord { lsn, shard, op: WalOp::Insert { external, vector } })
         }
+        OP_SET_ATTRS => {
+            let mut rest: &[u8] = b;
+            let attrs = crate::filter::decode_attrs(&mut rest)
+                .map_err(|e| (IntegrityCheck::Payload, format!("set-attrs record: {e}")))?;
+            if !rest.is_empty() {
+                return Err((
+                    IntegrityCheck::Bounds,
+                    format!("set-attrs record carries {} trailing bytes", rest.len()),
+                ));
+            }
+            Ok(WalRecord { lsn, shard, op: WalOp::SetAttrs { external, attrs } })
+        }
         other => Err((IntegrityCheck::Payload, format!("unknown wal op {other}"))),
     }
 }
@@ -580,6 +619,19 @@ impl ShardWal {
     /// See [`ShardWal::append_insert`].
     pub fn append_delete(&mut self, external: u64) -> Result<u64> {
         self.append(WalOp::Delete { external })
+    }
+
+    /// Journal an attribute replacement (canonical record, empty = clear);
+    /// same contract as [`ShardWal::append_insert`].
+    ///
+    /// # Errors
+    /// See [`ShardWal::append_insert`].
+    pub fn append_set_attrs(
+        &mut self,
+        external: u64,
+        attrs: &crate::filter::AttrRecord,
+    ) -> Result<u64> {
+        self.append(WalOp::SetAttrs { external, attrs: attrs.clone() })
     }
 
     fn append(&mut self, op: WalOp) -> Result<u64> {
@@ -750,6 +802,48 @@ mod tests {
         let later = read_wal_dir(&fs(), &dir, 2).unwrap();
         assert_eq!(later.records.len(), 1);
         assert_eq!(later.records[0].lsn, 3);
+    }
+
+    #[test]
+    fn set_attrs_records_roundtrip_and_interleave() {
+        use crate::filter::{normalize_attrs, AttrValue};
+        let dir = tmp("attrs");
+        let mut w = wal(&dir, DurabilityMode::Strict);
+        let attrs = normalize_attrs(vec![
+            ("tenant".to_string(), AttrValue::Str("a".into())),
+            ("tier".to_string(), AttrValue::U64(2)),
+            ("hot".to_string(), AttrValue::Bool(true)),
+        ])
+        .unwrap();
+        w.append_insert(9, &[1.0, 2.0]).unwrap();
+        let l2 = w.append_set_attrs(9, &attrs).unwrap();
+        let l3 = w.append_set_attrs(9, &Vec::new()).unwrap();
+        assert_eq!((l2, l3), (2, 3));
+        let replay = read_wal_dir(&fs(), &dir, 0).unwrap();
+        assert!(replay.damaged.is_empty());
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[1].op, WalOp::SetAttrs { external: 9, attrs });
+        assert_eq!(replay.records[2].op, WalOp::SetAttrs { external: 9, attrs: Vec::new() });
+    }
+
+    #[test]
+    fn set_attrs_record_corruption_is_detected_at_every_byte() {
+        use crate::filter::{normalize_attrs, AttrValue};
+        let dir = tmp("attrscorrupt");
+        let mut w = wal(&dir, DurabilityMode::Strict);
+        let attrs = normalize_attrs(vec![("k".to_string(), AttrValue::Str("vvv".into()))]).unwrap();
+        w.append_set_attrs(4, &attrs).unwrap();
+        let seg = dir.join(segment_file_name(1));
+        let bytes = std::fs::read(&seg).unwrap();
+        // Flip every payload byte: the record checksum must catch each one.
+        for pos in WAL_HEADER_LEN..bytes.len() {
+            let mut garbled = bytes.clone();
+            garbled[pos] ^= 0xFF;
+            let mut last = 0;
+            let (records, damage) = scan_segment(&seg, &garbled, 1, &mut last);
+            assert!(records.is_empty(), "flip at {pos} accepted a damaged record");
+            assert!(damage.is_some(), "flip at {pos} undetected");
+        }
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! the set keeps serving (and reports `shards_degraded`).
 
 use ann_service::{
-    split_index, AnnService, DurabilityMode, Fault, FaultFs, IndexWriter, Metrics, RealFs,
-    ServiceConfig, ShardSetWriter, SnapshotStore, SnapshotStoreConfig,
+    split_index, AnnService, AttrValue, DurabilityMode, Fault, FaultFs, IndexWriter, Metrics,
+    RealFs, ServiceConfig, ShardSetWriter, SnapshotStore, SnapshotStoreConfig,
 };
 use ann_vectors::error::AnnError;
 use ann_vectors::metric::Metric;
@@ -505,15 +505,20 @@ fn xorshift(state: &mut u64) -> u64 {
 }
 
 /// The WAL kill-point matrix: every fault kind at every filesystem
-/// operation of an insert/insert/delete window that is never published.
-/// Under `Strict`, an acknowledged mutation must be present (insert) or
-/// absent (delete) after a warm restart from *any* kill point; an
-/// unacknowledged mutation is indeterminate (it may or may not have hit
-/// the platter) and is not asserted either way.
+/// operation of an insert/insert/delete/set-attrs window that is never
+/// published. Under `Strict`, an acknowledged mutation must be present
+/// (insert), absent (delete), or readable (attribute record) after a warm
+/// restart from *any* kill point; an unacknowledged mutation is
+/// indeterminate (it may or may not have hit the platter) and is not
+/// asserted either way.
 #[test]
 fn wal_kill_point_matrix_strict_acked_writes_survive_every_fault() {
     let (bytes, base) = index_fixture();
     let extra = uniform(6, 2, 4242);
+    let attr_rec = vec![
+        ("pinned".to_owned(), AttrValue::Bool(true)),
+        ("tier".to_owned(), AttrValue::U64(7)),
+    ];
     let faults = [
         Fault::Crash,
         Fault::TornWrite,
@@ -538,10 +543,11 @@ fn wal_kill_point_matrix_strict_acked_writes_survive_every_fault() {
         writer.insert(extra.get(0)).unwrap();
         writer.insert(extra.get(1)).unwrap();
         writer.delete(0).unwrap();
+        writer.set_attrs(1, attr_rec.clone()).unwrap();
         fs.ops() - before
     };
     assert!(
-        probe_ops >= 9,
+        probe_ops >= 12,
         "strict journaling is append+fsync+verify per mutation, saw {probe_ops} ops"
     );
 
@@ -563,6 +569,7 @@ fn wal_kill_point_matrix_strict_acked_writes_survive_every_fault() {
             let ins_a = writer.insert(extra.get(0));
             let ins_b = writer.insert(extra.get(1));
             let del = writer.delete(0);
+            let set = writer.set_attrs(1, attr_rec.clone());
             drop(writer); // kill before any publish
 
             // "Restart": a clean process over the same directory must
@@ -582,6 +589,13 @@ fn wal_kill_point_matrix_strict_acked_writes_survive_every_fault() {
             }
             if del.is_ok() {
                 assert!(!w2.contains(0), "{tag}: acknowledged delete resurrected");
+            }
+            if set.is_ok() {
+                assert_eq!(
+                    w2.attrs_of(1),
+                    Some(&attr_rec),
+                    "{tag}: acknowledged attribute record lost"
+                );
             }
             // The recovered world keeps accepting writes durably.
             let ext = w2.insert(base.get(5)).unwrap();

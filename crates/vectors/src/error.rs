@@ -105,6 +105,19 @@ pub enum AnnError {
     /// (a torn tail after a crash) and handled by truncation rather than
     /// quarantine.
     CorruptWal(Box<CorruptWalContext>),
+    /// A per-tenant quota rejected the operation. This is backpressure, not
+    /// failure: the caller chose the limit, the service enforced it, and
+    /// the right reaction is retry-later or shed — never a panic.
+    QuotaExceeded {
+        /// Collection (tenant) whose quota tripped.
+        collection: String,
+        /// Which resource was exhausted (`"vectors"`, `"inflight"`, …).
+        resource: &'static str,
+        /// The configured ceiling.
+        limit: u64,
+        /// Current usage that made the operation exceed `limit`.
+        in_use: u64,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -166,6 +179,12 @@ impl fmt::Display for AnnError {
                     write!(f, " (after lsn {lsn})")?;
                 }
                 write!(f, ": {} check failed: {}", ctx.check, ctx.detail)
+            }
+            AnnError::QuotaExceeded { collection, resource, limit, in_use } => {
+                write!(
+                    f,
+                    "quota exceeded for collection {collection:?}: {resource} limit {limit} (in use: {in_use})"
+                )
             }
             AnnError::Io(e) => write!(f, "io error: {e}"),
         }
@@ -237,6 +256,20 @@ mod tests {
         assert!(s.contains("record trailer mismatch"), "{s}");
         let e = AnnError::corrupt_wal("w.wal", None, IntegrityCheck::Magic, "not WAL1");
         assert!(!e.to_string().contains("after lsn"), "{e}");
+    }
+
+    #[test]
+    fn quota_exceeded_is_rendered_with_context() {
+        let e = AnnError::QuotaExceeded {
+            collection: "tenant-a".into(),
+            resource: "inflight",
+            limit: 8,
+            in_use: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("tenant-a"), "{s}");
+        assert!(s.contains("inflight"), "{s}");
+        assert!(s.contains("limit 8"), "{s}");
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! when one shard's durable state is destroyed.
 //!
 //! The write-ahead-log act at the end kills the "process" *between*
-//! publishes and shows every acknowledged mutation replayed on restart.
+//! publishes and shows every acknowledged mutation replayed on restart —
+//! including per-vector attribute records, which round-trip both through
+//! the published snapshot (v3 envelope) and through the journal alone.
 //! `--durability` picks the journal's fsync policy (`strict` acknowledges
 //! only fsynced-and-verified records; `batched` groups fsyncs; `none`
 //! journals without syncing).
@@ -29,7 +31,7 @@
 use ann_suite::ann_graph::AnnIndex;
 use ann_suite::ann_knng::{nn_descent, NnDescentParams};
 use ann_suite::ann_service::{
-    split_index, AnnService, DurabilityMode, Fault, FaultFs, MaintenanceConfig,
+    split_index, AnnService, AttrValue, DurabilityMode, Fault, FaultFs, MaintenanceConfig,
     MaintenanceScheduler, Metrics, RealFs, ServiceConfig, ShardSetWriter, SnapshotStore,
     SnapshotStoreConfig,
 };
@@ -179,6 +181,11 @@ fn main() {
     println!("write-ahead log: durability={}", durability.name());
     let probe: Vec<f32> = (0..16).map(|i| 0.37 + 0.01 * i as f32).collect();
     let added = writer.insert(&probe).expect("insert");
+    let added_attrs = vec![
+        ("region".to_owned(), AttrValue::Str("eu-west".to_owned())),
+        ("tier".to_owned(), AttrValue::U64(2)),
+    ];
+    writer.set_attrs(added, added_attrs.clone()).expect("set attrs");
     for ext in 0..150u64 {
         writer.delete(ext).expect("delete");
     }
@@ -217,6 +224,12 @@ fn main() {
         snaps.iter().flatten().all(|s| !s.external_ids().contains(&0)),
         "warm-restarted set must not resurrect a deleted external id"
     );
+    assert_eq!(
+        rec.writer.attrs_of(added),
+        Some(&added_attrs),
+        "attributes published in the snapshot must survive the warm restart"
+    );
+    println!("  attributes for id {added} came back from the snapshot: {added_attrs:?}");
     let metrics = Arc::clone(rec.writer.metrics());
     let service =
         AnnService::start_sharded(Arc::clone(&rec.set), metrics, ServiceConfig::default())
@@ -247,7 +260,13 @@ fn main() {
     // acknowledged is lost, under any `--durability` on a healthy disk (and
     // under `strict` even across torn-write crashes).
     let walprobe: Vec<f32> = (0..16).map(|i| 5.0 + 0.02 * i as f32).collect();
-    let unpublished = writer.insert(&walprobe).expect("insert");
+    let wal_attrs = vec![
+        ("pinned".to_owned(), AttrValue::Bool(true)),
+        ("region".to_owned(), AttrValue::Str("ap-south".to_owned())),
+    ];
+    let unpublished = writer
+        .insert_with_attrs(&walprobe, wal_attrs.clone())
+        .expect("insert with attrs");
     writer.delete(added).expect("delete");
     let gen_before = writer.generation();
     let wal_metrics = Arc::clone(writer.metrics());
@@ -280,6 +299,12 @@ fn main() {
         !rec.writer.writer(shard_del).map(|w| w.contains(added)).unwrap_or(true),
         "acknowledged delete must be replayed from the journal"
     );
+    assert_eq!(
+        rec.writer.attrs_of(unpublished),
+        Some(&wal_attrs),
+        "attributes journaled after the last publish must be replayed"
+    );
+    println!("  attributes for id {unpublished} came back from the journal alone: {wal_attrs:?}");
     println!(
         "process 3: journal replay restored the gap ({} records replayed) and \
          republished at set generation {}",

@@ -11,6 +11,7 @@
 //! ```sh
 //! cargo run --release --example serve -- --shards 3
 //! cargo run --release --example serve -- --shards 3 --durability strict
+//! cargo run --release --example serve -- --collections 4
 //! ```
 //!
 //! `--shards 1` runs the degenerate single-shard configuration and proves
@@ -19,7 +20,10 @@
 //! through per-shard durable stores instead of memory: every publish lands
 //! as a checksummed snapshot and every insert/delete is journaled to a
 //! write-ahead log under the chosen fsync policy before it is
-//! acknowledged.
+//! acknowledged. `--collections N` additionally registers N named tenant
+//! collections on the same worker pool, floods one past its in-flight
+//! quota, and shows the flood clipped by typed rejections while the other
+//! tenants' tail latency stays bounded.
 
 use ann_suite::ann_graph::AnnIndex;
 use ann_suite::ann_knng::{nn_descent, NnDescentParams};
@@ -32,9 +36,10 @@ use ann_suite::tau_mg::{build_tau_mng, TauMngParams};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn args_from_cli() -> (usize, Option<DurabilityMode>) {
+fn args_from_cli() -> (usize, Option<DurabilityMode>, usize) {
     let mut shards = 2usize;
     let mut durability = None;
+    let mut collections = 3usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -49,14 +54,19 @@ fn args_from_cli() -> (usize, Option<DurabilityMode>) {
                     panic!("--durability must be strict|batched|none, got {v}")
                 }));
             }
+            "--collections" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    collections = n;
+                }
+            }
             _ => {}
         }
     }
-    (shards.max(1), durability)
+    (shards.max(1), durability, collections)
 }
 
 fn main() {
-    let (shards, durability) = args_from_cli();
+    let (shards, durability, collections) = args_from_cli();
 
     // Build the index to serve.
     let ds = Recipe::SiftLike.build(6_000, 256, 33);
@@ -202,7 +212,117 @@ fn main() {
     });
     println!("\nafter an 8-client burst against 4 workers:\n");
 
-    // 5. The observability surface, including the per-shard counters.
+    // 5. Named collections with per-tenant quotas: every tenant gets its
+    //    own shard group behind the same worker pool. Tenant 0 is flooded
+    //    by aggressive clients and clipped at its in-flight admission cap
+    //    (typed rejections, never a panic); the other tenants' tail
+    //    latency stays bounded because the flood cannot occupy their queue
+    //    slots.
+    if collections > 0 {
+        use ann_suite::ann_knng::brute_force_knn_graph;
+        use ann_suite::ann_service::{CollectionConfig, TenantQuotas};
+        use ann_suite::ann_vectors::AnnError;
+        println!("creating {collections} collections (tenant-0 capped at 8 in-flight queries)");
+        for t in 0..collections {
+            let ds = Recipe::SiftLike.build(1_200, 1, 100 + t as u64);
+            let tenant_base = Arc::new(ds.base);
+            let tenant_knn = brute_force_knn_graph(metric, &tenant_base, 12).expect("knn");
+            let tenant_tau = mean_nn_distance(&tenant_base, 100, 7) * 0.03;
+            let tenant_params = TauMngParams { tau: tenant_tau, ..Default::default() };
+            let tenant_index =
+                build_tau_mng(tenant_base, metric, &tenant_knn, tenant_params).expect("build");
+            let quotas = if t == 0 {
+                TenantQuotas { max_vectors: Some(1_210), max_inflight: Some(8) }
+            } else {
+                TenantQuotas::default()
+            };
+            service
+                .create_collection(
+                    &format!("tenant-{t}"),
+                    tenant_index,
+                    tenant_params,
+                    CollectionConfig { shards: 1, quotas },
+                )
+                .expect("collection");
+        }
+
+        // Writer-side quota: tenant-0 accepts 10 more vectors, then rejects
+        // with a typed error instead of growing past its budget.
+        let tenant0 = service.collections().get("tenant-0").expect("registered");
+        let filler = vec![0.25f32; base.dim()];
+        let mut accepted = 0u32;
+        let vector_quota_err = loop {
+            match tenant0.insert(&filler) {
+                Ok(_) => accepted += 1,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(vector_quota_err, AnnError::QuotaExceeded { .. }));
+        println!("tenant-0 vector quota: {accepted} inserts accepted, then: {vector_quota_err}");
+
+        let p99s = std::sync::Mutex::new(Vec::<(String, u64, u64)>::new());
+        std::thread::scope(|s| {
+            // The flood: 4 clients hammer tenant-0 with 16-query batches —
+            // far past its 8-query admission cap.
+            for _ in 0..4 {
+                let service = &service;
+                let queries = Arc::clone(&queries);
+                s.spawn(move || {
+                    for b in 0..60u32 {
+                        let batch: Vec<Vec<f32>> = (0..8u32)
+                            .map(|i| queries.get((b * 8 + i) % queries.len() as u32).to_vec())
+                            .collect();
+                        match service.submit_to("tenant-0", batch, 10, None, Default::default()) {
+                            Ok(handle) => {
+                                let _ = handle.wait();
+                            }
+                            Err(AnnError::QuotaExceeded { .. }) => {}
+                            Err(e) => panic!("unexpected submit error: {e}"),
+                        }
+                    }
+                });
+            }
+            // The bystanders: a steady trickle per other tenant, tail
+            // latency recorded.
+            for t in 1..collections {
+                let service = &service;
+                let queries = Arc::clone(&queries);
+                let p99s = &p99s;
+                s.spawn(move || {
+                    let name = format!("tenant-{t}");
+                    let mut lat = Vec::with_capacity(40);
+                    for b in 0..40u32 {
+                        let batch = vec![queries.get(b % queries.len() as u32).to_vec()];
+                        let result = service
+                            .submit_to(&name, batch, 10, None, Default::default())
+                            .expect("within quota")
+                            .wait()
+                            .expect("service alive");
+                        lat.push(result.replies[0].latency_us);
+                    }
+                    lat.sort_unstable();
+                    let p99 = lat[(lat.len() * 99 / 100).min(lat.len() - 1)];
+                    let max = *lat.last().unwrap();
+                    p99s.lock().unwrap().push((name, p99, max));
+                });
+            }
+        });
+        let rejected = service.metrics().quota_rejected.get();
+        println!(
+            "flood of tenant-0 produced {rejected} quota rejections \
+             (collection counter: {})",
+            tenant0.metrics().quota_rejected.get()
+        );
+        let mut rows = p99s.into_inner().unwrap();
+        rows.sort();
+        for (name, p99, max) in rows {
+            println!("  {name}: p99 = {p99}us, max = {max}us — bounded while tenant-0 flooded");
+        }
+        println!();
+    }
+
+    // 6. The observability surface, including the per-shard and
+    //    per-collection counters.
     println!("{}", service.status());
     service.shutdown();
 }

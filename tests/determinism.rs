@@ -142,6 +142,41 @@ fn bfs_relayout_is_search_invariant_across_all_builders() {
     }
 }
 
+/// The zero-filter read path must be *bit-identical* to the plain one:
+/// `Snapshot::search_filtered` with `expr = None` dispatches to exactly the
+/// code `Snapshot::search` runs — same ids, same distance bits, same work
+/// counters — including when tombstones are present (the deletion filter
+/// and its beam widening engage identically on both paths).
+#[test]
+fn zero_filter_search_is_bit_identical_to_the_plain_path() {
+    use ann_suite::ann_service::{IndexWriter, Metrics};
+
+    let ds = Recipe::SiftLike.build(500, 16, 31);
+    let base = Arc::new(ds.base);
+    let knn = brute_force_knn_graph(ds.metric, &base, 16).unwrap();
+    let params = TauMngParams { tau: 0.12, ..Default::default() };
+    let idx = build_tau_mng(base.clone(), ds.metric, &knn, params).unwrap();
+    let (mut writer, cell) = IndexWriter::attach(idx, params, Arc::new(Metrics::new()));
+    for ext in (0..60u64).map(|i| i * 7) {
+        writer.delete(ext).unwrap();
+    }
+    writer.publish_tombstones().unwrap();
+
+    let snap = cell.load();
+    let mut scratch = Scratch::new(base.len());
+    for q in 0..ds.queries.len() as u32 {
+        let a = snap.search(ds.queries.get(q), 10, 48, &mut scratch);
+        let b = snap.search_filtered(ds.queries.get(q), 10, 48, None, &mut scratch);
+        assert_eq!(a.ids, b.ids, "q{q}: zero-filter ids diverged");
+        let (da, db): (Vec<u32>, Vec<u32>) = (
+            a.dists.iter().map(|d| d.to_bits()).collect(),
+            b.dists.iter().map(|d| d.to_bits()).collect(),
+        );
+        assert_eq!(da, db, "q{q}: zero-filter distances not bit-identical");
+        assert_eq!(a.stats, b.stats, "q{q}: zero-filter path did different work");
+    }
+}
+
 #[test]
 fn searches_are_deterministic_given_a_graph() {
     let ds = Recipe::SiftLike.build(400, 10, 23);
